@@ -1,0 +1,39 @@
+"""Benchmarks E4-E6: the Section III headline claims.
+
+Paper references:
+* E4 -- "our 'only skipping' approximation achieves 44% MAC reduction [...]
+  while this number rises to averagely 57% when compromising 5% accuracy loss";
+* E5 -- "an average speedup of 21% [...] with zero accuracy loss [...]
+  increased to 36% when accepting approximately 10% accuracy loss";
+* E6 -- the CMix-NN (62% latency reduction) and uTVM (+13% overhead vs CMSIS,
+  our +32% speedup at <5% loss) qualitative comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import build_claims, format_claims
+
+from bench_utils import record_result
+
+
+@pytest.mark.benchmark(group="claims")
+def test_section3_claims(benchmark, context, paper_models):
+    """Recompute every aggregate claim and check the qualitative directions."""
+    measured = benchmark.pedantic(lambda: build_claims(context), rounds=1, iterations=1)
+
+    # E4: substantial conv-MAC reduction at iso-accuracy, growing with the loss budget.
+    assert measured["avg_conv_mac_reduction_at_0pct"] > 0.15
+    assert measured["avg_conv_mac_reduction_at_5pct"] >= measured["avg_conv_mac_reduction_at_0pct"]
+
+    # E5: latency reduction versus CMSIS-NN at 0% loss, larger at 10% loss.
+    assert measured["avg_latency_reduction_at_0pct"] > 0.05
+    assert measured["avg_latency_reduction_at_10pct"] >= measured["avg_latency_reduction_at_0pct"]
+
+    # E6: the framework clearly beats CMix-NN and uTVM; uTVM is slower than CMSIS.
+    assert measured["latency_reduction_vs_cmix_nn"] > 0.4
+    assert measured["speedup_vs_utvm_at_5pct"] > 0.15
+    assert 0.0 < measured["utvm_overhead_vs_cmsis"] < 0.3
+
+    record_result("claims", format_claims(measured))

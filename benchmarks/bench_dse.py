@@ -1,0 +1,57 @@
+"""Benchmark of the design-space exploration itself.
+
+The paper reports that the offline DSE over >10,000 designs took under two
+hours on a 6-thread desktop CPU; this benchmark measures our DSE throughput
+(configurations simulated per second) on a small model so the cost of larger
+sweeps can be extrapolated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DSEConfig, run_dse
+
+from bench_utils import record_result
+from repro.evaluation.reports import format_table
+
+
+@pytest.mark.benchmark(group="dse")
+def test_bench_dse_tiny_model(benchmark, tiny_artifacts):
+    """DSE over 12 configurations x 128 evaluation images on the tiny CNN."""
+    result_holder = tiny_artifacts["result"]
+    qmodel = tiny_artifacts["qmodel"]
+    split = tiny_artifacts["split"]
+
+    dse_config = DSEConfig(
+        tau_values=[0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.03, 0.05, 0.07, 0.1, 0.15, 0.2],
+        max_eval_samples=128,
+    )
+
+    def run():
+        return run_dse(
+            qmodel,
+            result_holder.significance,
+            split.test.images[:128],
+            split.test.labels[:128],
+            dse_config=dse_config,
+            unpacked=result_holder.unpacked,
+        )
+
+    dse = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(dse.points) >= 12
+    try:
+        seconds = float(benchmark.stats.stats.mean)
+    except Exception:  # pragma: no cover - stats layout differs across plugin versions
+        seconds = float("nan")
+    configs_per_second = len(dse.points) / seconds if seconds and seconds > 0 else float("nan")
+    rows = [
+        {
+            "model": qmodel.name,
+            "configurations": len(dse.points),
+            "eval images": 128,
+            "wall time (s)": seconds,
+            "configs / s": configs_per_second,
+        }
+    ]
+    record_result("dse_throughput", format_table(rows, title="DSE throughput (tiny CNN)"))

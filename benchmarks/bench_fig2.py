@@ -1,0 +1,30 @@
+"""Benchmark E2: regenerate Figure 2 (accuracy vs normalised MAC-reduction Pareto space).
+
+Paper reference: Fig. 2(a) AlexNet and Fig. 2(b) LeNet -- every explored
+approximate configuration, the exact baseline and the Pareto front in the
+(normalised conv-MAC reduction, accuracy) plane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import build_figure2, format_figure2
+
+from bench_utils import record_result
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_regeneration(benchmark, context, paper_models):
+    """Regenerate the Fig. 2 Pareto data for both CNNs."""
+    figure = benchmark.pedantic(lambda: build_figure2(context), rounds=1, iterations=1)
+    assert set(figure) == {"lenet", "alexnet"}
+    for model, data in figure.items():
+        assert data["n_designs"] >= 5
+        reductions = [x for x, _ in data["points"]]
+        accuracies = [y for _, y in data["points"]]
+        assert max(reductions) > 0.2, f"{model}: DSE should reach substantial MAC reductions"
+        assert min(accuracies) < data["baseline_accuracy"], "aggressive skipping must cost accuracy"
+        # The Pareto front is non-empty and dominated by no explored point.
+        assert len(data["pareto"]) >= 2
+    record_result("figure2", format_figure2(figure))

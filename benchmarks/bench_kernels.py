@@ -1,0 +1,82 @@
+"""Kernel micro-benchmarks: the int8 kernels the whole evaluation rests on.
+
+These quantify the simulator's own hot paths (im2col, s8 convolution with and
+without operand masks, fully-connected, requantization) -- useful when tuning
+the DSE throughput -- and double as regression guards that masked execution
+does not slow the simulation down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import convolve_s8, fully_connected_s8, im2col_s8, max_pool_s8
+from repro.kernels.requantize import quantize_multiplier, requantize, requantize_float
+
+RNG = np.random.default_rng(0)
+
+
+def _conv_inputs(n=8, h=16, w=16, cin=16, cout=32, k=3):
+    x = RNG.integers(-128, 128, size=(n, h, w, cin), dtype=np.int8)
+    weights = RNG.integers(-127, 128, size=(cout, k, k, cin), dtype=np.int8)
+    bias = RNG.integers(-1000, 1000, size=cout).astype(np.int64)
+    multipliers = np.full(cout, 3e-4)
+    return x, weights, bias, multipliers
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_im2col_s8(benchmark):
+    """im2col patch extraction on a 16x16x16 int8 feature map."""
+    x, *_ = _conv_inputs()
+    result = benchmark(lambda: im2col_s8(x, (3, 3), (1, 1), (1, 1), input_zero_point=-4))
+    assert result.shape == (8, 16, 16, 3 * 3 * 16)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_convolve_s8_exact(benchmark):
+    """Exact s8 convolution (CMSIS-NN-style dataflow)."""
+    x, weights, bias, multipliers = _conv_inputs()
+    out = benchmark(
+        lambda: convolve_s8(x, weights, bias, -4, 3, multipliers, (1, 1), (1, 1))
+    )
+    assert out.shape == (8, 16, 16, 32)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_convolve_s8_masked(benchmark):
+    """Approximate s8 convolution with 50% of the operands skipped."""
+    x, weights, bias, multipliers = _conv_inputs()
+    mask = RNG.random((32, 3 * 3 * 16)) > 0.5
+    out = benchmark(
+        lambda: convolve_s8(x, weights, bias, -4, 3, multipliers, (1, 1), (1, 1), weight_mask=mask)
+    )
+    assert out.shape == (8, 16, 16, 32)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_fully_connected_s8(benchmark):
+    """s8 fully-connected layer (256 -> 64)."""
+    x = RNG.integers(-128, 128, size=(64, 256), dtype=np.int8)
+    weights = RNG.integers(-127, 128, size=(256, 64), dtype=np.int8)
+    bias = RNG.integers(-1000, 1000, size=64).astype(np.int64)
+    out = benchmark(lambda: fully_connected_s8(x, weights, bias, -2, 1, np.full(64, 2e-4)))
+    assert out.shape == (64, 64)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_max_pool_s8(benchmark):
+    """s8 2x2 max pooling."""
+    x = RNG.integers(-128, 128, size=(32, 32, 32, 16), dtype=np.int8)
+    out = benchmark(lambda: max_pool_s8(x, (2, 2), (2, 2)))
+    assert out.shape == (32, 16, 16, 16)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_requantize_integer_vs_float(benchmark):
+    """Bit-faithful integer requantization of 1M accumulators."""
+    acc = RNG.integers(-(2**20), 2**20, size=1_000_000)
+    fp = quantize_multiplier(7.3e-4)
+    out = benchmark(lambda: requantize(acc, fp.multiplier, fp.shift))
+    reference = requantize_float(acc, fp.real_value)
+    assert np.abs(out - reference).max() <= 1

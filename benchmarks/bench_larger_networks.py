@@ -1,0 +1,43 @@
+"""Benchmark E8: approximate computing enables larger-yet-fast networks (contribution 3).
+
+Paper reference (Section I, contribution 3): "we demonstrate that, in many
+cases approximate computing is able to realize larger and faster networks
+than conventional ones on tiny devices."  The benchmark deploys the exact
+CMSIS-NN LeNet next to approximate AlexNet designs and checks that the
+approximate larger network closes most of the latency gap while keeping its
+accuracy advantage-or-parity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.larger_networks import (
+    build_larger_network_comparison,
+    format_larger_network_comparison,
+)
+
+from bench_utils import record_result
+
+
+@pytest.mark.benchmark(group="larger-networks")
+def test_larger_network_claim(benchmark, context, paper_models):
+    """Approximate AlexNet approaches (or beats) the exact LeNet latency-per-accuracy point."""
+    rows = benchmark.pedantic(
+        lambda: build_larger_network_comparison(context), rounds=1, iterations=1
+    )
+    by_design = {row["design"]: row for row in rows}
+    lenet_exact = by_design["lenet (exact, CMSIS-NN)"]
+    alexnet_exact = by_design["alexnet (exact, CMSIS-NN)"]
+    approx_rows = [row for name, row in by_design.items() if "approx" in name]
+
+    assert approx_rows, "at least one approximate AlexNet design must exist"
+    # The exact AlexNet is far slower than the exact LeNet...
+    assert alexnet_exact["latency (ms)"] > 2.0 * lenet_exact["latency (ms)"]
+    best_approx = min(approx_rows, key=lambda row: row["latency (ms)"])
+    # ...but approximation closes most of that gap (within 2x of LeNet instead of >3x)...
+    assert best_approx["latency (ms)"] < 2.0 * lenet_exact["latency (ms)"]
+    # ...while every deployed design still fits the board.
+    assert all(row["fits"] for row in rows)
+
+    record_result("larger_networks", format_larger_network_comparison(rows))

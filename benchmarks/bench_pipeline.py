@@ -1,0 +1,59 @@
+"""Benchmark of the end-to-end ATAMAN pipeline stages on a small model.
+
+Breaks the framework's offline cost into its stages (unpacking, calibration,
+significance, DSE) so users can see where the offline time goes -- the paper
+emphasises that all of this happens once, offline, before deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ActivationCalibrator, DSEConfig, compute_significance, unpack_model
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_bench_unpacking(benchmark, tiny_artifacts):
+    """Stage 1: layer-based code unpacking."""
+    qmodel = tiny_artifacts["qmodel"]
+    unpacked = benchmark(lambda: unpack_model(qmodel))
+    assert len(unpacked) == len(qmodel.conv_layers())
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_bench_calibration(benchmark, tiny_artifacts):
+    """Stage 2: activation-distribution capture on the calibration set."""
+    qmodel = tiny_artifacts["qmodel"]
+    split = tiny_artifacts["split"]
+    calibrator = ActivationCalibrator(qmodel)
+    result = benchmark.pedantic(
+        lambda: calibrator.calibrate(split.calibration.images), rounds=2, iterations=1
+    )
+    assert set(result.layer_names()) == {layer.name for layer in qmodel.conv_layers()}
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_bench_significance(benchmark, tiny_artifacts):
+    """Stage 3: significance computation from the calibration statistics."""
+    qmodel = tiny_artifacts["qmodel"]
+    calibration = tiny_artifacts["result"].calibration
+    significance = benchmark(lambda: compute_significance(qmodel, calibration))
+    assert set(significance.layer_names()) == set(calibration.layer_names())
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_bench_full_pipeline(benchmark, tiny_artifacts):
+    """All stages chained (excluding training/quantization)."""
+    pipeline = tiny_artifacts["pipeline"]
+    split = tiny_artifacts["split"]
+
+    def run():
+        return pipeline.run(
+            split.calibration.images,
+            split.test.images[:96],
+            split.test.labels[:96],
+            dse_config=DSEConfig(tau_values=[0.0, 0.01, 0.05, 0.1]),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.dse.points) >= 4

@@ -1,0 +1,26 @@
+"""Benchmark E1: regenerate Table I (baseline CNN characterisation).
+
+Paper reference: Table I -- accuracy, topology, #MACs, latency, flash and RAM
+of the CIFAR-10 LeNet and AlexNet baselines deployed with CMSIS-NN on the
+STM32-Nucleo board.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import build_table1, format_table1
+
+from bench_utils import record_result
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_regeneration(benchmark, context, paper_models):
+    """Regenerate Table I and record its rows."""
+    rows = benchmark.pedantic(lambda: build_table1(context), rounds=1, iterations=1)
+    assert {row["CNN"] for row in rows} == {"lenet", "alexnet"}
+    for row in rows:
+        assert row["# MAC Ops"] > 1e6
+        assert row["Latency (ms)"] > 0
+        assert 0 < row["Flash Usage (%)"] < 100
+    record_result("table1", format_table1(rows))

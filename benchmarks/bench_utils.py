@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark modules (result recording/reporting)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Formatted result blocks registered by the benchmarks, printed in the
+#: terminal summary and mirrored to ``benchmarks/results/``.
+REPORTED: List[str] = []
+
+
+def record_result(name: str, text: str) -> None:
+    """Register a formatted table/figure for the terminal summary and results dir."""
+    REPORTED.append(f"==== {name} ====\n{text}\n")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

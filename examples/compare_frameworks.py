@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Compare inference frameworks on one model (Table-II style).
+
+Deploys the exact CMSIS-NN baseline, the X-CUBE-AI and uTVM stand-ins, the
+CMix-NN stand-in and the proposed ATAMAN engine (at 0/5/10% accuracy-loss
+budgets) on the STM32U575 board model, reporting latency, flash, RAM, MACs,
+energy and Top-1 accuracy for each.
+
+Run:  python examples/compare_frameworks.py [--model lenet|alexnet] [--scale ci|fast|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation import ExperimentContext
+from repro.evaluation.reports import format_table
+from repro.frameworks import AtamanEngine, CMSISNNEngine, CMixNNEngine, MicroTVMEngine, XCubeAIEngine
+from repro.mcu import deploy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", choices=("lenet", "alexnet"), default="lenet")
+    parser.add_argument("--scale", choices=("ci", "fast", "full"), default=None)
+    args = parser.parse_args()
+
+    context = ExperimentContext(scale=args.scale)
+    artifacts = context.build_model(args.model)
+    qmodel = artifacts.qmodel
+    eval_images, eval_labels = context.eval_set()
+
+    engines = [
+        ("cmsis-nn (exact)", CMSISNNEngine(qmodel)),
+        ("x-cube-ai (exact)", XCubeAIEngine(qmodel)),
+        ("utvm (exact)", MicroTVMEngine(qmodel)),
+        ("cmix-nn (exact)", CMixNNEngine(qmodel)),
+    ]
+    for loss in (0.0, 0.05, 0.10):
+        design = artifacts.result.dse.best_within_loss(loss)
+        if design is None:
+            continue
+        engines.append(
+            (
+                f"ataman @{loss:.0%} loss",
+                AtamanEngine(
+                    qmodel,
+                    config=design.config,
+                    significance=artifacts.result.significance,
+                    unpacked=artifacts.result.unpacked,
+                ),
+            )
+        )
+
+    rows = []
+    for label, engine in engines:
+        report = deploy(engine, context.board, eval_images, eval_labels, model_name=args.model)
+        rows.append(
+            {
+                "engine": label,
+                "accuracy (%)": report.top1_accuracy * 100,
+                "latency (ms)": report.latency_ms,
+                "flash (KB)": report.flash_kb,
+                "RAM (KB)": report.ram_kb,
+                "MACs": report.mac_ops,
+                "energy (mJ)": report.energy_mj,
+                "fits": report.fits,
+            }
+        )
+    print(format_table(rows, title=f"{args.model} on {context.board.name}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Figure-2-style Pareto exploration on the paper's LeNet model.
+
+Trains the LeNet variant on the synthetic CIFAR-10 surrogate, runs the
+significance-aware computation-skipping DSE over a range of thresholds and
+layer subsets, and renders the resulting accuracy / MAC-reduction Pareto space
+as an ASCII scatter plot (the offline analogue of the paper's Fig. 2b).
+
+Run:  python examples/pareto_exploration.py [--model lenet|alexnet] [--scale ci|fast|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation import ExperimentContext, build_figure2, format_figure2
+from repro.evaluation.reports import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", choices=("lenet", "alexnet"), default="lenet")
+    parser.add_argument("--scale", choices=("ci", "fast", "full"), default=None,
+                        help="experiment scale (default: REPRO_SCALE or 'fast')")
+    parser.add_argument("--no-cache", action="store_true", help="disable the on-disk artefact cache")
+    args = parser.parse_args()
+
+    context = ExperimentContext(scale=args.scale, cache_dir=None if args.no_cache else None or None)
+    if args.no_cache:
+        context = ExperimentContext(scale=args.scale, cache_dir=None)
+
+    figure = build_figure2(context, model_names=(args.model,))
+    print(format_figure2(figure))
+
+    artifacts = context.build_model(args.model)
+    rows = []
+    for loss in (0.0, 0.05, 0.10):
+        design = artifacts.result.dse.best_within_loss(loss)
+        if design is None:
+            continue
+        rows.append({
+            "loss budget": f"{loss:.0%}",
+            "accuracy": design.accuracy,
+            "conv-MAC reduction": design.conv_mac_reduction,
+            "retained operands": design.retained_operand_fraction,
+            "taus": str(design.config.taus()),
+        })
+    print()
+    print(format_table(rows, title=f"Selected {args.model} designs per accuracy-loss budget"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: train a small CNN, quantize it, and accelerate it with ATAMAN.
+
+This walks the public API end to end in a couple of minutes of CPU time:
+
+1. generate a synthetic CIFAR-10-class dataset;
+2. train a small CNN in float;
+3. post-training-quantize it to int8 (CMSIS-NN style);
+4. run the paper's cooperative approximation framework (unpacking,
+   significance, computation skipping, DSE, Pareto analysis);
+5. deploy the exact CMSIS-NN baseline and the approximate ATAMAN design on the
+   STM32U575 board model and compare latency / flash / energy / accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AtamanPipeline, DSEConfig
+from repro.data import load_synthetic_cifar10, train_val_test_split
+from repro.evaluation.reports import format_table
+from repro.frameworks import AtamanEngine, CMSISNNEngine, XCubeAIEngine
+from repro.isa import STM32U575
+from repro.mcu import deploy
+from repro.models import build_tiny_cnn
+from repro.nn import Adam, Trainer
+from repro.quant import quantize_model
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    dataset = load_synthetic_cifar10(n_samples=1500, seed=7)
+    split = train_val_test_split(dataset, val_fraction=0.0, test_fraction=0.25, calibration_size=96, rng=0)
+    print(f"dataset: {len(split.train)} train / {len(split.test)} test images, "
+          f"{split.n_classes} classes, shape {split.train.image_shape}")
+
+    # ------------------------------------------------------------------ train
+    model = build_tiny_cnn(input_shape=split.train.image_shape, n_classes=split.n_classes, rng=1)
+    trainer = Trainer(model, Adam(model.parameters(), lr=2e-3), rng=3)
+    history = trainer.fit(split.train.images, split.train.labels, epochs=8, batch_size=32,
+                          x_val=split.test.images, y_val=split.test.labels)
+    print(f"float model accuracy after {history.epochs} epochs: {history.val_accuracy[-1]:.3f}")
+
+    # ------------------------------------------------------------------ quantize
+    qmodel = quantize_model(model, split.calibration.images)
+    print(qmodel.summary())
+
+    # ------------------------------------------------------------------ approximate
+    pipeline = AtamanPipeline(qmodel, board=STM32U575)
+    result = pipeline.run(
+        split.calibration.images,
+        split.test.images[:256],
+        split.test.labels[:256],
+        dse_config=DSEConfig(tau_values=[0.0, 0.002, 0.005, 0.01, 0.02, 0.04, 0.07, 0.1]),
+    )
+    print("\nPareto front (conv-MAC reduction, accuracy):")
+    for point in result.pareto_points():
+        print(f"  reduction={point.conv_mac_reduction:5.1%}  accuracy={point.accuracy:.3f}  "
+              f"taus={point.config.taus()}")
+
+    design = result.select(max_accuracy_loss=0.02)
+    print(f"\nselected design within 2% accuracy loss: {design.config.taus()} "
+          f"({design.conv_mac_reduction:.1%} conv-MAC reduction)")
+
+    # ------------------------------------------------------------------ deploy & compare
+    engines = [
+        ("cmsis-nn", CMSISNNEngine(qmodel)),
+        ("x-cube-ai", XCubeAIEngine(qmodel)),
+        ("ataman", pipeline.build_engine(result, design=design)),
+    ]
+    rows = []
+    for label, engine in engines:
+        report = deploy(engine, STM32U575, split.test.images[:256], split.test.labels[:256],
+                        model_name=qmodel.name)
+        rows.append({
+            "engine": label,
+            "accuracy (%)": report.top1_accuracy * 100,
+            "latency (ms)": report.latency_ms,
+            "flash (KB)": report.flash_kb,
+            "RAM (KB)": report.ram_kb,
+            "MACs": report.mac_ops,
+            "energy (mJ)": report.energy_mj,
+        })
+    print()
+    print(format_table(rows, title=f"Deployment comparison on {STM32U575.name}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper from the shared experiment context.
+
+Run:
+    python examples/reproduce_paper.py --all
+    python examples/reproduce_paper.py --table1 --table2
+    python examples/reproduce_paper.py --figure2 --scale full
+
+The first run at a given scale trains LeNet/AlexNet on the synthetic dataset
+and runs the DSE (a few minutes at the default "fast" scale); results are
+cached under ``.repro_cache/`` so later runs are immediate.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation import (
+    ExperimentContext,
+    build_claims,
+    build_figure2,
+    build_table1,
+    build_table2,
+    format_claims,
+    format_figure2,
+    format_table1,
+    format_table2,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table1", action="store_true", help="regenerate Table I")
+    parser.add_argument("--table2", action="store_true", help="regenerate Table II")
+    parser.add_argument("--figure2", action="store_true", help="regenerate Figure 2")
+    parser.add_argument("--claims", action="store_true", help="recompute the Section III claims")
+    parser.add_argument("--all", action="store_true", help="regenerate everything")
+    parser.add_argument("--scale", choices=("ci", "fast", "full"), default=None)
+    args = parser.parse_args()
+
+    if not any((args.table1, args.table2, args.figure2, args.claims, args.all)):
+        parser.error("select at least one of --table1/--table2/--figure2/--claims/--all")
+
+    context = ExperimentContext(scale=args.scale)
+    if args.all or args.table1:
+        print(format_table1(build_table1(context)))
+        print()
+    if args.all or args.figure2:
+        print(format_figure2(build_figure2(context)))
+        print()
+    if args.all or args.table2:
+        print(format_table2(build_table2(context)))
+        print()
+    if args.all or args.claims:
+        print(format_claims(build_claims(context)))
+
+
+if __name__ == "__main__":
+    main()

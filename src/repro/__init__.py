@@ -1,0 +1,24 @@
+"""ATAMAN reproduction: accelerating TinyML inference on MCUs through approximate kernels.
+
+This package reimplements, in pure Python/NumPy, the cooperative approximation
+framework of Armeniakos et al. (ICECS 2024) together with every substrate it
+depends on:
+
+* ``repro.nn``         -- float CNN training/inference stack.
+* ``repro.data``       -- synthetic CIFAR-10-class dataset and loaders.
+* ``repro.models``     -- LeNet / AlexNet model zoo matching the paper's topologies.
+* ``repro.quant``      -- CMSIS-NN-style int8 post-training quantization.
+* ``repro.kernels``    -- CMSIS-NN-like software kernels (im2col, SMLAD matmul, ...).
+* ``repro.isa``        -- Cortex-M33 instruction cost model and board profiles.
+* ``repro.mcu``        -- MCU deployment simulator (flash/RAM/latency/energy).
+* ``repro.core``       -- the paper's contribution: code unpacking, significance
+                          calculation, computation skipping, DSE, Pareto analysis,
+                          code generation and the end-to-end pipeline.
+* ``repro.frameworks`` -- baseline inference engines (CMSIS-NN, X-CUBE-AI, uTVM,
+                          CMix-NN stand-ins) plus the ATAMAN engine.
+* ``repro.evaluation`` -- drivers regenerating every table and figure of the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,271 @@
+"""Command-line interface to the reproduction toolkit.
+
+Usage (also installed as the ``repro-tinyml`` console script)::
+
+    python -m repro.cli train     --model lenet --out runs/lenet --samples 3000 --epochs 5
+    python -m repro.cli quantize  --model-path runs/lenet --out runs/lenet_q
+    python -m repro.cli explore   --qmodel runs/lenet_q --out runs/lenet_dse.json --loss 0.05
+    python -m repro.cli codegen   --qmodel runs/lenet_q --config runs/lenet_dse.config.json --out runs/lenet.c
+    python -m repro.cli deploy    --qmodel runs/lenet_q --config runs/lenet_dse.config.json --engine ataman
+    python -m repro.cli reproduce --table1 --table2 --figure2 --claims
+
+Every command works entirely offline: the dataset is the deterministic
+synthetic CIFAR-10 surrogate, regenerated from its seed on demand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import ApproxConfig, AtamanPipeline, DSEConfig
+from repro.data import load_synthetic_cifar10, train_val_test_split
+from repro.evaluation.reports import format_table
+from repro.frameworks import (
+    AtamanEngine,
+    CMSISNNEngine,
+    CMixNNEngine,
+    MicroTVMEngine,
+    TFLiteMicroEngine,
+    XCubeAIEngine,
+)
+from repro.isa import get_board
+from repro.mcu import deploy as mcu_deploy
+from repro.models import build_model, list_models
+from repro.nn import Adam, Trainer, load_model, save_model
+from repro.quant import load_quantized_model, quantize_model, save_quantized_model
+from repro.utils.logging import set_verbosity
+from repro.utils.serialization import save_json
+
+_EXACT_ENGINES = {
+    "cmsis-nn": CMSISNNEngine,
+    "x-cube-ai": XCubeAIEngine,
+    "utvm": MicroTVMEngine,
+    "cmix-nn": CMixNNEngine,
+    "tflite-micro": TFLiteMicroEngine,
+}
+
+
+def _dataset_split(samples: int, seed: int, calibration: int = 128):
+    dataset = load_synthetic_cifar10(samples, seed=seed)
+    return train_val_test_split(dataset, val_fraction=0.0, test_fraction=0.2,
+                                calibration_size=calibration, rng=seed)
+
+
+# --------------------------------------------------------------------------- commands
+def cmd_train(args: argparse.Namespace) -> int:
+    """Train a model on the synthetic dataset and save it."""
+    split = _dataset_split(args.samples, args.seed)
+    model = build_model(args.model, input_shape=split.train.image_shape,
+                        n_classes=split.n_classes, rng=args.seed)
+    trainer = Trainer(model, Adam(model.parameters(), lr=args.lr), rng=args.seed + 1)
+    history = trainer.fit(split.train.images, split.train.labels, epochs=args.epochs,
+                          batch_size=args.batch_size,
+                          x_val=split.test.images[:256], y_val=split.test.labels[:256])
+    path = save_model(model, args.out)
+    final_acc = history.val_accuracy[-1] if history.val_accuracy else float("nan")
+    print(f"trained {args.model}: val accuracy {final_acc:.3f}; saved to {path}")
+    return 0
+
+
+def cmd_quantize(args: argparse.Namespace) -> int:
+    """Quantize a saved float model with a calibration subset."""
+    model = load_model(args.model_path)
+    split = _dataset_split(args.samples, args.seed, calibration=args.calibration)
+    qmodel = quantize_model(model, split.calibration.images)
+    accuracy = qmodel.evaluate_accuracy(split.test.images[:256], split.test.labels[:256])
+    path = save_quantized_model(qmodel, args.out)
+    print(f"quantized model accuracy {accuracy:.3f}; saved to {path}")
+    print(qmodel.summary())
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Run the ATAMAN pipeline (unpack/calibrate/significance/DSE) on a quantized model."""
+    qmodel = load_quantized_model(args.qmodel)
+    split = _dataset_split(args.samples, args.seed)
+    board = get_board(args.board)
+    pipeline = AtamanPipeline(qmodel, board=board)
+    taus = [float(t) for t in args.taus.split(",")] if args.taus else None
+    dse_config = DSEConfig(
+        tau_values=taus,
+        tau_step=args.tau_step,
+        tau_max=args.tau_max,
+        max_eval_samples=args.eval_samples,
+    )
+    result = pipeline.run(split.calibration.images, split.test.images, split.test.labels,
+                          dse_config=dse_config)
+
+    rows = [p.as_dict() for p in result.dse.pareto_points()]
+    print(format_table(rows, columns=["label", "accuracy", "conv_mac_reduction", "total_macs"],
+                       title="Pareto-optimal designs"))
+    out = Path(args.out)
+    save_json(out, {"baseline_accuracy": result.baseline_accuracy, "points": result.dse.as_table()})
+    design = result.select(args.loss)
+    if design is None:
+        print(f"no design satisfies an accuracy-loss budget of {args.loss}")
+        return 1
+    config_path = out.with_suffix(".config.json")
+    design.config.save(config_path)
+    print(f"selected design within {args.loss:.0%} loss: {design.config.taus()}")
+    print(f"DSE table written to {out}; selected config written to {config_path}")
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    """Emit the unpacked (approximate) kernel code for a saved configuration."""
+    qmodel = load_quantized_model(args.qmodel)
+    split = _dataset_split(args.samples, args.seed)
+    pipeline = AtamanPipeline(qmodel)
+    unpacked = pipeline.unpack()
+    calibration = pipeline.calibrate(split.calibration.images)
+    significance = pipeline.significance(calibration)
+    masks = None
+    if args.config:
+        config = ApproxConfig.load(args.config)
+        if not config.is_exact:
+            masks = config.build_masks(significance, unpacked=unpacked)
+    from repro.core import generate_model_code
+
+    code = generate_model_code(unpacked, masks=masks, model_name=qmodel.name)
+    Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+    Path(args.out).write_text(code, encoding="utf-8")
+    print(f"wrote {len(code.splitlines())} lines of generated kernel code to {args.out}")
+    return 0
+
+
+def cmd_deploy(args: argparse.Namespace) -> int:
+    """Deploy a quantized model with a chosen engine on a board model."""
+    qmodel = load_quantized_model(args.qmodel)
+    split = _dataset_split(args.samples, args.seed)
+    board = get_board(args.board)
+
+    if args.engine == "ataman":
+        pipeline = AtamanPipeline(qmodel, board=board)
+        unpacked = pipeline.unpack()
+        calibration = pipeline.calibrate(split.calibration.images)
+        significance = pipeline.significance(calibration)
+        config = ApproxConfig.load(args.config) if args.config else ApproxConfig.exact(qmodel.name)
+        engine = AtamanEngine(qmodel, config=config, significance=significance, unpacked=unpacked)
+    else:
+        engine = _EXACT_ENGINES[args.engine](qmodel)
+
+    report = mcu_deploy(engine, board, split.test.images[:args.eval_samples],
+                        split.test.labels[:args.eval_samples], model_name=qmodel.name)
+    print(format_table([report.as_dict()],
+                       columns=["engine", "model", "top1_accuracy", "latency_ms", "flash_kb",
+                                "ram_kb", "mac_ops", "energy_mj", "fits"],
+                       title=f"deployment on {board.name}"))
+    return 0 if report.fits else 1
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate the paper's tables/figures through the shared experiment context."""
+    from repro.evaluation import (
+        ExperimentContext,
+        build_claims,
+        build_figure2,
+        build_table1,
+        build_table2,
+        format_claims,
+        format_figure2,
+        format_table1,
+        format_table2,
+    )
+
+    context = ExperimentContext(scale=args.scale)
+    wanted_all = args.all or not (args.table1 or args.table2 or args.figure2 or args.claims)
+    if args.table1 or wanted_all:
+        print(format_table1(build_table1(context)), end="\n\n")
+    if args.figure2 or wanted_all:
+        print(format_figure2(build_figure2(context)), end="\n\n")
+    if args.table2 or wanted_all:
+        print(format_table2(build_table2(context)), end="\n\n")
+    if args.claims or wanted_all:
+        print(format_claims(build_claims(context)))
+    return 0
+
+
+# --------------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro-tinyml", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("-v", "--verbose", action="store_true", help="enable INFO logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, samples=2000):
+        p.add_argument("--samples", type=int, default=samples, help="synthetic dataset size")
+        p.add_argument("--seed", type=int, default=7, help="dataset/model seed")
+
+    p_train = sub.add_parser("train", help="train a model on the synthetic dataset")
+    p_train.add_argument("--model", choices=list_models(), default="lenet")
+    p_train.add_argument("--out", required=True, help="output path stem for the saved model")
+    p_train.add_argument("--epochs", type=int, default=5)
+    p_train.add_argument("--batch-size", type=int, default=48)
+    p_train.add_argument("--lr", type=float, default=1.5e-3)
+    add_common(p_train, samples=3000)
+    p_train.set_defaults(func=cmd_train)
+
+    p_quant = sub.add_parser("quantize", help="post-training-quantize a saved model")
+    p_quant.add_argument("--model-path", required=True)
+    p_quant.add_argument("--out", required=True)
+    p_quant.add_argument("--calibration", type=int, default=128)
+    add_common(p_quant)
+    p_quant.set_defaults(func=cmd_quantize)
+
+    p_explore = sub.add_parser("explore", help="run the approximation DSE on a quantized model")
+    p_explore.add_argument("--qmodel", required=True)
+    p_explore.add_argument("--out", required=True, help="output JSON for the DSE table")
+    p_explore.add_argument("--loss", type=float, default=0.0, help="accuracy-loss budget")
+    p_explore.add_argument("--taus", default=None, help="comma-separated explicit tau values")
+    p_explore.add_argument("--tau-step", type=float, default=0.005)
+    p_explore.add_argument("--tau-max", type=float, default=0.1)
+    p_explore.add_argument("--eval-samples", type=int, default=256)
+    p_explore.add_argument("--board", default="stm32u575")
+    add_common(p_explore)
+    p_explore.set_defaults(func=cmd_explore)
+
+    p_code = sub.add_parser("codegen", help="emit unpacked/approximate kernel code")
+    p_code.add_argument("--qmodel", required=True)
+    p_code.add_argument("--config", default=None, help="ApproxConfig JSON (omit for exact code)")
+    p_code.add_argument("--out", required=True)
+    add_common(p_code, samples=1000)
+    p_code.set_defaults(func=cmd_codegen)
+
+    p_deploy = sub.add_parser("deploy", help="deploy a quantized model on a board model")
+    p_deploy.add_argument("--qmodel", required=True)
+    p_deploy.add_argument("--engine", choices=sorted(_EXACT_ENGINES) + ["ataman"], default="cmsis-nn")
+    p_deploy.add_argument("--config", default=None, help="ApproxConfig JSON for the ataman engine")
+    p_deploy.add_argument("--board", default="stm32u575")
+    p_deploy.add_argument("--eval-samples", type=int, default=256)
+    add_common(p_deploy)
+    p_deploy.set_defaults(func=cmd_deploy)
+
+    p_rep = sub.add_parser("reproduce", help="regenerate the paper's tables and figures")
+    p_rep.add_argument("--table1", action="store_true")
+    p_rep.add_argument("--table2", action="store_true")
+    p_rep.add_argument("--figure2", action="store_true")
+    p_rep.add_argument("--claims", action="store_true")
+    p_rep.add_argument("--all", action="store_true")
+    p_rep.add_argument("--scale", choices=("ci", "fast", "full"), default=None)
+    p_rep.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        set_verbosity("INFO")
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Input-distribution capture (stage 2 of the paper's framework).
+
+The significance of an operand depends on ``E[a_i]`` -- the long-run expected
+value of the input that gets multiplied with weight ``w_i`` (paper Eq. 2).
+This module runs a small calibration subset through the quantized model and
+records, for every convolution layer, the mean (and standard deviation) of
+each of the ``K = kh*kw*Cin`` receptive-field inputs, averaged over samples
+and spatial positions.  Values are accumulated in the *real* domain
+(dequantized), matching the paper's formulation on real activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.quant.qlayers import QConv2D, QDense
+from repro.quant.qmodel import QuantizedModel
+from repro.quant.schemes import dequantize
+
+
+@dataclass
+class LayerCalibration:
+    """Per-layer activation statistics.
+
+    Attributes
+    ----------
+    mean_inputs:
+        ``(K,)`` mean real-valued input per operand position.
+    std_inputs:
+        ``(K,)`` standard deviation per operand position.
+    samples:
+        Number of (sample, spatial position) observations aggregated.
+    """
+
+    mean_inputs: np.ndarray
+    std_inputs: np.ndarray
+    samples: int
+
+
+@dataclass
+class CalibrationResult:
+    """Activation statistics for every analysed layer."""
+
+    layers: Dict[str, LayerCalibration] = field(default_factory=dict)
+    n_images: int = 0
+
+    def mean_inputs(self, layer_name: str) -> np.ndarray:
+        """``E[a_i]`` vector of one layer."""
+        return self.layers[layer_name].mean_inputs
+
+    def __contains__(self, layer_name: str) -> bool:
+        return layer_name in self.layers
+
+    def layer_names(self) -> list:
+        """Names of the calibrated layers."""
+        return list(self.layers)
+
+
+class ActivationCalibrator:
+    """Capture per-operand input statistics of the convolution layers.
+
+    Parameters
+    ----------
+    qmodel:
+        The quantized model to analyse.
+    include_dense:
+        Also capture statistics for fully-connected layers (extension).
+    batch_size:
+        Calibration batch size.
+    """
+
+    def __init__(self, qmodel: QuantizedModel, include_dense: bool = False, batch_size: int = 32):
+        self.qmodel = qmodel
+        self.include_dense = include_dense
+        self.batch_size = int(batch_size)
+
+    def _target_layers(self):
+        for layer in self.qmodel.layers:
+            if isinstance(layer, QConv2D) or (self.include_dense and isinstance(layer, QDense)):
+                yield layer
+
+    def calibrate(self, images: np.ndarray) -> CalibrationResult:
+        """Run ``images`` (float NHWC) through the model and collect statistics."""
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim != 4:
+            raise ValueError("calibration images must be NHWC")
+        if images.shape[0] == 0:
+            raise ValueError("calibration set is empty")
+
+        target_names = {layer.name for layer in self._target_layers()}
+        sums: Dict[str, np.ndarray] = {}
+        sq_sums: Dict[str, np.ndarray] = {}
+        counts: Dict[str, int] = {}
+
+        for start in range(0, images.shape[0], self.batch_size):
+            batch = images[start : start + self.batch_size]
+            x_q = self.qmodel.quantize_input(batch)
+            for layer in self.qmodel.layers:
+                if layer.name in target_names:
+                    cols = self._operand_matrix(layer, x_q)
+                    if layer.name not in sums:
+                        sums[layer.name] = cols.sum(axis=0)
+                        sq_sums[layer.name] = (cols**2).sum(axis=0)
+                        counts[layer.name] = cols.shape[0]
+                    else:
+                        sums[layer.name] += cols.sum(axis=0)
+                        sq_sums[layer.name] += (cols**2).sum(axis=0)
+                        counts[layer.name] += cols.shape[0]
+                x_q = layer.forward(x_q)
+
+        result = CalibrationResult(n_images=int(images.shape[0]))
+        for name, total in sums.items():
+            n = counts[name]
+            mean = total / n
+            var = np.maximum(sq_sums[name] / n - mean**2, 0.0)
+            result.layers[name] = LayerCalibration(
+                mean_inputs=mean.astype(np.float64),
+                std_inputs=np.sqrt(var).astype(np.float64),
+                samples=n,
+            )
+        return result
+
+    def _operand_matrix(self, layer, x_q: np.ndarray) -> np.ndarray:
+        """Real-valued operand observations: rows = (sample, position), cols = operand index."""
+        x_real = dequantize(x_q, layer.input_params)
+        if isinstance(layer, QConv2D):
+            cols = F.im2col(
+                x_real.astype(np.float64),
+                layer.kernel_size,
+                layer.stride,
+                layer.padding,
+                pad_value=0.0,
+            )
+            k = layer.operands_per_channel
+            return cols.reshape(-1, k)
+        if isinstance(layer, QDense):
+            return x_real.reshape(x_real.shape[0], -1).astype(np.float64)
+        raise TypeError(f"unsupported layer type {type(layer).__name__}")

@@ -1,0 +1,146 @@
+"""Generation of the approximate unpacked kernel code (stage 4).
+
+The deliverable of the paper's framework is C code in which every convolution
+layer is replaced by straight-line, fixed-weight SMLAD code with the
+insignificant MACs removed.  This module emits that code as text (one
+function per layer plus a model-level dispatch function) and provides the
+flash-size accounting used by the deployment model.  The emitted code is a
+faithful rendering of what the kernels in :mod:`repro.kernels` simulate --
+the retention masks are shared between both paths -- so the simulator and
+the generated code describe the same design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.unpacking import CODE_SIZE_MODEL, CodeSizeModel, UnpackedLayer
+from repro.quant.qmodel import QuantizedModel
+
+
+def _format_packed_constant(w_hi: int, w_lo: int) -> str:
+    """Hex literal of two int8 weights packed for SMLAD (paper Section II-B)."""
+    packed = ((int(w_hi) & 0xFFFF) << 16) | (int(w_lo) & 0xFFFF)
+    return f"0x{packed:08X}"
+
+
+def generate_layer_code(
+    layer: UnpackedLayer,
+    mask: Optional[np.ndarray] = None,
+    output_zero_point: int = 0,
+    max_channels: Optional[int] = None,
+) -> str:
+    """Emit C-like unpacked (and optionally approximate) code for one layer.
+
+    Parameters
+    ----------
+    layer:
+        The unpacked layer representation.
+    mask:
+        Optional retention mask ``(out_channels, K)``; skipped operands emit
+        no instruction (a comment records how many were removed).
+    output_zero_point:
+        Used only in the emitted requantize call for readability.
+    max_channels:
+        Truncate emission after this many output channels (keeps example
+        output readable); the full code size is still reported in the header.
+    """
+    weights = layer.weights
+    out_c, k = weights.shape
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != weights.shape:
+            raise ValueError("mask shape must match the layer's weight matrix")
+    retained = layer.retained_operands(mask)
+    code_bytes = layer.code_bytes(mask)
+
+    lines: List[str] = []
+    lines.append(f"/* Unpacked kernel for layer '{layer.name}'.")
+    lines.append(f" * operands: {layer.total_operands} total, {retained} retained "
+                 f"({layer.total_operands - retained} skipped)")
+    lines.append(f" * estimated code size: {code_bytes} bytes */")
+    lines.append(f"static void {layer.name}_unpacked(const int8_t *in, int8_t *out)")
+    lines.append("{")
+    lines.append("    int32_t acc;")
+
+    emit_channels = out_c if max_channels is None else min(out_c, max_channels)
+    for channel in range(emit_channels):
+        row = weights[channel]
+        keep = mask[channel] if mask is not None else np.ones(k, dtype=bool)
+        kept_idx = np.nonzero(keep)[0]
+        skipped = k - kept_idx.size
+        lines.append(f"    /* output channel {channel}: {kept_idx.size} MACs"
+                     + (f", {skipped} skipped" if skipped else "") + " */")
+        lines.append(f"    acc = bias[{channel}];")
+        for pair_start in range(0, kept_idx.size - kept_idx.size % 2, 2):
+            i, j = int(kept_idx[pair_start]), int(kept_idx[pair_start + 1])
+            const = _format_packed_constant(int(row[i]), int(row[j]))
+            lines.append(
+                f"    acc = __SMLAD({const}, PACK(in[{i}], in[{j}]), acc);"
+            )
+        if kept_idx.size % 2 == 1:
+            i = int(kept_idx[-1])
+            lines.append(f"    acc += {int(row[i])} * (int32_t)in[{i}];")
+        lines.append(
+            f"    out[{channel}] = requantize(acc, mult[{channel}], shift[{channel}], "
+            f"{output_zero_point});"
+        )
+    if emit_channels < out_c:
+        lines.append(f"    /* ... {out_c - emit_channels} further output channels elided ... */")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def generate_model_code(
+    unpacked: Dict[str, UnpackedLayer],
+    masks: Optional[Dict[str, np.ndarray]] = None,
+    model_name: str = "model",
+    max_channels_per_layer: int = 2,
+) -> str:
+    """Emit the per-layer unpacked functions plus a dispatch function."""
+    sections: List[str] = [f"/* Auto-generated approximate kernels for '{model_name}' */"]
+    for name, layer in unpacked.items():
+        mask = masks.get(name) if masks else None
+        sections.append(generate_layer_code(layer, mask, max_channels=max_channels_per_layer))
+    dispatch = [f"void {model_name}_run(const int8_t *input, int8_t *output)", "{"]
+    for name in unpacked:
+        dispatch.append(f"    {name}_unpacked(buffer_in_{name}, buffer_out_{name});")
+    dispatch.append("}")
+    sections.append("\n".join(dispatch))
+    return "\n\n".join(sections)
+
+
+def estimate_code_bytes(
+    unpacked: Dict[str, UnpackedLayer],
+    masks: Optional[Dict[str, np.ndarray]] = None,
+    model: CodeSizeModel = CODE_SIZE_MODEL,
+) -> int:
+    """Total flash bytes of the generated unpacked code."""
+    total = 0
+    for name, layer in unpacked.items():
+        mask = masks.get(name) if masks else None
+        total += layer.code_bytes(mask, model=model)
+    return total
+
+
+def flash_report(
+    qmodel: QuantizedModel,
+    unpacked: Dict[str, UnpackedLayer],
+    masks: Optional[Dict[str, np.ndarray]] = None,
+) -> Dict[str, int]:
+    """Per-layer and total flash accounting of an unpacked deployment."""
+    per_layer = {}
+    for name, layer in unpacked.items():
+        mask = masks.get(name) if masks else None
+        per_layer[name] = layer.code_bytes(mask)
+    report = {f"code:{name}": size for name, size in per_layer.items()}
+    # Weights of layers that stay in the packed/weight-array form (non-unpacked).
+    remaining_weights = sum(
+        layer.weight_nbytes() for layer in qmodel.layers if layer.name not in unpacked
+    )
+    report["remaining_weights"] = remaining_weights
+    report["total_unpacked_code"] = sum(per_layer.values())
+    report["total"] = report["total_unpacked_code"] + remaining_weights
+    return report

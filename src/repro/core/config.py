@@ -1,0 +1,141 @@
+"""Approximate-configuration description (the framework's "configs" artefact).
+
+An :class:`ApproxConfig` records, per approximated layer, the significance
+threshold tau, the skipping granularity and the significance metric.  It is
+the portable description of one point in the design space: together with the
+model's significance matrices it deterministically reproduces the retention
+masks, the generated code and therefore the deployed design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.core.significance import SignificanceResult
+from repro.core.skipping import Granularity, build_model_masks
+from repro.core.unpacking import UnpackedLayer
+from repro.utils.serialization import load_json, save_json
+
+
+@dataclass(frozen=True)
+class LayerApproxSpec:
+    """Per-layer approximation specification."""
+
+    tau: float
+    granularity: str = Granularity.OPERAND.value
+    metric: str = "expected_contribution"
+
+    def __post_init__(self) -> None:
+        if self.tau < 0:
+            raise ValueError("tau must be non-negative (use an empty spec for exact layers)")
+        Granularity(self.granularity)  # validates
+
+
+@dataclass
+class ApproxConfig:
+    """A complete approximate-design configuration.
+
+    Attributes
+    ----------
+    model_name:
+        Name of the quantized model the configuration applies to.
+    layer_specs:
+        Mapping of layer name -> :class:`LayerApproxSpec`.  Layers not listed
+        stay exact.
+    label:
+        Optional human-readable label (e.g. ``"lenet@0%loss"``).
+    """
+
+    model_name: str
+    layer_specs: Dict[str, LayerApproxSpec] = field(default_factory=dict)
+    label: str = ""
+
+    @property
+    def is_exact(self) -> bool:
+        """True when no layer is approximated."""
+        return len(self.layer_specs) == 0
+
+    def taus(self) -> Dict[str, float]:
+        """Mapping layer name -> tau."""
+        return {name: spec.tau for name, spec in self.layer_specs.items()}
+
+    def build_masks(
+        self,
+        significance: SignificanceResult,
+        unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Materialise the retention masks this configuration describes."""
+        masks: Dict[str, np.ndarray] = {}
+        for name, spec in self.layer_specs.items():
+            layer_masks = build_model_masks(
+                significance,
+                {name: spec.tau},
+                granularity=spec.granularity,
+                unpacked=unpacked,
+            )
+            masks.update(layer_masks)
+        return masks
+
+    # ------------------------------------------------------------------ construction helpers
+    @classmethod
+    def uniform(
+        cls,
+        model_name: str,
+        layer_names: Iterable[str],
+        tau: float,
+        granularity: str = Granularity.OPERAND.value,
+        metric: str = "expected_contribution",
+        label: str = "",
+    ) -> "ApproxConfig":
+        """A configuration applying the same tau to every listed layer."""
+        specs = {
+            name: LayerApproxSpec(tau=tau, granularity=granularity, metric=metric)
+            for name in layer_names
+        }
+        return cls(model_name=model_name, layer_specs=specs, label=label)
+
+    @classmethod
+    def exact(cls, model_name: str, label: str = "exact") -> "ApproxConfig":
+        """The exact (no skipping) configuration."""
+        return cls(model_name=model_name, layer_specs={}, label=label)
+
+    # ------------------------------------------------------------------ serialization
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view."""
+        return {
+            "model_name": self.model_name,
+            "label": self.label,
+            "layers": {
+                name: {"tau": spec.tau, "granularity": spec.granularity, "metric": spec.metric}
+                for name, spec in self.layer_specs.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ApproxConfig":
+        """Inverse of :meth:`as_dict`."""
+        layers = {
+            name: LayerApproxSpec(
+                tau=float(entry["tau"]),
+                granularity=str(entry.get("granularity", Granularity.OPERAND.value)),
+                metric=str(entry.get("metric", "expected_contribution")),
+            )
+            for name, entry in dict(payload.get("layers", {})).items()
+        }
+        return cls(
+            model_name=str(payload["model_name"]),
+            layer_specs=layers,
+            label=str(payload.get("label", "")),
+        )
+
+    def save(self, path) -> None:
+        """Write the configuration to a JSON file."""
+        save_json(path, self.as_dict())
+
+    @classmethod
+    def load(cls, path) -> "ApproxConfig":
+        """Load a configuration written by :meth:`save`."""
+        return cls.from_dict(load_json(path))

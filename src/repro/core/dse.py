@@ -1,0 +1,280 @@
+"""Design-space exploration over skip thresholds and layer subsets (stage 5).
+
+The paper performs an exhaustive, offline DSE over the significance threshold
+tau (step 0.001 for LeNet, 0.01 for AlexNet, range [0, 0.1]) and over the set
+of approximated layers, simulating the classification accuracy of every
+configuration and recording the normalised MAC reduction.  The exploration is
+embarrassingly parallel over configurations; the paper used 6 CPU threads,
+and :func:`run_dse` exposes the same knob through ``n_workers``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ApproxConfig, LayerApproxSpec
+from repro.core.significance import SignificanceResult
+from repro.core.skipping import Granularity, conv_mac_reduction
+from repro.core.unpacking import UnpackedLayer
+from repro.quant.qmodel import QuantizedModel
+from repro.utils.logging import get_logger
+from repro.utils.parallel import parallel_map
+
+logger = get_logger("core.dse")
+
+
+@dataclass
+class DSEConfig:
+    """Configuration of the design-space exploration.
+
+    Attributes
+    ----------
+    tau_values:
+        The significance thresholds to sweep.  ``None`` selects the paper's
+        sweep for the given ``tau_step``: ``arange(0, tau_max + step, step)``.
+    tau_step, tau_max:
+        Used when ``tau_values`` is ``None`` (paper: step 0.001 for LeNet,
+        0.01 for AlexNet, max 0.1).
+    layer_subsets:
+        Which sets of conv layers to approximate.  ``"all"`` approximates
+        every conv layer jointly (one subset); ``"per_layer"`` additionally
+        explores each layer alone; ``"exhaustive"`` explores every non-empty
+        subset of conv layers.
+    granularity:
+        Skipping granularity (operand-level reproduces the paper).
+    metric:
+        Significance metric to use (``expected_contribution`` = paper Eq. 2).
+    max_eval_samples:
+        Cap on the number of evaluation images used to simulate accuracy.
+    max_configs:
+        Optional hard cap on the number of explored configurations.
+    n_workers:
+        Worker processes for the accuracy simulations (1 = serial).
+    include_exact:
+        Always include the exact design as a reference point.
+    """
+
+    tau_values: Optional[Sequence[float]] = None
+    tau_step: float = 0.01
+    tau_max: float = 0.1
+    layer_subsets: str = "all"
+    granularity: str = Granularity.OPERAND.value
+    metric: str = "expected_contribution"
+    max_eval_samples: int = 512
+    max_configs: Optional[int] = None
+    n_workers: int = 1
+    include_exact: bool = True
+
+    def resolved_taus(self) -> List[float]:
+        """The tau sweep actually used."""
+        if self.tau_values is not None:
+            taus = [float(t) for t in self.tau_values]
+        else:
+            n_steps = int(round(self.tau_max / self.tau_step))
+            taus = [round(i * self.tau_step, 10) for i in range(n_steps + 1)]
+        if any(t < 0 for t in taus):
+            raise ValueError("tau values must be non-negative")
+        return sorted(set(taus))
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated approximate design."""
+
+    config: ApproxConfig
+    accuracy: float
+    conv_mac_reduction: float
+    total_macs: int
+    conv_macs: int
+    retained_operand_fraction: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view."""
+        return {
+            "label": self.config.label,
+            "taus": self.config.taus(),
+            "accuracy": self.accuracy,
+            "conv_mac_reduction": self.conv_mac_reduction,
+            "total_macs": self.total_macs,
+            "conv_macs": self.conv_macs,
+            "retained_operand_fraction": self.retained_operand_fraction,
+        }
+
+
+@dataclass
+class DSEResult:
+    """The outcome of a design-space exploration."""
+
+    points: List[DesignPoint]
+    baseline_accuracy: float
+    baseline_total_macs: int
+    baseline_conv_macs: int
+    config: DSEConfig
+
+    def pareto_points(self) -> List[DesignPoint]:
+        """Pareto-optimal designs (maximise accuracy and conv-MAC reduction)."""
+        from repro.core.pareto import pareto_front
+
+        return pareto_front(
+            self.points,
+            objective_a=lambda p: p.conv_mac_reduction,
+            objective_b=lambda p: p.accuracy,
+        )
+
+    def best_within_loss(self, max_accuracy_loss: float) -> Optional[DesignPoint]:
+        """Largest MAC reduction whose accuracy loss stays within the budget."""
+        from repro.core.pareto import select_by_accuracy_loss
+
+        return select_by_accuracy_loss(
+            self.points,
+            baseline_accuracy=self.baseline_accuracy,
+            max_accuracy_loss=max_accuracy_loss,
+            accuracy=lambda p: p.accuracy,
+            gain=lambda p: p.conv_mac_reduction,
+        )
+
+    def as_table(self) -> List[Dict[str, object]]:
+        """All design points as plain dicts (for reports/JSON)."""
+        return [p.as_dict() for p in self.points]
+
+
+def _generate_layer_subsets(layer_names: Sequence[str], mode: str) -> List[Tuple[str, ...]]:
+    """Enumerate the layer subsets to explore."""
+    layer_names = list(layer_names)
+    if not layer_names:
+        raise ValueError("the model has no approximable layers")
+    if mode == "all":
+        return [tuple(layer_names)]
+    if mode == "per_layer":
+        subsets = [tuple(layer_names)] + [(name,) for name in layer_names]
+        return subsets
+    if mode == "exhaustive":
+        subsets = []
+        for r in range(1, len(layer_names) + 1):
+            subsets.extend(itertools.combinations(layer_names, r))
+        return subsets
+    raise ValueError(f"unknown layer_subsets mode {mode!r}")
+
+
+def _evaluate_design(
+    args: Tuple[ApproxConfig, QuantizedModel, SignificanceResult, Optional[Dict[str, UnpackedLayer]], np.ndarray, np.ndarray]
+) -> DesignPoint:
+    """Worker: simulate one approximate configuration."""
+    config, qmodel, significance, unpacked, images, labels = args
+    masks = config.build_masks(significance, unpacked=unpacked)
+    accuracy = qmodel.evaluate_accuracy(images, labels, masks=masks)
+    reduction = conv_mac_reduction(qmodel, masks)
+    total_macs = qmodel.total_macs(masks=masks)
+    conv_macs = qmodel.conv_macs(masks=masks)
+    retained = (
+        float(np.mean([np.asarray(m, dtype=bool).mean() for m in masks.values()]))
+        if masks
+        else 1.0
+    )
+    return DesignPoint(
+        config=config,
+        accuracy=accuracy,
+        conv_mac_reduction=reduction,
+        total_macs=total_macs,
+        conv_macs=conv_macs,
+        retained_operand_fraction=retained,
+    )
+
+
+def run_dse(
+    qmodel: QuantizedModel,
+    significance: SignificanceResult,
+    eval_images: np.ndarray,
+    eval_labels: np.ndarray,
+    dse_config: Optional[DSEConfig] = None,
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    layer_names: Optional[Sequence[str]] = None,
+) -> DSEResult:
+    """Explore the design space and simulate every configuration's accuracy.
+
+    Parameters
+    ----------
+    qmodel:
+        The quantized model under approximation.
+    significance:
+        Per-layer significance matrices (stage 3 output).
+    eval_images, eval_labels:
+        Held-out data used to simulate classification accuracy.
+    dse_config:
+        Exploration options (defaults to :class:`DSEConfig`).
+    unpacked:
+        Unpacked layers (needed for coarse-granularity masks; optional).
+    layer_names:
+        Restrict the exploration to these layers (defaults to every layer
+        with significance data, i.e. every conv layer).
+    """
+    dse_config = dse_config or DSEConfig()
+    eval_images = np.asarray(eval_images, dtype=np.float32)
+    eval_labels = np.asarray(eval_labels)
+    if eval_images.shape[0] != eval_labels.shape[0]:
+        raise ValueError("eval_images and eval_labels must be aligned")
+    if eval_images.shape[0] > dse_config.max_eval_samples:
+        eval_images = eval_images[: dse_config.max_eval_samples]
+        eval_labels = eval_labels[: dse_config.max_eval_samples]
+
+    names = list(layer_names) if layer_names is not None else significance.layer_names()
+    taus = dse_config.resolved_taus()
+    subsets = _generate_layer_subsets(names, dse_config.layer_subsets)
+
+    configs: List[ApproxConfig] = []
+    for subset in subsets:
+        for tau in taus:
+            if tau == 0.0 and len(subset) != len(names):
+                # tau=0 skips only exactly-zero-significance operands; exploring it
+                # once (on the full subset) is enough.
+                continue
+            label = f"{qmodel.name}:tau={tau:g}:layers={'+'.join(subset)}"
+            configs.append(
+                ApproxConfig.uniform(
+                    qmodel.name,
+                    subset,
+                    tau,
+                    granularity=dse_config.granularity,
+                    metric=dse_config.metric,
+                    label=label,
+                )
+            )
+    if dse_config.max_configs is not None and len(configs) > dse_config.max_configs:
+        stride = max(1, len(configs) // dse_config.max_configs)
+        configs = configs[::stride][: dse_config.max_configs]
+
+    logger.info(
+        "running DSE on %s: %d configurations, %d eval samples",
+        qmodel.name,
+        len(configs),
+        eval_images.shape[0],
+    )
+
+    baseline_accuracy = qmodel.evaluate_accuracy(eval_images, eval_labels)
+    work = [(cfg, qmodel, significance, unpacked, eval_images, eval_labels) for cfg in configs]
+    points = parallel_map(
+        _evaluate_design, work, n_workers=dse_config.n_workers, min_items_for_pool=4
+    )
+
+    if dse_config.include_exact:
+        exact = DesignPoint(
+            config=ApproxConfig.exact(qmodel.name),
+            accuracy=baseline_accuracy,
+            conv_mac_reduction=0.0,
+            total_macs=qmodel.total_macs(),
+            conv_macs=qmodel.conv_macs(),
+            retained_operand_fraction=1.0,
+        )
+        points = [exact] + list(points)
+
+    return DSEResult(
+        points=list(points),
+        baseline_accuracy=baseline_accuracy,
+        baseline_total_macs=qmodel.total_macs(),
+        baseline_conv_macs=qmodel.conv_macs(),
+        config=dse_config,
+    )

@@ -1,0 +1,213 @@
+"""End-to-end orchestration of the cooperative approximation framework (Fig. 1).
+
+:class:`AtamanPipeline` chains every stage of the paper's framework:
+
+1. layer-based code unpacking of the (quantized) CNN;
+2. input-distribution capture on a calibration subset;
+3. significance calculation for every unpacked operand;
+4. significance-aware computation-skipping code generation;
+5. design-space exploration, Pareto analysis and configuration selection for
+   a user-specified accuracy-loss budget, followed by deployment on the
+   target board model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.calibration import ActivationCalibrator, CalibrationResult
+from repro.core.codegen import generate_model_code
+from repro.core.config import ApproxConfig
+from repro.core.dse import DSEConfig, DSEResult, DesignPoint, run_dse
+from repro.core.significance import SignificanceResult, compute_significance
+from repro.core.unpacking import UnpackedLayer, unpack_model
+from repro.isa.profiles import STM32U575, BoardProfile
+from repro.quant.qmodel import QuantizedModel
+from repro.quant.quantizer import PTQConfig, quantize_model
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.pipeline")
+
+
+@dataclass
+class PipelineResult:
+    """Everything the framework produces for one model."""
+
+    qmodel: QuantizedModel
+    unpacked: Dict[str, UnpackedLayer]
+    calibration: CalibrationResult
+    significance: SignificanceResult
+    dse: DSEResult
+
+    @property
+    def baseline_accuracy(self) -> float:
+        """Accuracy of the exact quantized model on the DSE evaluation set."""
+        return self.dse.baseline_accuracy
+
+    def pareto_points(self) -> List[DesignPoint]:
+        """Pareto-optimal designs of the exploration."""
+        return self.dse.pareto_points()
+
+    def select(self, max_accuracy_loss: float) -> Optional[DesignPoint]:
+        """Best design within an accuracy-loss budget (paper stage 5)."""
+        return self.dse.best_within_loss(max_accuracy_loss)
+
+
+class AtamanPipeline:
+    """The automated cooperative approximation framework.
+
+    Parameters
+    ----------
+    qmodel:
+        A quantized model (use :meth:`from_float_model` to start from a float
+        model).
+    board:
+        Target board profile (defaults to the paper's STM32U575).
+    include_dense:
+        Extend unpacking/skipping to fully-connected layers (extension beyond
+        the paper, used by ablations).
+    """
+
+    def __init__(
+        self,
+        qmodel: QuantizedModel,
+        board: BoardProfile = STM32U575,
+        include_dense: bool = False,
+    ):
+        self.qmodel = qmodel
+        self.board = board
+        self.include_dense = include_dense
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_float_model(
+        cls,
+        model,
+        calibration_images: np.ndarray,
+        board: BoardProfile = STM32U575,
+        ptq_config: Optional[PTQConfig] = None,
+        include_dense: bool = False,
+    ) -> "AtamanPipeline":
+        """Quantize a trained float model and wrap it in a pipeline."""
+        qmodel = quantize_model(model, calibration_images, config=ptq_config)
+        return cls(qmodel, board=board, include_dense=include_dense)
+
+    # ------------------------------------------------------------------ stages
+    def unpack(self) -> Dict[str, UnpackedLayer]:
+        """Stage 1: layer-based code unpacking."""
+        return unpack_model(self.qmodel, include_dense=self.include_dense)
+
+    def calibrate(self, calibration_images: np.ndarray) -> CalibrationResult:
+        """Stage 2: capture the input distribution E[a_i]."""
+        calibrator = ActivationCalibrator(self.qmodel, include_dense=self.include_dense)
+        return calibrator.calibrate(calibration_images)
+
+    def significance(
+        self, calibration: CalibrationResult, metric: str = "expected_contribution"
+    ) -> SignificanceResult:
+        """Stage 3: per-operand significance (paper Eq. 2)."""
+        return compute_significance(
+            self.qmodel, calibration, metric=metric, include_dense=self.include_dense
+        )
+
+    def explore(
+        self,
+        significance: SignificanceResult,
+        eval_images: np.ndarray,
+        eval_labels: np.ndarray,
+        dse_config: Optional[DSEConfig] = None,
+        unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    ) -> DSEResult:
+        """Stage 5: design-space exploration with accuracy simulation."""
+        return run_dse(
+            self.qmodel,
+            significance,
+            eval_images,
+            eval_labels,
+            dse_config=dse_config,
+            unpacked=unpacked,
+        )
+
+    def run(
+        self,
+        calibration_images: np.ndarray,
+        eval_images: np.ndarray,
+        eval_labels: np.ndarray,
+        dse_config: Optional[DSEConfig] = None,
+        metric: str = "expected_contribution",
+    ) -> PipelineResult:
+        """Run every stage and return the combined result."""
+        logger.info("ATAMAN pipeline on %s: unpacking", self.qmodel.name)
+        unpacked = self.unpack()
+        logger.info("calibrating on %d images", len(calibration_images))
+        calibration = self.calibrate(calibration_images)
+        significance = self.significance(calibration, metric=metric)
+        logger.info("running DSE")
+        dse = self.explore(significance, eval_images, eval_labels, dse_config, unpacked)
+        return PipelineResult(
+            qmodel=self.qmodel,
+            unpacked=unpacked,
+            calibration=calibration,
+            significance=significance,
+            dse=dse,
+        )
+
+    # ------------------------------------------------------------------ deployment
+    def build_engine(
+        self,
+        result: PipelineResult,
+        design: Optional[DesignPoint] = None,
+        config: Optional[ApproxConfig] = None,
+    ):
+        """Build the ATAMAN inference engine for a selected design.
+
+        Exactly one of ``design`` / ``config`` may be given; both omitted
+        builds the exact-unpacked engine.
+        """
+        from repro.frameworks.ataman import AtamanEngine  # local import to avoid a cycle
+
+        if design is not None and config is not None:
+            raise ValueError("pass either a design point or a config, not both")
+        chosen = config if config is not None else (design.config if design is not None else None)
+        return AtamanEngine(
+            self.qmodel,
+            config=chosen,
+            significance=result.significance,
+            unpacked=result.unpacked,
+        )
+
+    def deploy(
+        self,
+        result: PipelineResult,
+        max_accuracy_loss: float,
+        eval_images: Optional[np.ndarray] = None,
+        eval_labels: Optional[np.ndarray] = None,
+    ):
+        """Select the best design for a loss budget and deploy it on the board model."""
+        from repro.mcu.deploy import deploy as mcu_deploy
+
+        design = result.select(max_accuracy_loss)
+        if design is None:
+            raise ValueError(
+                f"no design satisfies an accuracy-loss budget of {max_accuracy_loss:.3f}"
+            )
+        engine = self.build_engine(result, design=design)
+        return mcu_deploy(
+            engine,
+            self.board,
+            eval_images=eval_images,
+            eval_labels=eval_labels,
+            model_name=self.qmodel.name,
+        )
+
+    def generate_code(self, result: PipelineResult, design: Optional[DesignPoint] = None) -> str:
+        """Stage 4: emit the approximate unpacked C-like code for a design."""
+        masks = (
+            design.config.build_masks(result.significance, unpacked=result.unpacked)
+            if design is not None and not design.config.is_exact
+            else None
+        )
+        return generate_model_code(result.unpacked, masks=masks, model_name=self.qmodel.name)

@@ -1,0 +1,136 @@
+"""Operand significance calculation (stage 3, paper Eq. 2).
+
+For every output channel ``c`` of a convolution, the accumulation is
+``Sum_c = b + sum_i a_i * w_{c,i}``.  The significance of operand ``i`` is
+
+    S_{c,i} = | E[a_i] * w_{c,i}  /  sum_j E[a_j] * w_{c,j} |
+
+i.e. the magnitude of that product's long-run contribution relative to the
+whole accumulation.  When the expected accumulation is (near) zero the paper
+treats every operand of that channel as maximally significant (retained).
+
+Alternative rankings (weight magnitude only, expected product magnitude,
+random) are provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Literal, Optional
+
+import numpy as np
+
+from repro.core.calibration import CalibrationResult
+from repro.core.unpacking import UnpackedLayer
+from repro.quant.qlayers import QConv2D, QDense
+from repro.quant.qmodel import QuantizedModel
+from repro.utils.rng import SeedLike, as_rng
+
+SignificanceMetric = Literal["expected_contribution", "product_magnitude", "weight_magnitude", "random"]
+
+#: Denominators smaller than this (relative to the largest product) count as "zero sum".
+_ZERO_SUM_EPS = 1e-12
+
+
+def _real_weights(layer: QConv2D | QDense) -> np.ndarray:
+    """Real-valued weight matrix ``(out_channels, K)``."""
+    if isinstance(layer, QConv2D):
+        w = layer.weights.reshape(layer.out_channels, -1).astype(np.float64)
+        scales = layer.weight_params.scale.reshape(-1, 1)
+        return w * scales
+    if isinstance(layer, QDense):
+        w = layer.weights.T.astype(np.float64)  # (out, in)
+        scales = layer.weight_params.scale.reshape(-1, 1)
+        return w * scales
+    raise TypeError(f"unsupported layer type {type(layer).__name__}")
+
+
+def compute_layer_significance(
+    layer: QConv2D | QDense,
+    mean_inputs: np.ndarray,
+    metric: SignificanceMetric = "expected_contribution",
+    rng: SeedLike = 0,
+) -> np.ndarray:
+    """Significance matrix ``(out_channels, K)`` for one layer.
+
+    Parameters
+    ----------
+    layer:
+        The quantized layer to analyse.
+    mean_inputs:
+        ``E[a_i]`` vector of length K (from :class:`ActivationCalibrator`).
+    metric:
+        ``"expected_contribution"`` is the paper's Eq. 2; the others are
+        ablation rankings normalised the same way (per-channel sums of the
+        ranking quantity).
+    rng:
+        Only used by the ``"random"`` metric.
+    """
+    weights = _real_weights(layer)
+    out_c, k = weights.shape
+    mean_inputs = np.asarray(mean_inputs, dtype=np.float64).reshape(-1)
+    if mean_inputs.shape[0] != k:
+        raise ValueError(f"mean_inputs has length {mean_inputs.shape[0]}, expected {k}")
+
+    if metric == "expected_contribution":
+        products = mean_inputs[None, :] * weights
+        denom = products.sum(axis=1, keepdims=True)
+        scale_ref = np.abs(products).max(axis=1, keepdims=True) + _ZERO_SUM_EPS
+        zero_sum = np.abs(denom) <= _ZERO_SUM_EPS * scale_ref
+        safe_denom = np.where(zero_sum, 1.0, denom)
+        significance = np.abs(products / safe_denom)
+        # Zero-sum channels: every operand is treated as maximally significant.
+        significance = np.where(zero_sum, np.inf, significance)
+        return significance
+    if metric == "product_magnitude":
+        products = np.abs(mean_inputs[None, :] * weights)
+        denom = products.sum(axis=1, keepdims=True)
+        denom = np.where(denom <= 0, 1.0, denom)
+        return products / denom
+    if metric == "weight_magnitude":
+        magnitude = np.abs(weights)
+        denom = magnitude.sum(axis=1, keepdims=True)
+        denom = np.where(denom <= 0, 1.0, denom)
+        return magnitude / denom
+    if metric == "random":
+        gen = as_rng(rng)
+        random_scores = gen.random((out_c, k))
+        return random_scores / random_scores.sum(axis=1, keepdims=True)
+    raise ValueError(f"unknown significance metric {metric!r}")
+
+
+@dataclass
+class SignificanceResult:
+    """Per-layer significance matrices plus the metric used to produce them."""
+
+    metric: SignificanceMetric
+    layers: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __contains__(self, layer_name: str) -> bool:
+        return layer_name in self.layers
+
+    def __getitem__(self, layer_name: str) -> np.ndarray:
+        return self.layers[layer_name]
+
+    def layer_names(self) -> list:
+        """Names of the analysed layers."""
+        return list(self.layers)
+
+
+def compute_significance(
+    qmodel: QuantizedModel,
+    calibration: CalibrationResult,
+    metric: SignificanceMetric = "expected_contribution",
+    include_dense: bool = False,
+    rng: SeedLike = 0,
+) -> SignificanceResult:
+    """Compute significance matrices for every calibrated conv (and optionally dense) layer."""
+    result = SignificanceResult(metric=metric)
+    for layer in qmodel.layers:
+        is_target = isinstance(layer, QConv2D) or (include_dense and isinstance(layer, QDense))
+        if not is_target or layer.name not in calibration:
+            continue
+        result.layers[layer.name] = compute_layer_significance(
+            layer, calibration.mean_inputs(layer.name), metric=metric, rng=rng
+        )
+    return result

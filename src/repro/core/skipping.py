@@ -1,0 +1,128 @@
+"""Significance-aware computation skipping (stage 4, paper Eq. 3).
+
+Given a significance matrix and a threshold tau, every operand with
+``S_i <= tau`` is omitted from the generated code; the remaining operands are
+kept.  The resulting boolean *retention mask* is exactly the ``weight_mask``
+consumed by the int8 kernels, so simulation and generated code agree by
+construction.
+
+Besides the paper's operand-level skipping, two coarser granularities are
+provided for ablation studies: skipping whole input channels or whole kernel
+positions of an output channel's receptive field.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.significance import SignificanceResult
+from repro.core.unpacking import UnpackedLayer
+from repro.quant.qmodel import QuantizedModel
+
+
+class Granularity(str, Enum):
+    """Granularity at which computations are skipped."""
+
+    OPERAND = "operand"
+    INPUT_CHANNEL = "input_channel"
+    KERNEL_POSITION = "kernel_position"
+
+
+def build_skip_mask(
+    significance: np.ndarray,
+    tau: float,
+    granularity: Granularity | str = Granularity.OPERAND,
+    operand_coords: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Build a boolean retention mask from a significance matrix.
+
+    Parameters
+    ----------
+    significance:
+        ``(out_channels, K)`` significance matrix.
+    tau:
+        Skip threshold; operands with ``S <= tau`` are skipped.  ``tau < 0``
+        keeps everything (the exact design).
+    granularity:
+        ``operand`` (paper), ``input_channel`` or ``kernel_position``.  The
+        coarse granularities skip a whole group when the group's *mean*
+        significance falls at or below ``tau``.
+    operand_coords:
+        ``(K, 3)`` operand coordinates (required for the coarse granularities).
+
+    Returns
+    -------
+    ndarray
+        Boolean ``(out_channels, K)`` mask, ``True`` = operand retained.
+    """
+    significance = np.asarray(significance, dtype=np.float64)
+    if significance.ndim != 2:
+        raise ValueError("significance must be 2-D (out_channels, K)")
+    if tau < 0:
+        return np.ones_like(significance, dtype=bool)
+    granularity = Granularity(granularity)
+
+    if granularity is Granularity.OPERAND:
+        return significance > tau
+
+    if operand_coords is None:
+        raise ValueError(f"operand_coords are required for granularity {granularity.value}")
+    operand_coords = np.asarray(operand_coords)
+    if operand_coords.shape[0] != significance.shape[1]:
+        raise ValueError("operand_coords length must match the number of operands")
+
+    if granularity is Granularity.INPUT_CHANNEL:
+        group_ids = operand_coords[:, 2]
+    else:  # KERNEL_POSITION
+        group_ids = operand_coords[:, 0] * (operand_coords[:, 1].max() + 1) + operand_coords[:, 1]
+
+    mask = np.ones_like(significance, dtype=bool)
+    finite = np.where(np.isfinite(significance), significance, 1.0)
+    for group in np.unique(group_ids):
+        member = group_ids == group
+        group_mean = finite[:, member].mean(axis=1)  # (out_channels,)
+        keep = group_mean > tau
+        mask[:, member] = keep[:, None]
+    return mask
+
+
+def build_model_masks(
+    significance: SignificanceResult,
+    taus: Dict[str, float],
+    granularity: Granularity | str = Granularity.OPERAND,
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+) -> Dict[str, np.ndarray]:
+    """Build retention masks for every layer named in ``taus``.
+
+    Layers absent from ``taus`` are left exact (no mask emitted for them).
+    """
+    masks: Dict[str, np.ndarray] = {}
+    for name, tau in taus.items():
+        if name not in significance:
+            raise KeyError(f"no significance available for layer {name!r}")
+        coords = unpacked[name].operand_coords if unpacked and name in unpacked else None
+        masks[name] = build_skip_mask(
+            significance[name], tau, granularity=granularity, operand_coords=coords
+        )
+    return masks
+
+
+def retained_fraction(masks: Dict[str, np.ndarray]) -> float:
+    """Overall fraction of operands retained across all masked layers."""
+    total = sum(int(np.asarray(m).size) for m in masks.values())
+    if total == 0:
+        return 1.0
+    kept = sum(int(np.asarray(m, dtype=bool).sum()) for m in masks.values())
+    return kept / total
+
+
+def conv_mac_reduction(qmodel: QuantizedModel, masks: Dict[str, np.ndarray]) -> float:
+    """Normalised conv-MAC reduction achieved by ``masks`` (paper's Fig. 2 x-axis)."""
+    baseline = qmodel.conv_macs()
+    if baseline == 0:
+        return 0.0
+    approx = qmodel.conv_macs(masks=masks)
+    return 1.0 - approx / baseline

@@ -1,0 +1,208 @@
+"""Layer-based code unpacking (Section II-B of the paper).
+
+A convolution layer's ``mat_mult`` computes, for every output channel ``c``
+and every spatial position, the accumulation
+
+    Sum_c = b_c + sum_i a_i * w_{c,i}            (paper Eq. 1)
+
+where ``i`` walks the flattened receptive field (``kh * kw * Cin`` operands).
+Code unpacking turns this loop into straight-line code in which every operand
+``i`` of every output channel ``c`` becomes an explicit MAC instruction with
+the weight *hard-wired* as a constant (two weights packed per SMLAD word).
+The same unpacked code is executed for every spatial position, so the code
+size grows with ``Cout * K`` operands -- not with the output resolution.
+
+This module materialises that representation: per-layer operand tables with
+their coordinates, weights, SMLAD packing and a flash code-size model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.smlad import pack_weight_vector
+from repro.quant.qlayers import QConv2D, QDense
+from repro.quant.qmodel import QuantizedModel
+
+
+@dataclass(frozen=True)
+class CodeSizeModel:
+    """Flash footprint model of unpacked kernel code (Thumb-2 encoding).
+
+    Every retained operand *pair* costs one input load, one MOVW/MOVT pair
+    materialising the hard-wired packed weight constant and one SMLAD -- 16
+    bytes -- i.e. 8 bytes per retained operand.  Each output channel adds a
+    bias-init / requantize / store epilogue, and each layer a prologue that
+    sets up the feature-map walk.
+    """
+
+    bytes_per_operand: float = 8.0
+    bytes_per_channel: float = 40.0
+    bytes_per_layer: float = 256.0
+
+    def layer_bytes(self, retained_operands: int, out_channels: int) -> int:
+        """Code bytes of one unpacked layer with ``retained_operands`` MACs kept."""
+        return int(
+            round(
+                retained_operands * self.bytes_per_operand
+                + out_channels * self.bytes_per_channel
+                + self.bytes_per_layer
+            )
+        )
+
+
+#: Default code-size model shared by the unpacking and codegen modules.
+CODE_SIZE_MODEL = CodeSizeModel()
+
+
+@dataclass
+class UnpackedLayer:
+    """The unpacked representation of one convolution (or dense) layer.
+
+    Attributes
+    ----------
+    name:
+        Layer name (matches the quantized layer's name).
+    weights:
+        int8 weight matrix ``(out_channels, K)`` -- one row per output-channel
+        accumulation, one column per operand.
+    operand_coords:
+        ``(K, 3)`` int array of ``(kernel_row, kernel_col, input_channel)``
+        coordinates of every operand (conv layers; dense layers use
+        ``(0, 0, input_index)``).
+    kernel_size:
+        Spatial kernel size ``(kh, kw)`` (``(1, 1)`` for dense layers).
+    in_channels:
+        Number of input channels/features.
+    is_conv:
+        Whether the source layer is a convolution.
+    """
+
+    name: str
+    weights: np.ndarray
+    operand_coords: np.ndarray
+    kernel_size: Tuple[int, int]
+    in_channels: int
+    is_conv: bool = True
+
+    @property
+    def out_channels(self) -> int:
+        """Number of output channels (rows of the weight matrix)."""
+        return int(self.weights.shape[0])
+
+    @property
+    def operands_per_channel(self) -> int:
+        """K: operands per output-channel accumulation."""
+        return int(self.weights.shape[1])
+
+    @property
+    def total_operands(self) -> int:
+        """Total unpacked operands (``Cout * K``)."""
+        return self.out_channels * self.operands_per_channel
+
+    def packed_weights(self, mask: Optional[np.ndarray] = None) -> Dict[int, np.ndarray]:
+        """SMLAD-packed weight constants per output channel.
+
+        Skipped operands (``mask`` False) are simply omitted from the packed
+        stream, exactly as the generated code omits their MAC instructions.
+        """
+        packed: Dict[int, np.ndarray] = {}
+        for channel in range(self.out_channels):
+            row = self.weights[channel]
+            if mask is not None:
+                row = row[np.asarray(mask[channel], dtype=bool)]
+            packed[channel] = pack_weight_vector(row)
+        return packed
+
+    def retained_operands(self, mask: Optional[np.ndarray] = None) -> int:
+        """Number of operands kept by ``mask`` (all of them when ``mask`` is None)."""
+        if mask is None:
+            return self.total_operands
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.weights.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} must match weights {self.weights.shape}"
+            )
+        return int(mask.sum())
+
+    def code_bytes(
+        self, mask: Optional[np.ndarray] = None, model: CodeSizeModel = CODE_SIZE_MODEL
+    ) -> int:
+        """Flash bytes of the unpacked (possibly approximate) kernel code."""
+        return model.layer_bytes(self.retained_operands(mask), self.out_channels)
+
+
+def _conv_operand_coords(kh: int, kw: int, in_c: int) -> np.ndarray:
+    """Coordinates ``(row, col, channel)`` of the K operands in im2col order."""
+    coords = np.empty((kh * kw * in_c, 3), dtype=np.int64)
+    idx = 0
+    for r in range(kh):
+        for c in range(kw):
+            for ch in range(in_c):
+                coords[idx] = (r, c, ch)
+                idx += 1
+    return coords
+
+
+def unpack_layer(layer: QConv2D | QDense) -> UnpackedLayer:
+    """Unpack one quantized convolution or dense layer."""
+    if isinstance(layer, QConv2D):
+        out_c = layer.out_channels
+        kh, kw = layer.kernel_size
+        in_c = layer.in_channels
+        weights = layer.weights.reshape(out_c, kh * kw * in_c).copy()
+        return UnpackedLayer(
+            name=layer.name,
+            weights=weights,
+            operand_coords=_conv_operand_coords(kh, kw, in_c),
+            kernel_size=(kh, kw),
+            in_channels=in_c,
+            is_conv=True,
+        )
+    if isinstance(layer, QDense):
+        weights = layer.weights.T.copy()  # (out_features, in_features)
+        in_f = layer.in_features
+        coords = np.stack(
+            [np.zeros(in_f, np.int64), np.zeros(in_f, np.int64), np.arange(in_f)], axis=1
+        )
+        return UnpackedLayer(
+            name=layer.name,
+            weights=weights,
+            operand_coords=coords,
+            kernel_size=(1, 1),
+            in_channels=in_f,
+            is_conv=False,
+        )
+    raise TypeError(f"cannot unpack layer of type {type(layer).__name__}")
+
+
+def unpack_model(
+    qmodel: QuantizedModel, include_dense: bool = False
+) -> Dict[str, UnpackedLayer]:
+    """Unpack every convolution layer of a quantized model.
+
+    The paper "exclusively concentrates on the convolution layers"; pass
+    ``include_dense=True`` to also unpack fully-connected layers (an extension
+    explored by the ablation benchmarks).
+    """
+    unpacked: Dict[str, UnpackedLayer] = {}
+    for layer in qmodel.layers:
+        if isinstance(layer, QConv2D) or (include_dense and isinstance(layer, QDense)):
+            unpacked[layer.name] = unpack_layer(layer)
+    return unpacked
+
+
+def total_unpacked_code_bytes(
+    unpacked: Dict[str, UnpackedLayer],
+    masks: Optional[Dict[str, np.ndarray]] = None,
+    model: CodeSizeModel = CODE_SIZE_MODEL,
+) -> int:
+    """Total flash bytes of the unpacked code across layers (honouring masks)."""
+    total = 0
+    for name, layer in unpacked.items():
+        mask = masks.get(name) if masks else None
+        total += layer.code_bytes(mask, model=model)
+    return total

@@ -1,0 +1,25 @@
+"""Datasets and data loading.
+
+CIFAR-10 itself is not redistributable/downloadable in this offline
+environment, so :mod:`repro.data.synthetic_cifar` provides a deterministic,
+procedurally generated 10-class 32x32x3 image distribution with CIFAR-like
+geometry and difficulty.  See DESIGN.md section 2 for the substitution
+rationale.
+"""
+
+from repro.data.dataset import DataSplit, Dataset, train_val_test_split
+from repro.data.synthetic_cifar import SyntheticCifarConfig, SyntheticCifar10, load_synthetic_cifar10
+from repro.data.augment import random_crop, random_horizontal_flip, add_gaussian_noise, augment_batch
+
+__all__ = [
+    "Dataset",
+    "DataSplit",
+    "train_val_test_split",
+    "SyntheticCifarConfig",
+    "SyntheticCifar10",
+    "load_synthetic_cifar10",
+    "random_crop",
+    "random_horizontal_flip",
+    "add_gaussian_noise",
+    "augment_batch",
+]

@@ -1,0 +1,62 @@
+"""Light-weight data augmentation (training-time only)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def random_horizontal_flip(images: np.ndarray, prob: float = 0.5, rng: SeedLike = None) -> np.ndarray:
+    """Flip each image horizontally with probability ``prob``."""
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError("prob must be in [0, 1]")
+    gen = as_rng(rng)
+    out = images.copy()
+    flips = gen.random(images.shape[0]) < prob
+    out[flips] = out[flips, :, ::-1, :]
+    return out
+
+
+def random_crop(images: np.ndarray, padding: int = 4, rng: SeedLike = None) -> np.ndarray:
+    """Pad-and-random-crop augmentation (the standard CIFAR recipe)."""
+    if padding < 0:
+        raise ValueError("padding must be non-negative")
+    if padding == 0:
+        return images.copy()
+    gen = as_rng(rng)
+    n, h, w, c = images.shape
+    padded = np.pad(images, ((0, 0), (padding, padding), (padding, padding), (0, 0)), mode="reflect")
+    out = np.empty_like(images)
+    offsets_y = gen.integers(0, 2 * padding + 1, size=n)
+    offsets_x = gen.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        oy, ox = offsets_y[i], offsets_x[i]
+        out[i] = padded[i, oy : oy + h, ox : ox + w, :]
+    return out
+
+
+def add_gaussian_noise(images: np.ndarray, std: float = 0.02, rng: SeedLike = None) -> np.ndarray:
+    """Add clipped Gaussian pixel noise."""
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    if std == 0:
+        return images.copy()
+    gen = as_rng(rng)
+    noisy = images + gen.normal(0.0, std, size=images.shape).astype(images.dtype)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def augment_batch(
+    images: np.ndarray,
+    flip_prob: float = 0.5,
+    crop_padding: int = 2,
+    noise_std: float = 0.01,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Apply the full augmentation pipeline to a batch."""
+    gen = as_rng(rng)
+    out = random_horizontal_flip(images, prob=flip_prob, rng=gen)
+    out = random_crop(out, padding=crop_padding, rng=gen)
+    out = add_gaussian_noise(out, std=noise_std, rng=gen)
+    return out

@@ -1,0 +1,149 @@
+"""Dataset containers and split helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class Dataset:
+    """An in-memory labelled image dataset.
+
+    Attributes
+    ----------
+    images:
+        ``(N, H, W, C)`` float32 array, normalised to ``[0, 1]`` as in the
+        paper ("inputs have a 32x32 resolution and are normalized to [0, 1]").
+    labels:
+        ``(N,)`` int64 class indices.
+    n_classes:
+        Number of distinct classes.
+    name:
+        Dataset name used in reports.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    n_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be (N, H, W, C), got shape {self.images.shape}")
+        if self.labels.ndim != 1 or self.labels.shape[0] != self.images.shape[0]:
+            raise ValueError("labels must be 1-D and aligned with images")
+        if self.labels.size and (self.labels.min() < 0 or self.labels.max() >= self.n_classes):
+            raise ValueError("labels out of range")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Per-sample (H, W, C) shape."""
+        return tuple(self.images.shape[1:])  # type: ignore[return-value]
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            images=self.images[indices],
+            labels=self.labels[indices],
+            n_classes=self.n_classes,
+            name=name or f"{self.name}_subset",
+        )
+
+    def take(self, n: int, name: Optional[str] = None) -> "Dataset":
+        """Return the first ``n`` samples (or all if fewer)."""
+        n = min(n, len(self))
+        return self.subset(np.arange(n), name=name or f"{self.name}_take{n}")
+
+    def shuffled(self, rng: SeedLike = None) -> "Dataset":
+        """Return a shuffled copy."""
+        order = as_rng(rng).permutation(len(self))
+        return self.subset(order, name=self.name)
+
+    def batches(
+        self, batch_size: int, shuffle: bool = False, rng: SeedLike = None
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate ``(images, labels)`` mini-batches."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = as_rng(rng).permutation(len(self)) if shuffle else np.arange(len(self))
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.images[idx], self.labels[idx]
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class."""
+        return np.bincount(self.labels, minlength=self.n_classes)
+
+
+@dataclass
+class DataSplit:
+    """Train / validation / test / calibration split of a dataset.
+
+    The calibration split feeds both post-training quantization and the
+    paper's activation-distribution capture (step 2 of the framework).
+    """
+
+    train: Dataset
+    val: Dataset
+    test: Dataset
+    calibration: Dataset
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes (shared by all splits)."""
+        return self.train.n_classes
+
+    def summary(self) -> str:
+        """Human-readable split sizes."""
+        return (
+            f"train={len(self.train)} val={len(self.val)} "
+            f"test={len(self.test)} calibration={len(self.calibration)}"
+        )
+
+
+def train_val_test_split(
+    dataset: Dataset,
+    val_fraction: float = 0.1,
+    test_fraction: float = 0.2,
+    calibration_size: int = 128,
+    rng: SeedLike = 0,
+) -> DataSplit:
+    """Split a dataset into train/val/test plus a calibration subset.
+
+    The calibration subset is drawn from the *training* portion (never from
+    test data) to mirror the paper's offline profiling procedure.
+    """
+    if not 0 <= val_fraction < 1 or not 0 < test_fraction < 1:
+        raise ValueError("fractions must lie in [0, 1)")
+    if val_fraction + test_fraction >= 1:
+        raise ValueError("val_fraction + test_fraction must be < 1")
+    n = len(dataset)
+    order = as_rng(rng).permutation(n)
+    n_test = int(round(n * test_fraction))
+    n_val = int(round(n * val_fraction))
+    test_idx = order[:n_test]
+    val_idx = order[n_test : n_test + n_val]
+    train_idx = order[n_test + n_val :]
+    if len(train_idx) == 0:
+        raise ValueError("split leaves no training data")
+
+    calibration_size = min(calibration_size, len(train_idx))
+    calib_idx = train_idx[:calibration_size]
+
+    return DataSplit(
+        train=dataset.subset(train_idx, name=f"{dataset.name}_train"),
+        val=dataset.subset(val_idx, name=f"{dataset.name}_val"),
+        test=dataset.subset(test_idx, name=f"{dataset.name}_test"),
+        calibration=dataset.subset(calib_idx, name=f"{dataset.name}_calib"),
+    )

@@ -1,0 +1,39 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.evaluation.context import ExperimentContext, ScaleConfig, get_scale
+from repro.evaluation.table1 import build_table1, format_table1
+from repro.evaluation.table2 import build_table2, format_table2
+from repro.evaluation.figure2 import build_figure2, format_figure2
+from repro.evaluation.claims import build_claims, format_claims
+from repro.evaluation.larger_networks import (
+    build_larger_network_comparison,
+    format_larger_network_comparison,
+)
+from repro.evaluation.breakdown import (
+    build_layer_breakdown,
+    category_shares,
+    conv_cycle_share,
+    format_layer_breakdown,
+)
+from repro.evaluation.reports import format_table
+
+__all__ = [
+    "ExperimentContext",
+    "ScaleConfig",
+    "get_scale",
+    "build_table1",
+    "format_table1",
+    "build_table2",
+    "format_table2",
+    "build_figure2",
+    "format_figure2",
+    "build_claims",
+    "format_claims",
+    "build_larger_network_comparison",
+    "format_larger_network_comparison",
+    "build_layer_breakdown",
+    "format_layer_breakdown",
+    "conv_cycle_share",
+    "category_shares",
+    "format_table",
+]

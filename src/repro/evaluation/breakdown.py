@@ -1,0 +1,112 @@
+"""Per-layer execution breakdown of a deployed model.
+
+Section II-A of the paper motivates the whole approach with the observation
+that "most cycles in CNN models are consumed by [convolution] operations"
+(citing the CFU-Playground profiling study) and instruments the CMSIS-NN
+kernels with cycle counters to obtain exactly this kind of per-operator
+breakdown.  This module reproduces that profiling view for any engine: per
+layer, the MACs executed, the estimated cycles/latency and their share of the
+whole inference, split by layer category (convolution, fully-connected,
+pooling/activation, overheads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.frameworks.base import BaseEngine
+from repro.isa.profiles import BoardProfile
+from repro.evaluation.reports import format_table
+from repro.quant.qlayers import QConv2D, QDense
+
+
+@dataclass
+class LayerBreakdownEntry:
+    """Per-layer slice of the execution profile."""
+
+    layer: str
+    category: str
+    macs: int
+    cycles: float
+    latency_ms: float
+    share: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (used by the table formatter)."""
+        return {
+            "layer": self.layer,
+            "category": self.category,
+            "MACs": self.macs,
+            "cycles": self.cycles,
+            "latency (ms)": self.latency_ms,
+            "share (%)": self.share * 100.0,
+        }
+
+
+def _layer_category(engine: BaseEngine, layer_name: str) -> str:
+    try:
+        layer = engine.qmodel.get_layer(layer_name)
+    except KeyError:
+        return "other"
+    if isinstance(layer, QConv2D):
+        return "conv"
+    if isinstance(layer, QDense):
+        return "fc"
+    return "pool/act"
+
+
+def build_layer_breakdown(engine: BaseEngine, board: BoardProfile) -> List[LayerBreakdownEntry]:
+    """Profile one inference of ``engine`` and return its per-layer breakdown.
+
+    The final entry aggregates the engine's fixed per-inference overhead
+    (graph dispatch, IO handling) under the ``overhead`` category so the
+    shares sum to 1.
+    """
+    counter = engine.profile()
+    cost_model = engine.cost_model()
+    total_cycles, per_layer = cost_model.estimate(counter)
+
+    entries: List[LayerBreakdownEntry] = []
+    for name, estimate in per_layer.items():
+        entries.append(
+            LayerBreakdownEntry(
+                layer=name,
+                category=_layer_category(engine, name),
+                macs=estimate.stats.macs,
+                cycles=estimate.cycles,
+                latency_ms=board.cycles_to_seconds(estimate.cycles) * 1e3,
+                share=estimate.cycles / total_cycles if total_cycles else 0.0,
+            )
+        )
+    fixed = cost_model.params.cycles_fixed
+    entries.append(
+        LayerBreakdownEntry(
+            layer="(runtime)",
+            category="overhead",
+            macs=0,
+            cycles=fixed,
+            latency_ms=board.cycles_to_seconds(fixed) * 1e3,
+            share=fixed / total_cycles if total_cycles else 0.0,
+        )
+    )
+    return entries
+
+
+def category_shares(entries: List[LayerBreakdownEntry]) -> Dict[str, float]:
+    """Aggregate the cycle share per layer category."""
+    shares: Dict[str, float] = {}
+    for entry in entries:
+        shares[entry.category] = shares.get(entry.category, 0.0) + entry.share
+    return shares
+
+
+def conv_cycle_share(entries: List[LayerBreakdownEntry]) -> float:
+    """Fraction of the inference cycles spent in convolution layers."""
+    return category_shares(entries).get("conv", 0.0)
+
+
+def format_layer_breakdown(entries: List[LayerBreakdownEntry], title: str = "") -> str:
+    """Render the breakdown as a table, sorted by descending cycle share."""
+    ordered = sorted(entries, key=lambda e: e.share, reverse=True)
+    return format_table([e.as_dict() for e in ordered], title=title or "Per-layer execution breakdown")

@@ -1,0 +1,120 @@
+"""Figure 2: Pareto space between accuracy and normalised conv-MAC reduction.
+
+The paper's Fig. 2 shows, for AlexNet (a) and LeNet (b), every explored
+approximate configuration as a point in (normalised MAC reduction, accuracy)
+space, the exact baseline as a reference marker and the Pareto front.  This
+module regenerates the underlying data and renders an ASCII scatter plot
+(no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.evaluation.context import ExperimentContext
+from repro.evaluation.reports import format_table
+
+#: Headline numbers the paper derives from Fig. 2 (Section III).
+PAPER_FIGURE2_CLAIMS = {
+    "mac_reduction_at_iso_accuracy": 0.44,
+    "mac_reduction_at_5pct_loss": 0.57,
+}
+
+
+def build_figure2(
+    context: ExperimentContext,
+    model_names: Sequence[str] = ("alexnet", "lenet"),
+) -> Dict[str, Dict[str, object]]:
+    """Regenerate the Fig. 2 scatter data for each model.
+
+    Returns a mapping ``model -> {points, pareto, baseline_accuracy, ...}``
+    where points are ``(conv_mac_reduction, accuracy)`` pairs.
+    """
+    figure: Dict[str, Dict[str, object]] = {}
+    for model_name in model_names:
+        artifacts = context.build_model(model_name)
+        dse = artifacts.result.dse
+        points = [(p.conv_mac_reduction, p.accuracy) for p in dse.points]
+        pareto = [(p.conv_mac_reduction, p.accuracy) for p in dse.pareto_points()]
+        best_iso = dse.best_within_loss(0.0)
+        best_5 = dse.best_within_loss(0.05)
+        figure[model_name] = {
+            "points": points,
+            "pareto": pareto,
+            "baseline_accuracy": dse.baseline_accuracy,
+            "n_designs": len(dse.points),
+            "mac_reduction_at_iso_accuracy": best_iso.conv_mac_reduction if best_iso else 0.0,
+            "mac_reduction_at_5pct_loss": best_5.conv_mac_reduction if best_5 else 0.0,
+        }
+    return figure
+
+
+def _ascii_scatter(
+    points: Sequence,
+    pareto: Sequence,
+    baseline_accuracy: float,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Render the Pareto space as an ASCII scatter plot."""
+    if not points:
+        return "(no points)"
+    xs = np.array([p[0] for p in points])
+    ys = np.array([p[1] for p in points])
+    x_min, x_max = 0.0, max(float(xs.max()), 1e-6)
+    y_min, y_max = float(min(ys.min(), baseline_accuracy)), float(max(ys.max(), baseline_accuracy))
+    y_span = max(y_max - y_min, 1e-6)
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, char: str) -> None:
+        col = int(round((x - x_min) / (x_max - x_min) * (width - 1))) if x_max > x_min else 0
+        row = int(round((y_max - y) / y_span * (height - 1)))
+        row = min(max(row, 0), height - 1)
+        col = min(max(col, 0), width - 1)
+        grid[row][col] = char
+
+    for x, y in points:
+        place(x, y, ".")
+    for x, y in pareto:
+        place(x, y, "o")
+    place(0.0, baseline_accuracy, "x")
+
+    lines = []
+    for i, row in enumerate(grid):
+        y_val = y_max - i / (height - 1) * y_span
+        lines.append(f"{y_val:6.3f} |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    lines.append(
+        " " * 8
+        + f"0.0{' ' * (width - 12)}{x_max:.2f}   (normalised conv-MAC reduction; x=exact, o=Pareto, .=design)"
+    )
+    return "\n".join(lines)
+
+
+def format_figure2(figure: Dict[str, Dict[str, object]]) -> str:
+    """Render Fig. 2 (ASCII scatter + summary rows) for every model."""
+    sections: List[str] = []
+    summary_rows = []
+    for model_name, data in figure.items():
+        sections.append(
+            f"Figure 2 ({model_name}): accuracy vs normalised MAC reduction "
+            f"[{data['n_designs']} designs, baseline accuracy {data['baseline_accuracy']:.3f}]"
+        )
+        sections.append(
+            _ascii_scatter(data["points"], data["pareto"], data["baseline_accuracy"])
+        )
+        summary_rows.append(
+            {
+                "model": model_name,
+                "designs": data["n_designs"],
+                "baseline acc": data["baseline_accuracy"],
+                "MAC red. @ iso-acc": data["mac_reduction_at_iso_accuracy"],
+                "MAC red. @ 5% loss": data["mac_reduction_at_5pct_loss"],
+                "paper @ iso-acc (avg)": PAPER_FIGURE2_CLAIMS["mac_reduction_at_iso_accuracy"],
+                "paper @ 5% loss (avg)": PAPER_FIGURE2_CLAIMS["mac_reduction_at_5pct_loss"],
+            }
+        )
+    sections.append(format_table(summary_rows, title="Figure 2 summary (per model)"))
+    return "\n\n".join(sections)

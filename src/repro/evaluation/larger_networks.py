@@ -1,0 +1,94 @@
+"""E8: "approximate computing can realize larger and faster networks" (contribution 3).
+
+The paper's third contribution states that, in many cases, approximate
+computing lets a *larger* CNN run as fast as (or faster than) a smaller exact
+one on the same MCU -- while retaining the larger model's accuracy head-room.
+This driver quantifies that claim with our artefacts: it compares the exact
+CMSIS-NN LeNet deployment against approximate AlexNet deployments at several
+accuracy-loss budgets, reporting latency, accuracy and memory for each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.evaluation.context import ExperimentContext
+from repro.evaluation.reports import format_table
+from repro.frameworks.ataman import AtamanEngine
+from repro.frameworks.cmsis_nn import CMSISNNEngine
+from repro.mcu.deploy import deploy
+
+
+def build_larger_network_comparison(
+    context: ExperimentContext,
+    small_model: str = "lenet",
+    large_model: str = "alexnet",
+    loss_budgets: Sequence[float] = (0.0, 0.05),
+) -> List[Dict[str, object]]:
+    """Compare the exact small model against approximate versions of the large model."""
+    eval_images, eval_labels = context.eval_set()
+    rows: List[Dict[str, object]] = []
+
+    small = context.build_model(small_model)
+    small_report = deploy(
+        CMSISNNEngine(small.qmodel), context.board, eval_images, eval_labels, model_name=small_model
+    )
+    rows.append(
+        {
+            "design": f"{small_model} (exact, CMSIS-NN)",
+            "accuracy (%)": small_report.top1_accuracy * 100,
+            "latency (ms)": small_report.latency_ms,
+            "MACs (M)": small_report.mac_ops / 1e6,
+            "flash (KB)": small_report.flash_kb,
+            "fits": small_report.fits,
+        }
+    )
+
+    large = context.build_model(large_model)
+    large_exact = deploy(
+        CMSISNNEngine(large.qmodel), context.board, eval_images, eval_labels, model_name=large_model
+    )
+    rows.append(
+        {
+            "design": f"{large_model} (exact, CMSIS-NN)",
+            "accuracy (%)": large_exact.top1_accuracy * 100,
+            "latency (ms)": large_exact.latency_ms,
+            "MACs (M)": large_exact.mac_ops / 1e6,
+            "flash (KB)": large_exact.flash_kb,
+            "fits": large_exact.fits,
+        }
+    )
+
+    for loss in loss_budgets:
+        design = large.result.dse.best_within_loss(loss)
+        if design is None:
+            continue
+        engine = AtamanEngine(
+            large.qmodel,
+            config=design.config,
+            significance=large.result.significance,
+            unpacked=large.result.unpacked,
+        )
+        report = deploy(engine, context.board, eval_images, eval_labels, model_name=large_model)
+        rows.append(
+            {
+                "design": f"{large_model} (approx @{loss:.0%} loss)",
+                "accuracy (%)": report.top1_accuracy * 100,
+                "latency (ms)": report.latency_ms,
+                "MACs (M)": report.mac_ops / 1e6,
+                "flash (KB)": report.flash_kb,
+                "fits": report.fits,
+            }
+        )
+    return rows
+
+
+def format_larger_network_comparison(rows: List[Dict[str, object]]) -> str:
+    """Render the E8 comparison table."""
+    return format_table(
+        rows,
+        title=(
+            "E8 -- contribution 3: an approximate larger CNN vs the exact smaller CNN "
+            "on the same board"
+        ),
+    )

@@ -1,0 +1,55 @@
+"""Plain-text table formatting shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3g}" if abs(value) < 10 else f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return title + "\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(cells[i]) for cells in rendered)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_comparison(paper: Dict[str, float], measured: Dict[str, float], title: str = "") -> str:
+    """Two-column paper-vs-measured comparison table."""
+    rows = []
+    for key in paper:
+        rows.append(
+            {
+                "metric": key,
+                "paper": paper[key],
+                "measured": measured.get(key, float("nan")),
+            }
+        )
+    return format_table(rows, columns=["metric", "paper", "measured"], title=title)

@@ -1,0 +1,90 @@
+"""Table I: characterisation of the exact CIFAR-10 baselines on the STM32 board.
+
+The paper's Table I reports, per CNN: Top-1 accuracy, topology (conv - pool -
+fully-connected counts), the number of MAC operations, the CMSIS-NN inference
+latency, the flash utilisation and the RAM usage on the STM32-Nucleo board.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.context import ExperimentContext
+from repro.evaluation.reports import format_table
+from repro.frameworks.cmsis_nn import CMSISNNEngine
+from repro.mcu.deploy import deploy
+
+#: The values printed in the paper's Table I, for side-by-side comparison.
+PAPER_TABLE1 = {
+    "lenet": {
+        "accuracy_pct": 71.6,
+        "topology": "3-2-2",
+        "mac_ops": 4.5e6,
+        "latency_ms": 82.8,
+        "flash_pct": 12.0,
+        "ram_kb": 183.5,
+    },
+    "alexnet": {
+        "accuracy_pct": 71.9,
+        "topology": "5-2-2",
+        "mac_ops": 16.1e6,
+        "latency_ms": 179.9,
+        "flash_pct": 13.0,
+        "ram_kb": 212.16,
+    },
+}
+
+
+def _topology_string(artifacts) -> str:
+    counts = artifacts.float_model.topology()
+    return f"{counts['conv']}-{counts['pool']}-{counts['fc']}"
+
+
+def build_table1(
+    context: ExperimentContext,
+    model_names: Sequence[str] = ("alexnet", "lenet"),
+) -> List[Dict[str, object]]:
+    """Regenerate Table I rows using the CMSIS-NN baseline engine."""
+    rows: List[Dict[str, object]] = []
+    eval_images, eval_labels = context.eval_set()
+    for model_name in model_names:
+        artifacts = context.build_model(model_name)
+        engine = CMSISNNEngine(artifacts.qmodel)
+        report = deploy(engine, context.board, eval_images, eval_labels, model_name=model_name)
+        paper = PAPER_TABLE1.get(model_name, {})
+        rows.append(
+            {
+                "CNN": model_name,
+                "Acc (%)": report.top1_accuracy * 100.0,
+                "Topology": _topology_string(artifacts),
+                "# MAC Ops": report.mac_ops,
+                "Latency (ms)": report.latency_ms,
+                "Flash Usage (%)": 100.0 * report.flash_kb * 1024 / context.board.flash_bytes,
+                "RAM (KB)": report.ram_kb,
+                "paper Acc (%)": paper.get("accuracy_pct", float("nan")),
+                "paper Latency (ms)": paper.get("latency_ms", float("nan")),
+                "paper # MAC Ops": paper.get("mac_ops", float("nan")),
+            }
+        )
+    return rows
+
+
+def format_table1(rows: List[Dict[str, object]]) -> str:
+    """Render Table I in the paper's column order (with paper reference columns)."""
+    columns = [
+        "CNN",
+        "Acc (%)",
+        "Topology",
+        "# MAC Ops",
+        "Latency (ms)",
+        "Flash Usage (%)",
+        "RAM (KB)",
+        "paper Acc (%)",
+        "paper Latency (ms)",
+        "paper # MAC Ops",
+    ]
+    return format_table(
+        rows,
+        columns=columns,
+        title="Table I -- baseline CNNs on the STM32-Nucleo (CMSIS-NN exact inference)",
+    )

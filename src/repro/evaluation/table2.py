@@ -1,0 +1,120 @@
+"""Table II: CMSIS-NN vs X-CUBE-AI vs the proposed engine at three accuracy-loss budgets.
+
+For every model the driver deploys:
+
+* the exact CMSIS-NN baseline,
+* the exact X-CUBE-AI stand-in,
+* the proposed (ATAMAN) engine with the latency-optimal Pareto configuration
+  at 0%, 5% and 10% accuracy-loss budgets,
+
+and reports Top-1 accuracy, latency, flash, MAC count and energy -- the exact
+columns of the paper's Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.context import ExperimentContext
+from repro.evaluation.reports import format_table
+from repro.frameworks.ataman import AtamanEngine
+from repro.frameworks.cmsis_nn import CMSISNNEngine
+from repro.frameworks.xcubeai import XCubeAIEngine
+from repro.mcu.deploy import DeploymentReport, deploy
+
+#: Accuracy-loss budgets used by the paper (absolute Top-1 percentage points).
+LOSS_BUDGETS = (0.0, 0.05, 0.10)
+
+#: The paper's Table II values, for side-by-side reporting.
+PAPER_TABLE2 = {
+    ("lenet", "cmsis-nn"): {"accuracy_pct": 71.6, "latency_ms": 82.8, "flash_kb": 239, "mac_ops": 4.5e6, "energy_mj": 2.73},
+    ("lenet", "x-cube-ai"): {"accuracy_pct": 71.6, "latency_ms": 63.5, "flash_kb": 154, "mac_ops": 4.5e6, "energy_mj": 2.10},
+    ("lenet", "ataman@0%"): {"accuracy_pct": 71.6, "latency_ms": 72.7, "flash_kb": 761, "mac_ops": 3.3e6, "energy_mj": 2.40},
+    ("lenet", "ataman@5%"): {"accuracy_pct": 66.7, "latency_ms": 66.8, "flash_kb": 704, "mac_ops": 2.9e6, "energy_mj": 2.20},
+    ("lenet", "ataman@10%"): {"accuracy_pct": 61.6, "latency_ms": 59.8, "flash_kb": 681, "mac_ops": 2.4e6, "energy_mj": 1.98},
+    ("alexnet", "cmsis-nn"): {"accuracy_pct": 71.9, "latency_ms": 179.9, "flash_kb": 267, "mac_ops": 16.1e6, "energy_mj": 5.94},
+    ("alexnet", "x-cube-ai"): {"accuracy_pct": 71.9, "latency_ms": 150.7, "flash_kb": 178, "mac_ops": 16.1e6, "energy_mj": 4.97},
+    ("alexnet", "ataman@0%"): {"accuracy_pct": 72.4, "latency_ms": 124.8, "flash_kb": 1080, "mac_ops": 7.5e6, "energy_mj": 4.12},
+    ("alexnet", "ataman@5%"): {"accuracy_pct": 67.1, "latency_ms": 111.3, "flash_kb": 954, "mac_ops": 6.2e6, "energy_mj": 3.67},
+    ("alexnet", "ataman@10%"): {"accuracy_pct": 62.1, "latency_ms": 101.5, "flash_kb": 891, "mac_ops": 5.5e6, "energy_mj": 3.35},
+}
+
+
+def _report_row(
+    model_name: str, engine_label: str, report: DeploymentReport
+) -> Dict[str, object]:
+    paper = PAPER_TABLE2.get((model_name, engine_label), {})
+    return {
+        "Network": model_name,
+        "Engine": engine_label,
+        "Top-1 Accuracy (%)": report.top1_accuracy * 100.0,
+        "Latency (ms)": report.latency_ms,
+        "Flash (KB)": report.flash_kb,
+        "#MAC Ops": report.mac_ops,
+        "Energy (mJ)": report.energy_mj,
+        "fits board": report.fits,
+        "paper Latency (ms)": paper.get("latency_ms", float("nan")),
+        "paper #MAC Ops": paper.get("mac_ops", float("nan")),
+        "paper Energy (mJ)": paper.get("energy_mj", float("nan")),
+    }
+
+
+def build_table2(
+    context: ExperimentContext,
+    model_names: Sequence[str] = ("lenet", "alexnet"),
+    loss_budgets: Sequence[float] = LOSS_BUDGETS,
+) -> List[Dict[str, object]]:
+    """Regenerate Table II rows."""
+    rows: List[Dict[str, object]] = []
+    eval_images, eval_labels = context.eval_set()
+    for model_name in model_names:
+        artifacts = context.build_model(model_name)
+        qmodel = artifacts.qmodel
+        result = artifacts.result
+
+        for engine_label, engine in (
+            ("cmsis-nn", CMSISNNEngine(qmodel)),
+            ("x-cube-ai", XCubeAIEngine(qmodel)),
+        ):
+            report = deploy(engine, context.board, eval_images, eval_labels, model_name=model_name)
+            rows.append(_report_row(model_name, engine_label, report))
+
+        for loss in loss_budgets:
+            design = result.dse.best_within_loss(loss)
+            if design is None:
+                continue
+            engine = AtamanEngine(
+                qmodel,
+                config=design.config,
+                significance=result.significance,
+                unpacked=result.unpacked,
+            )
+            report = deploy(engine, context.board, eval_images, eval_labels, model_name=model_name)
+            label = f"ataman@{int(round(loss * 100))}%"
+            rows.append(_report_row(model_name, label, report))
+    return rows
+
+
+def format_table2(rows: List[Dict[str, object]]) -> str:
+    """Render Table II with the measured and paper reference columns."""
+    columns = [
+        "Network",
+        "Engine",
+        "Top-1 Accuracy (%)",
+        "Latency (ms)",
+        "Flash (KB)",
+        "#MAC Ops",
+        "Energy (mJ)",
+        "fits board",
+        "paper Latency (ms)",
+        "paper #MAC Ops",
+        "paper Energy (mJ)",
+    ]
+    return format_table(
+        rows,
+        columns=columns,
+        title=(
+            "Table II -- comparison with CMSIS-NN and X-CUBE-AI on the STM32U575 "
+            "(three accuracy-loss budgets)"
+        ),
+    )

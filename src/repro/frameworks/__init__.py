@@ -1,0 +1,26 @@
+"""Inference engines: the proposed ATAMAN engine and the baselines it is compared against.
+
+Every engine executes the *same* :class:`repro.quant.QuantizedModel` through
+the int8 kernels, so classification results are directly comparable; engines
+differ in their execution style (which drives the cycle cost model), their
+flash/RAM footprint model and -- for the ATAMAN engine -- the operand-skipping
+masks they apply.
+"""
+
+from repro.frameworks.base import BaseEngine
+from repro.frameworks.cmsis_nn import CMSISNNEngine
+from repro.frameworks.xcubeai import XCubeAIEngine
+from repro.frameworks.utvm import MicroTVMEngine
+from repro.frameworks.cmix_nn import CMixNNEngine
+from repro.frameworks.tflite_micro import TFLiteMicroEngine
+from repro.frameworks.ataman import AtamanEngine
+
+__all__ = [
+    "BaseEngine",
+    "CMSISNNEngine",
+    "XCubeAIEngine",
+    "MicroTVMEngine",
+    "CMixNNEngine",
+    "TFLiteMicroEngine",
+    "AtamanEngine",
+]

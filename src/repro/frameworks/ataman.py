@@ -1,0 +1,115 @@
+"""The proposed engine: layer-based code unpacking + significance-aware skipping.
+
+The ATAMAN engine executes the quantized model with the paper's unpacked
+fixed-weight kernels.  Operands skipped by the supplied
+:class:`~repro.core.config.ApproxConfig` (or raw retention masks) are simply
+absent from the generated code, so they cost neither cycles nor flash.  The
+flash model therefore replaces the convolution weight arrays with the
+unpacked code stream (weights are hard-wired into instructions), while
+non-unpacked layers (dense classifier, pooling) keep their weight arrays and
+library kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import ApproxConfig
+from repro.core.significance import SignificanceResult
+from repro.core.unpacking import UnpackedLayer, total_unpacked_code_bytes, unpack_model
+from repro.frameworks.base import BaseEngine
+from repro.isa.cost_model import ExecutionStyle
+from repro.isa.profiles import BoardProfile
+from repro.mcu.memory import FlashBudget, MemoryLayout, RamBudget
+from repro.quant.qmodel import QuantizedModel
+
+
+class AtamanEngine(BaseEngine):
+    """Approximate inference through unpacked, significance-skipped kernels.
+
+    Parameters
+    ----------
+    qmodel:
+        The quantized model.
+    masks:
+        Operand-retention masks (layer name -> boolean matrix).  May be
+        omitted for the exact-unpacked design.
+    config:
+        Alternatively, an :class:`ApproxConfig`; requires ``significance`` to
+        materialise the masks.
+    significance:
+        Significance matrices used to build masks from ``config``.
+    unpacked:
+        Pre-computed unpacked layers (recomputed from the model if omitted).
+    """
+
+    style = ExecutionStyle.UNPACKED
+    engine_name = "ataman"
+
+    kernel_code_bytes = 24 * 1024  # only the non-conv library kernels remain
+    runtime_flash_bytes = 14 * 1024  # structure parameters resolved at compile time
+    weight_compression = 1.0
+    runtime_ram_bytes = 14 * 1024
+    uses_im2col_buffer = False
+
+    def __init__(
+        self,
+        qmodel: QuantizedModel,
+        masks: Optional[Dict[str, np.ndarray]] = None,
+        config: Optional[ApproxConfig] = None,
+        significance: Optional[SignificanceResult] = None,
+        unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    ):
+        self.unpacked = unpacked if unpacked is not None else unpack_model(qmodel)
+        if masks is None and config is not None:
+            if config.is_exact:
+                masks = None
+            else:
+                if significance is None:
+                    raise ValueError("building masks from an ApproxConfig requires significance data")
+                masks = config.build_masks(significance, unpacked=self.unpacked)
+        super().__init__(qmodel, masks=masks)
+        self.config = config
+
+    # ------------------------------------------------------------------ memory
+    def memory_layout(self, board: BoardProfile) -> MemoryLayout:
+        """Flash/RAM budget with conv weights folded into the unpacked code."""
+        unpacked_code = total_unpacked_code_bytes(self.unpacked, self.masks)
+        # Layers whose weights are hard-wired into code no longer need weight arrays.
+        remaining_weights = sum(
+            layer.weight_nbytes()
+            for layer in self.qmodel.layers
+            if layer.name not in self.unpacked
+        )
+        # Biases of unpacked layers stay as data (int32 per output channel).
+        unpacked_bias_bytes = sum(
+            0 if self.qmodel.get_layer(name).bias is None else self.qmodel.get_layer(name).bias.size * 4
+            for name in self.unpacked
+        )
+        flash = FlashBudget(
+            weights=remaining_weights + unpacked_bias_bytes,
+            kernel_code=self.kernel_code_bytes,
+            runtime=self.runtime_flash_bytes,
+            unpacked_code=unpacked_code,
+        )
+        ram = RamBudget(
+            activations=self.qmodel.activation_nbytes(),
+            im2col_buffer=0,
+            runtime=self.runtime_ram_bytes,
+        )
+        return MemoryLayout(flash=flash, ram=ram)
+
+    # ------------------------------------------------------------------ reporting
+    def skipped_operand_fraction(self) -> float:
+        """Fraction of conv operands skipped by the current masks."""
+        if not self.masks:
+            return 0.0
+        total = sum(np.asarray(m).size for m in self.masks.values())
+        kept = sum(int(np.asarray(m, dtype=bool).sum()) for m in self.masks.values())
+        return 1.0 - kept / total if total else 0.0
+
+    def unpacked_code_bytes(self) -> int:
+        """Flash bytes of the generated unpacked code."""
+        return total_unpacked_code_bytes(self.unpacked, self.masks)

@@ -1,0 +1,150 @@
+"""Shared machinery of every inference engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.isa.cost_model import ExecutionStyle, KernelCostModel
+from repro.isa.profiles import BoardProfile
+from repro.kernels.cycle_counters import CycleCounter
+from repro.mcu.memory import FlashBudget, MemoryLayout, RamBudget
+from repro.quant.qlayers import QConv2D
+from repro.quant.qmodel import QuantizedModel
+
+
+class BaseEngine:
+    """Base inference engine: quantized model + execution style + memory model.
+
+    Subclasses set :attr:`style` and the flash/RAM model constants; the
+    ATAMAN engine additionally carries operand-retention masks.
+
+    Parameters
+    ----------
+    qmodel:
+        The deployed quantized model.
+    masks:
+        Optional operand-retention masks (layer name -> boolean matrix);
+        only the ATAMAN engine uses them.
+    """
+
+    #: Execution style used by the cycle cost model.
+    style: ExecutionStyle = ExecutionStyle.CMSIS_PACKED
+    #: Human-readable engine name.
+    engine_name: str = "base"
+
+    # -- flash model constants (bytes) ----------------------------------------
+    #: Library kernel code size.
+    kernel_code_bytes: int = 40 * 1024
+    #: Runtime / graph-executor overhead.
+    runtime_flash_bytes: int = 30 * 1024
+    #: Multiplier on stored weight bytes (models weight compression).
+    weight_compression: float = 1.0
+
+    # -- RAM model constants (bytes) -------------------------------------------
+    #: Runtime working RAM (graph state, stack headroom).
+    runtime_ram_bytes: int = 20 * 1024
+    #: Whether the engine needs an im2col scratch buffer.
+    uses_im2col_buffer: bool = True
+
+    def __init__(self, qmodel: QuantizedModel, masks: Optional[Dict[str, np.ndarray]] = None):
+        self.qmodel = qmodel
+        self.masks = dict(masks) if masks else None
+        self.name = self.engine_name
+        self.model_name = qmodel.name
+        self._profile_cache: Optional[CycleCounter] = None
+
+    # ------------------------------------------------------------------ inference
+    def predict_logits(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Dequantized logits for float NHWC inputs."""
+        outputs = []
+        for start in range(0, images.shape[0], batch_size):
+            outputs.append(self.qmodel.forward(images[start : start + batch_size], masks=self.masks))
+        return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+
+    def predict_classes(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted class indices."""
+        return self.qmodel.predict_classes(images, masks=self.masks, batch_size=batch_size)
+
+    def evaluate_accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy on a labelled set."""
+        return self.qmodel.evaluate_accuracy(images, labels, masks=self.masks)
+
+    # ------------------------------------------------------------------ performance
+    def profile(self, sample: Optional[np.ndarray] = None) -> CycleCounter:
+        """Run one inference with operation counters attached.
+
+        ``sample`` defaults to a single zero image; operation counts are
+        shape-dependent only, so any input of the right shape is equivalent.
+        """
+        use_cache = sample is None
+        if use_cache and self._profile_cache is not None:
+            return self._profile_cache
+        if sample is None:
+            sample = np.zeros((1,) + self.qmodel.input_shape, dtype=np.float32)
+        if sample.ndim == 3:
+            sample = sample[None, ...]
+        if sample.shape[0] != 1:
+            sample = sample[:1]
+        counter = CycleCounter()
+        self.qmodel.forward(sample, masks=self.masks, counter=counter)
+        if use_cache:
+            self._profile_cache = counter
+        return counter
+
+    def cost_model(self) -> KernelCostModel:
+        """Cycle cost model matching the engine's execution style."""
+        return KernelCostModel(self.style)
+
+    def estimate_cycles(self) -> float:
+        """Estimated cycles of one inference."""
+        return self.cost_model().estimate_cycles(self.profile())
+
+    def latency_ms(self, board: BoardProfile) -> float:
+        """Estimated single-inference latency on ``board``."""
+        return self.cost_model().latency_ms(self.profile(), board)
+
+    def layer_latency_ms(self, board: BoardProfile) -> Dict[str, float]:
+        """Per-layer latency breakdown in milliseconds."""
+        total, per_layer = self.cost_model().estimate(self.profile())
+        return {
+            name: board.cycles_to_seconds(est.cycles) * 1e3 for name, est in per_layer.items()
+        }
+
+    def total_macs(self) -> int:
+        """MACs actually executed per inference (honouring masks)."""
+        return self.qmodel.total_macs(masks=self.masks)
+
+    def conv_macs(self) -> int:
+        """Convolution MACs actually executed per inference."""
+        return self.qmodel.conv_macs(masks=self.masks)
+
+    # ------------------------------------------------------------------ memory
+    def _weights_flash_bytes(self) -> int:
+        return int(round(self.qmodel.weight_nbytes() * self.weight_compression))
+
+    def _im2col_buffer_bytes(self) -> int:
+        if not self.uses_im2col_buffer:
+            return 0
+        # CMSIS-NN keeps a 2-column int16 im2col scratch buffer.
+        ks = [layer.operands_per_channel for layer in self.qmodel.conv_layers()]
+        return max(ks) * 2 * 2 if ks else 0
+
+    def memory_layout(self, board: BoardProfile) -> MemoryLayout:
+        """Flash/RAM budget of this deployment (board-independent in practice)."""
+        flash = FlashBudget(
+            weights=self._weights_flash_bytes(),
+            kernel_code=self.kernel_code_bytes,
+            runtime=self.runtime_flash_bytes,
+            unpacked_code=0,
+        )
+        ram = RamBudget(
+            activations=self.qmodel.activation_nbytes(),
+            im2col_buffer=self._im2col_buffer_bytes(),
+            runtime=self.runtime_ram_bytes,
+        )
+        return MemoryLayout(flash=flash, ram=ram)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}(model={self.qmodel.name!r})"

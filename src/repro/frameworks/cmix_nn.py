@@ -1,0 +1,33 @@
+"""CMix-NN stand-in engine.
+
+CMix-NN [9] is a mixed low-precision (2/4/8-bit) kernel library for
+memory-constrained MCUs.  The paper's Section III uses it only for a
+qualitative latency comparison at a matched MAC count (the paper reports a
+62% latency reduction versus CMix-NN for a ~13.8M-MAC model).  The stand-in
+models CMix-NN's higher per-MAC cost (bit-manipulation of sub-byte operands)
+and its much smaller weight storage.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import BaseEngine
+from repro.isa.cost_model import ExecutionStyle
+
+
+class CMixNNEngine(BaseEngine):
+    """Exact inference with CMix-NN-style mixed-precision kernels."""
+
+    style = ExecutionStyle.CMIX_NN
+    engine_name = "cmix-nn"
+
+    kernel_code_bytes = 52 * 1024
+    runtime_flash_bytes = 24 * 1024
+    #: Mixed 4-bit weights roughly halve the weight storage.
+    weight_compression = 0.5
+    runtime_ram_bytes = 24 * 1024
+    uses_im2col_buffer = True
+
+    def __init__(self, qmodel, masks=None):
+        if masks:
+            raise ValueError("the CMix-NN stand-in generates exact kernels; skipping is unsupported")
+        super().__init__(qmodel, masks=None)

@@ -1,0 +1,29 @@
+"""CMSIS-NN baseline engine (the paper's exact state-of-the-art reference [2])."""
+
+from __future__ import annotations
+
+from repro.frameworks.base import BaseEngine
+from repro.isa.cost_model import ExecutionStyle
+
+
+class CMSISNNEngine(BaseEngine):
+    """Exact int8 inference with stock CMSIS-NN-style packed kernels.
+
+    The flash model reflects a CMSIS-NN deployment: int8 weight arrays, the
+    generic kernel library (~40 KiB) and the runtime/model-structure tables
+    that stock deployments keep in flash and parse at run time (~30 KiB).
+    """
+
+    style = ExecutionStyle.CMSIS_PACKED
+    engine_name = "cmsis-nn"
+
+    kernel_code_bytes = 40 * 1024
+    runtime_flash_bytes = 30 * 1024
+    weight_compression = 1.0
+    runtime_ram_bytes = 20 * 1024
+    uses_im2col_buffer = True
+
+    def __init__(self, qmodel, masks=None):
+        if masks:
+            raise ValueError("the CMSIS-NN packed kernels cannot skip operands")
+        super().__init__(qmodel, masks=None)

@@ -1,0 +1,32 @@
+"""TensorFlow-Lite-Micro stand-in engine.
+
+The paper's introduction cites CMSIS-NN achieving ~11x lower latency than
+TensorFlow Lite Micro's reference kernels on ImageNet-class models.  The
+stand-in engine models TFLM's interpreter-dispatched reference kernels
+(scalar int8 MACs, per-op dispatch overhead, flatbuffer graph kept in flash)
+so that the "why optimised kernels matter" context of the paper can also be
+reproduced quantitatively.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import BaseEngine
+from repro.isa.cost_model import ExecutionStyle
+
+
+class TFLiteMicroEngine(BaseEngine):
+    """Exact inference with TFLite-Micro-style reference kernels."""
+
+    style = ExecutionStyle.TFLITE_MICRO
+    engine_name = "tflite-micro"
+
+    kernel_code_bytes = 90 * 1024
+    runtime_flash_bytes = 60 * 1024  # interpreter + flatbuffer schema overhead
+    weight_compression = 1.0
+    runtime_ram_bytes = 48 * 1024    # tensor arena bookkeeping
+    uses_im2col_buffer = False       # reference kernels loop directly (slowly)
+
+    def __init__(self, qmodel, masks=None):
+        if masks:
+            raise ValueError("TFLite-Micro reference kernels are exact; skipping is unsupported")
+        super().__init__(qmodel, masks=None)

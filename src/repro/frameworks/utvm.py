@@ -1,0 +1,30 @@
+"""microTVM stand-in engine.
+
+The paper cites uTVM [10] as reporting a ~13% latency overhead versus
+CMSIS-NN on a LeNet-class model; the stand-in engine reproduces that relative
+position through its cycle-cost parameters.  It is used only for the
+qualitative comparison of Section III.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import BaseEngine
+from repro.isa.cost_model import ExecutionStyle
+
+
+class MicroTVMEngine(BaseEngine):
+    """Exact inference with microTVM-style generated C kernels."""
+
+    style = ExecutionStyle.UTVM
+    engine_name = "utvm"
+
+    kernel_code_bytes = 64 * 1024
+    runtime_flash_bytes = 48 * 1024
+    weight_compression = 1.0
+    runtime_ram_bytes = 28 * 1024
+    uses_im2col_buffer = True
+
+    def __init__(self, qmodel, masks=None):
+        if masks:
+            raise ValueError("the uTVM stand-in generates exact kernels; skipping is unsupported")
+        super().__init__(qmodel, masks=None)

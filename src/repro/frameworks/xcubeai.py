@@ -1,0 +1,35 @@
+"""X-CUBE-AI stand-in engine.
+
+X-CUBE-AI is STMicroelectronics' closed-source code generator; neither its
+kernels nor its memory layout are public.  The stand-in is an *exact* engine
+whose cycle-cost parameters and flash model are calibrated so that its
+latency and flash relative to the CMSIS-NN baseline match what the paper's
+Table II reports (~0.77-0.84x latency, smaller flash thanks to weight/graph
+compression).  Only those relative positions matter for reproducing the
+comparison; see DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.base import BaseEngine
+from repro.isa.cost_model import ExecutionStyle
+
+
+class XCubeAIEngine(BaseEngine):
+    """Exact inference with an X-CUBE-AI-like optimized code generator."""
+
+    style = ExecutionStyle.XCUBE_AI
+    engine_name = "x-cube-ai"
+
+    kernel_code_bytes = 26 * 1024
+    runtime_flash_bytes = 12 * 1024
+    #: X-CUBE-AI applies weight compression/graph folding; Table II shows its
+    #: flash below the raw weight size, which this factor models.
+    weight_compression = 0.72
+    runtime_ram_bytes = 16 * 1024
+    uses_im2col_buffer = True
+
+    def __init__(self, qmodel, masks=None):
+        if masks:
+            raise ValueError("X-CUBE-AI generates exact kernels; operand skipping is unsupported")
+        super().__init__(qmodel, masks=None)

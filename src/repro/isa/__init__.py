@@ -1,0 +1,43 @@
+"""Cortex-M33 instruction cost model and board profiles."""
+
+from repro.isa.profiles import (
+    STM32H743,
+    STM32U575,
+    BoardProfile,
+    get_board,
+    list_boards,
+)
+from repro.isa.cost_model import (
+    ExecutionStyle,
+    KernelCostParams,
+    KernelCostModel,
+    COST_PARAMS,
+    cycles_to_latency_ms,
+)
+from repro.isa.trace import (
+    FLASH_WAIT_PER_WORD,
+    OPCODE_CYCLES,
+    InstructionTrace,
+    effective_cycles_per_mac,
+    trace_model_cycles,
+    trace_unpacked_conv,
+)
+
+__all__ = [
+    "BoardProfile",
+    "STM32U575",
+    "STM32H743",
+    "get_board",
+    "list_boards",
+    "ExecutionStyle",
+    "KernelCostParams",
+    "KernelCostModel",
+    "COST_PARAMS",
+    "cycles_to_latency_ms",
+    "InstructionTrace",
+    "trace_unpacked_conv",
+    "trace_model_cycles",
+    "effective_cycles_per_mac",
+    "OPCODE_CYCLES",
+    "FLASH_WAIT_PER_WORD",
+]

@@ -1,0 +1,214 @@
+"""Kernel cycle-cost model for Cortex-M class cores.
+
+The model converts the architecture-independent operation counts recorded by
+the kernels (:class:`repro.kernels.cycle_counters.KernelStats`) into cycle
+estimates for a given *execution style*:
+
+* ``CMSIS_PACKED`` -- the stock CMSIS-NN dataflow: runtime im2col patch
+  extraction, ``arm_q7_to_q15`` operand conversion, SMLAD-paired MACs,
+  per-output requantization, per-layer runtime parameter handling.
+* ``XCUBE_AI``     -- a stand-in for the closed-source X-CUBE-AI code
+  generator; calibrated so its latency relative to CMSIS-NN matches Table II
+  of the paper (~0.77x for LeNet-class, ~0.84x for AlexNet-class models).
+* ``UTVM``         -- microTVM-style generated kernels, reported by the paper
+  to be ~13% slower than CMSIS-NN on a LeNet-class model.
+* ``UNPACKED``     -- the paper's layer-based code unpacking: weights are
+  hard-wired into the instruction stream (no weight loads, no q7->q15
+  conversion, no im2col), at the price of long straight-line code fetched
+  from flash with wait states; skipped MACs cost nothing.
+* ``CMIX_NN``      -- CMix-NN-style mixed-precision kernels (used only for
+  the qualitative comparison of Section III).
+
+The absolute constants are calibrated (see ``docs in DESIGN.md section 5``)
+so that the exact CMSIS-NN baselines land in the neighbourhood of Table I and
+the *relative* behaviour between engines follows the paper; they are not
+microarchitectural ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.kernels.cycle_counters import CycleCounter, KernelStats
+from repro.isa.profiles import BoardProfile
+
+
+class ExecutionStyle(str, Enum):
+    """How the kernels of an inference engine are generated/executed."""
+
+    CMSIS_PACKED = "cmsis_packed"
+    XCUBE_AI = "xcube_ai"
+    UTVM = "utvm"
+    UNPACKED = "unpacked"
+    CMIX_NN = "cmix_nn"
+    TFLITE_MICRO = "tflite_micro"
+
+
+@dataclass(frozen=True)
+class KernelCostParams:
+    """Per-operation cycle costs of one execution style.
+
+    Attributes
+    ----------
+    cycles_per_mac:
+        Cycles per performed MAC (includes amortised operand loads; SMLAD
+        performs two MACs per cycle but loads/packing dominate).
+    cycles_per_skipped_mac:
+        Cycles per *skipped* MAC (0 for code that simply omits the
+        instruction; >0 would model predication).
+    cycles_per_output:
+        Per produced output element: bias init, requantize, clamp, store.
+    cycles_per_patch_element:
+        Per element copied/converted while building the im2col patch buffer
+        (0 for unpacked code, which indexes the feature map directly).
+    cycles_per_input_element:
+        Per input element of data movement that is not captured by the patch
+        term (layer IO, DMA-style copies).
+    cycles_per_comparison:
+        Per comparison (pooling / standalone ReLU).
+    cycles_per_layer:
+        Fixed per-layer overhead (function call, runtime structure parameter
+        handling, loop set-up).
+    cycles_fixed:
+        Fixed per-inference overhead (graph dispatch, input/output handling).
+    """
+
+    cycles_per_mac: float
+    cycles_per_skipped_mac: float
+    cycles_per_output: float
+    cycles_per_patch_element: float
+    cycles_per_input_element: float
+    cycles_per_comparison: float
+    cycles_per_layer: float
+    cycles_fixed: float
+
+
+#: Calibrated cost parameters per execution style.
+COST_PARAMS: Dict[ExecutionStyle, KernelCostParams] = {
+    ExecutionStyle.CMSIS_PACKED: KernelCostParams(
+        cycles_per_mac=1.70,
+        cycles_per_skipped_mac=1.70,  # the packed kernel cannot skip operands
+        cycles_per_output=18.0,
+        cycles_per_patch_element=1.5,
+        cycles_per_input_element=0.5,
+        cycles_per_comparison=2.0,
+        cycles_per_layer=4000.0,
+        cycles_fixed=20000.0,
+    ),
+    ExecutionStyle.XCUBE_AI: KernelCostParams(
+        cycles_per_mac=1.42,
+        cycles_per_skipped_mac=1.42,
+        cycles_per_output=11.0,
+        cycles_per_patch_element=1.0,
+        cycles_per_input_element=0.4,
+        cycles_per_comparison=1.6,
+        cycles_per_layer=2500.0,
+        cycles_fixed=15000.0,
+    ),
+    ExecutionStyle.UTVM: KernelCostParams(
+        cycles_per_mac=1.95,
+        cycles_per_skipped_mac=1.95,
+        cycles_per_output=20.0,
+        cycles_per_patch_element=1.7,
+        cycles_per_input_element=0.6,
+        cycles_per_comparison=2.2,
+        cycles_per_layer=5000.0,
+        cycles_fixed=25000.0,
+    ),
+    ExecutionStyle.UNPACKED: KernelCostParams(
+        # Hard-wired weights remove the q7->q15 conversion and weight loads,
+        # but the straight-line code stream is fetched from flash (wait
+        # states) and SMLAD pairing is partially broken by skipped operands,
+        # so the per-retained-MAC cost is *higher* than the packed kernel's
+        # (this matches the paper's Table II, where unpacking alone is roughly
+        # latency-neutral and the gains come from skipping MACs).
+        cycles_per_mac=2.05,
+        cycles_per_skipped_mac=0.0,
+        cycles_per_output=12.0,
+        cycles_per_patch_element=0.0,
+        cycles_per_input_element=0.4,
+        cycles_per_comparison=2.0,
+        cycles_per_layer=1500.0,
+        cycles_fixed=12000.0,
+    ),
+    ExecutionStyle.CMIX_NN: KernelCostParams(
+        cycles_per_mac=3.60,
+        cycles_per_skipped_mac=3.60,
+        cycles_per_output=24.0,
+        cycles_per_patch_element=1.8,
+        cycles_per_input_element=0.6,
+        cycles_per_comparison=2.4,
+        cycles_per_layer=6000.0,
+        cycles_fixed=30000.0,
+    ),
+    ExecutionStyle.TFLITE_MICRO: KernelCostParams(
+        # Reference (non-CMSIS-optimised) TFLite-Micro kernels: scalar MACs,
+        # interpreter dispatch per op.  The CMSIS-NN paper reports ~5-11x
+        # speedups over these kernels depending on the model, which is the
+        # regime these constants place the stand-in engine in.
+        cycles_per_mac=9.0,
+        cycles_per_skipped_mac=9.0,
+        cycles_per_output=40.0,
+        cycles_per_patch_element=3.0,
+        cycles_per_input_element=1.0,
+        cycles_per_comparison=4.0,
+        cycles_per_layer=20000.0,
+        cycles_fixed=80000.0,
+    ),
+}
+
+
+def cycles_to_latency_ms(cycles: float, board: BoardProfile) -> float:
+    """Convert cycles to milliseconds on ``board``."""
+    return board.cycles_to_seconds(cycles) * 1e3
+
+
+@dataclass
+class LayerCycleEstimate:
+    """Cycle estimate of one layer/section."""
+
+    name: str
+    cycles: float
+    stats: KernelStats
+
+
+class KernelCostModel:
+    """Translate kernel operation counts into cycle and latency estimates."""
+
+    def __init__(self, style: ExecutionStyle, params: Optional[KernelCostParams] = None):
+        self.style = ExecutionStyle(style)
+        self.params = params or COST_PARAMS[self.style]
+
+    def layer_cycles(self, stats: KernelStats) -> float:
+        """Cycles of a single layer given its operation counts."""
+        p = self.params
+        return (
+            stats.macs * p.cycles_per_mac
+            + stats.macs_skipped * p.cycles_per_skipped_mac
+            + stats.output_elements * p.cycles_per_output
+            + stats.patch_elements * p.cycles_per_patch_element
+            + stats.input_elements * p.cycles_per_input_element
+            + stats.comparisons * p.cycles_per_comparison
+            + p.cycles_per_layer
+        )
+
+    def estimate(self, counter: CycleCounter) -> Tuple[float, Dict[str, LayerCycleEstimate]]:
+        """Total cycles and per-section estimates from a populated counter."""
+        per_layer: Dict[str, LayerCycleEstimate] = {}
+        total = self.params.cycles_fixed
+        for name, stats in counter.sections():
+            cycles = self.layer_cycles(stats)
+            per_layer[name] = LayerCycleEstimate(name=name, cycles=cycles, stats=stats)
+            total += cycles
+        return total, per_layer
+
+    def estimate_cycles(self, counter: CycleCounter) -> float:
+        """Total cycles only."""
+        total, _ = self.estimate(counter)
+        return total
+
+    def latency_ms(self, counter: CycleCounter, board: BoardProfile) -> float:
+        """End-to-end latency in milliseconds on ``board``."""
+        return cycles_to_latency_ms(self.estimate_cycles(counter), board)

@@ -1,0 +1,129 @@
+"""Microcontroller board profiles.
+
+The paper deploys on an STM32-Nucleo-U575ZI-Q (STM32U575ZIT6Q SoC): an ARM
+Cortex-M33 running at 160 MHz with 2 MB of flash and 768 KB of RAM.  The
+energy numbers in Table II are consistent with a constant active power of
+~33 mW at 160 MHz (e.g. 2.73 mJ / 82.8 ms), which is what the profile's
+``active_power_w`` encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class BoardProfile:
+    """Static description of a target microcontroller board.
+
+    Attributes
+    ----------
+    name:
+        Marketing/board name.
+    cpu:
+        Core name (informational).
+    clock_hz:
+        CPU clock frequency.
+    flash_bytes, ram_bytes:
+        Memory capacities.
+    active_power_w:
+        Average active power while running inference (used for energy).
+    flash_reserved_bytes:
+        Flash consumed by the runtime outside the model (vector table, HAL,
+        scheduler); subtracted from the budget available to kernels/weights.
+    ram_reserved_bytes:
+        RAM reserved for stack/heap/runtime.
+    """
+
+    name: str
+    cpu: str
+    clock_hz: float
+    flash_bytes: int
+    ram_bytes: int
+    active_power_w: float
+    flash_reserved_bytes: int = 32 * 1024
+    ram_reserved_bytes: int = 16 * 1024
+
+    @property
+    def clock_mhz(self) -> float:
+        """Clock frequency in MHz."""
+        return self.clock_hz / 1e6
+
+    @property
+    def flash_kb(self) -> float:
+        """Flash capacity in KiB."""
+        return self.flash_bytes / 1024.0
+
+    @property
+    def ram_kb(self) -> float:
+        """RAM capacity in KiB."""
+        return self.ram_bytes / 1024.0
+
+    @property
+    def available_flash_bytes(self) -> int:
+        """Flash available to the deployed model (capacity minus runtime)."""
+        return self.flash_bytes - self.flash_reserved_bytes
+
+    @property
+    def available_ram_bytes(self) -> int:
+        """RAM available to activations/buffers."""
+        return self.ram_bytes - self.ram_reserved_bytes
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds on this board."""
+        return float(cycles) / self.clock_hz
+
+    def energy_mj(self, latency_s: float) -> float:
+        """Energy (mJ) of running for ``latency_s`` seconds at active power."""
+        return float(latency_s) * self.active_power_w * 1e3
+
+
+#: The paper's evaluation board: STM32-Nucleo-U575ZI-Q, Cortex-M33 @ 160 MHz.
+STM32U575 = BoardProfile(
+    name="STM32U575ZIT6Q (Nucleo-U575ZI-Q)",
+    cpu="Cortex-M33",
+    clock_hz=160e6,
+    flash_bytes=2 * 1024 * 1024,
+    ram_bytes=768 * 1024,
+    active_power_w=0.033,
+)
+
+#: A larger Cortex-M7 board (used by the CMSIS-NN paper) for what-if studies.
+STM32H743 = BoardProfile(
+    name="STM32H743 (Nucleo-H743ZI)",
+    cpu="Cortex-M7",
+    clock_hz=400e6,
+    flash_bytes=2 * 1024 * 1024,
+    ram_bytes=1024 * 1024,
+    active_power_w=0.234,
+)
+
+#: A smaller Cortex-M4 class device for fit studies.
+STM32L4 = BoardProfile(
+    name="STM32L4R5 (generic Cortex-M4)",
+    cpu="Cortex-M4",
+    clock_hz=120e6,
+    flash_bytes=1 * 1024 * 1024,
+    ram_bytes=320 * 1024,
+    active_power_w=0.030,
+)
+
+_BOARDS: Dict[str, BoardProfile] = {
+    "stm32u575": STM32U575,
+    "stm32h743": STM32H743,
+    "stm32l4": STM32L4,
+}
+
+
+def list_boards() -> List[str]:
+    """Names of the registered board profiles."""
+    return sorted(_BOARDS)
+
+
+def get_board(name: str) -> BoardProfile:
+    """Look a board profile up by its registry key."""
+    try:
+        return _BOARDS[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown board {name!r}; available: {list_boards()}") from exc

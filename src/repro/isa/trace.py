@@ -1,0 +1,181 @@
+"""Instruction-level trace model of the unpacked kernels.
+
+The analytic cost model (:mod:`repro.isa.cost_model`) works from aggregate
+operation counts.  For the *unpacked* execution style the generated code is
+simple enough (straight-line MOVW/MOVT + LDR + SMLAD sequences per output
+channel, a requantize epilogue, a loop over spatial positions) that an
+explicit instruction trace can be constructed and costed against a per-opcode
+cycle table.  This serves two purposes:
+
+* it validates the unpacked-style constants of the aggregate cost model from
+  first principles (see ``tests/test_isa_trace.py``);
+* it provides per-layer flash (code bytes) and cycle estimates directly from
+  the instruction stream that :mod:`repro.core.codegen` emits, so the flash
+  model and the latency model are grounded in the same description.
+
+The table uses representative Cortex-M33 timings (single-issue, most ALU and
+MAC instructions are 1 cycle, loads 2 cycles, taken branches 2-3 cycles) plus
+a flash wait-state penalty per fetched 32-bit word beyond what the prefetch
+buffer hides.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+#: Cycle cost of each modelled opcode on a Cortex-M33-class core.
+OPCODE_CYCLES: Dict[str, float] = {
+    "MOVW": 1.0,   # materialise lower half of a hard-wired constant
+    "MOVT": 1.0,   # materialise upper half
+    "LDR": 2.0,    # load a 32-bit word (two packed int16 activations)
+    "LDRB": 2.0,   # load a single byte (odd trailing operand)
+    "SMLAD": 1.0,  # dual 16x16 MAC
+    "MLA": 2.0,    # single 32x32 MAC (odd trailing operand)
+    "ADD": 1.0,
+    "SSAT": 1.0,   # saturation
+    "SMMUL": 2.0,  # requantize high multiply
+    "ASR": 1.0,
+    "STRB": 2.0,   # store the int8 output
+    "B": 2.0,      # (taken) branch of the spatial loop
+    "CMP": 1.0,
+}
+
+#: Bytes of each opcode's Thumb-2 encoding (all modelled as 32-bit wide).
+OPCODE_BYTES: Dict[str, int] = {op: 4 for op in OPCODE_CYCLES}
+
+#: Additional stall cycles per 32-bit instruction fetched from flash that the
+#: prefetch buffer cannot hide (long straight-line code streams defeat it).
+FLASH_WAIT_PER_WORD: float = 0.15
+
+
+@dataclass
+class InstructionTrace:
+    """An instruction-count summary of one kernel's generated code.
+
+    Attributes
+    ----------
+    opcode_counts:
+        Instructions *per spatial position* (the inner code body).
+    spatial_positions:
+        Number of times the body executes (``out_h * out_w``).
+    code_bytes:
+        Flash footprint of the body (executed repeatedly, stored once).
+    """
+
+    name: str
+    opcode_counts: Counter
+    spatial_positions: int
+    code_bytes: int
+
+    @property
+    def instructions_per_position(self) -> int:
+        """Total instructions executed per spatial position."""
+        return int(sum(self.opcode_counts.values()))
+
+    def cycles_per_position(self, flash_wait_per_word: float = FLASH_WAIT_PER_WORD) -> float:
+        """Cycles of one execution of the body."""
+        base = sum(OPCODE_CYCLES[op] * count for op, count in self.opcode_counts.items())
+        return base + flash_wait_per_word * self.instructions_per_position
+
+    def total_cycles(self, flash_wait_per_word: float = FLASH_WAIT_PER_WORD) -> float:
+        """Cycles of the full layer (body times spatial positions)."""
+        return self.cycles_per_position(flash_wait_per_word) * self.spatial_positions
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view."""
+        return {
+            "name": self.name,
+            "opcode_counts": dict(self.opcode_counts),
+            "spatial_positions": self.spatial_positions,
+            "code_bytes": self.code_bytes,
+            "instructions_per_position": self.instructions_per_position,
+            "cycles_per_position": self.cycles_per_position(),
+            "total_cycles": self.total_cycles(),
+        }
+
+
+def trace_unpacked_conv(
+    weights: np.ndarray,
+    spatial_positions: int,
+    mask: Optional[np.ndarray] = None,
+    name: str = "conv",
+) -> InstructionTrace:
+    """Build the instruction trace of an unpacked (possibly approximate) convolution.
+
+    Parameters
+    ----------
+    weights:
+        int8 weight matrix ``(out_channels, K)`` (one row per output-channel
+        accumulation, exactly the unpacked representation).
+    spatial_positions:
+        ``out_h * out_w`` -- how many times the unpacked body runs.
+    mask:
+        Optional boolean retention mask of the same shape; skipped operands
+        emit no instructions at all.
+    name:
+        Section name carried into the trace.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ValueError("weights must be 2-D (out_channels, K)")
+    if spatial_positions <= 0:
+        raise ValueError("spatial_positions must be positive")
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != weights.shape:
+            raise ValueError("mask shape must match weights")
+    out_channels, k = weights.shape
+
+    counts: Counter = Counter()
+    for channel in range(out_channels):
+        retained = int(mask[channel].sum()) if mask is not None else k
+        pairs, odd = divmod(retained, 2)
+        # Per retained SMLAD pair: materialise the hard-wired constant
+        # (MOVW+MOVT), load the two activations (one LDR of a packed word),
+        # and issue the dual MAC.
+        counts["MOVW"] += pairs
+        counts["MOVT"] += pairs
+        counts["LDR"] += pairs
+        counts["SMLAD"] += pairs
+        # Odd trailing operand: byte load + single MAC with an immediate.
+        counts["LDRB"] += odd
+        counts["MLA"] += odd
+        # Per output channel: bias init, requantize (high multiply + shift +
+        # zero-point add), saturate, store.
+        counts["LDR"] += 1          # bias load
+        counts["SMMUL"] += 1
+        counts["ASR"] += 1
+        counts["ADD"] += 2
+        counts["SSAT"] += 1
+        counts["STRB"] += 1
+    # Spatial loop bookkeeping (pointer increments, compare, branch).
+    counts["ADD"] += 2
+    counts["CMP"] += 1
+    counts["B"] += 1
+
+    code_bytes = int(sum(OPCODE_BYTES[op] * count for op, count in counts.items()))
+    return InstructionTrace(
+        name=name,
+        opcode_counts=counts,
+        spatial_positions=int(spatial_positions),
+        code_bytes=code_bytes,
+    )
+
+
+def trace_model_cycles(
+    traces: Iterable[InstructionTrace],
+    flash_wait_per_word: float = FLASH_WAIT_PER_WORD,
+) -> float:
+    """Total cycles of a set of layer traces."""
+    return float(sum(trace.total_cycles(flash_wait_per_word) for trace in traces))
+
+
+def effective_cycles_per_mac(trace: InstructionTrace, retained_macs_per_position: int) -> float:
+    """Cycles per retained MAC implied by the trace (diagnostic/validation helper)."""
+    if retained_macs_per_position <= 0:
+        raise ValueError("retained_macs_per_position must be positive")
+    return trace.cycles_per_position() / retained_macs_per_position

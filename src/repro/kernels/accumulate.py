@@ -1,0 +1,42 @@
+"""Exact integer accumulation helpers.
+
+The quantized kernels accumulate ``int8 x int8`` products into int32.  Doing
+this with NumPy integer matmuls is slow (no BLAS path), so we use float
+matrix multiplication -- which is *exact* as long as every intermediate value
+fits in the floating-point mantissa.  ``float32`` holds integers up to 2**24
+exactly; ``float64`` up to 2**53.  The helper below picks the cheapest dtype
+that is provably exact for the given reduction depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Maximum absolute value of an int8 x int8 product.
+_MAX_PRODUCT = 127 * 128
+
+
+def exact_matmul_dtype(reduction_depth: int) -> np.dtype:
+    """Smallest float dtype whose mantissa can hold the worst-case accumulator.
+
+    Parameters
+    ----------
+    reduction_depth:
+        Number of products summed per output element (``K``).
+    """
+    worst_case = int(reduction_depth) * _MAX_PRODUCT
+    if worst_case < 2**24:
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def integer_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact integer matrix product computed through BLAS.
+
+    ``a`` and ``b`` are integer-valued arrays (any integer or float dtype);
+    the result is returned as int64.
+    """
+    k = a.shape[-1]
+    dtype = exact_matmul_dtype(k)
+    result = np.asarray(a, dtype=dtype) @ np.asarray(b, dtype=dtype)
+    return np.rint(result).astype(np.int64)

@@ -1,0 +1,65 @@
+"""int8 activation kernels (ReLU clamp and softmax)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.cycle_counters import CycleCounter, KernelStats
+
+
+def relu_s8(
+    x: np.ndarray,
+    zero_point: int,
+    counter: Optional[CycleCounter] = None,
+    section: str = "relu",
+) -> np.ndarray:
+    """int8 ReLU: clamp every value below the zero point to the zero point.
+
+    In deployed graphs the ReLU is normally *fused* into the preceding
+    conv/dense requantization clamp; the standalone kernel exists for graphs
+    where fusion is not possible and for unit testing the fusion equivalence.
+    """
+    x = np.asarray(x)
+    if x.dtype != np.int8:
+        raise TypeError("relu_s8 expects int8 input")
+    if not -128 <= zero_point <= 127:
+        raise ValueError("zero_point must be representable in int8")
+    out = np.maximum(x, np.int8(zero_point))
+    if counter is not None:
+        counter.record(
+            section,
+            KernelStats(comparisons=x.size, output_elements=x.size, input_elements=x.size),
+        )
+    return out
+
+
+def softmax_s8(
+    x: np.ndarray,
+    input_scale: float,
+    counter: Optional[CycleCounter] = None,
+    section: str = "softmax",
+) -> np.ndarray:
+    """int8 softmax producing int8 probabilities in [-128, 127].
+
+    Follows the structure of ``arm_softmax_s8``: subtract the row maximum,
+    exponentiate in the real domain implied by ``input_scale``, normalise and
+    map to the fixed output scale 1/256 with zero point -128 (so that
+    probability 1.0 maps to +127).
+    """
+    x = np.asarray(x)
+    if x.dtype != np.int8:
+        raise TypeError("softmax_s8 expects int8 input")
+    if input_scale <= 0:
+        raise ValueError("input_scale must be positive")
+    shifted = (x.astype(np.float64) - x.max(axis=-1, keepdims=True)) * float(input_scale)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=-1, keepdims=True)
+    out = np.clip(np.rint(probs * 256.0) - 128, -128, 127).astype(np.int8)
+    if counter is not None:
+        counter.record(
+            section,
+            KernelStats(output_elements=x.size, input_elements=x.size, macs=2 * x.size),
+        )
+    return out

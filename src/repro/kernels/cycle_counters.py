@@ -1,0 +1,124 @@
+"""Operation counters mirroring the paper's in-kernel cycle counters.
+
+The paper instruments the CMSIS-NN C kernels with cycle counters "to profile
+parts of the C code for individual operators".  In our simulator the kernels
+record *architecture-independent operation counts* (MACs, output elements,
+patch elements copied, comparisons...), and :mod:`repro.isa.cost_model`
+translates those counts into cycles for a given execution style.  Keeping the
+two separated means the same kernel run can be costed as packed CMSIS code,
+as X-CUBE-AI-style code, or as the paper's unpacked approximate code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass
+class KernelStats:
+    """Operation counts of one kernel invocation (per batch item).
+
+    Attributes
+    ----------
+    macs:
+        Multiply-accumulate operations actually performed.
+    macs_skipped:
+        MACs omitted by the approximation (0 for exact kernels).
+    output_elements:
+        Number of produced output values (requantize + store each).
+    patch_elements:
+        Elements copied/converted while building im2col patches (0 for the
+        unpacked execution style, which indexes the feature map directly).
+    input_elements:
+        Elements read from the input feature map.
+    comparisons:
+        Comparison operations (pooling, ReLU clamping).
+    bias_loads:
+        Bias initialisations (one per output channel per patch for conv).
+    """
+
+    macs: int = 0
+    macs_skipped: int = 0
+    output_elements: int = 0
+    patch_elements: int = 0
+    input_elements: int = 0
+    comparisons: int = 0
+    bias_loads: int = 0
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Element-wise sum of two stats records."""
+        return KernelStats(
+            macs=self.macs + other.macs,
+            macs_skipped=self.macs_skipped + other.macs_skipped,
+            output_elements=self.output_elements + other.output_elements,
+            patch_elements=self.patch_elements + other.patch_elements,
+            input_elements=self.input_elements + other.input_elements,
+            comparisons=self.comparisons + other.comparisons,
+            bias_loads=self.bias_loads + other.bias_loads,
+        )
+
+    @property
+    def total_mac_slots(self) -> int:
+        """Performed plus skipped MACs (the exact kernel's MAC count)."""
+        return self.macs + self.macs_skipped
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view."""
+        return {
+            "macs": self.macs,
+            "macs_skipped": self.macs_skipped,
+            "output_elements": self.output_elements,
+            "patch_elements": self.patch_elements,
+            "input_elements": self.input_elements,
+            "comparisons": self.comparisons,
+            "bias_loads": self.bias_loads,
+        }
+
+
+class CycleCounter:
+    """Accumulates :class:`KernelStats` per named section (usually per layer).
+
+    The counter is the software analogue of the paper's deactivatable cycle
+    counters: it can be attached to an engine run, inspected afterwards, and
+    costs nothing when absent.
+    """
+
+    def __init__(self) -> None:
+        self._sections: Dict[str, KernelStats] = {}
+        self._order: list[str] = []
+
+    def record(self, section: str, stats: KernelStats) -> None:
+        """Merge ``stats`` into ``section`` (creating it if needed)."""
+        if section in self._sections:
+            self._sections[section] = self._sections[section].merge(stats)
+        else:
+            self._sections[section] = stats
+            self._order.append(section)
+
+    def reset(self) -> None:
+        """Drop every recorded section."""
+        self._sections.clear()
+        self._order.clear()
+
+    def sections(self) -> Iterator[Tuple[str, KernelStats]]:
+        """Iterate sections in recording order."""
+        for name in self._order:
+            yield name, self._sections[name]
+
+    def get(self, section: str) -> Optional[KernelStats]:
+        """Stats of one section (``None`` if never recorded)."""
+        return self._sections.get(section)
+
+    def total(self) -> KernelStats:
+        """Aggregate stats over every section."""
+        total = KernelStats()
+        for stats in self._sections.values():
+            total = total.merge(stats)
+        return total
+
+    def __len__(self) -> int:
+        return len(self._sections)
+
+    def __contains__(self, section: str) -> bool:
+        return section in self._sections

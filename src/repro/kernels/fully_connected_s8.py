@@ -1,0 +1,89 @@
+"""int8 fully-connected kernel (analogue of ``arm_fully_connected_s8``)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.accumulate import integer_matmul
+from repro.kernels.cycle_counters import CycleCounter, KernelStats
+from repro.kernels.requantize import requantize_float
+
+
+def fully_connected_s8(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray],
+    input_zero_point: int,
+    output_zero_point: int,
+    output_multipliers: np.ndarray,
+    activation_min: int = -128,
+    activation_max: int = 127,
+    weight_mask: Optional[np.ndarray] = None,
+    counter: Optional[CycleCounter] = None,
+    section: str = "fc",
+) -> np.ndarray:
+    """Quantized fully-connected layer.
+
+    Parameters
+    ----------
+    x:
+        int8 input ``(N, in_features)``.
+    weights:
+        int8 weights ``(in_features, out_features)`` (symmetric per-channel
+        along the output axis).
+    bias:
+        Optional int32 bias ``(out_features,)``.
+    output_multipliers:
+        Real per-output-channel requantization multipliers.
+    weight_mask:
+        Optional boolean ``(out_features, in_features)`` retention mask (same
+        orientation as the conv kernel's mask: one row per output).
+    """
+    x = np.asarray(x)
+    weights = np.asarray(weights)
+    if x.dtype != np.int8 or weights.dtype != np.int8:
+        raise TypeError("fully_connected_s8 expects int8 activations and weights")
+    if x.ndim != 2:
+        raise ValueError(f"input must be 2-D, got shape {x.shape}")
+    in_features, out_features = weights.shape
+    if x.shape[1] != in_features:
+        raise ValueError(f"feature mismatch: input {x.shape[1]} vs weights {in_features}")
+
+    w_mat = weights.astype(np.int64)
+    if weight_mask is not None:
+        weight_mask = np.asarray(weight_mask, dtype=bool)
+        if weight_mask.shape != (out_features, in_features):
+            raise ValueError(
+                f"weight_mask shape {weight_mask.shape} must be ({out_features}, {in_features})"
+            )
+        w_mat = w_mat * weight_mask.T
+
+    acc = integer_matmul(x.astype(np.int64), w_mat)
+    offset_correction = int(input_zero_point) * w_mat.sum(axis=0)
+    acc = acc - offset_correction[None, :]
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.int64)
+        if bias.shape != (out_features,):
+            raise ValueError(f"bias must have shape ({out_features},), got {bias.shape}")
+        acc = acc + bias[None, :]
+
+    multipliers = np.broadcast_to(np.asarray(output_multipliers, dtype=np.float64), (out_features,))
+    out = requantize_float(acc, multipliers[None, :]) + int(output_zero_point)
+    out = np.clip(out, activation_min, activation_max).astype(np.int8)
+
+    if counter is not None:
+        n = x.shape[0]
+        retained = int(weight_mask.sum()) if weight_mask is not None else in_features * out_features
+        counter.record(
+            section,
+            KernelStats(
+                macs=n * retained,
+                macs_skipped=n * (in_features * out_features - retained),
+                output_elements=n * out_features,
+                input_elements=n * in_features,
+                bias_loads=n * out_features,
+            ),
+        )
+    return out

@@ -1,0 +1,36 @@
+"""int8 im2col with zero-point padding (the q7 analogue of ``arm_nn_mat_mult`` setup)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+def im2col_s8(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    input_zero_point: int,
+) -> np.ndarray:
+    """Extract int8 convolution patches, padding with the input zero point.
+
+    CMSIS-NN pads with ``-input_offset`` (the quantized representation of the
+    real value 0) so that padded positions contribute exactly zero after the
+    input offset is subtracted.
+
+    Returns an int32 array of shape ``(N, out_h, out_w, kh*kw*C)`` (widened so
+    that downstream accumulation never overflows int8 arithmetic).
+    """
+    x = np.asarray(x)
+    if x.dtype != np.int8:
+        raise TypeError(f"im2col_s8 expects int8 input, got {x.dtype}")
+    if not -128 <= input_zero_point <= 127:
+        raise ValueError("input_zero_point must be representable in int8")
+    cols = F.im2col(
+        x.astype(np.int32), kernel, stride, padding, pad_value=float(input_zero_point)
+    )
+    return cols.astype(np.int32)

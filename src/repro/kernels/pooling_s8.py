@@ -1,0 +1,72 @@
+"""int8 pooling kernels (analogues of ``arm_max_pool_s8`` / ``arm_avgpool_s8``)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.cycle_counters import CycleCounter, KernelStats
+from repro.nn import functional as F
+
+
+def max_pool_s8(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    counter: Optional[CycleCounter] = None,
+    section: str = "max_pool",
+) -> np.ndarray:
+    """int8 max pooling over NHWC input."""
+    x = np.asarray(x)
+    if x.dtype != np.int8:
+        raise TypeError("max_pool_s8 expects int8 input")
+    n, in_h, in_w, c = x.shape
+    kh, kw = kernel
+    out_h, out_w = F.conv_output_shape(in_h, in_w, kernel, stride, (0, 0))
+    cols = F.im2col(x.astype(np.int32), kernel, stride, (0, 0), pad_value=-128)
+    cols = cols.reshape(n, out_h, out_w, kh * kw, c)
+    out = cols.max(axis=3).astype(np.int8)
+
+    if counter is not None:
+        counter.record(
+            section,
+            KernelStats(
+                comparisons=n * out_h * out_w * c * (kh * kw - 1),
+                output_elements=n * out_h * out_w * c,
+                input_elements=n * in_h * in_w * c,
+            ),
+        )
+    return out
+
+
+def avg_pool_s8(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    counter: Optional[CycleCounter] = None,
+    section: str = "avg_pool",
+) -> np.ndarray:
+    """int8 average pooling (accumulate in int32, round to nearest)."""
+    x = np.asarray(x)
+    if x.dtype != np.int8:
+        raise TypeError("avg_pool_s8 expects int8 input")
+    n, in_h, in_w, c = x.shape
+    kh, kw = kernel
+    out_h, out_w = F.conv_output_shape(in_h, in_w, kernel, stride, (0, 0))
+    cols = F.im2col(x.astype(np.int32), kernel, stride, (0, 0), pad_value=0)
+    cols = cols.reshape(n, out_h, out_w, kh * kw, c)
+    summed = cols.sum(axis=3, dtype=np.int64)
+    out = np.clip(np.rint(summed / float(kh * kw)), -128, 127).astype(np.int8)
+
+    if counter is not None:
+        counter.record(
+            section,
+            KernelStats(
+                comparisons=0,
+                output_elements=n * out_h * out_w * c,
+                input_elements=n * in_h * in_w * c,
+                macs=n * out_h * out_w * c,  # the divide/scale per output
+            ),
+        )
+    return out

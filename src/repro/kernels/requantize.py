@@ -1,0 +1,121 @@
+"""Fixed-point requantization mirroring ``arm_nn_requantize``.
+
+CMSIS-NN converts int32 accumulators to the int8 output scale by multiplying
+with a *fixed-point multiplier* (a Q0.31 significand plus a power-of-two
+shift), i.e. ``out = round(acc * multiplier * 2**shift)``.  We provide
+
+* :func:`quantize_multiplier` -- decompose a real multiplier into the
+  (significand, shift) pair exactly like the reference implementation;
+* :func:`requantize` -- bit-faithful integer emulation (saturating doubling
+  high multiply + rounding divide by power of two);
+* :func:`requantize_float` -- a fast vectorised float path used by the
+  simulation engines (differs from the integer path by at most 1 LSB on
+  rounding ties; the unit tests quantify this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class FixedPointMultiplier:
+    """A real multiplier represented as Q0.31 significand and shift."""
+
+    multiplier: int
+    shift: int
+
+    @property
+    def real_value(self) -> float:
+        """The real multiplier this pair encodes."""
+        return float(self.multiplier) / (1 << 31) * (2.0**self.shift)
+
+
+def quantize_multiplier(real_multiplier: float) -> FixedPointMultiplier:
+    """Decompose ``real_multiplier`` into a Q0.31 significand and a shift.
+
+    The significand lies in ``[2^30, 2^31)`` (i.e. real value in [0.5, 1.0))
+    and the shift places the binary point, exactly as in the TFLite/CMSIS
+    reference ``QuantizeMultiplier``.
+    """
+    if real_multiplier < 0:
+        raise ValueError("real_multiplier must be non-negative")
+    if real_multiplier == 0.0:
+        return FixedPointMultiplier(multiplier=0, shift=0)
+    significand, shift = np.frexp(real_multiplier)
+    quantized = int(round(significand * (1 << 31)))
+    if quantized == (1 << 31):  # rounding overflowed: 1.0 * 2^31
+        quantized //= 2
+        shift += 1
+    return FixedPointMultiplier(multiplier=quantized, shift=int(shift))
+
+
+def saturate_int8(values: np.ndarray) -> np.ndarray:
+    """Clip to the int8 range and cast."""
+    return np.clip(values, -128, 127).astype(np.int8)
+
+
+def _saturating_rounding_doubling_high_mul(a: np.ndarray, b: int) -> np.ndarray:
+    """SaturatingRoundingDoublingHighMul from gemmlowp (vectorised, int64 math).
+
+    The reference divides ``(a*b + nudge)`` by ``2**31`` with C semantics,
+    i.e. truncation toward zero -- emulated as ``sign(s) * (|s| >> 31)``
+    because NumPy's ``>>`` floors for negative values.
+    """
+    a = a.astype(np.int64)
+    ab = a * int(b)
+    nudge = np.where(ab >= 0, (1 << 30), 1 - (1 << 30))
+    summed = ab + nudge
+    result = np.sign(summed) * (np.abs(summed) >> 31)
+    # Saturate the single overflow case (a == b == INT32_MIN).
+    overflow = (a == INT32_MIN) & (b == INT32_MIN)
+    return np.where(overflow, INT32_MAX, np.clip(result, INT32_MIN, INT32_MAX)).astype(np.int64)
+
+
+def _rounding_divide_by_pot(x: np.ndarray, exponent: int) -> np.ndarray:
+    """RoundingDivideByPOT: divide by 2**exponent with round-half-away-from-zero-ish
+    semantics used by the reference kernels."""
+    if exponent == 0:
+        return x
+    mask = (1 << exponent) - 1
+    remainder = x & mask
+    threshold = (mask >> 1) + np.where(x < 0, 1, 0)
+    return (x >> exponent) + np.where(remainder > threshold, 1, 0)
+
+
+def requantize(acc: np.ndarray, multiplier: int, shift: int) -> np.ndarray:
+    """Bit-faithful ``arm_nn_requantize``: scale int32 accumulators to the output domain.
+
+    Parameters
+    ----------
+    acc:
+        int32 accumulators (any shape).
+    multiplier:
+        Q0.31 significand from :func:`quantize_multiplier`.
+    shift:
+        Power-of-two exponent (positive = left shift before, negative = right
+        shift after the high multiply).
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    left_shift = max(shift, 0)
+    right_shift = max(-shift, 0)
+    shifted = acc * (1 << left_shift)
+    high = _saturating_rounding_doubling_high_mul(shifted, multiplier)
+    return _rounding_divide_by_pot(high, right_shift).astype(np.int64)
+
+
+def requantize_float(acc: np.ndarray, real_multiplier: np.ndarray) -> np.ndarray:
+    """Fast float-domain requantization: ``round(acc * real_multiplier)``.
+
+    ``real_multiplier`` may be per-channel (broadcast along the last axis).
+    Differs from :func:`requantize` only in rounding ties; this is the path
+    used by the inference engines, the integer path is kept for validation.
+    """
+    acc = np.asarray(acc, dtype=np.float64)
+    return np.rint(acc * real_multiplier).astype(np.int64)

@@ -1,0 +1,91 @@
+"""SMLAD operand packing utilities.
+
+The Cortex-M SMLAD instruction performs two signed 16x16-bit multiplications
+and accumulates both products into a 32-bit register in a single cycle.  The
+stock CMSIS-NN ``mat_mult`` kernel therefore first converts int8 operands to
+int16 pairs at runtime (``arm_q7_to_q15``).  The paper's unpacking step avoids
+that conversion by *hard-wiring* each pair of weights as a single 32-bit
+constant computed offline: two sign-extended int16 weights concatenated as
+``w_hi * 2**16 + w_lo`` -- e.g. ``w1=64, w2=20 -> 64*2**16 + 20 = 4194324``
+(the exact example given in Section II-B of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _to_uint16(value: int) -> int:
+    """Two's-complement 16-bit representation of a signed value."""
+    return int(value) & 0xFFFF
+
+
+def _from_uint16(value: int) -> int:
+    """Signed interpretation of a 16-bit two's-complement value."""
+    value = int(value) & 0xFFFF
+    return value - 0x10000 if value >= 0x8000 else value
+
+
+def pack_weight_pair(w_hi: int, w_lo: int) -> int:
+    """Concatenate two int8 weights (sign-extended to int16) into one 32-bit constant.
+
+    ``pack_weight_pair(64, 20) == 4194324`` reproduces the paper's example.
+    """
+    for w in (w_hi, w_lo):
+        if not -128 <= int(w) <= 127:
+            raise ValueError(f"weight {w} outside int8 range")
+    return (_to_uint16(int(w_hi)) << 16) | _to_uint16(int(w_lo))
+
+
+def unpack_weight_pair(packed: int) -> Tuple[int, int]:
+    """Inverse of :func:`pack_weight_pair`."""
+    packed = int(packed) & 0xFFFFFFFF
+    return _from_uint16(packed >> 16), _from_uint16(packed & 0xFFFF)
+
+
+def pack_weight_vector(weights: np.ndarray) -> np.ndarray:
+    """Pack a 1-D int8 weight vector into SMLAD constants (pairs of weights).
+
+    Odd-length vectors are padded with a zero weight, matching what the
+    generated unpacked code would do (a multiply by zero is a no-op).
+    """
+    weights = np.asarray(weights, dtype=np.int64).ravel()
+    if weights.size % 2 == 1:
+        weights = np.concatenate([weights, [0]])
+    hi = weights[0::2]
+    lo = weights[1::2]
+    return ((hi & 0xFFFF) << 16) | (lo & 0xFFFF)
+
+
+def smlad(packed_weights: int, packed_inputs: int, acc: int = 0) -> int:
+    """Emulate the SMLAD instruction on packed 16-bit pairs.
+
+    Both operands hold two signed 16-bit lanes; the result accumulates both
+    lane products into ``acc``.
+    """
+    w_hi, w_lo = unpack_weight_pair(packed_weights)
+    x_hi, x_lo = unpack_weight_pair(packed_inputs)
+    return int(acc) + w_hi * x_hi + w_lo * x_lo
+
+
+def smlad_dot(weights: np.ndarray, inputs: np.ndarray) -> int:
+    """Dot product computed through explicit SMLAD pair emulation.
+
+    Exists to validate (in tests) that the packed representation computes the
+    same accumulation as a plain integer dot product.
+    """
+    weights = np.asarray(weights, dtype=np.int64).ravel()
+    inputs = np.asarray(inputs, dtype=np.int64).ravel()
+    if weights.shape != inputs.shape:
+        raise ValueError("weights and inputs must have the same length")
+    if weights.size % 2 == 1:
+        weights = np.concatenate([weights, [0]])
+        inputs = np.concatenate([inputs, [0]])
+    acc = 0
+    for i in range(0, weights.size, 2):
+        pw = pack_weight_pair(int(weights[i]), int(weights[i + 1]))
+        px = pack_weight_pair(int(np.clip(inputs[i], -128, 127)), int(np.clip(inputs[i + 1], -128, 127)))
+        acc = smlad(pw, px, acc)
+    return acc

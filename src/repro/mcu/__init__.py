@@ -1,0 +1,15 @@
+"""MCU deployment simulator: memory budgeting, latency, energy, fit checks."""
+
+from repro.mcu.memory import FlashBudget, MemoryLayout, RamBudget
+from repro.mcu.energy import energy_mj
+from repro.mcu.deploy import DeploymentReport, DeploymentError, deploy
+
+__all__ = [
+    "MemoryLayout",
+    "FlashBudget",
+    "RamBudget",
+    "energy_mj",
+    "DeploymentReport",
+    "DeploymentError",
+    "deploy",
+]

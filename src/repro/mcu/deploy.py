@@ -1,0 +1,121 @@
+"""Deployment simulation: check fit, measure latency/energy/accuracy, produce a report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.isa.profiles import BoardProfile
+from repro.mcu.energy import energy_mj
+from repro.mcu.memory import MemoryLayout
+
+
+@runtime_checkable
+class InferenceEngineProtocol(Protocol):
+    """Duck-typed interface every inference engine in :mod:`repro.frameworks` satisfies."""
+
+    name: str
+
+    def latency_ms(self, board: BoardProfile) -> float:
+        """Estimated single-inference latency on ``board``."""
+
+    def memory_layout(self, board: BoardProfile) -> MemoryLayout:
+        """Flash/RAM budget of the deployment."""
+
+    def evaluate_accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy on a labelled evaluation set."""
+
+    def total_macs(self) -> int:
+        """MAC operations actually executed per inference."""
+
+
+class DeploymentError(RuntimeError):
+    """Raised when a model does not fit the target board."""
+
+
+@dataclass
+class DeploymentReport:
+    """All the metrics the paper reports per deployed design (Table II columns)."""
+
+    engine: str
+    model: str
+    board: str
+    top1_accuracy: float
+    latency_ms: float
+    flash_kb: float
+    ram_kb: float
+    mac_ops: int
+    energy_mj: float
+    fits: bool
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for JSON serialization."""
+        return {
+            "engine": self.engine,
+            "model": self.model,
+            "board": self.board,
+            "top1_accuracy": self.top1_accuracy,
+            "latency_ms": self.latency_ms,
+            "flash_kb": self.flash_kb,
+            "ram_kb": self.ram_kb,
+            "mac_ops": self.mac_ops,
+            "energy_mj": self.energy_mj,
+            "fits": self.fits,
+            "details": self.details,
+        }
+
+
+def deploy(
+    engine: InferenceEngineProtocol,
+    board: BoardProfile,
+    eval_images: Optional[np.ndarray] = None,
+    eval_labels: Optional[np.ndarray] = None,
+    model_name: Optional[str] = None,
+    strict: bool = False,
+) -> DeploymentReport:
+    """Simulate deploying ``engine`` on ``board`` and measure every Table-II metric.
+
+    Parameters
+    ----------
+    engine:
+        An inference engine (see :mod:`repro.frameworks`).
+    board:
+        Target board profile.
+    eval_images, eval_labels:
+        Optional labelled evaluation set; accuracy is reported as NaN when
+        omitted.
+    model_name:
+        Model name for the report (defaults to the engine's model name when
+        available).
+    strict:
+        Raise :class:`DeploymentError` when the model does not fit the board
+        (otherwise the report simply records ``fits=False``).
+    """
+    layout = engine.memory_layout(board)
+    fits = layout.fits(board)
+    if strict and not fits:
+        raise DeploymentError(
+            f"{engine.name} does not fit {board.name}: "
+            f"flash {layout.flash.total_kb:.0f} KiB / RAM {layout.ram.total_kb:.0f} KiB"
+        )
+    latency = engine.latency_ms(board)
+    if eval_images is not None and eval_labels is not None:
+        accuracy = engine.evaluate_accuracy(eval_images, eval_labels)
+    else:
+        accuracy = float("nan")
+    return DeploymentReport(
+        engine=engine.name,
+        model=model_name or getattr(engine, "model_name", "model"),
+        board=board.name,
+        top1_accuracy=accuracy,
+        latency_ms=latency,
+        flash_kb=layout.flash.total_kb,
+        ram_kb=layout.ram.total_kb,
+        mac_ops=engine.total_macs(),
+        energy_mj=energy_mj(latency, board),
+        fits=fits,
+        details={"memory": layout.as_dict()},
+    )

@@ -1,0 +1,20 @@
+"""Inference energy model.
+
+Table II's energy column is consistent with a constant active power draw
+(energy = latency x ~33 mW for every engine), so the energy model is simply
+``E = P_active * t`` on the given board profile.  A small per-inference
+static overhead term is exposed for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from repro.isa.profiles import BoardProfile
+
+
+def energy_mj(latency_ms: float, board: BoardProfile, static_overhead_mj: float = 0.0) -> float:
+    """Energy in millijoules for one inference of ``latency_ms`` on ``board``."""
+    if latency_ms < 0:
+        raise ValueError("latency_ms must be non-negative")
+    if static_overhead_mj < 0:
+        raise ValueError("static_overhead_mj must be non-negative")
+    return board.active_power_w * (latency_ms / 1e3) * 1e3 + static_overhead_mj

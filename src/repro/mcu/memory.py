@@ -1,0 +1,106 @@
+"""Flash and RAM budgeting for deployed models.
+
+Flash holds the model weights, the kernel code (stock library kernels or the
+paper's unpacked per-layer code) and runtime support; RAM holds the
+activation buffers (ping-pong double buffering as CMSIS-NN and TinyEngine
+use), the im2col scratch buffer and the runtime's working memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.profiles import BoardProfile
+
+
+@dataclass
+class FlashBudget:
+    """Per-category flash usage in bytes."""
+
+    weights: int = 0
+    kernel_code: int = 0
+    runtime: int = 0
+    unpacked_code: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total flash bytes."""
+        return int(self.weights + self.kernel_code + self.runtime + self.unpacked_code)
+
+    @property
+    def total_kb(self) -> float:
+        """Total flash in KiB."""
+        return self.total / 1024.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view."""
+        return {
+            "weights": int(self.weights),
+            "kernel_code": int(self.kernel_code),
+            "runtime": int(self.runtime),
+            "unpacked_code": int(self.unpacked_code),
+            "total": self.total,
+        }
+
+
+@dataclass
+class RamBudget:
+    """Per-category RAM usage in bytes."""
+
+    activations: int = 0
+    im2col_buffer: int = 0
+    runtime: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total RAM bytes."""
+        return int(self.activations + self.im2col_buffer + self.runtime)
+
+    @property
+    def total_kb(self) -> float:
+        """Total RAM in KiB."""
+        return self.total / 1024.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view."""
+        return {
+            "activations": int(self.activations),
+            "im2col_buffer": int(self.im2col_buffer),
+            "runtime": int(self.runtime),
+            "total": self.total,
+        }
+
+
+@dataclass
+class MemoryLayout:
+    """Combined flash + RAM budget of a deployment."""
+
+    flash: FlashBudget
+    ram: RamBudget
+
+    def fits(self, board: BoardProfile) -> bool:
+        """Whether both budgets fit the board (capacity minus reserved)."""
+        return (
+            self.flash.total <= board.available_flash_bytes
+            and self.ram.total <= board.available_ram_bytes
+        )
+
+    def flash_utilisation(self, board: BoardProfile) -> float:
+        """Fraction of the board's flash used (0-1)."""
+        return self.flash.total / board.flash_bytes
+
+    def ram_utilisation(self, board: BoardProfile) -> float:
+        """Fraction of the board's RAM used (0-1)."""
+        return self.ram.total / board.ram_bytes
+
+    def headroom(self, board: BoardProfile) -> Dict[str, int]:
+        """Remaining flash/RAM bytes (negative = over budget)."""
+        return {
+            "flash": board.available_flash_bytes - self.flash.total,
+            "ram": board.available_ram_bytes - self.ram.total,
+        }
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Plain-dict view."""
+        return {"flash": self.flash.as_dict(), "ram": self.ram.as_dict()}

@@ -1,0 +1,17 @@
+"""Model zoo matching the paper's Table-I topologies plus small test models."""
+
+from repro.models.lenet import build_lenet
+from repro.models.alexnet import build_alexnet
+from repro.models.tiny import build_tiny_cnn, build_tiny_mlp, build_micro_cnn
+from repro.models.registry import MODEL_REGISTRY, build_model, list_models
+
+__all__ = [
+    "build_lenet",
+    "build_alexnet",
+    "build_tiny_cnn",
+    "build_micro_cnn",
+    "build_tiny_mlp",
+    "build_model",
+    "list_models",
+    "MODEL_REGISTRY",
+]

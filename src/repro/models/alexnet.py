@@ -1,0 +1,96 @@
+"""AlexNet variant used by the paper (Table I: topology 5-2-2, ~16.1M MACs).
+
+The paper's "AlexNet" is a CIFAR-10-scaled AlexNet with 5 convolution layers,
+2 max-pooling layers and 2 fully-connected layers, totalling ~16.1M MAC
+operations per 32x32x3 input.  The configuration below reproduces that MAC
+budget:
+
+=====  ==================================  ============
+layer  configuration                       MACs
+=====  ==================================  ============
+conv1  3 -> 24, 5x5, pad 2 (32x32 out)     1,843,200
+pool1  2x2 max
+conv2  24 -> 48, 5x5, pad 2 (16x16 out)    7,372,800
+pool2  2x2 max
+conv3  48 -> 64, 3x3, pad 1 (8x8 out)      1,769,472
+conv4  64 -> 64, 3x3, pad 1 (8x8 out)      2,359,296
+conv5  64 -> 48, 3x3, pad 1 (8x8 out)      1,769,472
+fc1    3072 -> 256                         786,432
+fc2    256 -> 10                           2,560
+total                                      ~15.9 M
+=====  ==================================  ============
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.nn import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+def build_alexnet(
+    input_shape: Tuple[int, int, int] = (32, 32, 3),
+    n_classes: int = 10,
+    width_multiplier: float = 1.0,
+    dropout: float = 0.0,
+    rng: SeedLike = 0,
+) -> Sequential:
+    """Build the paper's AlexNet variant.
+
+    Parameters
+    ----------
+    input_shape:
+        Per-sample (H, W, C) input shape.
+    n_classes:
+        Output classes.
+    width_multiplier:
+        Scales every channel/feature width (useful for quick tests).
+    dropout:
+        Optional dropout rate before the classifier (training-time only; it is
+        dropped from the deployed quantized graph).
+    rng:
+        Seed for weight initialisation.
+    """
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    h, w, c = input_shape
+    rngs = spawn_rngs(rng, 10)
+
+    def scaled(width: int) -> int:
+        return max(1, int(round(width * width_multiplier)))
+
+    c1, c2, c3, c4, c5, f1 = (
+        scaled(24),
+        scaled(48),
+        scaled(64),
+        scaled(64),
+        scaled(48),
+        scaled(256),
+    )
+    pooled_h, pooled_w = h // 4, w // 4
+    flat = pooled_h * pooled_w * c5
+
+    layers = [
+        Conv2D(c, c1, kernel_size=5, padding=2, rng=rngs[0], name="conv1"),
+        ReLU(name="relu1"),
+        MaxPool2D(kernel_size=2, name="pool1"),
+        Conv2D(c1, c2, kernel_size=5, padding=2, rng=rngs[1], name="conv2"),
+        ReLU(name="relu2"),
+        MaxPool2D(kernel_size=2, name="pool2"),
+        Conv2D(c2, c3, kernel_size=3, padding=1, rng=rngs[2], name="conv3"),
+        ReLU(name="relu3"),
+        Conv2D(c3, c4, kernel_size=3, padding=1, rng=rngs[3], name="conv4"),
+        ReLU(name="relu4"),
+        Conv2D(c4, c5, kernel_size=3, padding=1, rng=rngs[4], name="conv5"),
+        ReLU(name="relu5"),
+        Flatten(name="flatten"),
+    ]
+    if dropout > 0:
+        layers.append(Dropout(rate=dropout, rng=rngs[5], name="dropout"))
+    layers += [
+        Dense(flat, f1, rng=rngs[6], name="fc1"),
+        ReLU(name="relu6"),
+        Dense(f1, n_classes, rng=rngs[7], name="fc2"),
+    ]
+    return Sequential(layers, input_shape=input_shape, name="alexnet")

@@ -1,0 +1,79 @@
+"""LeNet variant used by the paper (Table I: topology 3-2-2, ~4.5M MACs).
+
+The paper's LeNet is a CIFAR-10-sized LeNet with 3 convolution layers,
+2 max-pooling layers and 2 fully-connected layers, totalling ~4.5M MAC
+operations per 32x32x3 input.  The channel widths below reproduce that MAC
+budget:
+
+=====  ==================================  ============
+layer  configuration                       MACs
+=====  ==================================  ============
+conv1  3 -> 16, 5x5, pad 2 (32x32 out)     1,228,800
+pool1  2x2 max                             --
+conv2  16 -> 26, 5x5, pad 2 (16x16 out)    2,662,400
+pool2  2x2 max                             --
+conv3  26 -> 32, 3x3, pad 1 (8x8 out)      479,232
+fc1    2048 -> 72                          147,456
+fc2    72 -> 10                            720
+total                                      ~4.52 M
+=====  ==================================  ============
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+def build_lenet(
+    input_shape: Tuple[int, int, int] = (32, 32, 3),
+    n_classes: int = 10,
+    width_multiplier: float = 1.0,
+    rng: SeedLike = 0,
+) -> Sequential:
+    """Build the paper's LeNet variant.
+
+    Parameters
+    ----------
+    input_shape:
+        Per-sample (H, W, C) input shape; the paper uses (32, 32, 3).
+    n_classes:
+        Output classes (10 for CIFAR-10).
+    width_multiplier:
+        Scales every channel/feature width (useful for quick tests).
+    rng:
+        Seed for weight initialisation.
+    """
+    if width_multiplier <= 0:
+        raise ValueError("width_multiplier must be positive")
+    h, w, c = input_shape
+    rngs = spawn_rngs(rng, 8)
+
+    def scaled(width: int) -> int:
+        return max(1, int(round(width * width_multiplier)))
+
+    c1, c2, c3, f1 = scaled(16), scaled(26), scaled(32), scaled(72)
+    pooled_h, pooled_w = h // 4, w // 4
+    flat = pooled_h * pooled_w * c3
+
+    model = Sequential(
+        [
+            Conv2D(c, c1, kernel_size=5, padding=2, rng=rngs[0], name="conv1"),
+            ReLU(name="relu1"),
+            MaxPool2D(kernel_size=2, name="pool1"),
+            Conv2D(c1, c2, kernel_size=5, padding=2, rng=rngs[1], name="conv2"),
+            ReLU(name="relu2"),
+            MaxPool2D(kernel_size=2, name="pool2"),
+            Conv2D(c2, c3, kernel_size=3, padding=1, rng=rngs[2], name="conv3"),
+            ReLU(name="relu3"),
+            Flatten(name="flatten"),
+            Dense(flat, f1, rng=rngs[3], name="fc1"),
+            ReLU(name="relu4"),
+            Dense(f1, n_classes, rng=rngs[4], name="fc2"),
+        ],
+        input_shape=input_shape,
+        name="lenet",
+    )
+    return model

@@ -1,0 +1,50 @@
+"""Model registry: build models by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.alexnet import build_alexnet
+from repro.models.lenet import build_lenet
+from repro.models.tiny import build_micro_cnn, build_tiny_cnn, build_tiny_mlp
+from repro.nn.model import Sequential
+
+#: Mapping of model name -> builder callable.
+MODEL_REGISTRY: Dict[str, Callable[..., Sequential]] = {
+    "lenet": build_lenet,
+    "alexnet": build_alexnet,
+    "tiny_cnn": build_tiny_cnn,
+    "micro_cnn": build_micro_cnn,
+    "tiny_mlp": build_tiny_mlp,
+}
+
+
+def list_models() -> List[str]:
+    """Names of every registered model."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> Sequential:
+    """Build a registered model by name, forwarding ``kwargs`` to its builder."""
+    try:
+        builder = MODEL_REGISTRY[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown model {name!r}; available: {list_models()}") from exc
+    return builder(**kwargs)
+
+
+def register_model(name: str, builder: Callable[..., Sequential], overwrite: bool = False) -> None:
+    """Register a custom model builder.
+
+    Parameters
+    ----------
+    name:
+        Registry key.
+    builder:
+        Callable returning a :class:`Sequential`.
+    overwrite:
+        Allow replacing an existing entry.
+    """
+    if name in MODEL_REGISTRY and not overwrite:
+        raise ValueError(f"model {name!r} already registered (pass overwrite=True to replace)")
+    MODEL_REGISTRY[name] = builder

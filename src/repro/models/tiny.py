@@ -1,0 +1,75 @@
+"""Small models used by unit tests and quickstart examples."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+def build_tiny_cnn(
+    input_shape: Tuple[int, int, int] = (16, 16, 3),
+    n_classes: int = 10,
+    rng: SeedLike = 0,
+) -> Sequential:
+    """A two-conv CNN small enough for fast unit tests yet structurally
+    identical (conv -> relu -> pool -> conv -> relu -> flatten -> fc) to the
+    paper's models, so every pipeline stage exercises the same code paths."""
+    h, w, c = input_shape
+    rngs = spawn_rngs(rng, 4)
+    flat = (h // 2) * (w // 2) * 12
+    return Sequential(
+        [
+            Conv2D(c, 8, kernel_size=3, padding=1, rng=rngs[0], name="conv1"),
+            ReLU(name="relu1"),
+            MaxPool2D(kernel_size=2, name="pool1"),
+            Conv2D(8, 12, kernel_size=3, padding=1, rng=rngs[1], name="conv2"),
+            ReLU(name="relu2"),
+            Flatten(name="flatten"),
+            Dense(flat, n_classes, rng=rngs[2], name="fc1"),
+        ],
+        input_shape=input_shape,
+        name="tiny_cnn",
+    )
+
+
+def build_micro_cnn(
+    input_shape: Tuple[int, int, int] = (8, 8, 1),
+    n_classes: int = 4,
+    rng: SeedLike = 0,
+) -> Sequential:
+    """The smallest meaningful conv model; used by property-based tests."""
+    h, w, c = input_shape
+    rngs = spawn_rngs(rng, 3)
+    flat = (h // 2) * (w // 2) * 4
+    return Sequential(
+        [
+            Conv2D(c, 4, kernel_size=3, padding=1, rng=rngs[0], name="conv1"),
+            ReLU(name="relu1"),
+            MaxPool2D(kernel_size=2, name="pool1"),
+            Flatten(name="flatten"),
+            Dense(flat, n_classes, rng=rngs[1], name="fc1"),
+        ],
+        input_shape=input_shape,
+        name="micro_cnn",
+    )
+
+
+def build_tiny_mlp(
+    in_features: int = 16,
+    n_classes: int = 4,
+    hidden: int = 32,
+    rng: SeedLike = 0,
+) -> Sequential:
+    """A small MLP for optimizer/loss unit tests."""
+    rngs = spawn_rngs(rng, 2)
+    return Sequential(
+        [
+            Dense(in_features, hidden, rng=rngs[0], name="fc1"),
+            ReLU(name="relu1"),
+            Dense(hidden, n_classes, rng=rngs[1], name="fc2"),
+        ],
+        input_shape=(in_features,),
+        name="tiny_mlp",
+    )

@@ -1,0 +1,56 @@
+"""Float CNN substrate: layers, models, optimizers, losses, training loop.
+
+The stack operates on NHWC (batch, height, width, channels) ``float32`` arrays,
+matching the HWC data layout used by CMSIS-NN on microcontrollers, so that the
+downstream quantization (:mod:`repro.quant`) and kernel (:mod:`repro.kernels`)
+packages can consume trained weights without layout shuffles.
+"""
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.model import Sequential
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.trainer import Trainer, TrainingHistory
+from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
+from repro.nn.serialization import load_model, save_model
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainingHistory",
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "save_model",
+    "load_model",
+]

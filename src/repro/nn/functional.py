@@ -1,0 +1,285 @@
+"""Vectorised numerical primitives shared by the float and quantized stacks.
+
+All convolution-like operators are expressed through :func:`im2col` so the hot
+path is a single large matrix multiplication (BLAS) rather than Python loops,
+following the vectorisation guidance of the scientific-Python optimisation
+notes.  The same im2col layout is reused by the CMSIS-NN-style int8 kernels in
+:mod:`repro.kernels`, which is what makes the paper's "unpacked operand"
+bookkeeping identical between the float and quantized paths.
+
+Layout conventions
+------------------
+* Activations: ``(batch, height, width, channels)`` -- NHWC.
+* Convolution weights: ``(out_channels, kernel_h, kernel_w, in_channels)`` --
+  CMSIS-NN's OHWI order.
+* im2col patches: ``(batch, out_h, out_w, kernel_h * kernel_w * in_channels)``
+  with the last axis ordered ``(kh, kw, in_ch)`` -- i.e. the flattened
+  receptive field an MCU kernel walks over.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pair(value: int | Tuple[int, int]) -> Tuple[int, int]:
+    """Normalise a scalar-or-pair hyperparameter to a 2-tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_shape(
+    in_h: int, in_w: int, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+) -> Tuple[int, int]:
+    """Spatial output shape of a convolution/pool with the given geometry."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (in_h + 2 * ph - kh) // sh + 1
+    out_w = (in_w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: input {in_h}x{in_w}, kernel {kh}x{kw}, "
+            f"stride {sh}x{sw}, padding {ph}x{pw} -> output {out_h}x{out_w}"
+        )
+    return out_h, out_w
+
+
+def pad_nhwc(x: np.ndarray, padding: Tuple[int, int], value: float = 0.0) -> np.ndarray:
+    """Zero-pad (or constant-pad) the spatial dims of an NHWC tensor."""
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)), mode="constant", constant_values=value)
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+    pad_value: float = 0.0,
+) -> np.ndarray:
+    """Extract convolution patches as a matrix.
+
+    Parameters
+    ----------
+    x:
+        NHWC input of shape ``(N, H, W, C)``.
+    kernel, stride, padding:
+        Convolution geometry.
+    pad_value:
+        Constant used for padding (the quantized path pads with the input
+        zero-point rather than 0).
+
+    Returns
+    -------
+    ndarray
+        ``(N, out_h, out_w, kh * kw * C)`` patch matrix whose last axis is
+        ordered ``(kh, kw, c)``.
+    """
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"im2col expects NHWC input, got shape {x.shape}")
+    n, in_h, in_w, in_c = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h, out_w = conv_output_shape(in_h, in_w, kernel, stride, padding)
+    xp = pad_nhwc(x, padding, value=pad_value)
+
+    # Strided sliding-window view: (N, out_h, out_w, kh, kw, C) without copy.
+    s = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, out_h, out_w, kh, kw, in_c),
+        strides=(s[0], s[1] * sh, s[2] * sw, s[1], s[2], s[3]),
+        writeable=False,
+    )
+    return np.ascontiguousarray(windows.reshape(n, out_h, out_w, kh * kw * in_c))
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Scatter-add patch gradients back to an NHWC input gradient.
+
+    Inverse (adjoint) of :func:`im2col`; used by ``Conv2D`` backward.
+    """
+    n, in_h, in_w, in_c = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = conv_output_shape(in_h, in_w, kernel, stride, padding)
+    cols = cols.reshape(n, out_h, out_w, kh, kw, in_c)
+
+    padded = np.zeros((n, in_h + 2 * ph, in_w + 2 * pw, in_c), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, i:i_end:sh, j:j_end:sw, :] += cols[:, :, :, i, j, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, ph : ph + in_h, pw : pw + in_w, :]
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Float convolution via im2col.
+
+    Parameters
+    ----------
+    x:
+        NHWC input ``(N, H, W, Cin)``.
+    weights:
+        OHWI weights ``(Cout, kh, kw, Cin)``.
+    bias:
+        Optional ``(Cout,)`` bias.
+
+    Returns
+    -------
+    (output, cols):
+        ``output`` is ``(N, out_h, out_w, Cout)``; ``cols`` is the im2col
+        matrix (cached by the layer for the backward pass).
+    """
+    out_c, kh, kw, in_c = weights.shape
+    if x.shape[-1] != in_c:
+        raise ValueError(f"channel mismatch: input has {x.shape[-1]}, weights expect {in_c}")
+    cols = im2col(x, (kh, kw), stride, padding)
+    w_mat = weights.reshape(out_c, kh * kw * in_c)
+    out = cols @ w_mat.T
+    if bias is not None:
+        out = out + bias
+    return out, cols
+
+
+def conv2d_backward(
+    grad_out: np.ndarray,
+    cols: np.ndarray,
+    weights: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns ``(grad_input, grad_weights, grad_bias)``.
+    """
+    out_c, kh, kw, in_c = weights.shape
+    n, out_h, out_w, _ = grad_out.shape
+    g = grad_out.reshape(n * out_h * out_w, out_c)
+    cols_flat = cols.reshape(n * out_h * out_w, kh * kw * in_c)
+
+    grad_w = (g.T @ cols_flat).reshape(out_c, kh, kw, in_c)
+    grad_b = g.sum(axis=0)
+    grad_cols = g @ weights.reshape(out_c, kh * kw * in_c)
+    grad_x = col2im(
+        grad_cols.reshape(n, out_h, out_w, kh * kw * in_c), input_shape, (kh, kw), stride, padding
+    )
+    return grad_x, grad_w, grad_b
+
+
+def maxpool_forward(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Max pooling; returns output and argmax indices for the backward pass."""
+    n, in_h, in_w, c = x.shape
+    kh, kw = kernel
+    out_h, out_w = conv_output_shape(in_h, in_w, kernel, stride, (0, 0))
+    cols = im2col(x, kernel, stride, (0, 0)).reshape(n, out_h, out_w, kh * kw, c)
+    arg = cols.argmax(axis=3)
+    out = np.take_along_axis(cols, arg[:, :, :, None, :], axis=3).squeeze(axis=3)
+    return out, arg
+
+
+def maxpool_backward(
+    grad_out: np.ndarray,
+    argmax: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+) -> np.ndarray:
+    """Backward pass of max pooling (route gradient to argmax positions)."""
+    n, in_h, in_w, c = input_shape
+    kh, kw = kernel
+    out_h, out_w = grad_out.shape[1], grad_out.shape[2]
+    grad_cols = np.zeros((n, out_h, out_w, kh * kw, c), dtype=grad_out.dtype)
+    np.put_along_axis(grad_cols, argmax[:, :, :, None, :], grad_out[:, :, :, None, :], axis=3)
+    grad_cols = grad_cols.reshape(n, out_h, out_w, kh * kw * c)
+    # im2col last-axis order is (kh, kw, c): reshape above already matches it
+    # because argmax was computed on the same layout.
+    return col2im(grad_cols, input_shape, kernel, stride, (0, 0))
+
+
+def avgpool_forward(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> np.ndarray:
+    """Average pooling forward."""
+    n, in_h, in_w, c = x.shape
+    kh, kw = kernel
+    out_h, out_w = conv_output_shape(in_h, in_w, kernel, stride, (0, 0))
+    cols = im2col(x, kernel, stride, (0, 0)).reshape(n, out_h, out_w, kh * kw, c)
+    return cols.mean(axis=3)
+
+
+def avgpool_backward(
+    grad_out: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+) -> np.ndarray:
+    """Average pooling backward (spread gradient uniformly)."""
+    kh, kw = kernel
+    n, out_h, out_w, c = grad_out.shape
+    share = grad_out[:, :, :, None, :] / float(kh * kw)
+    grad_cols = np.broadcast_to(share, (n, out_h, out_w, kh * kw, c)).reshape(
+        n, out_h, out_w, kh * kw * c
+    )
+    return col2im(grad_cols, input_shape, kernel, stride, (0, 0))
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """One-hot encode integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= n_classes):
+        raise ValueError(f"labels out of range for {n_classes} classes")
+    out = np.zeros((labels.shape[0], n_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU given the forward input."""
+    return grad_out * (x > 0)

@@ -1,0 +1,75 @@
+"""Weight initialisation schemes for the float CNN stack."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for dense ((in, out)) and OHWI conv weights."""
+    if len(shape) == 2:
+        fan_in, fan_out = shape[0], shape[1]
+    elif len(shape) == 4:
+        out_c, kh, kw, in_c = shape
+        receptive = kh * kw
+        fan_in = in_c * receptive
+        fan_out = out_c * receptive
+    else:
+        size = int(np.prod(shape))
+        fan_in = fan_out = max(1, size)
+    return max(1, fan_in), max(1, fan_out)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def uniform(shape: Tuple[int, ...], low: float, high: float, rng: SeedLike = None) -> np.ndarray:
+    """Uniform initialisation in ``[low, high)``."""
+    return as_rng(rng).uniform(low, high, size=shape).astype(np.float32)
+
+
+def normal(shape: Tuple[int, ...], std: float, rng: SeedLike = None) -> np.ndarray:
+    """Zero-mean Gaussian initialisation."""
+    return (as_rng(rng).standard_normal(shape) * std).astype(np.float32)
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return uniform(shape, -limit, limit, rng)
+
+
+def he_normal(shape: Tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """He/Kaiming normal initialisation (suited to ReLU networks)."""
+    fan_in, _ = _fan_in_out(shape)
+    return normal(shape, float(np.sqrt(2.0 / fan_in)), rng)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: SeedLike = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation."""
+    fan_in, _ = _fan_in_out(shape)
+    limit = float(np.sqrt(6.0 / fan_in))
+    return uniform(shape, -limit, limit, rng)
+
+
+_INITIALIZERS = {
+    "zeros": lambda shape, rng=None: zeros(shape),
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "he_uniform": he_uniform,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown initializer {name!r}; choices: {sorted(_INITIALIZERS)}") from exc

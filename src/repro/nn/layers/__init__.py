@@ -1,0 +1,26 @@
+"""Layer implementations for the float CNN stack."""
+
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.pooling import AvgPool2D, MaxPool2D
+from repro.nn.layers.activations import ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.norm import BatchNorm
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Conv2D",
+    "Dense",
+    "MaxPool2D",
+    "AvgPool2D",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+]

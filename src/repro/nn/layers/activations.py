@@ -1,0 +1,108 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers.base import Layer
+
+
+class _Elementwise(Layer):
+    """Common machinery for stateless elementwise activations."""
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(input_shape)
+
+
+class ReLU(_Elementwise):
+    """Rectified linear unit."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if self.training:
+            self._cache = x
+        return F.relu(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (or layer in eval mode)")
+        x = self._cache
+        self._cache = None
+        return F.relu_grad(x, grad_out)
+
+
+class Sigmoid(_Elementwise):
+    """Logistic sigmoid."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        out = 1.0 / (1.0 + np.exp(-x))
+        if self.training:
+            self._cache = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (or layer in eval mode)")
+        out = self._cache
+        self._cache = None
+        return grad_out * out * (1.0 - out)
+
+
+class Tanh(_Elementwise):
+    """Hyperbolic tangent."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.tanh(np.asarray(x, dtype=np.float32))
+        if self.training:
+            self._cache = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (or layer in eval mode)")
+        out = self._cache
+        self._cache = None
+        return grad_out * (1.0 - out * out)
+
+
+class Softmax(_Elementwise):
+    """Softmax over the last axis.
+
+    Normally the loss fuses softmax with cross-entropy; this layer exists for
+    inference-time probability outputs and for parity with the deployed model
+    graph (CMSIS-NN ships an ``arm_softmax_s8`` kernel).
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = F.softmax(np.asarray(x, dtype=np.float32), axis=-1)
+        if self.training:
+            self._cache = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (or layer in eval mode)")
+        out = self._cache
+        self._cache = None
+        dot = (grad_out * out).sum(axis=-1, keepdims=True)
+        return out * (grad_out - dot)

@@ -1,0 +1,151 @@
+"""Base classes for layers and trainable parameters."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor together with its accumulated gradient.
+
+    Attributes
+    ----------
+    value:
+        The parameter values (``float32``).
+    grad:
+        Accumulated gradient of the most recent backward pass, or ``None``
+        before the first backward call.
+    name:
+        Human-readable name used in state dicts and reports.
+    trainable:
+        Optimizers skip parameters with ``trainable=False``.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "param", trainable: bool = True):
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self.trainable = trainable
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` to the accumulated gradient."""
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.value.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter {self.name} "
+                f"shape {self.value.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.shape}, trainable={self.trainable})"
+
+
+class Layer:
+    """Base class of every layer.
+
+    A layer implements ``forward`` and ``backward`` and exposes its trainable
+    :class:`Parameter` objects through :meth:`parameters`.  Layers are
+    stateful across a forward/backward pair (they cache whatever the backward
+    pass needs) but hold no optimizer state.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or self.__class__.__name__
+        self.training = True
+        self._params: Dict[str, Parameter] = {}
+
+    # -- parameter management -------------------------------------------------
+    def add_parameter(self, key: str, value: np.ndarray, trainable: bool = True) -> Parameter:
+        """Register a trainable parameter under ``key``."""
+        param = Parameter(value, name=f"{self.name}.{key}", trainable=trainable)
+        self._params[key] = param
+        return param
+
+    def parameters(self) -> List[Parameter]:
+        """All registered parameters of this layer."""
+        return list(self._params.values())
+
+    def named_parameters(self) -> Iterator[Tuple[str, Parameter]]:
+        """Iterate ``(key, parameter)`` pairs."""
+        return iter(self._params.items())
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of every parameter."""
+        for param in self._params.values():
+            param.zero_grad()
+
+    @property
+    def n_params(self) -> int:
+        """Total number of scalar parameters in the layer."""
+        return sum(p.size for p in self._params.values())
+
+    # -- training / evaluation mode -------------------------------------------
+    def train(self, mode: bool = True) -> "Layer":
+        """Switch between training and evaluation behaviour."""
+        self.training = mode
+        return self
+
+    def eval(self) -> "Layer":
+        """Shortcut for ``train(False)``."""
+        return self.train(False)
+
+    # -- computation -----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_out`` and return the gradient w.r.t. the input."""
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape of the output (excluding batch) given the input shape (excluding batch)."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- serialization ---------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Parameter values keyed by parameter key."""
+        return {key: param.value.copy() for key, param in self._params.items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        for key, param in self._params.items():
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} for layer {self.name}")
+            value = np.asarray(state[key], dtype=np.float32)
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {self.name}.{key}: "
+                    f"expected {param.value.shape}, got {value.shape}"
+                )
+            param.value = value.copy()
+
+    def config(self) -> Dict[str, object]:
+        """JSON-serialisable description of the layer's hyperparameters."""
+        return {"type": self.__class__.__name__, "name": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}(name={self.name!r}, params={self.n_params})"

@@ -1,0 +1,112 @@
+"""2-D convolution layer (NHWC activations, OHWI weights)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import get_initializer, zeros
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike
+
+
+class Conv2D(Layer):
+    """2-D convolution with the CMSIS-NN OHWI weight layout.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size, stride, padding:
+        Spatial geometry (scalar or ``(h, w)`` pair).
+    use_bias:
+        Add a per-output-channel bias.
+    weight_init:
+        Name of the initialiser (see :mod:`repro.nn.init`).
+    rng:
+        Seed or generator for the initialiser.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | Tuple[int, int],
+        stride: int | Tuple[int, int] = 1,
+        padding: int | Tuple[int, int] = 0,
+        use_bias: bool = True,
+        weight_init: str = "he_normal",
+        rng: SeedLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = F.pair(kernel_size)
+        self.stride = F.pair(stride)
+        self.padding = F.pair(padding)
+        self.use_bias = bool(use_bias)
+
+        kh, kw = self.kernel_size
+        init = get_initializer(weight_init)
+        self.weight = self.add_parameter(
+            "weight", init((out_channels, kh, kw, in_channels), rng=rng)
+        )
+        if self.use_bias:
+            self.bias = self.add_parameter("bias", zeros((out_channels,)))
+        else:
+            self.bias = None
+
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+
+    # ------------------------------------------------------------------ compute
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        bias = self.bias.value if self.bias is not None else None
+        out, cols = F.conv2d_forward(x, self.weight.value, bias, self.stride, self.padding)
+        if self.training:
+            self._cache = (cols, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (or layer in eval mode)")
+        cols, input_shape = self._cache
+        grad_x, grad_w, grad_b = F.conv2d_backward(
+            grad_out, cols, self.weight.value, input_shape, self.stride, self.padding
+        )
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_b)
+        self._cache = None
+        return grad_x
+
+    # ------------------------------------------------------------------ metadata
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        in_h, in_w, in_c = input_shape
+        if in_c != self.in_channels:
+            raise ValueError(f"{self.name}: expected {self.in_channels} input channels, got {in_c}")
+        out_h, out_w = F.conv_output_shape(in_h, in_w, self.kernel_size, self.stride, self.padding)
+        return (out_h, out_w, self.out_channels)
+
+    def macs(self, input_shape: Tuple[int, ...]) -> int:
+        """Multiply-accumulate count of this layer for one input sample."""
+        out_h, out_w, out_c = self.output_shape(input_shape)
+        kh, kw = self.kernel_size
+        return out_h * out_w * out_c * kh * kw * self.in_channels
+
+    def config(self):
+        cfg = super().config()
+        cfg.update(
+            in_channels=self.in_channels,
+            out_channels=self.out_channels,
+            kernel_size=list(self.kernel_size),
+            stride=list(self.stride),
+            padding=list(self.padding),
+            use_bias=self.use_bias,
+        )
+        return cfg

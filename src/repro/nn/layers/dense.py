@@ -1,0 +1,82 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.init import get_initializer, zeros
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x @ W + b`` with ``W`` of shape ``(in, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        weight_init: str = "glorot_uniform",
+        rng: SeedLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.use_bias = bool(use_bias)
+
+        init = get_initializer(weight_init)
+        self.weight = self.add_parameter("weight", init((in_features, out_features), rng=rng))
+        self.bias = self.add_parameter("bias", zeros((out_features,))) if use_bias else None
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 2:
+            raise ValueError(f"{self.name}: expected 2-D input (batch, features), got {x.shape}")
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, got {x.shape[1]}"
+            )
+        if self.training:
+            self._cache = x
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (or layer in eval mode)")
+        x = self._cache
+        self.weight.accumulate_grad(x.T @ grad_out)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_out.sum(axis=0))
+        self._cache = None
+        return grad_out @ self.weight.value.T
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        (in_features,) = input_shape
+        if in_features != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, got {in_features}"
+            )
+        return (self.out_features,)
+
+    def macs(self, input_shape: Tuple[int, ...]) -> int:
+        """Multiply-accumulate count for one input sample."""
+        return self.in_features * self.out_features
+
+    def config(self):
+        cfg = super().config()
+        cfg.update(
+            in_features=self.in_features,
+            out_features=self.out_features,
+            use_bias=self.use_bias,
+        )
+        return cfg

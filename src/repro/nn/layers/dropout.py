@@ -1,0 +1,50 @@
+"""Inverted dropout regularisation layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training mode, identity at inference.
+
+    Dropout never appears in the deployed quantized graph (it is a pure
+    training-time regulariser), so the quantization pass simply skips it.
+    """
+
+    def __init__(self, rate: float = 0.5, rng: SeedLike = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = as_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        mask = self._mask
+        self._mask = None
+        return grad_out * mask
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(input_shape)
+
+    def config(self):
+        cfg = super().config()
+        cfg.update(rate=self.rate)
+        return cfg

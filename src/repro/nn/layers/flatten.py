@@ -1,0 +1,35 @@
+"""Flatten layer bridging convolutional and dense stages."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions into one feature axis."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        shape = self._input_shape
+        self._input_shape = None
+        return grad_out.reshape(shape)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        flat = 1
+        for dim in input_shape:
+            flat *= int(dim)
+        return (flat,)

@@ -1,0 +1,107 @@
+"""Batch normalisation layer (per-channel, NHWC or flat inputs)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class BatchNorm(Layer):
+    """Batch normalisation over the channel (last) axis.
+
+    During training, statistics come from the current batch and running
+    estimates are updated with momentum; at inference the running estimates
+    are used.  At deployment time batch-norm is folded into the preceding
+    convolution (see :func:`repro.quant.folding.fold_batchnorm`), mirroring
+    what TFLite/CMSIS deployments do.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+
+        self.gamma = self.add_parameter("gamma", np.ones(num_features, dtype=np.float32))
+        self.beta = self.add_parameter("beta", np.zeros(num_features, dtype=np.float32))
+        # Running statistics are state, not trainable parameters.
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+        self._cache = None
+
+    def _reduce_axes(self, x: np.ndarray) -> Tuple[int, ...]:
+        return tuple(range(x.ndim - 1))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape[-1] != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected {self.num_features} channels, got {x.shape[-1]}"
+            )
+        axes = self._reduce_axes(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        out = self.gamma.value * x_hat + self.beta.value
+        if self.training:
+            self._cache = (x_hat, inv_std)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (or layer in eval mode)")
+        x_hat, inv_std = self._cache
+        self._cache = None
+        axes = self._reduce_axes(grad_out)
+        m = float(np.prod([grad_out.shape[a] for a in axes]))
+
+        self.gamma.accumulate_grad((grad_out * x_hat).sum(axis=axes))
+        self.beta.accumulate_grad(grad_out.sum(axis=axes))
+
+        g = grad_out * self.gamma.value
+        grad_x = (
+            inv_std
+            / m
+            * (m * g - g.sum(axis=axes) - x_hat * (g * x_hat).sum(axis=axes))
+        )
+        return grad_x.astype(np.float32)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(input_shape)
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["running_mean"] = self.running_mean.copy()
+        state["running_var"] = self.running_var.copy()
+        return state
+
+    def load_state_dict(self, state):
+        running_mean = state.pop("running_mean", None)
+        running_var = state.pop("running_var", None)
+        super().load_state_dict(state)
+        if running_mean is not None:
+            self.running_mean = np.asarray(running_mean, dtype=np.float32).copy()
+        if running_var is not None:
+            self.running_var = np.asarray(running_var, dtype=np.float32).copy()
+
+    def config(self):
+        cfg = super().config()
+        cfg.update(num_features=self.num_features, momentum=self.momentum, eps=self.eps)
+        return cfg

@@ -1,0 +1,87 @@
+"""Max and average pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers.base import Layer
+
+
+class MaxPool2D(Layer):
+    """2-D max pooling over NHWC inputs."""
+
+    def __init__(
+        self,
+        kernel_size: int | Tuple[int, int] = 2,
+        stride: int | Tuple[int, int] | None = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        self.kernel_size = F.pair(kernel_size)
+        self.stride = F.pair(stride) if stride is not None else self.kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        out, argmax = F.maxpool_forward(x, self.kernel_size, self.stride)
+        if self.training:
+            self._cache = (argmax, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (or layer in eval mode)")
+        argmax, input_shape = self._cache
+        self._cache = None
+        return F.maxpool_backward(grad_out, argmax, input_shape, self.kernel_size, self.stride)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        in_h, in_w, c = input_shape
+        out_h, out_w = F.conv_output_shape(in_h, in_w, self.kernel_size, self.stride, (0, 0))
+        return (out_h, out_w, c)
+
+    def config(self):
+        cfg = super().config()
+        cfg.update(kernel_size=list(self.kernel_size), stride=list(self.stride))
+        return cfg
+
+
+class AvgPool2D(Layer):
+    """2-D average pooling over NHWC inputs."""
+
+    def __init__(
+        self,
+        kernel_size: int | Tuple[int, int] = 2,
+        stride: int | Tuple[int, int] | None = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        self.kernel_size = F.pair(kernel_size)
+        self.stride = F.pair(stride) if stride is not None else self.kernel_size
+        self._input_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if self.training:
+            self._input_shape = x.shape
+        return F.avgpool_forward(x, self.kernel_size, self.stride)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward (or layer in eval mode)")
+        shape = self._input_shape
+        self._input_shape = None
+        return F.avgpool_backward(grad_out, shape, self.kernel_size, self.stride)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        in_h, in_w, c = input_shape
+        out_h, out_w = F.conv_output_shape(in_h, in_w, self.kernel_size, self.stride, (0, 0))
+        return (out_h, out_w, c)
+
+    def config(self):
+        cfg = super().config()
+        cfg.update(kernel_size=list(self.kernel_size), stride=list(self.stride))
+        return cfg

@@ -1,0 +1,88 @@
+"""Loss functions with fused gradients."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class Loss:
+    """Base class: ``forward`` returns the scalar loss, ``backward`` the logits gradient."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over integer class labels (fused softmax gradient).
+
+    Parameters
+    ----------
+    label_smoothing:
+        Optional label smoothing factor in ``[0, 1)``.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = float(label_smoothing)
+        self._cache: Tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float32)
+        targets = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (batch, classes), got {logits.shape}")
+        n, n_classes = logits.shape
+        if targets.shape[0] != n:
+            raise ValueError("batch size mismatch between logits and targets")
+
+        target_dist = F.one_hot(targets, n_classes)
+        if self.label_smoothing > 0:
+            target_dist = (
+                target_dist * (1.0 - self.label_smoothing) + self.label_smoothing / n_classes
+            )
+        log_probs = F.log_softmax(logits, axis=-1)
+        loss = float(-(target_dist * log_probs).sum(axis=-1).mean())
+        self._cache = (F.softmax(logits, axis=-1), target_dist)
+        return loss
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, target_dist = self._cache
+        self._cache = None
+        return (probs - target_dist) / probs.shape[0]
+
+
+class MSELoss(Loss):
+    """Mean squared error (used by regression-style unit tests)."""
+
+    def __init__(self):
+        self._cache: Tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float32)
+        targets = np.asarray(targets, dtype=np.float32)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        self._cache = (predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        predictions, targets = self._cache
+        self._cache = None
+        return 2.0 * (predictions - targets) / predictions.size

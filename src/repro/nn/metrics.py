@@ -1,0 +1,58 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy.
+
+    ``predictions`` may be logits/probabilities ``(N, classes)`` or already
+    class indices ``(N,)``.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predicted = predictions.argmax(axis=-1)
+    else:
+        predicted = predictions
+    if predicted.shape[0] != labels.shape[0]:
+        raise ValueError("prediction/label count mismatch")
+    if predicted.shape[0] == 0:
+        return 0.0
+    return float((predicted == labels).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy from logits/probabilities."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError("top_k_accuracy requires 2-D logits")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, logits.shape[1])
+    topk = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    hits = (topk == labels[:, None]).any(axis=1)
+    return float(hits.mean()) if hits.size else 0.0
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Confusion matrix with rows = true class, columns = predicted class."""
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=-1)
+    labels = np.asarray(labels)
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(predictions: np.ndarray, labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Per-class recall (diagonal of the row-normalised confusion matrix)."""
+    matrix = confusion_matrix(predictions, labels, n_classes)
+    totals = matrix.sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        recalls = np.where(totals > 0, np.diag(matrix) / np.maximum(totals, 1), 0.0)
+    return recalls.astype(np.float64)

@@ -1,0 +1,202 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+
+
+class Sequential:
+    """A plain feed-forward stack of layers.
+
+    The container is deliberately minimal: CNNs deployed on MCUs through
+    CMSIS-NN-style libraries are linear chains of kernels, and the paper's
+    approximation framework operates layer by layer on exactly such chains.
+
+    Parameters
+    ----------
+    layers:
+        The layers in execution order.
+    input_shape:
+        Per-sample input shape (H, W, C) or (features,).  Required for static
+        shape/MAC analysis and by the quantization and deployment passes.
+    name:
+        Model name used in reports.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        input_shape: Optional[Tuple[int, ...]] = None,
+        name: str = "model",
+    ):
+        self.layers: List[Layer] = list(layers)
+        self.input_shape = tuple(input_shape) if input_shape is not None else None
+        self.name = name
+        seen: Dict[str, int] = {}
+        for layer in self.layers:
+            # Ensure unique layer names so state dicts and reports are unambiguous.
+            if layer.name in seen:
+                seen[layer.name] += 1
+                layer.name = f"{layer.name}_{seen[layer.name]}"
+            else:
+                seen[layer.name] = 0
+
+    # ------------------------------------------------------------------ basics
+    def __iter__(self) -> Iterable[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer to the stack."""
+        self.layers.append(layer)
+        return self
+
+    # ------------------------------------------------------------------ modes
+    def train(self, mode: bool = True) -> "Sequential":
+        """Set training/evaluation mode on every layer."""
+        for layer in self.layers:
+            layer.train(mode)
+        return self
+
+    def eval(self) -> "Sequential":
+        """Switch every layer to evaluation mode."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ compute
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the full forward pass."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Run the full backward pass, returning the input gradient."""
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Batched inference in eval mode; returns raw model outputs."""
+        was_training = any(layer.training for layer in self.layers)
+        self.eval()
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size]))
+        if was_training:
+            self.train(True)
+        return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predicted class indices."""
+        return self.predict(x, batch_size=batch_size).argmax(axis=-1)
+
+    # ------------------------------------------------------------------ parameters
+    def parameters(self) -> List[Parameter]:
+        """All parameters of the model."""
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    @property
+    def n_params(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(layer.n_params for layer in self.layers)
+
+    # ------------------------------------------------------------------ shape / MAC analysis
+    def layer_shapes(self) -> List[Tuple[str, Tuple[int, ...], Tuple[int, ...]]]:
+        """Per-layer ``(name, input_shape, output_shape)`` (sample shapes, no batch)."""
+        if self.input_shape is None:
+            raise ValueError("input_shape must be set for static shape analysis")
+        shapes = []
+        shape = self.input_shape
+        for layer in self.layers:
+            out_shape = layer.output_shape(shape)
+            shapes.append((layer.name, tuple(shape), tuple(out_shape)))
+            shape = out_shape
+        return shapes
+
+    def layer_input_shapes(self) -> Dict[str, Tuple[int, ...]]:
+        """Mapping layer name -> per-sample input shape."""
+        return {name: in_shape for name, in_shape, _ in self.layer_shapes()}
+
+    def total_macs(self) -> int:
+        """Total MAC operations (conv + dense) for one input sample."""
+        total = 0
+        for (name, in_shape, _), layer in zip(self.layer_shapes(), self.layers):
+            if isinstance(layer, (Conv2D, Dense)):
+                total += layer.macs(in_shape)
+        return total
+
+    def conv_macs(self) -> int:
+        """MAC operations of the convolution layers only."""
+        total = 0
+        for (name, in_shape, _), layer in zip(self.layer_shapes(), self.layers):
+            if isinstance(layer, Conv2D):
+                total += layer.macs(in_shape)
+        return total
+
+    def topology(self) -> Dict[str, int]:
+        """Topology summary in the paper's Table-I format (conv/pool/fc counts)."""
+        from repro.nn.layers.pooling import AvgPool2D, MaxPool2D
+
+        counts = {"conv": 0, "pool": 0, "fc": 0}
+        for layer in self.layers:
+            if isinstance(layer, Conv2D):
+                counts["conv"] += 1
+            elif isinstance(layer, (MaxPool2D, AvgPool2D)):
+                counts["pool"] += 1
+            elif isinstance(layer, Dense):
+                counts["fc"] += 1
+        return counts
+
+    def summary(self) -> str:
+        """Human-readable per-layer summary table."""
+        lines = [f"Model: {self.name}", f"{'layer':<24}{'output shape':<20}{'params':>10}"]
+        lines.append("-" * 54)
+        if self.input_shape is not None:
+            for (name, _, out_shape), layer in zip(self.layer_shapes(), self.layers):
+                lines.append(f"{name:<24}{str(out_shape):<20}{layer.n_params:>10}")
+        else:
+            for layer in self.layers:
+                lines.append(f"{layer.name:<24}{'?':<20}{layer.n_params:>10}")
+        lines.append("-" * 54)
+        lines.append(f"total params: {self.n_params}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ serialization
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Nested parameter state keyed by layer name."""
+        return {layer.name: layer.state_dict() for layer in self.layers}
+
+    def load_state_dict(self, state: Dict[str, Dict[str, np.ndarray]]) -> None:
+        """Load a nested state dict produced by :meth:`state_dict`."""
+        for layer in self.layers:
+            if layer.state_dict() and layer.name not in state:
+                raise KeyError(f"missing state for layer {layer.name!r}")
+            if layer.name in state:
+                layer.load_state_dict(dict(state[layer.name]))
+
+    def config(self) -> Dict[str, object]:
+        """JSON-serialisable architecture description."""
+        return {
+            "name": self.name,
+            "input_shape": list(self.input_shape) if self.input_shape else None,
+            "layers": [layer.config() for layer in self.layers],
+        }

@@ -1,0 +1,118 @@
+"""Persistence of float models (architecture + weights) to disk.
+
+A trained model is stored as a pair of files:
+
+* ``<stem>.json`` -- the architecture description (:meth:`Sequential.config`);
+* ``<stem>.npz``  -- every parameter tensor, keyed ``<layer>/<param>``, plus
+  batch-norm running statistics.
+
+The loader rebuilds the layers from the architecture description and then
+restores the weights, so a model round-trips bit-exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.model import Sequential
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+
+PathLike = Union[str, Path]
+
+_LAYER_BUILDERS = {
+    "Conv2D": lambda cfg: Conv2D(
+        cfg["in_channels"],
+        cfg["out_channels"],
+        kernel_size=tuple(cfg["kernel_size"]),
+        stride=tuple(cfg["stride"]),
+        padding=tuple(cfg["padding"]),
+        use_bias=cfg.get("use_bias", True),
+        name=cfg["name"],
+    ),
+    "Dense": lambda cfg: Dense(
+        cfg["in_features"],
+        cfg["out_features"],
+        use_bias=cfg.get("use_bias", True),
+        name=cfg["name"],
+    ),
+    "MaxPool2D": lambda cfg: MaxPool2D(
+        kernel_size=tuple(cfg["kernel_size"]), stride=tuple(cfg["stride"]), name=cfg["name"]
+    ),
+    "AvgPool2D": lambda cfg: AvgPool2D(
+        kernel_size=tuple(cfg["kernel_size"]), stride=tuple(cfg["stride"]), name=cfg["name"]
+    ),
+    "ReLU": lambda cfg: ReLU(name=cfg["name"]),
+    "Sigmoid": lambda cfg: Sigmoid(name=cfg["name"]),
+    "Tanh": lambda cfg: Tanh(name=cfg["name"]),
+    "Softmax": lambda cfg: Softmax(name=cfg["name"]),
+    "Flatten": lambda cfg: Flatten(name=cfg["name"]),
+    "Dropout": lambda cfg: Dropout(rate=cfg.get("rate", 0.5), name=cfg["name"]),
+    "BatchNorm": lambda cfg: BatchNorm(
+        cfg["num_features"],
+        momentum=cfg.get("momentum", 0.9),
+        eps=cfg.get("eps", 1e-5),
+        name=cfg["name"],
+    ),
+}
+
+
+def _paths(stem: PathLike) -> tuple[Path, Path]:
+    stem = Path(stem)
+    if stem.suffix in {".json", ".npz"}:
+        stem = stem.with_suffix("")
+    return stem.with_suffix(".json"), stem.with_suffix(".npz")
+
+
+def save_model(model: Sequential, stem: PathLike) -> Path:
+    """Save ``model`` under ``<stem>.json`` + ``<stem>.npz``; returns the JSON path."""
+    json_path, npz_path = _paths(stem)
+    save_json(json_path, model.config())
+    arrays: Dict[str, np.ndarray] = {}
+    for layer in model.layers:
+        for key, value in layer.state_dict().items():
+            arrays[f"{layer.name}/{key}"] = value
+    if arrays:
+        save_npz(npz_path, arrays)
+    return json_path
+
+
+def load_model(stem: PathLike) -> Sequential:
+    """Load a model saved by :func:`save_model`."""
+    json_path, npz_path = _paths(stem)
+    config = load_json(json_path)
+
+    layers = []
+    for layer_cfg in config["layers"]:
+        layer_type = layer_cfg["type"]
+        if layer_type not in _LAYER_BUILDERS:
+            raise ValueError(f"cannot rebuild layer of type {layer_type!r}")
+        layers.append(_LAYER_BUILDERS[layer_type](layer_cfg))
+
+    input_shape = tuple(config["input_shape"]) if config.get("input_shape") else None
+    model = Sequential(layers, input_shape=input_shape, name=config.get("name", "model"))
+
+    if npz_path.exists():
+        arrays = load_npz(npz_path)
+        state: Dict[str, Dict[str, np.ndarray]] = {}
+        for key, value in arrays.items():
+            layer_name, param_key = key.split("/", 1)
+            state.setdefault(layer_name, {})[param_key] = value
+        model.load_state_dict(state)
+    model.eval()
+    return model

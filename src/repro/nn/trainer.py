@@ -1,0 +1,151 @@
+"""Mini-batch training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss, Loss
+from repro.nn.metrics import accuracy
+from repro.nn.model import Sequential
+from repro.nn.optim import LRScheduler, Optimizer
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, as_rng
+
+logger = get_logger("nn.trainer")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of recorded epochs."""
+        return len(self.train_loss)
+
+    def best_val_accuracy(self) -> float:
+        """Best validation accuracy seen (0.0 if no validation data)."""
+        return max(self.val_accuracy) if self.val_accuracy else 0.0
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Plain-dict view for JSON serialization."""
+        return {
+            "train_loss": list(self.train_loss),
+            "train_accuracy": list(self.train_accuracy),
+            "val_loss": list(self.val_loss),
+            "val_accuracy": list(self.val_accuracy),
+        }
+
+
+class Trainer:
+    """Mini-batch gradient-descent trainer for :class:`Sequential` models.
+
+    Parameters
+    ----------
+    model:
+        The model to train.
+    optimizer:
+        Optimizer managing the model's parameters.
+    loss:
+        Loss object (defaults to cross-entropy).
+    scheduler:
+        Optional per-epoch learning-rate scheduler.
+    rng:
+        Seed/generator controlling batch shuffling.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        optimizer: Optimizer,
+        loss: Optional[Loss] = None,
+        scheduler: Optional[LRScheduler] = None,
+        rng: SeedLike = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss or CrossEntropyLoss()
+        self.scheduler = scheduler
+        self.rng = as_rng(rng)
+        self.history = TrainingHistory()
+
+    def train_epoch(self, x: np.ndarray, y: np.ndarray, batch_size: int) -> Tuple[float, float]:
+        """Run one epoch; returns ``(mean_loss, accuracy)`` over the epoch."""
+        self.model.train(True)
+        n = x.shape[0]
+        order = self.rng.permutation(n)
+        losses: List[float] = []
+        correct = 0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            xb, yb = x[idx], y[idx]
+            self.optimizer.zero_grad()
+            logits = self.model.forward(xb)
+            loss_value = self.loss.forward(logits, yb)
+            grad = self.loss.backward()
+            self.model.backward(grad)
+            self.optimizer.step()
+            losses.append(loss_value * len(idx))
+            correct += int((logits.argmax(axis=-1) == yb).sum())
+        return float(np.sum(losses) / n), correct / n
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> Tuple[float, float]:
+        """Evaluate loss/accuracy on held-out data (eval mode)."""
+        self.model.eval()
+        n = x.shape[0]
+        losses: List[float] = []
+        logits_all: List[np.ndarray] = []
+        for start in range(0, n, batch_size):
+            xb, yb = x[start : start + batch_size], y[start : start + batch_size]
+            logits = self.model.forward(xb)
+            losses.append(self.loss.forward(logits, yb) * len(yb))
+            logits_all.append(logits)
+        logits = np.concatenate(logits_all, axis=0)
+        return float(np.sum(losses) / n), accuracy(logits, y)
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        epochs: int,
+        batch_size: int = 64,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        callback: Optional[Callable[[int, TrainingHistory], None]] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` epochs and return the accumulated history."""
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        for epoch in range(epochs):
+            train_loss, train_acc = self.train_epoch(x_train, y_train, batch_size)
+            self.history.train_loss.append(train_loss)
+            self.history.train_accuracy.append(train_acc)
+            if x_val is not None and y_val is not None:
+                val_loss, val_acc = self.evaluate(x_val, y_val, batch_size)
+                self.history.val_loss.append(val_loss)
+                self.history.val_accuracy.append(val_acc)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            if verbose:
+                msg = f"epoch {epoch + 1}/{epochs}: loss={train_loss:.4f} acc={train_acc:.3f}"
+                if self.history.val_accuracy:
+                    msg += (
+                        f" val_loss={self.history.val_loss[-1]:.4f}"
+                        f" val_acc={self.history.val_accuracy[-1]:.3f}"
+                    )
+                logger.warning(msg)
+            if callback is not None:
+                callback(epoch, self.history)
+        self.model.eval()
+        return self.history

@@ -1,0 +1,73 @@
+"""Graph folding utilities applied before quantization.
+
+Deployment toolchains fold training-only structure into the inference graph:
+batch-norm parameters are folded into the preceding convolution and dropout
+layers are removed.  The paper's framework additionally "offloads model
+structure parameter operations from runtime to compile time"; folding is the
+first step of that specialisation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.norm import BatchNorm
+from repro.nn.model import Sequential
+
+
+def fold_batchnorm(conv: Conv2D, bn: BatchNorm) -> Conv2D:
+    """Fold a BatchNorm layer into the preceding convolution.
+
+    Returns a *new* convolution whose weights/bias reproduce conv+BN exactly
+    at inference time: ``w' = w * gamma / sqrt(var + eps)``,
+    ``b' = (b - mean) * gamma / sqrt(var + eps) + beta``.
+    """
+    if conv.out_channels != bn.num_features:
+        raise ValueError("BatchNorm feature count does not match conv output channels")
+    gamma = bn.gamma.value
+    beta = bn.beta.value
+    mean = bn.running_mean
+    var = bn.running_var
+    scale = gamma / np.sqrt(var + bn.eps)
+
+    folded = Conv2D(
+        conv.in_channels,
+        conv.out_channels,
+        kernel_size=conv.kernel_size,
+        stride=conv.stride,
+        padding=conv.padding,
+        use_bias=True,
+        name=conv.name,
+    )
+    folded.weight.value = (conv.weight.value * scale[:, None, None, None]).astype(np.float32)
+    base_bias = conv.bias.value if conv.bias is not None else np.zeros(conv.out_channels, np.float32)
+    folded.bias.value = ((base_bias - mean) * scale + beta).astype(np.float32)
+    return folded
+
+
+def fold_model(model: Sequential) -> Sequential:
+    """Return an inference-ready copy of ``model``: BN folded, dropout removed."""
+    folded_layers: List[Layer] = []
+    i = 0
+    layers = list(model.layers)
+    while i < len(layers):
+        layer = layers[i]
+        if isinstance(layer, Dropout):
+            i += 1
+            continue
+        nxt = layers[i + 1] if i + 1 < len(layers) else None
+        if isinstance(layer, Conv2D) and isinstance(nxt, BatchNorm):
+            folded_layers.append(fold_batchnorm(layer, nxt))
+            i += 2
+            continue
+        folded_layers.append(layer)
+        i += 1
+    folded = Sequential(folded_layers, input_shape=model.input_shape, name=model.name)
+    folded.eval()
+    return folded

@@ -1,0 +1,89 @@
+"""Activation-range observers used during post-training calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.schemes import QuantizationParams, params_from_minmax
+
+
+class Observer:
+    """Base class: accumulate statistics over batches, then emit quant params."""
+
+    def observe(self, values: np.ndarray) -> None:
+        """Update the running statistics with a batch of activations."""
+        raise NotImplementedError
+
+    def compute_params(self) -> QuantizationParams:
+        """Produce quantization parameters from the accumulated statistics."""
+        raise NotImplementedError
+
+
+class MinMaxObserver(Observer):
+    """Track the global minimum and maximum activation value."""
+
+    def __init__(self) -> None:
+        self.min_value = np.inf
+        self.max_value = -np.inf
+        self.count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        self.min_value = min(self.min_value, float(values.min()))
+        self.max_value = max(self.max_value, float(values.max()))
+        self.count += values.size
+
+    def compute_params(self) -> QuantizationParams:
+        if self.count == 0:
+            raise RuntimeError("observer has seen no data")
+        return params_from_minmax(self.min_value, self.max_value)
+
+
+class PercentileObserver(Observer):
+    """Track a percentile-clipped range, which is more robust to outliers.
+
+    Keeps a reservoir sample of observed values (bounded memory) and computes
+    the ``(lower, upper)`` percentiles at the end.
+    """
+
+    def __init__(self, percentile: float = 99.9, reservoir_size: int = 100_000, seed: int = 0):
+        if not 50.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (50, 100]")
+        self.percentile = float(percentile)
+        self.reservoir_size = int(reservoir_size)
+        self._rng = np.random.default_rng(seed)
+        self._reservoir: np.ndarray | None = None
+        self.count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float32).ravel()
+        if values.size == 0:
+            return
+        self.count += values.size
+        if values.size > self.reservoir_size:
+            values = self._rng.choice(values, size=self.reservoir_size, replace=False)
+        if self._reservoir is None:
+            self._reservoir = values.copy()
+        else:
+            combined = np.concatenate([self._reservoir, values])
+            if combined.size > self.reservoir_size:
+                combined = self._rng.choice(combined, size=self.reservoir_size, replace=False)
+            self._reservoir = combined
+
+    def compute_params(self) -> QuantizationParams:
+        if self._reservoir is None or self.count == 0:
+            raise RuntimeError("observer has seen no data")
+        lower = float(np.percentile(self._reservoir, 100.0 - self.percentile))
+        upper = float(np.percentile(self._reservoir, self.percentile))
+        return params_from_minmax(lower, upper)
+
+
+def make_observer(kind: str, **kwargs) -> Observer:
+    """Factory: ``"minmax"`` or ``"percentile"``."""
+    if kind == "minmax":
+        return MinMaxObserver()
+    if kind == "percentile":
+        return PercentileObserver(**kwargs)
+    raise ValueError(f"unknown observer kind {kind!r}")

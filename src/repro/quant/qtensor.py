@@ -1,0 +1,41 @@
+"""Quantized tensor container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.schemes import QuantizationParams, dequantize, quantize
+
+
+@dataclass
+class QTensor:
+    """An int8 tensor together with its quantization parameters."""
+
+    values: np.ndarray
+    params: QuantizationParams
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+        if self.values.dtype != np.int8:
+            raise TypeError(f"QTensor values must be int8, got {self.values.dtype}")
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the underlying int8 array."""
+        return self.values.shape
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint in bytes."""
+        return int(self.values.nbytes)
+
+    def dequantize(self) -> np.ndarray:
+        """Real-valued view of the tensor."""
+        return dequantize(self.values, self.params)
+
+    @classmethod
+    def from_float(cls, values: np.ndarray, params: QuantizationParams) -> "QTensor":
+        """Quantize a float tensor."""
+        return cls(values=quantize(values, params), params=params)

@@ -1,0 +1,247 @@
+"""Post-training quantization: float :class:`Sequential` -> :class:`QuantizedModel`.
+
+The procedure mirrors the TFLite/CMSIS-NN int8 PTQ flow the paper relies on:
+
+1. fold training-only structure (batch-norm, dropout);
+2. run the calibration subset through the float model and observe the
+   activation range at every quantization boundary;
+3. quantize weights per-output-channel (symmetric) and biases to int32;
+4. fuse each ReLU into the preceding conv/dense as an output clamp;
+5. assemble the chain of :class:`~repro.quant.qlayers.QLayer` executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.activations import ReLU, Softmax
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.pooling import AvgPool2D, MaxPool2D
+from repro.nn.model import Sequential
+from repro.quant.folding import fold_model
+from repro.quant.observers import make_observer
+from repro.quant.qlayers import (
+    QAvgPool2D,
+    QConv2D,
+    QDense,
+    QFlatten,
+    QLayer,
+    QMaxPool2D,
+    QReLU,
+)
+from repro.quant.qmodel import QuantizedModel
+from repro.quant.schemes import (
+    QuantizationParams,
+    symmetric_params_from_absmax,
+)
+
+
+@dataclass
+class PTQConfig:
+    """Configuration of the post-training quantization pass.
+
+    Attributes
+    ----------
+    observer:
+        ``"minmax"`` or ``"percentile"`` activation-range observer.
+    percentile:
+        Clipping percentile when ``observer == "percentile"``.
+    fuse_relu:
+        Fuse ReLU layers into the preceding conv/dense clamp (what deployed
+        graphs do); disable only for debugging.
+    calibration_batch_size:
+        Batch size used while running calibration data through the float model.
+    """
+
+    observer: str = "minmax"
+    percentile: float = 99.9
+    fuse_relu: bool = True
+    calibration_batch_size: int = 64
+
+
+def _make_observer(config: PTQConfig):
+    if config.observer == "percentile":
+        return make_observer("percentile", percentile=config.percentile)
+    return make_observer(config.observer)
+
+
+def _quantize_conv_weights(layer: Conv2D) -> Tuple[np.ndarray, QuantizationParams]:
+    """Per-output-channel symmetric int8 weights for a convolution."""
+    w = layer.weight.value
+    abs_max = np.abs(w).reshape(w.shape[0], -1).max(axis=1)
+    params = symmetric_params_from_absmax(abs_max)
+    scale = params.scale[:, None, None, None]
+    q = np.clip(np.rint(w / scale), -127, 127).astype(np.int8)
+    return q, params
+
+
+def _quantize_dense_weights(layer: Dense) -> Tuple[np.ndarray, QuantizationParams]:
+    """Per-output-channel symmetric int8 weights for a dense layer."""
+    w = layer.weight.value  # (in, out)
+    abs_max = np.abs(w).max(axis=0)
+    params = symmetric_params_from_absmax(abs_max)
+    q = np.clip(np.rint(w / params.scale[None, :]), -127, 127).astype(np.int8)
+    return q, params
+
+
+def _quantize_bias(bias: Optional[np.ndarray], input_scale: float, weight_scale: np.ndarray) -> Optional[np.ndarray]:
+    """int32 bias with scale ``input_scale * weight_scale``."""
+    if bias is None:
+        return None
+    scale = input_scale * weight_scale
+    return np.rint(bias / scale).astype(np.int64)
+
+
+def quantize_model(
+    model: Sequential,
+    calibration_images: np.ndarray,
+    config: Optional[PTQConfig] = None,
+    name: Optional[str] = None,
+) -> QuantizedModel:
+    """Quantize a float model to int8 using a calibration set.
+
+    Parameters
+    ----------
+    model:
+        Trained float model with ``input_shape`` set.
+    calibration_images:
+        Float NHWC calibration inputs (a "small portion of the dataset" in the
+        paper's words).
+    config:
+        PTQ options.
+    name:
+        Name of the resulting quantized model (defaults to ``model.name``).
+    """
+    config = config or PTQConfig()
+    if model.input_shape is None:
+        raise ValueError("model.input_shape must be set before quantization")
+    calibration_images = np.asarray(calibration_images, dtype=np.float32)
+    if calibration_images.ndim != 4:
+        raise ValueError("calibration_images must be NHWC")
+    if calibration_images.shape[0] == 0:
+        raise ValueError("calibration set is empty")
+
+    folded = fold_model(model)
+    folded.eval()
+    layers = list(folded.layers)
+
+    # ---------------------------------------------------------------- plan
+    # Group float layers into deployable units: (conv|dense)[+relu], pool,
+    # flatten, standalone relu.  Softmax at the tail is dropped (argmax of the
+    # logits is unaffected, as in deployed classifiers).
+    plan: List[Tuple[str, List]] = []
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        nxt = layers[i + 1] if i + 1 < len(layers) else None
+        if isinstance(layer, (Conv2D, Dense)):
+            if config.fuse_relu and isinstance(nxt, ReLU):
+                plan.append(("mac_relu", [layer, nxt]))
+                i += 2
+            else:
+                plan.append(("mac", [layer]))
+                i += 1
+        elif isinstance(layer, MaxPool2D):
+            plan.append(("max_pool", [layer]))
+            i += 1
+        elif isinstance(layer, AvgPool2D):
+            plan.append(("avg_pool", [layer]))
+            i += 1
+        elif isinstance(layer, Flatten):
+            plan.append(("flatten", [layer]))
+            i += 1
+        elif isinstance(layer, ReLU):
+            plan.append(("relu", [layer]))
+            i += 1
+        elif isinstance(layer, Softmax):
+            if i != len(layers) - 1:
+                raise ValueError("Softmax is only supported as the final layer")
+            i += 1
+        elif isinstance(layer, Dropout):
+            i += 1
+        else:
+            raise TypeError(f"layer type {type(layer).__name__} is not supported by PTQ")
+
+    # ---------------------------------------------------------------- calibration
+    input_observer = _make_observer(config)
+    input_observer.observe(calibration_images)
+    input_params = input_observer.compute_params()
+
+    group_observers = [_make_observer(config) for _ in plan]
+    batch = config.calibration_batch_size
+    for start in range(0, calibration_images.shape[0], batch):
+        x = calibration_images[start : start + batch]
+        for observer, (kind, group) in zip(group_observers, plan):
+            for float_layer in group:
+                x = float_layer.forward(x)
+            observer.observe(x)
+
+    # ---------------------------------------------------------------- build q-layers
+    qlayers: List[QLayer] = []
+    current_params = input_params
+    for observer, (kind, group) in zip(group_observers, plan):
+        if kind in ("mac", "mac_relu"):
+            float_layer = group[0]
+            fused_relu = kind == "mac_relu"
+            output_params = observer.compute_params()
+            if isinstance(float_layer, Conv2D):
+                q_weights, weight_params = _quantize_conv_weights(float_layer)
+                bias = float_layer.bias.value if float_layer.bias is not None else None
+                q_bias = _quantize_bias(bias, current_params.scalar_scale(), weight_params.scale)
+                qlayers.append(
+                    QConv2D(
+                        name=float_layer.name,
+                        weights=q_weights,
+                        bias=q_bias,
+                        input_params=current_params,
+                        weight_params=weight_params,
+                        output_params=output_params,
+                        stride=float_layer.stride,
+                        padding=float_layer.padding,
+                        fused_relu=fused_relu,
+                    )
+                )
+            else:
+                q_weights, weight_params = _quantize_dense_weights(float_layer)
+                bias = float_layer.bias.value if float_layer.bias is not None else None
+                q_bias = _quantize_bias(bias, current_params.scalar_scale(), weight_params.scale)
+                qlayers.append(
+                    QDense(
+                        name=float_layer.name,
+                        weights=q_weights,
+                        bias=q_bias,
+                        input_params=current_params,
+                        weight_params=weight_params,
+                        output_params=output_params,
+                        fused_relu=fused_relu,
+                    )
+                )
+            current_params = output_params
+        elif kind == "max_pool":
+            pool = group[0]
+            qlayers.append(QMaxPool2D(pool.name, current_params, pool.kernel_size, pool.stride))
+        elif kind == "avg_pool":
+            pool = group[0]
+            qlayers.append(QAvgPool2D(pool.name, current_params, pool.kernel_size, pool.stride))
+        elif kind == "flatten":
+            qlayers.append(QFlatten(group[0].name, current_params))
+        elif kind == "relu":
+            qlayers.append(QReLU(group[0].name, current_params))
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown plan kind {kind}")
+
+    qmodel = QuantizedModel(
+        layers=qlayers,
+        input_params=input_params,
+        input_shape=model.input_shape,
+        n_classes=0,
+        name=name or model.name,
+    )
+    qmodel.n_classes = int(qmodel.layer_shapes()[-1][2][-1])
+    return qmodel

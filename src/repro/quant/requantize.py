@@ -1,0 +1,27 @@
+"""Re-export of the fixed-point requantization primitives.
+
+The implementation lives in :mod:`repro.kernels.requantize` (it is kernel-level
+machinery mirroring ``arm_nn_requantize``); this module keeps the historical
+``repro.quant.requantize`` import path working and groups it with the rest of
+the quantization API.
+"""
+
+from repro.kernels.requantize import (
+    INT32_MAX,
+    INT32_MIN,
+    FixedPointMultiplier,
+    quantize_multiplier,
+    requantize,
+    requantize_float,
+    saturate_int8,
+)
+
+__all__ = [
+    "INT32_MIN",
+    "INT32_MAX",
+    "FixedPointMultiplier",
+    "quantize_multiplier",
+    "requantize",
+    "requantize_float",
+    "saturate_int8",
+]

@@ -1,0 +1,113 @@
+"""Quantization parameter containers and (de)quantization primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+INT8_MIN = -128
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantizationParams:
+    """Affine quantization parameters ``real = scale * (q - zero_point)``.
+
+    ``scale`` and ``zero_point`` may be scalars (per-tensor) or 1-D arrays
+    (per-channel along the last axis of the associated tensor).
+    """
+
+    scale: np.ndarray
+    zero_point: np.ndarray
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        scale = np.atleast_1d(np.asarray(self.scale, dtype=np.float64))
+        zero_point = np.atleast_1d(np.asarray(self.zero_point, dtype=np.int64))
+        if np.any(scale <= 0):
+            raise ValueError("quantization scale must be strictly positive")
+        if self.bits != 8:
+            raise ValueError("only 8-bit quantization is supported")
+        if scale.shape != zero_point.shape and zero_point.size != 1 and scale.size != 1:
+            raise ValueError("scale and zero_point must be broadcastable")
+        object.__setattr__(self, "scale", scale)
+        object.__setattr__(self, "zero_point", zero_point)
+
+    @property
+    def is_per_channel(self) -> bool:
+        """True when the parameters carry one entry per channel."""
+        return self.scale.size > 1
+
+    @property
+    def qmin(self) -> int:
+        """Smallest representable quantized value."""
+        return INT8_MIN
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable quantized value."""
+        return INT8_MAX
+
+    def scalar_scale(self) -> float:
+        """Scale as a Python float (per-tensor parameters only)."""
+        if self.is_per_channel:
+            raise ValueError("per-channel parameters have no scalar scale")
+        return float(self.scale[0])
+
+    def scalar_zero_point(self) -> int:
+        """Zero point as a Python int (per-tensor parameters only)."""
+        if self.zero_point.size > 1:
+            raise ValueError("per-channel parameters have no scalar zero point")
+        return int(self.zero_point[0])
+
+
+def quantize(values: np.ndarray, params: QuantizationParams) -> np.ndarray:
+    """Quantize real values to int8 using ``params`` (round-to-nearest, saturating)."""
+    values = np.asarray(values, dtype=np.float64)
+    q = np.rint(values / params.scale + params.zero_point)
+    return np.clip(q, INT8_MIN, INT8_MAX).astype(np.int8)
+
+
+def dequantize(q: np.ndarray, params: QuantizationParams) -> np.ndarray:
+    """Map int8 values back to real values."""
+    q = np.asarray(q, dtype=np.float64)
+    return ((q - params.zero_point) * params.scale).astype(np.float32)
+
+
+def params_from_minmax(
+    min_value: float, max_value: float, bits: int = 8
+) -> QuantizationParams:
+    """Asymmetric per-tensor parameters covering ``[min_value, max_value]``.
+
+    The range is expanded to include zero (required so that zero padding is
+    exactly representable, as TFLite/CMSIS do).
+    """
+    min_value = float(min(min_value, 0.0))
+    max_value = float(max(max_value, 0.0))
+    if max_value == min_value:
+        max_value = min_value + 1e-8
+    span = max_value - min_value
+    scale = span / float(INT8_MAX - INT8_MIN)
+    zero_point = int(np.clip(np.rint(INT8_MIN - min_value / scale), INT8_MIN, INT8_MAX))
+    return QuantizationParams(scale=np.array([scale]), zero_point=np.array([zero_point]), bits=bits)
+
+
+def symmetric_params_from_absmax(abs_max: np.ndarray, bits: int = 8) -> QuantizationParams:
+    """Symmetric (zero-point 0) parameters from per-channel absolute maxima.
+
+    Used for weights: CMSIS-NN requires symmetric per-channel weight
+    quantization so that the SMLAD accumulation needs no weight offset.
+    """
+    abs_max = np.atleast_1d(np.asarray(abs_max, dtype=np.float64))
+    abs_max = np.where(abs_max <= 0, 1e-8, abs_max)
+    scale = abs_max / float(INT8_MAX)
+    zero_point = np.zeros_like(scale, dtype=np.int64)
+    return QuantizationParams(scale=scale, zero_point=zero_point, bits=bits)
+
+
+def quantization_error(values: np.ndarray, params: QuantizationParams) -> float:
+    """Mean absolute round-trip error of quantizing ``values``."""
+    round_trip = dequantize(quantize(values, params), params)
+    return float(np.mean(np.abs(np.asarray(values, dtype=np.float32) - round_trip)))

@@ -1,0 +1,142 @@
+"""Persistence of quantized models (the deployable int8 artefact).
+
+The on-disk format mirrors what a flatbuffer-style deployment container
+holds: per-layer type + hyperparameters + quantization parameters in a JSON
+manifest (``<stem>.json``) and the int8 weights / int32 biases in an NPZ
+archive (``<stem>.npz``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.quant.qlayers import (
+    QAvgPool2D,
+    QConv2D,
+    QDense,
+    QFlatten,
+    QLayer,
+    QMaxPool2D,
+    QReLU,
+)
+from repro.quant.qmodel import QuantizedModel
+from repro.quant.schemes import QuantizationParams
+from repro.utils.serialization import load_json, load_npz, save_json, save_npz
+
+PathLike = Union[str, Path]
+
+
+def _params_to_dict(params: QuantizationParams) -> Dict[str, object]:
+    return {"scale": params.scale.tolist(), "zero_point": params.zero_point.tolist()}
+
+
+def _params_from_dict(payload: Dict[str, object]) -> QuantizationParams:
+    return QuantizationParams(
+        scale=np.asarray(payload["scale"], dtype=np.float64),
+        zero_point=np.asarray(payload["zero_point"], dtype=np.int64),
+    )
+
+
+def _paths(stem: PathLike) -> tuple[Path, Path]:
+    stem = Path(stem)
+    if stem.suffix in {".json", ".npz"}:
+        stem = stem.with_suffix("")
+    return stem.with_suffix(".json"), stem.with_suffix(".npz")
+
+
+def save_quantized_model(qmodel: QuantizedModel, stem: PathLike) -> Path:
+    """Save a quantized model under ``<stem>.json`` + ``<stem>.npz``."""
+    json_path, npz_path = _paths(stem)
+    manifest: Dict[str, object] = {
+        "name": qmodel.name,
+        "input_shape": list(qmodel.input_shape),
+        "n_classes": qmodel.n_classes,
+        "input_params": _params_to_dict(qmodel.input_params),
+        "layers": [],
+    }
+    arrays: Dict[str, np.ndarray] = {}
+    layers: List[Dict[str, object]] = manifest["layers"]  # type: ignore[assignment]
+
+    for layer in qmodel.layers:
+        entry: Dict[str, object] = {"type": layer.__class__.__name__, "name": layer.name}
+        entry["input_params"] = _params_to_dict(layer.input_params)
+        entry["output_params"] = _params_to_dict(layer.output_params)
+        if isinstance(layer, (QConv2D, QDense)):
+            entry["weight_params"] = _params_to_dict(layer.weight_params)
+            entry["fused_relu"] = layer.fused_relu
+            arrays[f"{layer.name}/weights"] = layer.weights
+            if layer.bias is not None:
+                arrays[f"{layer.name}/bias"] = layer.bias
+            if isinstance(layer, QConv2D):
+                entry["stride"] = list(layer.stride)
+                entry["padding"] = list(layer.padding)
+        elif isinstance(layer, (QMaxPool2D, QAvgPool2D)):
+            entry["kernel"] = list(layer.kernel)
+            entry["stride"] = list(layer.stride)
+        layers.append(entry)
+
+    save_json(json_path, manifest)
+    if arrays:
+        save_npz(npz_path, arrays)
+    return json_path
+
+
+def load_quantized_model(stem: PathLike) -> QuantizedModel:
+    """Load a quantized model saved by :func:`save_quantized_model`."""
+    json_path, npz_path = _paths(stem)
+    manifest = load_json(json_path)
+    arrays = load_npz(npz_path) if npz_path.exists() else {}
+
+    layers: List[QLayer] = []
+    for entry in manifest["layers"]:
+        kind = entry["type"]
+        name = entry["name"]
+        input_params = _params_from_dict(entry["input_params"])
+        output_params = _params_from_dict(entry["output_params"])
+        if kind == "QConv2D":
+            layers.append(
+                QConv2D(
+                    name=name,
+                    weights=arrays[f"{name}/weights"].astype(np.int8),
+                    bias=arrays.get(f"{name}/bias"),
+                    input_params=input_params,
+                    weight_params=_params_from_dict(entry["weight_params"]),
+                    output_params=output_params,
+                    stride=tuple(entry["stride"]),
+                    padding=tuple(entry["padding"]),
+                    fused_relu=bool(entry["fused_relu"]),
+                )
+            )
+        elif kind == "QDense":
+            layers.append(
+                QDense(
+                    name=name,
+                    weights=arrays[f"{name}/weights"].astype(np.int8),
+                    bias=arrays.get(f"{name}/bias"),
+                    input_params=input_params,
+                    weight_params=_params_from_dict(entry["weight_params"]),
+                    output_params=output_params,
+                    fused_relu=bool(entry["fused_relu"]),
+                )
+            )
+        elif kind == "QMaxPool2D":
+            layers.append(QMaxPool2D(name, input_params, tuple(entry["kernel"]), tuple(entry["stride"])))
+        elif kind == "QAvgPool2D":
+            layers.append(QAvgPool2D(name, input_params, tuple(entry["kernel"]), tuple(entry["stride"])))
+        elif kind == "QFlatten":
+            layers.append(QFlatten(name, input_params))
+        elif kind == "QReLU":
+            layers.append(QReLU(name, input_params))
+        else:
+            raise ValueError(f"cannot rebuild quantized layer of type {kind!r}")
+
+    return QuantizedModel(
+        layers=layers,
+        input_params=_params_from_dict(manifest["input_params"]),
+        input_shape=tuple(manifest["input_shape"]),
+        n_classes=int(manifest["n_classes"]),
+        name=str(manifest.get("name", "qmodel")),
+    )

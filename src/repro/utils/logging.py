@@ -1,0 +1,44 @@
+"""Lightweight logging helpers shared by the whole library."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    logger = logging.getLogger(_ROOT_NAME)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(logging.WARNING)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    _configure_root()
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set the verbosity of every ``repro`` logger.
+
+    Accepts either a ``logging`` level constant or its string name
+    (``"DEBUG"``, ``"INFO"``...).
+    """
+    _configure_root()
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logging.getLogger(_ROOT_NAME).setLevel(level)

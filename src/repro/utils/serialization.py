@@ -1,0 +1,56 @@
+"""JSON / NPZ serialization helpers with NumPy-aware encoding."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands NumPy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:  # noqa: D102 - inherited
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(path: PathLike, payload: Mapping[str, Any], indent: int = 2) -> Path:
+    """Write ``payload`` as JSON, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, cls=NumpyJSONEncoder, indent=indent, sort_keys=True)
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Load a JSON file into a dict."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_npz(path: PathLike, arrays: Mapping[str, np.ndarray], compress: bool = True) -> Path:
+    """Save a mapping of arrays to ``.npz``; keys must be valid identifiers."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    saver = np.savez_compressed if compress else np.savez
+    saver(path, **{str(k): np.asarray(v) for k, v in arrays.items()})
+    return path
+
+
+def load_npz(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load an ``.npz`` file into a plain dict of arrays."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return {key: np.array(data[key]) for key in data.files}

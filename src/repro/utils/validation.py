@@ -1,0 +1,63 @@
+"""Small argument-validation helpers producing consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Raise ``ValueError`` unless ``value`` is (strictly) positive."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    inclusive: Tuple[bool, bool] = (True, True),
+) -> float:
+    """Raise ``ValueError`` unless ``low <(=) value <(=) high``."""
+    lo_ok = value >= low if inclusive[0] else value > low
+    hi_ok = value <= high if inclusive[1] else value < high
+    if not (lo_ok and hi_ok):
+        lo_b = "[" if inclusive[0] else "("
+        hi_b = "]" if inclusive[1] else ")"
+        raise ValueError(f"{name} must be in {lo_b}{low}, {high}{hi_b}, got {value!r}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
+    """Validate an array's shape; ``None`` entries act as wildcards."""
+    array = np.asarray(array)
+    if array.ndim != len(shape):
+        raise ValueError(f"{name} must have {len(shape)} dims, got shape {array.shape}")
+    for axis, (actual, expected) in enumerate(zip(array.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected {tuple(shape)} (mismatch at axis {axis})"
+            )
+    return array
+
+
+def check_dtype(name: str, array: np.ndarray, dtypes: Iterable[Any]) -> np.ndarray:
+    """Validate that ``array.dtype`` is one of ``dtypes``."""
+    array = np.asarray(array)
+    allowed = tuple(np.dtype(d) for d in dtypes)
+    if array.dtype not in allowed:
+        raise TypeError(f"{name} must have dtype in {allowed}, got {array.dtype}")
+    return array
+
+
+def check_choice(name: str, value: Any, choices: Iterable[Any]) -> Any:
+    """Validate that ``value`` is one of ``choices``."""
+    choices = tuple(choices)
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {choices}, got {value!r}")
+    return value

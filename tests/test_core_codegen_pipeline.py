@@ -1,0 +1,143 @@
+"""Tests for code generation (stage 4) and the end-to-end pipeline orchestration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApproxConfig,
+    AtamanPipeline,
+    DSEConfig,
+    estimate_code_bytes,
+    generate_layer_code,
+    generate_model_code,
+)
+from repro.core.codegen import flash_report
+from repro.frameworks import AtamanEngine
+from repro.isa import STM32U575
+from repro.mcu.deploy import DeploymentReport
+
+
+class TestCodegen:
+    def test_layer_code_contains_smlad_and_constants(self, tiny_unpacked):
+        layer = next(iter(tiny_unpacked.values()))
+        code = generate_layer_code(layer, max_channels=1)
+        assert "__SMLAD" in code
+        assert "requantize(" in code
+        assert layer.name in code
+        assert "0x" in code  # hard-wired packed weight constants
+
+    def test_layer_code_reports_skipping(self, tiny_unpacked, tiny_significance):
+        name, layer = next(iter(tiny_unpacked.items()))
+        from repro.core import build_skip_mask
+
+        mask = build_skip_mask(tiny_significance[name], 0.05)
+        code = generate_layer_code(layer, mask, max_channels=1)
+        skipped = layer.total_operands - int(mask.sum())
+        assert f"{skipped} skipped" in code
+
+    def test_layer_code_mask_shape_validation(self, tiny_unpacked):
+        layer = next(iter(tiny_unpacked.values()))
+        with pytest.raises(ValueError):
+            generate_layer_code(layer, np.ones((1, 1), dtype=bool))
+
+    def test_model_code_has_dispatch(self, tiny_unpacked):
+        code = generate_model_code(tiny_unpacked, model_name="tiny_cnn")
+        assert "tiny_cnn_run" in code
+        for name in tiny_unpacked:
+            assert f"{name}_unpacked" in code
+
+    def test_estimate_code_bytes_consistent_with_layers(self, tiny_unpacked):
+        total = estimate_code_bytes(tiny_unpacked)
+        assert total == sum(layer.code_bytes() for layer in tiny_unpacked.values())
+
+    def test_masks_shrink_code(self, tiny_unpacked, tiny_significance):
+        masks = {
+            name: tiny_significance[name] > 0.05 for name in tiny_unpacked if name in tiny_significance
+        }
+        assert estimate_code_bytes(tiny_unpacked, masks) < estimate_code_bytes(tiny_unpacked)
+
+    def test_flash_report_totals(self, tiny_qmodel, tiny_unpacked):
+        report = flash_report(tiny_qmodel, tiny_unpacked)
+        assert report["total"] == report["total_unpacked_code"] + report["remaining_weights"]
+        assert report["remaining_weights"] > 0  # the dense classifier stays as data
+
+
+class TestPipeline:
+    def test_result_contains_all_stages(self, tiny_pipeline_result, tiny_qmodel):
+        result = tiny_pipeline_result
+        assert set(result.unpacked) == {layer.name for layer in tiny_qmodel.conv_layers()}
+        assert set(result.significance.layer_names()) == set(result.unpacked)
+        assert result.baseline_accuracy == result.dse.baseline_accuracy
+        assert len(result.pareto_points()) >= 1
+
+    def test_select_respects_budget(self, tiny_pipeline_result):
+        design = tiny_pipeline_result.select(0.05)
+        assert design is not None
+        assert design.accuracy >= tiny_pipeline_result.baseline_accuracy - 0.05
+
+    def test_build_engine_exact_and_approximate(self, tiny_qmodel, tiny_pipeline_result):
+        pipeline = AtamanPipeline(tiny_qmodel)
+        exact_engine = pipeline.build_engine(tiny_pipeline_result)
+        assert isinstance(exact_engine, AtamanEngine)
+        assert exact_engine.masks is None
+
+        design = tiny_pipeline_result.select(0.10)
+        approx_engine = pipeline.build_engine(tiny_pipeline_result, design=design)
+        if not design.config.is_exact:
+            assert approx_engine.masks is not None
+            assert approx_engine.total_macs() <= exact_engine.total_macs()
+
+    def test_build_engine_rejects_both_args(self, tiny_qmodel, tiny_pipeline_result):
+        pipeline = AtamanPipeline(tiny_qmodel)
+        design = tiny_pipeline_result.select(0.10)
+        with pytest.raises(ValueError):
+            pipeline.build_engine(tiny_pipeline_result, design=design, config=design.config)
+
+    def test_deploy_returns_report(self, tiny_qmodel, tiny_pipeline_result, small_split):
+        pipeline = AtamanPipeline(tiny_qmodel, board=STM32U575)
+        report = pipeline.deploy(
+            tiny_pipeline_result,
+            max_accuracy_loss=0.10,
+            eval_images=small_split.test.images[:64],
+            eval_labels=small_split.test.labels[:64],
+        )
+        assert isinstance(report, DeploymentReport)
+        assert report.latency_ms > 0
+        assert report.fits
+
+    def test_deploy_impossible_budget(self, tiny_qmodel, small_split):
+        pipeline = AtamanPipeline(tiny_qmodel)
+        # Build a result whose points all miss an absurd accuracy bar by
+        # faking the baseline accuracy.
+        result = pipeline.run(
+            small_split.calibration.images,
+            small_split.test.images[:48],
+            small_split.test.labels[:48],
+            dse_config=DSEConfig(tau_values=[0.05]),
+        )
+        result.dse.baseline_accuracy = 2.0  # nothing can be within 0 loss of this
+        with pytest.raises(ValueError):
+            pipeline.deploy(result, max_accuracy_loss=0.0)
+
+    def test_generate_code_for_design(self, tiny_qmodel, tiny_pipeline_result):
+        pipeline = AtamanPipeline(tiny_qmodel)
+        design = tiny_pipeline_result.select(0.10)
+        code = pipeline.generate_code(tiny_pipeline_result, design=design)
+        assert "__SMLAD" in code
+        assert tiny_qmodel.name + "_run" in code
+
+    def test_from_float_model(self, trained_tiny_model, small_split):
+        pipeline = AtamanPipeline.from_float_model(
+            trained_tiny_model, small_split.calibration.images
+        )
+        assert len(pipeline.qmodel.conv_layers()) == 2
+
+    def test_include_dense_extension(self, tiny_qmodel, small_split):
+        pipeline = AtamanPipeline(tiny_qmodel, include_dense=True)
+        unpacked = pipeline.unpack()
+        assert any(not layer.is_conv for layer in unpacked.values())
+        calibration = pipeline.calibrate(small_split.calibration.images[:16])
+        significance = pipeline.significance(calibration)
+        assert set(significance.layer_names()) == set(unpacked)

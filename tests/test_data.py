@@ -1,0 +1,212 @@
+"""Tests for datasets, the synthetic CIFAR generator and augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Dataset,
+    SyntheticCifar10,
+    SyntheticCifarConfig,
+    add_gaussian_noise,
+    augment_batch,
+    load_synthetic_cifar10,
+    random_crop,
+    random_horizontal_flip,
+    train_val_test_split,
+)
+
+
+class TestDataset:
+    def _make(self, n=20, n_classes=4):
+        rng = np.random.default_rng(0)
+        images = rng.random((n, 8, 8, 3)).astype(np.float32)
+        labels = rng.integers(0, n_classes, size=n)
+        return Dataset(images=images, labels=labels, n_classes=n_classes, name="toy")
+
+    def test_basic_properties(self):
+        ds = self._make()
+        assert len(ds) == 20
+        assert ds.image_shape == (8, 8, 3)
+        assert ds.class_counts().sum() == 20
+
+    def test_subset_and_take(self):
+        ds = self._make()
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.images[1], ds.images[2])
+        assert len(ds.take(5)) == 5
+        assert len(ds.take(100)) == 20
+
+    def test_shuffled_preserves_pairs(self):
+        ds = self._make()
+        shuffled = ds.shuffled(rng=0)
+        # Every (image, label) pair must still exist.
+        for i in range(len(shuffled)):
+            matches = np.where((ds.images == shuffled.images[i]).all(axis=(1, 2, 3)))[0]
+            assert shuffled.labels[i] in ds.labels[matches]
+
+    def test_batches_cover_everything(self):
+        ds = self._make()
+        seen = 0
+        for images, labels in ds.batches(batch_size=6):
+            assert images.shape[0] == labels.shape[0]
+            seen += images.shape[0]
+        assert seen == len(ds)
+
+    def test_batches_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(self._make().batches(0))
+
+    def test_validation_errors(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Dataset(images=rng.random((4, 8, 8)), labels=np.zeros(4, int), n_classes=2)
+        with pytest.raises(ValueError):
+            Dataset(images=rng.random((4, 8, 8, 3)), labels=np.zeros(3, int), n_classes=2)
+        with pytest.raises(ValueError):
+            Dataset(images=rng.random((4, 8, 8, 3)), labels=np.array([0, 1, 2, 5]), n_classes=3)
+
+
+class TestSplits:
+    def test_split_sizes_and_disjointness(self, small_dataset):
+        split = train_val_test_split(small_dataset, val_fraction=0.1, test_fraction=0.2, calibration_size=32, rng=0)
+        total = len(split.train) + len(split.val) + len(split.test)
+        assert total == len(small_dataset)
+        assert len(split.calibration) == 32
+        assert split.n_classes == small_dataset.n_classes
+        assert "train=" in split.summary()
+
+    def test_calibration_subset_of_train(self, small_dataset):
+        split = train_val_test_split(small_dataset, calibration_size=16, rng=1)
+        for img in split.calibration.images[:4]:
+            assert (split.train.images == img).all(axis=(1, 2, 3)).any()
+
+    def test_invalid_fractions(self, small_dataset):
+        with pytest.raises(ValueError):
+            train_val_test_split(small_dataset, val_fraction=0.6, test_fraction=0.6)
+        with pytest.raises(ValueError):
+            train_val_test_split(small_dataset, test_fraction=0.0)
+
+
+class TestSyntheticCifar:
+    def test_determinism(self):
+        a = load_synthetic_cifar10(64, seed=5)
+        b = load_synthetic_cifar10(64, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = load_synthetic_cifar10(32, seed=1)
+        b = load_synthetic_cifar10(32, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_geometry_and_range(self):
+        ds = load_synthetic_cifar10(40, seed=0)
+        assert ds.images.shape == (40, 32, 32, 3)
+        assert ds.images.dtype == np.float32
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+        assert ds.labels.min() >= 0 and ds.labels.max() < 10
+
+    def test_rough_class_balance(self):
+        ds = load_synthetic_cifar10(500, seed=0)
+        counts = ds.class_counts()
+        # Label noise moves some samples around but the distribution stays roughly balanced.
+        assert counts.min() > 20 and counts.max() < 110
+
+    def test_label_noise_rate(self):
+        clean_cfg = SyntheticCifarConfig(label_noise=0.0, seed=9)
+        noisy_cfg = SyntheticCifarConfig(label_noise=0.3, seed=9)
+        clean = SyntheticCifar10(clean_cfg).generate(600, seed=9)
+        noisy = SyntheticCifar10(noisy_cfg).generate(600, seed=9)
+        flip_rate = (clean.labels != noisy.labels).mean()
+        assert 0.2 < flip_rate < 0.4
+
+    def test_classes_are_visually_distinct(self):
+        """Mean images of different classes should differ measurably (signal exists)."""
+        cfg = SyntheticCifarConfig(label_noise=0.0, noise_std=0.1, occlusion_prob=0.0, seed=3)
+        ds = SyntheticCifar10(cfg).generate(400, seed=3)
+        means = np.stack([ds.images[ds.labels == c].mean(axis=0) for c in range(10)])
+        distances = []
+        for i in range(10):
+            for j in range(i + 1, 10):
+                distances.append(np.abs(means[i] - means[j]).mean())
+        assert np.mean(distances) > 0.02
+
+    def test_smaller_image_size(self):
+        cfg = SyntheticCifarConfig(image_size=16, seed=0)
+        ds = SyntheticCifar10(cfg).generate(20)
+        assert ds.images.shape[1:] == (16, 16, 3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(image_size=4)
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(noise_std=-1)
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(label_noise=1.5)
+        with pytest.raises(ValueError):
+            SyntheticCifarConfig(n_classes=11)
+        with pytest.raises(ValueError):
+            SyntheticCifar10(SyntheticCifarConfig()).generate(0)
+
+
+class TestAugmentation:
+    def _images(self, n=16):
+        return np.random.default_rng(0).random((n, 8, 8, 3)).astype(np.float32)
+
+    def test_flip_prob_one_reverses(self):
+        images = self._images()
+        flipped = random_horizontal_flip(images, prob=1.0, rng=0)
+        np.testing.assert_array_equal(flipped, images[:, :, ::-1, :])
+
+    def test_flip_prob_zero_identity(self):
+        images = self._images()
+        np.testing.assert_array_equal(random_horizontal_flip(images, prob=0.0, rng=0), images)
+
+    def test_flip_invalid_prob(self):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(self._images(), prob=1.5)
+
+    def test_random_crop_preserves_shape(self):
+        images = self._images()
+        cropped = random_crop(images, padding=2, rng=0)
+        assert cropped.shape == images.shape
+        assert not np.array_equal(cropped, images)
+
+    def test_random_crop_zero_padding_is_copy(self):
+        images = self._images()
+        out = random_crop(images, padding=0)
+        np.testing.assert_array_equal(out, images)
+        assert out is not images
+
+    def test_random_crop_invalid(self):
+        with pytest.raises(ValueError):
+            random_crop(self._images(), padding=-1)
+
+    def test_gaussian_noise_clipped(self):
+        images = self._images()
+        noisy = add_gaussian_noise(images, std=0.5, rng=0)
+        assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+        assert not np.array_equal(noisy, images)
+
+    def test_gaussian_noise_invalid(self):
+        with pytest.raises(ValueError):
+            add_gaussian_noise(self._images(), std=-0.1)
+
+    def test_augment_batch_shape_and_range(self):
+        images = self._images()
+        out = augment_batch(images, rng=0)
+        assert out.shape == images.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+@given(n=st.integers(1, 40))
+@settings(max_examples=10, deadline=None)
+def test_synthetic_dataset_size_property(n):
+    ds = SyntheticCifar10(SyntheticCifarConfig(image_size=8, seed=1)).generate(n, seed=1)
+    assert len(ds) == n
+    assert ds.images.shape == (n, 8, 8, 3)

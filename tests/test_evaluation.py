@@ -1,0 +1,175 @@
+"""Tests for the experiment drivers (report formatting, context, table/figure builders).
+
+The drivers are exercised on a deliberately tiny custom :class:`ScaleConfig`
+so the whole file runs in well under a minute while covering the same code
+paths the paper-scale benchmarks use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    ExperimentContext,
+    ScaleConfig,
+    build_claims,
+    build_figure2,
+    build_table1,
+    build_table2,
+    format_claims,
+    format_figure2,
+    format_table,
+    format_table1,
+    format_table2,
+    get_scale,
+)
+from repro.evaluation.context import ModelScale
+from repro.evaluation.figure2 import _ascii_scatter
+from repro.evaluation.reports import format_comparison
+
+
+class TestReports:
+    def test_format_table_alignment_and_values(self):
+        rows = [
+            {"name": "a", "value": 1.2345, "count": 10},
+            {"name": "bb", "value": 1234.5, "count": 2_000_000},
+        ]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "name" in text and "value" in text
+        assert "2,000,000" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="x")
+
+    def test_format_table_nan(self):
+        text = format_table([{"v": float("nan")}])
+        assert "n/a" in text
+
+    def test_format_comparison(self):
+        text = format_comparison({"m": 1.0}, {"m": 0.9}, title="cmp")
+        assert "cmp" in text and "paper" in text and "measured" in text
+
+    def test_format_table_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestScales:
+    def test_get_scale_known_and_env(self, monkeypatch):
+        assert get_scale("ci").name == "ci"
+        monkeypatch.setenv("REPRO_SCALE", "fast")
+        assert get_scale().name == "fast"
+        with pytest.raises(ValueError):
+            get_scale("gigantic")
+
+    def test_all_scales_define_both_models(self):
+        for name in ("ci", "fast", "full"):
+            scale = get_scale(name)
+            assert {"lenet", "alexnet"} <= set(scale.models)
+            for model_scale in scale.models.values():
+                assert model_scale.train_samples > 0
+                assert len(list(model_scale.tau_values)) >= 3
+
+
+@pytest.fixture(scope="module")
+def micro_context(tmp_path_factory):
+    """An ExperimentContext with an ultra-small custom scale (seconds, not minutes)."""
+    scale = ScaleConfig(
+        name="micro",
+        n_samples=360,
+        test_fraction=0.25,
+        calibration_size=48,
+        table_eval_samples=64,
+        models={
+            "lenet": ModelScale(0.25, 240, 2, 32, 2e-3, [0.0, 0.005, 0.03], 64),
+            "alexnet": ModelScale(0.2, 200, 1, 32, 2e-3, [0.0, 0.01], 48),
+        },
+    )
+    cache_dir = tmp_path_factory.mktemp("repro_cache")
+    return ExperimentContext(scale=scale, cache_dir=cache_dir, seed=5)
+
+
+class TestExperimentContext:
+    def test_split_and_eval_set(self, micro_context):
+        split = micro_context.split
+        assert len(split.train) + len(split.test) == 360
+        images, labels = micro_context.eval_set(32)
+        assert images.shape[0] == 32 and labels.shape[0] == 32
+
+    def test_build_model_artifacts(self, micro_context):
+        artifacts = micro_context.build_model("lenet")
+        assert artifacts.qmodel.total_macs() > 0
+        assert 0.0 <= artifacts.quant_accuracy <= 1.0
+        assert len(artifacts.result.dse.points) >= 3
+
+    def test_cache_roundtrip(self, micro_context):
+        first = micro_context.build_model("lenet")
+        # A fresh context pointed at the same cache directory loads instead of retraining.
+        clone = ExperimentContext(scale=micro_context.scale, cache_dir=micro_context.cache_dir, seed=5)
+        loaded = clone.build_model("lenet")
+        assert loaded.quant_accuracy == pytest.approx(first.quant_accuracy)
+        np.testing.assert_array_equal(
+            loaded.qmodel.conv_layers()[0].weights, first.qmodel.conv_layers()[0].weights
+        )
+
+    def test_unknown_model_rejected(self, micro_context):
+        with pytest.raises(ValueError):
+            micro_context.build_model("mobilenet")
+
+
+class TestDrivers:
+    def test_table1(self, micro_context):
+        rows = build_table1(micro_context)
+        assert {row["CNN"] for row in rows} == {"lenet", "alexnet"}
+        text = format_table1(rows)
+        assert "Table I" in text and "lenet" in text
+
+    def test_table2(self, micro_context):
+        rows = build_table2(micro_context, loss_budgets=(0.0, 0.10))
+        engines = {row["Engine"] for row in rows}
+        assert {"cmsis-nn", "x-cube-ai"} <= engines
+        assert any(e.startswith("ataman@") for e in engines)
+        text = format_table2(rows)
+        assert "Table II" in text
+
+    def test_figure2(self, micro_context):
+        figure = build_figure2(micro_context, model_names=("lenet",))
+        assert "lenet" in figure
+        data = figure["lenet"]
+        assert len(data["points"]) == data["n_designs"]
+        text = format_figure2(figure)
+        assert "Figure 2" in text and "Pareto" in text
+
+    def test_claims(self, micro_context):
+        measured = build_claims(micro_context, model_names=("lenet",))
+        assert set(measured) >= {
+            "avg_conv_mac_reduction_at_0pct",
+            "avg_latency_reduction_at_0pct",
+            "utvm_overhead_vs_cmsis",
+        }
+        assert 0 < measured["utvm_overhead_vs_cmsis"] < 0.5
+        text = format_claims(measured)
+        assert "paper" in text and "measured" in text
+
+    def test_ascii_scatter_renders(self):
+        points = [(0.0, 0.7), (0.3, 0.65), (0.6, 0.4)]
+        text = _ascii_scatter(points, points[1:2], baseline_accuracy=0.7, width=30, height=8)
+        assert "x" in text and "o" in text
+        assert _ascii_scatter([], [], 0.5) == "(no points)"
+
+    def test_larger_network_comparison(self, micro_context):
+        from repro.evaluation import (
+            build_larger_network_comparison,
+            format_larger_network_comparison,
+        )
+
+        rows = build_larger_network_comparison(micro_context, loss_budgets=(0.10,))
+        designs = [row["design"] for row in rows]
+        assert any("lenet (exact" in d for d in designs)
+        assert any("alexnet (exact" in d for d in designs)
+        assert any("approx" in d for d in designs)
+        text = format_larger_network_comparison(rows)
+        assert "contribution 3" in text

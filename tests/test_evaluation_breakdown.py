@@ -1,0 +1,74 @@
+"""Tests for the per-layer execution breakdown (the paper's profiling motivation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.breakdown import (
+    build_layer_breakdown,
+    category_shares,
+    conv_cycle_share,
+    format_layer_breakdown,
+)
+from repro.frameworks import AtamanEngine, CMSISNNEngine
+from repro.isa import STM32U575
+from repro.core import build_model_masks
+from repro.models import build_lenet
+from repro.quant import quantize_model
+
+
+class TestBreakdownOnTinyModel:
+    def test_entries_cover_working_layers_plus_overhead(self, tiny_qmodel):
+        entries = build_layer_breakdown(CMSISNNEngine(tiny_qmodel), STM32U575)
+        names = {entry.layer for entry in entries}
+        assert "(runtime)" in names
+        for layer in tiny_qmodel.mac_layers():
+            assert layer.name in names
+
+    def test_shares_sum_to_one(self, tiny_qmodel):
+        entries = build_layer_breakdown(CMSISNNEngine(tiny_qmodel), STM32U575)
+        assert sum(entry.share for entry in entries) == pytest.approx(1.0, abs=1e-9)
+        assert all(entry.share >= 0 for entry in entries)
+
+    def test_latency_consistent_with_engine(self, tiny_qmodel):
+        engine = CMSISNNEngine(tiny_qmodel)
+        entries = build_layer_breakdown(engine, STM32U575)
+        total = sum(entry.latency_ms for entry in entries)
+        assert total == pytest.approx(engine.latency_ms(STM32U575), rel=1e-6)
+
+    def test_conv_layers_dominate(self, tiny_qmodel):
+        """Section II-A: most cycles are consumed by the convolution layers."""
+        share = conv_cycle_share(build_layer_breakdown(CMSISNNEngine(tiny_qmodel), STM32U575))
+        assert share > 0.5
+
+    def test_categories(self, tiny_qmodel):
+        shares = category_shares(build_layer_breakdown(CMSISNNEngine(tiny_qmodel), STM32U575))
+        assert {"conv", "fc", "overhead"} <= set(shares)
+
+    def test_skipping_shrinks_conv_share(self, tiny_qmodel, tiny_significance):
+        masks = build_model_masks(
+            tiny_significance, {name: 0.05 for name in tiny_significance.layer_names()}
+        )
+        exact = conv_cycle_share(build_layer_breakdown(AtamanEngine(tiny_qmodel), STM32U575))
+        approx = conv_cycle_share(
+            build_layer_breakdown(AtamanEngine(tiny_qmodel, masks=masks), STM32U575)
+        )
+        assert approx < exact
+
+    def test_format_contains_layers(self, tiny_qmodel):
+        entries = build_layer_breakdown(CMSISNNEngine(tiny_qmodel), STM32U575)
+        text = format_layer_breakdown(entries, title="breakdown")
+        assert "breakdown" in text and "conv1" in text and "(runtime)" in text
+
+
+class TestBreakdownOnPaperModel:
+    @pytest.mark.slow
+    def test_lenet_conv_dominance(self, small_split):
+        """On the paper's (untrained-weights) LeNet geometry, conv layers take
+        the large majority of the cycles -- the premise of optimising only them."""
+        model = build_lenet(input_shape=(32, 32, 3), rng=0)
+        qmodel = quantize_model(
+            model, small_split.calibration.images[:16].repeat(2, axis=1).repeat(2, axis=2)
+        )
+        share = conv_cycle_share(build_layer_breakdown(CMSISNNEngine(qmodel), STM32U575))
+        assert share > 0.7

@@ -1,0 +1,165 @@
+"""Tests for the inference engines (CMSIS-NN, X-CUBE-AI, uTVM, CMix-NN, ATAMAN)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_model_masks
+from repro.frameworks import (
+    AtamanEngine,
+    BaseEngine,
+    CMSISNNEngine,
+    CMixNNEngine,
+    MicroTVMEngine,
+    XCubeAIEngine,
+)
+from repro.isa import STM32U575, ExecutionStyle
+from repro.mcu import deploy
+
+EXACT_ENGINES = [CMSISNNEngine, XCubeAIEngine, MicroTVMEngine, CMixNNEngine]
+
+
+class TestExactEngines:
+    @pytest.mark.parametrize("engine_cls", EXACT_ENGINES)
+    def test_identical_predictions(self, engine_cls, tiny_qmodel, small_split):
+        """All exact engines execute the same kernels, so predictions are identical."""
+        images = small_split.test.images[:32]
+        reference = CMSISNNEngine(tiny_qmodel).predict_classes(images)
+        np.testing.assert_array_equal(engine_cls(tiny_qmodel).predict_classes(images), reference)
+
+    @pytest.mark.parametrize("engine_cls", EXACT_ENGINES)
+    def test_reject_masks(self, engine_cls, tiny_qmodel):
+        with pytest.raises(ValueError):
+            engine_cls(tiny_qmodel, masks={"conv1": np.ones((1, 1), bool)})
+
+    @pytest.mark.parametrize("engine_cls", EXACT_ENGINES)
+    def test_macs_equal_model_macs(self, engine_cls, tiny_qmodel):
+        assert engine_cls(tiny_qmodel).total_macs() == tiny_qmodel.total_macs()
+
+    def test_relative_latency_ordering(self, tiny_qmodel):
+        """X-CUBE-AI < CMSIS-NN < uTVM < CMix-NN, as in the paper's comparisons."""
+        latencies = {
+            cls.engine_name: cls(tiny_qmodel).latency_ms(STM32U575)
+            for cls in (XCubeAIEngine, CMSISNNEngine, MicroTVMEngine, CMixNNEngine)
+        }
+        assert latencies["x-cube-ai"] < latencies["cmsis-nn"] < latencies["utvm"] < latencies["cmix-nn"]
+
+    def test_utvm_overhead_close_to_paper(self, tiny_qmodel):
+        """The paper quotes ~13% uTVM overhead versus CMSIS-NN."""
+        cmsis = CMSISNNEngine(tiny_qmodel).latency_ms(STM32U575)
+        utvm = MicroTVMEngine(tiny_qmodel).latency_ms(STM32U575)
+        assert 1.05 < utvm / cmsis < 1.30
+
+    def test_profile_is_cached(self, tiny_qmodel):
+        engine = CMSISNNEngine(tiny_qmodel)
+        first = engine.profile()
+        second = engine.profile()
+        assert first is second
+        fresh = engine.profile(np.zeros((1,) + tiny_qmodel.input_shape, np.float32))
+        assert fresh is not first
+
+    def test_layer_latency_breakdown(self, tiny_qmodel):
+        engine = CMSISNNEngine(tiny_qmodel)
+        breakdown = engine.layer_latency_ms(STM32U575)
+        # Every layer that performs work appears; pure reshapes (flatten) cost nothing.
+        assert {layer.name for layer in tiny_qmodel.mac_layers()} <= set(breakdown)
+        assert set(breakdown) <= {layer.name for layer in tiny_qmodel.layers}
+        assert sum(breakdown.values()) <= engine.latency_ms(STM32U575)
+
+    def test_memory_layouts(self, tiny_qmodel):
+        cmsis = CMSISNNEngine(tiny_qmodel).memory_layout(STM32U575)
+        xcube = XCubeAIEngine(tiny_qmodel).memory_layout(STM32U575)
+        assert cmsis.fits(STM32U575) and xcube.fits(STM32U575)
+        # X-CUBE-AI compresses weights, so its flash is smaller (Table II).
+        assert xcube.flash.total < cmsis.flash.total
+        assert cmsis.ram.im2col_buffer > 0
+
+    def test_base_engine_styles(self):
+        assert CMSISNNEngine.style == ExecutionStyle.CMSIS_PACKED
+        assert XCubeAIEngine.style == ExecutionStyle.XCUBE_AI
+        assert MicroTVMEngine.style == ExecutionStyle.UTVM
+        assert CMixNNEngine.style == ExecutionStyle.CMIX_NN
+        assert AtamanEngine.style == ExecutionStyle.UNPACKED
+
+
+class TestAtamanEngine:
+    def _masks(self, tiny_qmodel, tiny_significance, tau=0.05):
+        return build_model_masks(
+            tiny_significance, {name: tau for name in tiny_significance.layer_names()}
+        )
+
+    def test_exact_unpacked_predictions_match_cmsis(self, tiny_qmodel, small_split):
+        images = small_split.test.images[:32]
+        ataman = AtamanEngine(tiny_qmodel)
+        cmsis = CMSISNNEngine(tiny_qmodel)
+        np.testing.assert_array_equal(ataman.predict_classes(images), cmsis.predict_classes(images))
+
+    def test_masked_engine_reduces_macs_and_latency(self, tiny_qmodel, tiny_significance):
+        masks = self._masks(tiny_qmodel, tiny_significance)
+        exact = AtamanEngine(tiny_qmodel)
+        approx = AtamanEngine(tiny_qmodel, masks=masks)
+        assert approx.total_macs() < exact.total_macs()
+        assert approx.latency_ms(STM32U575) < exact.latency_ms(STM32U575)
+        assert approx.skipped_operand_fraction() > 0
+        assert exact.skipped_operand_fraction() == 0.0
+
+    def test_engine_from_config(self, tiny_qmodel, tiny_significance, tiny_unpacked):
+        from repro.core import ApproxConfig
+
+        config = ApproxConfig.uniform(
+            tiny_qmodel.name, tiny_significance.layer_names(), tau=0.05
+        )
+        engine = AtamanEngine(
+            tiny_qmodel, config=config, significance=tiny_significance, unpacked=tiny_unpacked
+        )
+        masks = self._masks(tiny_qmodel, tiny_significance)
+        assert engine.total_macs() == tiny_qmodel.total_macs(masks=masks)
+
+    def test_engine_from_config_requires_significance(self, tiny_qmodel):
+        from repro.core import ApproxConfig
+
+        config = ApproxConfig.uniform(tiny_qmodel.name, ["conv1"], tau=0.05)
+        with pytest.raises(ValueError):
+            AtamanEngine(tiny_qmodel, config=config)
+
+    def test_exact_config_builds_exact_engine(self, tiny_qmodel):
+        from repro.core import ApproxConfig
+
+        engine = AtamanEngine(tiny_qmodel, config=ApproxConfig.exact(tiny_qmodel.name))
+        assert engine.masks is None
+
+    def test_memory_layout_moves_conv_weights_into_code(self, tiny_qmodel):
+        ataman_layout = AtamanEngine(tiny_qmodel).memory_layout(STM32U575)
+        cmsis_layout = CMSISNNEngine(tiny_qmodel).memory_layout(STM32U575)
+        assert ataman_layout.flash.unpacked_code > 0
+        assert ataman_layout.flash.weights < cmsis_layout.flash.weights
+        assert ataman_layout.ram.im2col_buffer == 0
+
+    def test_masks_shrink_unpacked_code(self, tiny_qmodel, tiny_significance):
+        masks = self._masks(tiny_qmodel, tiny_significance)
+        assert (
+            AtamanEngine(tiny_qmodel, masks=masks).unpacked_code_bytes()
+            < AtamanEngine(tiny_qmodel).unpacked_code_bytes()
+        )
+
+    def test_deployment_report(self, tiny_qmodel, tiny_significance, small_split):
+        masks = self._masks(tiny_qmodel, tiny_significance)
+        engine = AtamanEngine(tiny_qmodel, masks=masks)
+        report = deploy(engine, STM32U575, small_split.test.images[:48], small_split.test.labels[:48])
+        assert report.engine == "ataman"
+        assert report.fits
+        assert 0.0 <= report.top1_accuracy <= 1.0
+        assert report.mac_ops == engine.total_macs()
+
+    def test_accuracy_degrades_gracefully_with_aggressive_skipping(
+        self, tiny_qmodel, tiny_significance, small_split
+    ):
+        images, labels = small_split.test.images[:96], small_split.test.labels[:96]
+        baseline = CMSISNNEngine(tiny_qmodel).evaluate_accuracy(images, labels)
+        mild = AtamanEngine(tiny_qmodel, masks=self._masks(tiny_qmodel, tiny_significance, tau=0.002))
+        harsh = AtamanEngine(tiny_qmodel, masks=self._masks(tiny_qmodel, tiny_significance, tau=0.5))
+        assert mild.evaluate_accuracy(images, labels) >= baseline - 0.10
+        # Skipping (nearly) everything must hurt badly -- accuracy falls towards chance.
+        assert harsh.evaluate_accuracy(images, labels) <= baseline
+        assert harsh.total_macs() < mild.total_macs()

@@ -1,0 +1,132 @@
+"""End-to-end integration tests: train -> quantize -> approximate -> deploy.
+
+These tests tie every package together the same way the paper's framework
+does, asserting the cross-cutting invariants that individual unit tests
+cannot see (e.g. the engine's MAC count equals what the DSE predicted for the
+selected design, and the simulated kernels agree with the masked model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AtamanPipeline, DSEConfig
+from repro.frameworks import AtamanEngine, CMSISNNEngine, XCubeAIEngine
+from repro.isa import STM32U575
+from repro.kernels import CycleCounter
+from repro.mcu import deploy
+
+
+class TestEndToEnd:
+    def test_pipeline_design_matches_engine_metrics(self, tiny_qmodel, tiny_pipeline_result):
+        """The MAC count the DSE reports for a design equals the deployed engine's."""
+        design = tiny_pipeline_result.select(0.10)
+        engine = AtamanEngine(
+            tiny_qmodel,
+            config=design.config,
+            significance=tiny_pipeline_result.significance,
+            unpacked=tiny_pipeline_result.unpacked,
+        )
+        assert engine.total_macs() == design.total_macs
+        assert engine.conv_macs() == design.conv_macs
+
+    def test_design_accuracy_reproducible_from_masks(
+        self, tiny_qmodel, tiny_pipeline_result, small_split
+    ):
+        """Re-evaluating a DSE design with its masks reproduces the recorded accuracy."""
+        design = next(p for p in tiny_pipeline_result.dse.points if not p.config.is_exact)
+        masks = design.config.build_masks(tiny_pipeline_result.significance)
+        # The DSE evaluated on the first 96 test images (per the fixture's DSEConfig).
+        accuracy = tiny_qmodel.evaluate_accuracy(
+            small_split.test.images[:96], small_split.test.labels[:96], masks=masks
+        )
+        assert accuracy == pytest.approx(design.accuracy, abs=1e-9)
+
+    def test_counter_macs_match_static_analysis(self, tiny_qmodel, tiny_pipeline_result):
+        """Cycle-counter MAC totals for one sample equal the static per-sample MAC count."""
+        design = tiny_pipeline_result.select(0.10)
+        masks = design.config.build_masks(tiny_pipeline_result.significance)
+        counter = CycleCounter()
+        sample = np.zeros((1,) + tiny_qmodel.input_shape, dtype=np.float32)
+        tiny_qmodel.forward(sample, masks=masks, counter=counter)
+        counted = sum(stats.macs for _, stats in counter.sections())
+        assert counted == tiny_qmodel.total_macs(masks=masks)
+
+    def test_full_deployment_comparison(self, tiny_qmodel, tiny_pipeline_result, small_split):
+        """Deploy all three Table-II engines and check the qualitative relations."""
+        images, labels = small_split.test.images[:64], small_split.test.labels[:64]
+        design = tiny_pipeline_result.select(0.10)
+        engines = {
+            "cmsis": CMSISNNEngine(tiny_qmodel),
+            "xcube": XCubeAIEngine(tiny_qmodel),
+            "ataman": AtamanEngine(
+                tiny_qmodel,
+                config=design.config,
+                significance=tiny_pipeline_result.significance,
+                unpacked=tiny_pipeline_result.unpacked,
+            ),
+        }
+        reports = {
+            name: deploy(engine, STM32U575, images, labels, model_name="tiny_cnn")
+            for name, engine in engines.items()
+        }
+        for report in reports.values():
+            assert report.fits
+            assert report.energy_mj == pytest.approx(
+                STM32U575.energy_mj(report.latency_ms / 1e3), rel=1e-9
+            )
+        # The approximate design executes fewer MACs than both exact engines.
+        assert reports["ataman"].mac_ops <= reports["cmsis"].mac_ops
+        # Accuracy of the selected design respects the 10% budget on the DSE set
+        # and stays within a sane distance of it on the larger evaluation set.
+        assert reports["ataman"].top1_accuracy >= reports["cmsis"].top1_accuracy - 0.20
+
+    def test_unpacked_code_describes_deployed_design(self, tiny_qmodel, tiny_pipeline_result):
+        """The generated code's retained-MAC count matches the engine's conv MACs per position."""
+        design = tiny_pipeline_result.select(0.10)
+        masks = design.config.build_masks(tiny_pipeline_result.significance)
+        pipeline = AtamanPipeline(tiny_qmodel)
+        code = pipeline.generate_code(tiny_pipeline_result, design=design)
+        for name, unpacked in tiny_pipeline_result.unpacked.items():
+            retained = unpacked.retained_operands(masks.get(name))
+            skipped = unpacked.total_operands - retained
+            assert f"{retained} retained" in code
+            if skipped:
+                assert f"{skipped} skipped" in code
+
+    def test_retraining_free_property(self, tiny_qmodel, tiny_pipeline_result, small_split):
+        """Approximation never touches the stored weights: the exact model is unchanged."""
+        before = [layer.weights.copy() for layer in tiny_qmodel.conv_layers()]
+        design = tiny_pipeline_result.select(0.05)
+        engine = AtamanEngine(
+            tiny_qmodel,
+            config=design.config,
+            significance=tiny_pipeline_result.significance,
+            unpacked=tiny_pipeline_result.unpacked,
+        )
+        engine.evaluate_accuracy(small_split.test.images[:32], small_split.test.labels[:32])
+        after = [layer.weights for layer in tiny_qmodel.conv_layers()]
+        for w_before, w_after in zip(before, after):
+            np.testing.assert_array_equal(w_before, w_after)
+
+    def test_second_model_through_pipeline(self, small_split):
+        """A freshly-built (untrained) model still flows through every stage."""
+        from repro.models import build_micro_cnn
+        from repro.quant import quantize_model
+
+        model = build_micro_cnn(input_shape=(16, 16, 3), n_classes=10, rng=9)
+        model.input_shape = (16, 16, 3)
+        qmodel = quantize_model(model, small_split.calibration.images[:32])
+        pipeline = AtamanPipeline(qmodel)
+        result = pipeline.run(
+            small_split.calibration.images[:32],
+            small_split.test.images[:48],
+            small_split.test.labels[:48],
+            dse_config=DSEConfig(tau_values=[0.0, 0.05]),
+        )
+        assert len(result.dse.points) >= 2
+        report = pipeline.deploy(
+            result, 1.0, small_split.test.images[:32], small_split.test.labels[:32]
+        )
+        assert report.fits

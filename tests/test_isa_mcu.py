@@ -1,0 +1,200 @@
+"""Tests for the instruction cost model, board profiles and the MCU deployment simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa import (
+    COST_PARAMS,
+    STM32H743,
+    STM32U575,
+    ExecutionStyle,
+    KernelCostModel,
+    cycles_to_latency_ms,
+    get_board,
+    list_boards,
+)
+from repro.kernels import CycleCounter, KernelStats
+from repro.mcu import DeploymentError, FlashBudget, MemoryLayout, RamBudget, deploy, energy_mj
+from repro.mcu.memory import FlashBudget as FB
+
+
+class TestBoardProfiles:
+    def test_paper_board_parameters(self):
+        assert STM32U575.clock_hz == pytest.approx(160e6)
+        assert STM32U575.flash_bytes == 2 * 1024 * 1024
+        assert STM32U575.ram_bytes == 768 * 1024
+        assert STM32U575.cpu == "Cortex-M33"
+
+    def test_derived_properties(self):
+        assert STM32U575.clock_mhz == pytest.approx(160.0)
+        assert STM32U575.flash_kb == pytest.approx(2048.0)
+        assert STM32U575.available_flash_bytes < STM32U575.flash_bytes
+        assert STM32U575.available_ram_bytes < STM32U575.ram_bytes
+
+    def test_cycles_to_seconds(self):
+        assert STM32U575.cycles_to_seconds(160e6) == pytest.approx(1.0)
+
+    def test_energy_consistent_with_table2(self):
+        """82.8 ms at ~33 mW gives ~2.7 mJ, matching Table II's CMSIS LeNet entry."""
+        assert STM32U575.energy_mj(0.0828) == pytest.approx(2.73, rel=0.05)
+
+    def test_registry(self):
+        assert "stm32u575" in list_boards()
+        assert get_board("STM32U575") is STM32U575
+        with pytest.raises(ValueError):
+            get_board("esp32")
+
+    def test_h743_is_faster(self):
+        assert STM32H743.clock_hz > STM32U575.clock_hz
+
+
+class TestCostModel:
+    def _counter(self, macs=1000, skipped=0, outputs=100, patches=200):
+        counter = CycleCounter()
+        counter.record(
+            "layer",
+            KernelStats(macs=macs, macs_skipped=skipped, output_elements=outputs, patch_elements=patches),
+        )
+        return counter
+
+    def test_all_styles_have_params(self):
+        for style in ExecutionStyle:
+            assert style in COST_PARAMS
+            model = KernelCostModel(style)
+            assert model.estimate_cycles(self._counter()) > 0
+
+    def test_more_macs_cost_more(self):
+        model = KernelCostModel(ExecutionStyle.CMSIS_PACKED)
+        assert model.estimate_cycles(self._counter(macs=2000)) > model.estimate_cycles(self._counter(macs=1000))
+
+    def test_skipped_macs_free_only_when_unpacked(self):
+        exact = self._counter(macs=1000, skipped=0)
+        skipped = self._counter(macs=500, skipped=500)
+        packed = KernelCostModel(ExecutionStyle.CMSIS_PACKED)
+        unpacked = KernelCostModel(ExecutionStyle.UNPACKED)
+        # Packed kernels cannot exploit skipping: same total cost.
+        assert packed.estimate_cycles(skipped) == pytest.approx(packed.estimate_cycles(exact))
+        # Unpacked kernels simply omit the instructions: cheaper.
+        assert unpacked.estimate_cycles(skipped) < unpacked.estimate_cycles(exact)
+
+    def test_xcube_faster_than_cmsis_on_same_counter(self):
+        counter = self._counter(macs=100_000, outputs=1000, patches=5000)
+        cmsis = KernelCostModel(ExecutionStyle.CMSIS_PACKED).estimate_cycles(counter)
+        xcube = KernelCostModel(ExecutionStyle.XCUBE_AI).estimate_cycles(counter)
+        utvm = KernelCostModel(ExecutionStyle.UTVM).estimate_cycles(counter)
+        assert xcube < cmsis < utvm
+
+    def test_per_layer_breakdown(self):
+        counter = CycleCounter()
+        counter.record("conv1", KernelStats(macs=500))
+        counter.record("conv2", KernelStats(macs=1500))
+        model = KernelCostModel(ExecutionStyle.CMSIS_PACKED)
+        total, per_layer = model.estimate(counter)
+        assert set(per_layer) == {"conv1", "conv2"}
+        assert per_layer["conv2"].cycles > per_layer["conv1"].cycles
+        assert total == pytest.approx(
+            model.params.cycles_fixed + per_layer["conv1"].cycles + per_layer["conv2"].cycles
+        )
+
+    def test_latency_conversion(self):
+        assert cycles_to_latency_ms(160_000, STM32U575) == pytest.approx(1.0)
+        model = KernelCostModel(ExecutionStyle.CMSIS_PACKED)
+        counter = self._counter()
+        assert model.latency_ms(counter, STM32U575) == pytest.approx(
+            cycles_to_latency_ms(model.estimate_cycles(counter), STM32U575)
+        )
+
+
+class TestMemoryBudgets:
+    def test_flash_budget_totals(self):
+        flash = FlashBudget(weights=1000, kernel_code=2000, runtime=500, unpacked_code=1500)
+        assert flash.total == 5000
+        assert flash.total_kb == pytest.approx(5000 / 1024)
+        assert flash.as_dict()["total"] == 5000
+
+    def test_ram_budget_totals(self):
+        ram = RamBudget(activations=4096, im2col_buffer=512, runtime=1024)
+        assert ram.total == 5632
+
+    def test_layout_fit_and_utilisation(self):
+        layout = MemoryLayout(
+            flash=FlashBudget(weights=100 * 1024, kernel_code=50 * 1024, runtime=10 * 1024),
+            ram=RamBudget(activations=100 * 1024, runtime=20 * 1024),
+        )
+        assert layout.fits(STM32U575)
+        assert 0 < layout.flash_utilisation(STM32U575) < 1
+        assert layout.headroom(STM32U575)["flash"] > 0
+
+    def test_layout_over_budget(self):
+        layout = MemoryLayout(
+            flash=FlashBudget(weights=3 * 1024 * 1024),
+            ram=RamBudget(activations=10),
+        )
+        assert not layout.fits(STM32U575)
+        assert layout.headroom(STM32U575)["flash"] < 0
+
+
+class TestEnergy:
+    def test_linear_in_latency(self):
+        assert energy_mj(100, STM32U575) == pytest.approx(2 * energy_mj(50, STM32U575))
+
+    def test_static_overhead(self):
+        assert energy_mj(10, STM32U575, static_overhead_mj=0.5) == pytest.approx(
+            energy_mj(10, STM32U575) + 0.5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_mj(-1, STM32U575)
+        with pytest.raises(ValueError):
+            energy_mj(1, STM32U575, static_overhead_mj=-1)
+
+
+class _FakeEngine:
+    """Minimal engine satisfying the deployment protocol."""
+
+    name = "fake"
+    model_name = "fake_model"
+
+    def __init__(self, flash_bytes=100 * 1024, ram_bytes=50 * 1024, latency=12.0):
+        self._flash = flash_bytes
+        self._ram = ram_bytes
+        self._latency = latency
+
+    def latency_ms(self, board):
+        return self._latency
+
+    def memory_layout(self, board):
+        return MemoryLayout(flash=FlashBudget(weights=self._flash), ram=RamBudget(activations=self._ram))
+
+    def evaluate_accuracy(self, images, labels):
+        return 0.75
+
+    def total_macs(self):
+        return 123_456
+
+
+class TestDeploy:
+    def test_report_fields(self):
+        report = deploy(_FakeEngine(), STM32U575, np.zeros((2, 4, 4, 3), np.float32), np.zeros(2, int))
+        assert report.engine == "fake"
+        assert report.top1_accuracy == pytest.approx(0.75)
+        assert report.latency_ms == pytest.approx(12.0)
+        assert report.energy_mj == pytest.approx(energy_mj(12.0, STM32U575))
+        assert report.mac_ops == 123_456
+        assert report.fits
+        assert "memory" in report.details
+        assert report.as_dict()["engine"] == "fake"
+
+    def test_accuracy_nan_without_eval_data(self):
+        report = deploy(_FakeEngine(), STM32U575)
+        assert np.isnan(report.top1_accuracy)
+
+    def test_strict_raises_when_over_budget(self):
+        oversized = _FakeEngine(flash_bytes=10 * 1024 * 1024)
+        report = deploy(oversized, STM32U575)
+        assert not report.fits
+        with pytest.raises(DeploymentError):
+            deploy(oversized, STM32U575, strict=True)

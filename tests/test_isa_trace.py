@@ -1,0 +1,127 @@
+"""Tests for the instruction-level trace model of the unpacked kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    COST_PARAMS,
+    ExecutionStyle,
+    InstructionTrace,
+    OPCODE_CYCLES,
+    effective_cycles_per_mac,
+    trace_model_cycles,
+    trace_unpacked_conv,
+)
+
+
+def _weights(out_c=4, k=27, seed=0):
+    return np.random.default_rng(seed).integers(-127, 128, size=(out_c, k), dtype=np.int8)
+
+
+class TestTraceConstruction:
+    def test_opcode_counts_exact_layer(self):
+        weights = _weights(out_c=2, k=6)
+        trace = trace_unpacked_conv(weights, spatial_positions=10)
+        # 3 SMLAD pairs per channel, 2 channels.
+        assert trace.opcode_counts["SMLAD"] == 6
+        assert trace.opcode_counts["MOVW"] == 6
+        assert trace.opcode_counts["MOVT"] == 6
+        # One activation load per pair + one bias load per channel.
+        assert trace.opcode_counts["LDR"] == 6 + 2
+        assert trace.opcode_counts["MLA"] == 0
+        assert trace.opcode_counts["STRB"] == 2
+        assert trace.spatial_positions == 10
+
+    def test_odd_operand_uses_single_mac(self):
+        weights = _weights(out_c=1, k=5)
+        trace = trace_unpacked_conv(weights, spatial_positions=1)
+        assert trace.opcode_counts["SMLAD"] == 2
+        assert trace.opcode_counts["MLA"] == 1
+        assert trace.opcode_counts["LDRB"] == 1
+
+    def test_mask_removes_instructions(self):
+        weights = _weights(out_c=3, k=20)
+        full = trace_unpacked_conv(weights, spatial_positions=4)
+        mask = np.zeros_like(weights, dtype=bool)
+        mask[:, :10] = True
+        masked = trace_unpacked_conv(weights, spatial_positions=4, mask=mask)
+        assert masked.opcode_counts["SMLAD"] == full.opcode_counts["SMLAD"] // 2
+        assert masked.instructions_per_position < full.instructions_per_position
+        assert masked.code_bytes < full.code_bytes
+
+    def test_empty_mask_keeps_epilogue_only(self):
+        weights = _weights(out_c=2, k=8)
+        mask = np.zeros_like(weights, dtype=bool)
+        trace = trace_unpacked_conv(weights, spatial_positions=1, mask=mask)
+        assert trace.opcode_counts["SMLAD"] == 0
+        assert trace.opcode_counts["STRB"] == 2  # outputs still produced (bias only)
+
+    def test_validation(self):
+        weights = _weights()
+        with pytest.raises(ValueError):
+            trace_unpacked_conv(weights, spatial_positions=0)
+        with pytest.raises(ValueError):
+            trace_unpacked_conv(np.zeros(5, np.int8), spatial_positions=1)
+        with pytest.raises(ValueError):
+            trace_unpacked_conv(weights, spatial_positions=1, mask=np.ones((1, 1), bool))
+
+
+class TestTraceCosting:
+    def test_cycles_positive_and_scale_with_positions(self):
+        weights = _weights()
+        t1 = trace_unpacked_conv(weights, spatial_positions=1)
+        t10 = trace_unpacked_conv(weights, spatial_positions=10)
+        assert t10.total_cycles() == pytest.approx(10 * t1.total_cycles(), rel=1e-9)
+        assert t1.cycles_per_position() > 0
+
+    def test_flash_wait_states_increase_cycles(self):
+        weights = _weights()
+        trace = trace_unpacked_conv(weights, spatial_positions=1)
+        assert trace.cycles_per_position(flash_wait_per_word=0.5) > trace.cycles_per_position(0.0)
+
+    def test_all_opcodes_have_costs(self):
+        weights = _weights(out_c=3, k=7)
+        trace = trace_unpacked_conv(weights, spatial_positions=2)
+        for opcode in trace.opcode_counts:
+            assert opcode in OPCODE_CYCLES
+
+    def test_trace_model_cycles_sums(self):
+        traces = [trace_unpacked_conv(_weights(seed=s), spatial_positions=3) for s in range(3)]
+        assert trace_model_cycles(traces) == pytest.approx(sum(t.total_cycles() for t in traces))
+
+    def test_effective_cycles_per_mac_consistent_with_cost_model(self):
+        """The trace-implied per-MAC cost should be in the neighbourhood of the
+        aggregate UNPACKED cost-model constant (same order, within ~2x)."""
+        weights = _weights(out_c=32, k=400, seed=3)
+        trace = trace_unpacked_conv(weights, spatial_positions=1)
+        per_mac = effective_cycles_per_mac(trace, retained_macs_per_position=32 * 400)
+        analytic = COST_PARAMS[ExecutionStyle.UNPACKED].cycles_per_mac
+        assert 0.5 * analytic < per_mac < 2.0 * analytic
+
+    def test_effective_cycles_validation(self):
+        trace = trace_unpacked_conv(_weights(), spatial_positions=1)
+        with pytest.raises(ValueError):
+            effective_cycles_per_mac(trace, 0)
+
+    def test_as_dict(self):
+        trace = trace_unpacked_conv(_weights(), spatial_positions=2, name="conv_x")
+        payload = trace.as_dict()
+        assert payload["name"] == "conv_x"
+        assert payload["total_cycles"] == pytest.approx(trace.total_cycles())
+
+
+@given(out_c=st.integers(1, 8), k=st.integers(1, 64), positions=st.integers(1, 50))
+@settings(max_examples=40, deadline=None)
+def test_trace_instruction_count_property(out_c, k, positions):
+    """Instruction counts grow linearly with retained operands and channels."""
+    weights = np.random.default_rng(0).integers(-127, 128, size=(out_c, k), dtype=np.int8)
+    trace = trace_unpacked_conv(weights, spatial_positions=positions)
+    pairs, odd = divmod(k, 2)
+    assert trace.opcode_counts["SMLAD"] == out_c * pairs
+    assert trace.opcode_counts["MLA"] == out_c * odd
+    assert trace.spatial_positions == positions
+    assert trace.code_bytes == 4 * trace.instructions_per_position

@@ -1,0 +1,117 @@
+"""Tests for the model zoo: paper topologies, MAC budgets, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_REGISTRY,
+    build_alexnet,
+    build_lenet,
+    build_micro_cnn,
+    build_model,
+    build_tiny_cnn,
+    build_tiny_mlp,
+    list_models,
+)
+from repro.models.registry import register_model
+from repro.nn import Sequential
+
+
+class TestLeNet:
+    def test_topology_matches_paper(self):
+        model = build_lenet()
+        assert model.topology() == {"conv": 3, "pool": 2, "fc": 2}
+
+    def test_mac_budget_matches_paper(self):
+        """Table I reports ~4.5M MACs for the LeNet variant."""
+        model = build_lenet()
+        assert model.total_macs() == pytest.approx(4.5e6, rel=0.05)
+
+    def test_forward_shape(self):
+        model = build_lenet()
+        out = model.forward(np.zeros((2, 32, 32, 3), dtype=np.float32))
+        assert out.shape == (2, 10)
+
+    def test_width_multiplier_scales_params(self):
+        full = build_lenet(width_multiplier=1.0)
+        half = build_lenet(width_multiplier=0.5)
+        assert half.n_params < full.n_params
+        assert half.forward(np.zeros((1, 32, 32, 3), np.float32)).shape == (1, 10)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_lenet(width_multiplier=0)
+
+    def test_custom_classes(self):
+        model = build_lenet(n_classes=4)
+        assert model.forward(np.zeros((1, 32, 32, 3), np.float32)).shape == (1, 4)
+
+
+class TestAlexNet:
+    def test_topology_matches_paper(self):
+        model = build_alexnet()
+        assert model.topology() == {"conv": 5, "pool": 2, "fc": 2}
+
+    def test_mac_budget_matches_paper(self):
+        """Table I reports ~16.1M MACs for the AlexNet variant."""
+        model = build_alexnet()
+        assert model.total_macs() == pytest.approx(16.1e6, rel=0.05)
+
+    def test_forward_shape(self):
+        model = build_alexnet(width_multiplier=0.25)
+        out = model.forward(np.zeros((2, 32, 32, 3), dtype=np.float32))
+        assert out.shape == (2, 10)
+
+    def test_dropout_variant(self):
+        model = build_alexnet(width_multiplier=0.25, dropout=0.3)
+        assert any(layer.__class__.__name__ == "Dropout" for layer in model)
+
+    def test_macs_larger_than_lenet(self):
+        assert build_alexnet().total_macs() > build_lenet().total_macs()
+
+
+class TestSmallModels:
+    @pytest.mark.parametrize("builder,shape", [
+        (build_tiny_cnn, (16, 16, 3)),
+        (build_micro_cnn, (8, 8, 1)),
+    ])
+    def test_forward(self, builder, shape):
+        model = builder(input_shape=shape)
+        out = model.forward(np.zeros((2,) + shape, dtype=np.float32))
+        assert out.shape[0] == 2
+
+    def test_tiny_mlp(self):
+        model = build_tiny_mlp(in_features=12, n_classes=5)
+        assert model.forward(np.zeros((3, 12), np.float32)).shape == (3, 5)
+
+
+class TestRegistry:
+    def test_list_models(self):
+        names = list_models()
+        assert {"lenet", "alexnet", "tiny_cnn", "micro_cnn", "tiny_mlp"} <= set(names)
+
+    def test_build_by_name(self):
+        model = build_model("tiny_mlp", in_features=6, n_classes=2)
+        assert isinstance(model, Sequential)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            build_model("resnet152")
+
+    def test_register_custom_model(self):
+        def builder(**kwargs):
+            return build_tiny_mlp(**kwargs)
+
+        register_model("custom_test_model", builder, overwrite=True)
+        assert "custom_test_model" in list_models()
+        with pytest.raises(ValueError):
+            register_model("custom_test_model", builder)
+        MODEL_REGISTRY.pop("custom_test_model")
+
+    def test_seeded_builds_are_reproducible(self):
+        a = build_tiny_cnn(rng=3)
+        b = build_tiny_cnn(rng=3)
+        for p_a, p_b in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(p_a.value, p_b.value)

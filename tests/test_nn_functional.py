@@ -1,0 +1,211 @@
+"""Tests for repro.nn.functional (im2col, convolution, pooling, softmax)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+def naive_conv2d(x, weights, bias, stride, padding):
+    """Reference convolution with explicit loops (NHWC / OHWI)."""
+    n, in_h, in_w, in_c = x.shape
+    out_c, kh, kw, _ = weights.shape
+    sh, sw = stride
+    ph, pw = padding
+    xp = np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)))
+    out_h = (in_h + 2 * ph - kh) // sh + 1
+    out_w = (in_w + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, out_h, out_w, out_c), dtype=np.float64)
+    for b in range(n):
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = xp[b, i * sh : i * sh + kh, j * sw : j * sw + kw, :]
+                for c in range(out_c):
+                    out[b, i, j, c] = (patch * weights[c]).sum()
+    if bias is not None:
+        out += bias
+    return out
+
+
+class TestPairAndShapes:
+    @pytest.mark.parametrize("value,expected", [(3, (3, 3)), ((2, 5), (2, 5)), ([4, 1], (4, 1))])
+    def test_pair(self, value, expected):
+        assert F.pair(value) == expected
+
+    def test_pair_rejects_triplet(self):
+        with pytest.raises(ValueError):
+            F.pair((1, 2, 3))
+
+    @pytest.mark.parametrize(
+        "in_h,in_w,kernel,stride,padding,expected",
+        [
+            (32, 32, (3, 3), (1, 1), (1, 1), (32, 32)),
+            (32, 32, (5, 5), (1, 1), (0, 0), (28, 28)),
+            (32, 32, (2, 2), (2, 2), (0, 0), (16, 16)),
+            (8, 10, (3, 3), (2, 2), (1, 1), (4, 5)),
+        ],
+    )
+    def test_conv_output_shape(self, in_h, in_w, kernel, stride, padding, expected):
+        assert F.conv_output_shape(in_h, in_w, kernel, stride, padding) == expected
+
+    def test_conv_output_shape_invalid(self):
+        with pytest.raises(ValueError):
+            F.conv_output_shape(2, 2, (5, 5), (1, 1), (0, 0))
+
+
+class TestIm2col:
+    def test_im2col_shape(self, rng):
+        x = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+        cols = F.im2col(x, (3, 3), (1, 1), (1, 1))
+        assert cols.shape == (2, 8, 8, 27)
+
+    def test_im2col_identity_kernel(self, rng):
+        x = rng.normal(size=(1, 5, 5, 2)).astype(np.float32)
+        cols = F.im2col(x, (1, 1), (1, 1), (0, 0))
+        np.testing.assert_allclose(cols.reshape(x.shape), x)
+
+    def test_im2col_matches_manual_patch(self, rng):
+        x = rng.normal(size=(1, 6, 6, 2)).astype(np.float32)
+        cols = F.im2col(x, (3, 3), (1, 1), (0, 0))
+        manual = x[0, 1:4, 2:5, :].reshape(-1)
+        np.testing.assert_allclose(cols[0, 1, 2], manual)
+
+    def test_im2col_pad_value(self):
+        x = np.ones((1, 2, 2, 1), dtype=np.float32)
+        cols = F.im2col(x, (3, 3), (1, 1), (1, 1), pad_value=-7.0)
+        # Top-left patch touches 5 padded positions.
+        assert (cols[0, 0, 0] == -7.0).sum() == 5
+
+    def test_im2col_rejects_non_nhwc(self):
+        with pytest.raises(ValueError):
+            F.im2col(np.zeros((3, 3)), (2, 2), (1, 1), (0, 0))
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> -- the defining adjoint property."""
+        x = rng.normal(size=(2, 6, 6, 3))
+        y = rng.normal(size=(2, 6, 6, 27))
+        cols = F.im2col(x, (3, 3), (1, 1), (1, 1))
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im(y, x.shape, (3, 3), (1, 1), (1, 1))).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+
+class TestConvForwardBackward:
+    @pytest.mark.parametrize("stride,padding", [((1, 1), (0, 0)), ((1, 1), (1, 1)), ((2, 2), (1, 1))])
+    def test_conv_forward_matches_naive(self, rng, stride, padding):
+        x = rng.normal(size=(2, 7, 7, 3)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=4).astype(np.float32)
+        out, _ = F.conv2d_forward(x, w, b, stride, padding)
+        np.testing.assert_allclose(out, naive_conv2d(x, w, b, stride, padding), rtol=1e-4, atol=1e-4)
+
+    def test_conv_forward_channel_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d_forward(np.zeros((1, 4, 4, 2), np.float32), np.zeros((3, 3, 3, 5), np.float32), None)
+
+    def test_conv_backward_numerical_gradient(self, rng):
+        x = rng.normal(size=(1, 5, 5, 2)).astype(np.float64)
+        w = rng.normal(size=(3, 3, 3, 2)).astype(np.float64)
+        b = rng.normal(size=3).astype(np.float64)
+        out, cols = F.conv2d_forward(x, w, b, (1, 1), (1, 1))
+        grad_out = rng.normal(size=out.shape)
+        grad_x, grad_w, grad_b = F.conv2d_backward(grad_out, cols, w, x.shape, (1, 1), (1, 1))
+
+        eps = 1e-5
+        # Spot-check a few weight gradient entries against finite differences.
+        for idx in [(0, 0, 0, 0), (1, 2, 1, 1), (2, 0, 2, 0)]:
+            w_plus, w_minus = w.copy(), w.copy()
+            w_plus[idx] += eps
+            w_minus[idx] -= eps
+            f_plus = (F.conv2d_forward(x, w_plus, b, (1, 1), (1, 1))[0] * grad_out).sum()
+            f_minus = (F.conv2d_forward(x, w_minus, b, (1, 1), (1, 1))[0] * grad_out).sum()
+            assert grad_w[idx] == pytest.approx((f_plus - f_minus) / (2 * eps), rel=1e-3, abs=1e-5)
+        # And one input gradient entry.
+        idx = (0, 2, 3, 1)
+        x_plus, x_minus = x.copy(), x.copy()
+        x_plus[idx] += eps
+        x_minus[idx] -= eps
+        f_plus = (F.conv2d_forward(x_plus, w, b, (1, 1), (1, 1))[0] * grad_out).sum()
+        f_minus = (F.conv2d_forward(x_minus, w, b, (1, 1), (1, 1))[0] * grad_out).sum()
+        assert grad_x[idx] == pytest.approx((f_plus - f_minus) / (2 * eps), rel=1e-3, abs=1e-5)
+        assert grad_b.shape == (3,)
+
+
+class TestPooling:
+    def test_maxpool_forward_simple(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out, argmax = F.maxpool_forward(x, (2, 2), (2, 2))
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+        assert argmax.shape == (1, 2, 2, 1)
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out, argmax = F.maxpool_forward(x, (2, 2), (2, 2))
+        grad = np.ones_like(out)
+        grad_x = F.maxpool_backward(grad, argmax, x.shape, (2, 2), (2, 2))
+        assert grad_x.sum() == pytest.approx(4.0)
+        assert grad_x[0, 1, 1, 0] == 1.0  # position of value 5
+        assert grad_x[0, 0, 0, 0] == 0.0
+
+    def test_avgpool_forward(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = F.avgpool_forward(x, (2, 2), (2, 2))
+        np.testing.assert_allclose(out[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_backward_uniform(self):
+        grad = np.ones((1, 2, 2, 1), dtype=np.float32)
+        grad_x = F.avgpool_backward(grad, (1, 4, 4, 1), (2, 2), (2, 2))
+        np.testing.assert_allclose(grad_x, np.full((1, 4, 4, 1), 0.25))
+
+
+class TestSoftmaxAndHelpers:
+    def test_softmax_sums_to_one(self, rng):
+        logits = rng.normal(size=(5, 10)) * 10
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-6)
+        assert (probs >= 0).all()
+
+    def test_softmax_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 7))
+        np.testing.assert_allclose(F.softmax(logits), F.softmax(logits + 100.0), rtol=1e-6)
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(np.exp(F.log_softmax(logits)), F.softmax(logits), rtol=1e-6)
+
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_relu_and_grad(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(F.relu(x), [0.0, 0.0, 2.0])
+        np.testing.assert_array_equal(F.relu_grad(x, np.ones_like(x)), [0.0, 0.0, 1.0])
+
+
+@given(
+    n=st.integers(1, 3),
+    h=st.integers(4, 9),
+    w=st.integers(4, 9),
+    c=st.integers(1, 3),
+    k=st.integers(1, 3),
+)
+@settings(max_examples=20, deadline=None)
+def test_im2col_reconstruction_property(n, h, w, c, k):
+    """Summing col2im(im2col(x)) counts each pixel once per window it belongs to."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(n, h, w, c))
+    cols = F.im2col(x, (k, k), (1, 1), (0, 0))
+    back = F.col2im(cols, x.shape, (k, k), (1, 1), (0, 0))
+    # Interior pixels are covered by exactly k*k windows (for stride 1, no padding),
+    # so the reconstruction equals x * coverage, where coverage >= 1 everywhere a window fits.
+    coverage = F.col2im(np.ones_like(cols), x.shape, (k, k), (1, 1), (0, 0))
+    np.testing.assert_allclose(back, x * coverage, rtol=1e-6, atol=1e-9)

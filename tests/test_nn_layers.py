@@ -1,0 +1,288 @@
+"""Tests for the float layer implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.layers.base import Layer, Parameter
+
+
+def numerical_param_grad(layer, param, x, grad_out, eps=1e-4):
+    """Central finite difference of sum(output * grad_out) w.r.t. one parameter entry."""
+    grads = np.zeros_like(param.value)
+    it = np.nditer(param.value, flags=["multi_index"])
+    count = 0
+    while not it.finished and count < 6:
+        idx = it.multi_index
+        original = param.value[idx]
+        param.value[idx] = original + eps
+        f_plus = float((layer.forward(x) * grad_out).sum())
+        param.value[idx] = original - eps
+        f_minus = float((layer.forward(x) * grad_out).sum())
+        param.value[idx] = original
+        grads[idx] = (f_plus - f_minus) / (2 * eps)
+        count += 1
+        it.iternext()
+    return grads, count
+
+
+class TestParameter:
+    def test_accumulate_and_zero(self):
+        p = Parameter(np.zeros((2, 2)), name="w")
+        p.accumulate_grad(np.ones((2, 2)))
+        p.accumulate_grad(np.ones((2, 2)))
+        np.testing.assert_array_equal(p.grad, 2 * np.ones((2, 2)))
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_shape_mismatch_raises(self):
+        p = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            p.accumulate_grad(np.ones((3,)))
+
+    def test_size_and_shape(self):
+        p = Parameter(np.zeros((3, 4)))
+        assert p.size == 12 and p.shape == (3, 4)
+
+
+class TestBaseLayer:
+    def test_not_implemented(self):
+        layer = Layer()
+        with pytest.raises(NotImplementedError):
+            layer.forward(np.zeros(3))
+        with pytest.raises(NotImplementedError):
+            layer.backward(np.zeros(3))
+
+    def test_train_eval_toggle(self):
+        layer = ReLU()
+        assert layer.training
+        layer.eval()
+        assert not layer.training
+        layer.train()
+        assert layer.training
+
+
+class TestConv2D:
+    def test_output_shape_and_macs(self):
+        conv = Conv2D(3, 8, kernel_size=3, padding=1, rng=0)
+        assert conv.output_shape((16, 16, 3)) == (16, 16, 8)
+        assert conv.macs((16, 16, 3)) == 16 * 16 * 8 * 9 * 3
+
+    def test_forward_backward_shapes(self, rng):
+        conv = Conv2D(2, 4, kernel_size=3, padding=1, rng=0)
+        x = rng.normal(size=(3, 6, 6, 2)).astype(np.float32)
+        out = conv.forward(x)
+        assert out.shape == (3, 6, 6, 4)
+        grad_x = conv.backward(np.ones_like(out))
+        assert grad_x.shape == x.shape
+        assert conv.weight.grad is not None and conv.bias.grad is not None
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        conv = Conv2D(2, 3, kernel_size=3, rng=0)
+        x = rng.normal(size=(2, 5, 5, 2)).astype(np.float64)
+        grad_out = rng.normal(size=(2, 3, 3, 3))
+        out = conv.forward(x)
+        conv.backward(grad_out)
+        analytic = conv.weight.grad
+        numeric, count = numerical_param_grad(conv, conv.weight, x, grad_out)
+        flat_a = analytic.reshape(-1)[:count]
+        flat_n = numeric.reshape(-1)[:count]
+        # The layer computes in float32, so the finite-difference probe is
+        # limited to ~1% relative precision.
+        np.testing.assert_allclose(flat_a, flat_n, rtol=2e-2, atol=1e-3)
+
+    def test_backward_before_forward_raises(self):
+        conv = Conv2D(1, 1, kernel_size=1)
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 1, 1, 1)))
+
+    def test_no_bias(self, rng):
+        conv = Conv2D(2, 3, kernel_size=3, use_bias=False, rng=0)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 4, kernel_size=3)
+
+    def test_channel_mismatch_in_output_shape(self):
+        conv = Conv2D(3, 4, kernel_size=3)
+        with pytest.raises(ValueError):
+            conv.output_shape((8, 8, 5))
+
+
+class TestDense:
+    def test_forward_matches_matmul(self, rng):
+        dense = Dense(6, 4, rng=0)
+        x = rng.normal(size=(5, 6)).astype(np.float32)
+        expected = x @ dense.weight.value + dense.bias.value
+        np.testing.assert_allclose(dense.forward(x), expected, rtol=1e-6)
+
+    def test_backward_gradients(self, rng):
+        dense = Dense(4, 3, rng=0)
+        x = rng.normal(size=(7, 4)).astype(np.float32)
+        out = dense.forward(x)
+        grad_out = rng.normal(size=out.shape).astype(np.float32)
+        grad_x = dense.backward(grad_out)
+        np.testing.assert_allclose(grad_x, grad_out @ dense.weight.value.T, rtol=1e-5)
+        np.testing.assert_allclose(dense.weight.grad, x.T @ grad_out, rtol=1e-5)
+        np.testing.assert_allclose(dense.bias.grad, grad_out.sum(axis=0), rtol=1e-5)
+
+    def test_rejects_wrong_features(self):
+        dense = Dense(4, 3)
+        with pytest.raises(ValueError):
+            dense.forward(np.zeros((2, 5), np.float32))
+        with pytest.raises(ValueError):
+            dense.output_shape((5,))
+
+    def test_macs(self):
+        assert Dense(128, 10).macs((128,)) == 1280
+
+
+class TestPoolingLayers:
+    @pytest.mark.parametrize("cls", [MaxPool2D, AvgPool2D])
+    def test_shapes(self, cls, rng):
+        pool = cls(kernel_size=2)
+        x = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+        out = pool.forward(x)
+        assert out.shape == (2, 4, 4, 3)
+        grad = pool.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert pool.output_shape((8, 8, 3)) == (4, 4, 3)
+
+    def test_default_stride_equals_kernel(self):
+        pool = MaxPool2D(kernel_size=3)
+        assert pool.stride == (3, 3)
+
+    @pytest.mark.parametrize("cls", [MaxPool2D, AvgPool2D])
+    def test_backward_before_forward(self, cls):
+        with pytest.raises(RuntimeError):
+            cls().backward(np.zeros((1, 2, 2, 1)))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [ReLU, Sigmoid, Tanh, Softmax])
+    def test_shape_preserved(self, cls, rng):
+        layer = cls()
+        x = rng.normal(size=(4, 10)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == x.shape
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert layer.output_shape((10,)) == (10,)
+
+    def test_relu_clips_negative(self):
+        out = ReLU().forward(np.array([[-2.0, 3.0]], dtype=np.float32))
+        np.testing.assert_array_equal(out, [[0.0, 3.0]])
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid().forward(rng.normal(size=(3, 5)).astype(np.float32) * 10)
+        # float32 saturates to exactly 0.0/1.0 for large |x|, so the bounds are inclusive.
+        assert ((out >= 0) & (out <= 1)).all()
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = Softmax().forward(rng.normal(size=(6, 4)).astype(np.float32))
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-5)
+
+    @pytest.mark.parametrize("cls", [ReLU, Sigmoid, Tanh, Softmax])
+    def test_backward_before_forward(self, cls):
+        with pytest.raises(RuntimeError):
+            cls().backward(np.zeros((1, 3)))
+
+    def test_tanh_gradient_numerical(self, rng):
+        layer = Tanh()
+        x = rng.normal(size=(2, 3)).astype(np.float64)
+        grad_out = rng.normal(size=(2, 3))
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+        eps = 1e-6
+        numeric = ((np.tanh(x + eps) - np.tanh(x - eps)) / (2 * eps)) * grad_out
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 4, 4, 2)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (3, 32)
+        assert layer.backward(out).shape == x.shape
+        assert layer.output_shape((4, 4, 2)) == (32,)
+
+    def test_dropout_identity_in_eval(self, rng):
+        layer = Dropout(rate=0.5, rng=0)
+        layer.eval()
+        x = rng.normal(size=(4, 10)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_dropout_scales_in_train(self, rng):
+        layer = Dropout(rate=0.5, rng=0)
+        x = np.ones((2000,), dtype=np.float32).reshape(200, 10)
+        out = layer.forward(x)
+        # Inverted dropout keeps the expectation roughly unchanged.
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+        # Mask reused in backward.
+        grad = layer.backward(np.ones_like(out))
+        assert set(np.unique(grad)).issubset({0.0, 2.0})
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(rate=1.0)
+
+
+class TestBatchNorm:
+    def test_normalises_in_training(self, rng):
+        bn = BatchNorm(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(64, 4)).astype(np.float32)
+        out = bn.forward(x)
+        assert out.mean(axis=0) == pytest.approx(np.zeros(4), abs=1e-5)
+        assert out.std(axis=0) == pytest.approx(np.ones(4), abs=1e-2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm(3, momentum=0.0)  # running stats = last batch stats
+        x = rng.normal(size=(32, 3)).astype(np.float32)
+        bn.forward(x)
+        bn.eval()
+        out_eval = bn.forward(x)
+        assert out_eval.mean() == pytest.approx(0.0, abs=0.1)
+
+    def test_backward_shapes_and_grads(self, rng):
+        bn = BatchNorm(5)
+        x = rng.normal(size=(16, 5)).astype(np.float32)
+        out = bn.forward(x)
+        grad = bn.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert bn.gamma.grad is not None and bn.beta.grad is not None
+
+    def test_state_dict_includes_running_stats(self, rng):
+        bn = BatchNorm(2)
+        bn.forward(rng.normal(size=(8, 2)).astype(np.float32))
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+        bn2 = BatchNorm(2)
+        bn2.load_state_dict(state)
+        np.testing.assert_allclose(bn2.running_mean, bn.running_mean)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            BatchNorm(3).forward(np.zeros((4, 5), np.float32))
+
+    def test_nhwc_input(self, rng):
+        bn = BatchNorm(3)
+        x = rng.normal(size=(2, 4, 4, 3)).astype(np.float32)
+        out = bn.forward(x)
+        assert out.shape == x.shape

@@ -1,0 +1,247 @@
+"""Tests for losses, optimizers, metrics, initialisers and the training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_tiny_mlp
+from repro.nn import Adam, CrossEntropyLoss, MSELoss, SGD, Trainer
+from repro.nn.init import get_initializer, glorot_uniform, he_normal, he_uniform, normal, uniform, zeros
+from repro.nn.layers.base import Parameter
+from repro.nn.metrics import accuracy, confusion_matrix, per_class_accuracy, top_k_accuracy
+from repro.nn.optim import LRScheduler
+from repro.nn import functional as F
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(6, 4)).astype(np.float32)
+        labels = rng.integers(0, 4, size=6)
+        value = loss.forward(logits, labels)
+        manual = -np.log(F.softmax(logits)[np.arange(6), labels]).mean()
+        assert value == pytest.approx(manual, rel=1e-5)
+
+    def test_gradient_matches_softmax_minus_onehot(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(5, 3)).astype(np.float32)
+        labels = rng.integers(0, 3, size=5)
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        expected = (F.softmax(logits) - F.one_hot(labels, 3)) / 5
+        np.testing.assert_allclose(grad, expected, rtol=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[20.0, -20.0], [-20.0, 20.0]], dtype=np.float32)
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_label_smoothing_increases_loss_on_confident_predictions(self):
+        logits = np.array([[20.0, -20.0]], dtype=np.float32)
+        labels = np.array([0])
+        plain = CrossEntropyLoss().forward(logits, labels)
+        smoothed = CrossEntropyLoss(label_smoothing=0.1).forward(logits, labels)
+        assert smoothed > plain
+
+    def test_invalid_inputs(self):
+        loss = CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3, 4), np.float32), np.zeros(2, np.int64))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3), np.float32), np.zeros(3, np.int64))
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+
+class TestMSE:
+    def test_value_and_gradient(self, rng):
+        loss = MSELoss()
+        pred = rng.normal(size=(4, 3)).astype(np.float32)
+        target = rng.normal(size=(4, 3)).astype(np.float32)
+        value = loss.forward(pred, target)
+        assert value == pytest.approx(np.mean((pred - target) ** 2), rel=1e-6)
+        np.testing.assert_allclose(loss.backward(), 2 * (pred - target) / pred.size, rtol=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        return Parameter(np.array([5.0, -3.0], dtype=np.float32), name="w")
+
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.1, "momentum": 0.9}),
+        (SGD, {"lr": 0.1, "momentum": 0.9, "nesterov": True}),
+        (Adam, {"lr": 0.2}),
+    ])
+    def test_minimises_quadratic(self, optimizer_cls, kwargs):
+        param = self._quadratic_param()
+        optimizer = optimizer_cls([param], **kwargs)
+        for _ in range(200):
+            optimizer.zero_grad()
+            param.accumulate_grad(2 * param.value)  # gradient of ||w||^2
+            optimizer.step()
+        assert np.abs(param.value).max() < 0.05
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.accumulate_grad(np.zeros(1, dtype=np.float32))
+        optimizer.step()
+        assert param.value[0] < 1.0
+
+    def test_skips_non_trainable(self):
+        frozen = Parameter(np.ones(2, dtype=np.float32), trainable=False)
+        optimizer = SGD([frozen], lr=0.1)
+        assert optimizer.parameters == []
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.ones(2, dtype=np.float32))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no gradient accumulated -> unchanged
+        np.testing.assert_array_equal(param.value, np.ones(2))
+
+    def test_invalid_hyperparameters(self):
+        param = Parameter(np.ones(1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            SGD([param], lr=-1)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, nesterov=True)
+        with pytest.raises(ValueError):
+            Adam([param], lr=0.1, betas=(1.2, 0.9))
+
+    def test_lr_scheduler_decays(self):
+        param = Parameter(np.ones(1, dtype=np.float32))
+        optimizer = SGD([param], lr=1.0)
+        scheduler = LRScheduler(optimizer, step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_lr_scheduler_validation(self):
+        param = Parameter(np.ones(1, dtype=np.float32))
+        optimizer = SGD([param], lr=1.0)
+        with pytest.raises(ValueError):
+            LRScheduler(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            LRScheduler(optimizer, step_size=1, gamma=2.0)
+
+
+class TestMetrics:
+    def test_accuracy_from_logits_and_classes(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+        assert accuracy(np.array([0, 1, 1]), labels) == pytest.approx(1.0)
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.zeros((0, 3)), np.zeros(0, dtype=int)) == 0.0
+
+    def test_accuracy_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+    def test_top_k(self):
+        logits = np.array([[0.1, 0.5, 0.4], [0.7, 0.2, 0.1]])
+        labels = np.array([2, 1])
+        assert top_k_accuracy(logits, labels, k=1) == pytest.approx(0.0)
+        assert top_k_accuracy(logits, labels, k=2) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(logits, labels, k=0)
+
+    def test_confusion_matrix(self):
+        predictions = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(predictions, labels, 3)
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1 and matrix[2, 1] == 1 and matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_per_class_accuracy(self):
+        predictions = np.array([0, 0, 1, 1])
+        labels = np.array([0, 0, 1, 0])
+        recalls = per_class_accuracy(predictions, labels, 2)
+        assert recalls[0] == pytest.approx(2 / 3)
+        assert recalls[1] == pytest.approx(1.0)
+
+
+class TestInitializers:
+    @pytest.mark.parametrize("name", ["zeros", "glorot_uniform", "he_normal", "he_uniform"])
+    def test_registry(self, name):
+        init = get_initializer(name)
+        values = init((8, 4), rng=0) if name != "zeros" else init((8, 4))
+        assert values.shape == (8, 4)
+        assert values.dtype == np.float32
+
+    def test_unknown_initializer(self):
+        with pytest.raises(ValueError):
+            get_initializer("does_not_exist")
+
+    def test_he_normal_scale(self):
+        values = he_normal((1000, 100), rng=0)
+        expected_std = np.sqrt(2.0 / 1000)
+        assert values.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_glorot_bounds(self):
+        values = glorot_uniform((50, 30), rng=0)
+        limit = np.sqrt(6.0 / 80)
+        assert np.abs(values).max() <= limit + 1e-6
+
+    def test_conv_fan_computation(self):
+        values = he_uniform((16, 3, 3, 8), rng=0)
+        limit = np.sqrt(6.0 / (8 * 9))
+        assert np.abs(values).max() <= limit + 1e-6
+
+    def test_zeros_and_uniform_and_normal(self):
+        assert zeros((3,)).sum() == 0
+        u = uniform((100,), -1, 1, rng=0)
+        assert (u >= -1).all() and (u < 1).all()
+        n = normal((100,), 0.5, rng=0)
+        assert n.std() == pytest.approx(0.5, rel=0.3)
+
+
+class TestTrainer:
+    def _toy_problem(self, rng, n=200, features=8, classes=3):
+        x = rng.normal(size=(n, features)).astype(np.float32)
+        true_w = rng.normal(size=(features, classes))
+        labels = (x @ true_w).argmax(axis=1)
+        return x, labels
+
+    def test_loss_decreases_and_history_filled(self, rng):
+        x, y = self._toy_problem(rng)
+        model = build_tiny_mlp(in_features=8, n_classes=3, hidden=16, rng=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=5e-3), rng=1)
+        history = trainer.fit(x, y, epochs=5, batch_size=32, x_val=x, y_val=y)
+        assert history.epochs == 5
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert history.val_accuracy[-1] > 0.6
+        assert history.best_val_accuracy() == max(history.val_accuracy)
+        assert set(history.as_dict()) == {"train_loss", "train_accuracy", "val_loss", "val_accuracy"}
+
+    def test_evaluate_returns_loss_and_accuracy(self, rng):
+        x, y = self._toy_problem(rng, n=64)
+        model = build_tiny_mlp(in_features=8, n_classes=3, rng=0)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05), rng=1)
+        loss, acc = trainer.evaluate(x, y)
+        assert loss > 0 and 0 <= acc <= 1
+
+    def test_callback_invoked_each_epoch(self, rng):
+        x, y = self._toy_problem(rng, n=60)
+        model = build_tiny_mlp(in_features=8, n_classes=3, rng=0)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05), rng=1)
+        calls = []
+        trainer.fit(x, y, epochs=3, batch_size=16, callback=lambda e, h: calls.append(e))
+        assert calls == [0, 1, 2]
+
+    def test_invalid_epochs(self, rng):
+        x, y = self._toy_problem(rng, n=30)
+        model = build_tiny_mlp(in_features=8, n_classes=3, rng=0)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        with pytest.raises(ValueError):
+            trainer.fit(x, y, epochs=0)

@@ -1,0 +1,172 @@
+"""Tests for quantized layers, the quantized model container, PTQ and folding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_tiny_cnn
+from repro.nn import BatchNorm, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential, Softmax
+from repro.nn.layers.dropout import Dropout
+from repro.quant import PTQConfig, QConv2D, QDense, QuantizedModel, quantize_model
+from repro.quant.folding import fold_batchnorm, fold_model
+from repro.quant.qlayers import QFlatten, QMaxPool2D, QReLU
+from repro.quant.quantizer import _quantize_conv_weights, _quantize_dense_weights
+
+
+class TestWeightQuantization:
+    def test_conv_weights_per_channel(self, rng):
+        conv = Conv2D(3, 4, kernel_size=3, rng=0)
+        conv.weight.value = rng.normal(size=conv.weight.shape).astype(np.float32)
+        q, params = _quantize_conv_weights(conv)
+        assert q.dtype == np.int8 and q.shape == conv.weight.shape
+        assert params.scale.shape == (4,)
+        # Per-channel max should map near 127.
+        recovered = q.reshape(4, -1).astype(np.float64) * params.scale[:, None]
+        original = conv.weight.value.reshape(4, -1)
+        assert np.abs(recovered - original).max() <= params.scale.max()
+
+    def test_dense_weights_per_output(self, rng):
+        dense = Dense(6, 5, rng=0)
+        q, params = _quantize_dense_weights(dense)
+        assert q.shape == (6, 5)
+        assert params.scale.shape == (5,)
+
+
+class TestFolding:
+    def test_fold_batchnorm_preserves_output(self, rng):
+        conv = Conv2D(2, 3, kernel_size=3, padding=1, rng=0)
+        bn = BatchNorm(3)
+        x = rng.normal(size=(4, 6, 6, 2)).astype(np.float32)
+        # Populate running statistics, then compare in eval mode.
+        bn.forward(conv.forward(x))
+        conv.eval(), bn.eval()
+        reference = bn.forward(conv.forward(x))
+        folded = fold_batchnorm(conv, bn)
+        folded.eval()
+        np.testing.assert_allclose(folded.forward(x), reference, rtol=1e-4, atol=1e-4)
+
+    def test_fold_batchnorm_mismatch(self):
+        with pytest.raises(ValueError):
+            fold_batchnorm(Conv2D(2, 3, kernel_size=3), BatchNorm(5))
+
+    def test_fold_model_removes_dropout_and_bn(self):
+        model = Sequential(
+            [
+                Conv2D(1, 2, kernel_size=3, padding=1, rng=0),
+                BatchNorm(2),
+                ReLU(),
+                Dropout(0.5, rng=0),
+                Flatten(),
+                Dense(2 * 16, 3, rng=0),
+            ],
+            input_shape=(4, 4, 1),
+        )
+        folded = fold_model(model)
+        names = [layer.__class__.__name__ for layer in folded]
+        assert "Dropout" not in names and "BatchNorm" not in names
+        assert names[0] == "Conv2D"
+
+
+class TestPTQ:
+    def test_structure_of_quantized_model(self, tiny_qmodel):
+        types = [layer.__class__ for layer in tiny_qmodel]
+        assert types.count(QConv2D) == 2
+        assert QDense in types and QMaxPool2D in types and QFlatten in types
+        # ReLUs were fused into the conv layers.
+        assert QReLU not in types
+        assert all(layer.fused_relu for layer in tiny_qmodel.conv_layers())
+
+    def test_quantized_accuracy_close_to_float(self, trained_tiny_model, tiny_qmodel, small_split):
+        images, labels = small_split.test.images[:120], small_split.test.labels[:120]
+        float_acc = float((trained_tiny_model.predict(images).argmax(-1) == labels).mean())
+        quant_acc = tiny_qmodel.evaluate_accuracy(images, labels)
+        assert quant_acc >= float_acc - 0.08
+
+    def test_logits_close_to_float(self, trained_tiny_model, tiny_qmodel, small_split):
+        images = small_split.test.images[:16]
+        float_logits = trained_tiny_model.predict(images)
+        quant_logits = tiny_qmodel.forward(images)
+        # Same argmax for the large majority of samples.
+        agreement = (float_logits.argmax(-1) == quant_logits.argmax(-1)).mean()
+        assert agreement >= 0.75
+
+    def test_total_macs_match_float_model(self, trained_tiny_model, tiny_qmodel):
+        assert tiny_qmodel.total_macs() == trained_tiny_model.total_macs()
+        assert tiny_qmodel.conv_macs() == trained_tiny_model.conv_macs()
+
+    def test_masks_reduce_mac_count(self, tiny_qmodel):
+        conv = tiny_qmodel.conv_layers()[0]
+        mask = np.zeros((conv.out_channels, conv.operands_per_channel), dtype=bool)
+        mask[:, ::2] = True
+        macs = tiny_qmodel.total_macs(masks={conv.name: mask})
+        assert macs < tiny_qmodel.total_macs()
+
+    def test_quantize_requires_input_shape(self, small_split):
+        model = Sequential([Dense(4, 2, rng=0)])
+        with pytest.raises(ValueError):
+            quantize_model(model, small_split.calibration.images)
+
+    def test_quantize_rejects_empty_calibration(self, trained_tiny_model):
+        with pytest.raises(ValueError):
+            quantize_model(trained_tiny_model, np.zeros((0, 16, 16, 3), np.float32))
+
+    def test_final_softmax_dropped(self, small_split, rng):
+        model = Sequential(
+            [Flatten(), Dense(16 * 16 * 3, 10, rng=0), Softmax()],
+            input_shape=(16, 16, 3),
+        )
+        qmodel = quantize_model(model, small_split.calibration.images)
+        assert all(not isinstance(layer, QReLU) for layer in qmodel)
+        assert len(qmodel) == 2  # flatten + dense, softmax removed
+
+    def test_percentile_observer_config(self, trained_tiny_model, small_split):
+        qmodel = quantize_model(
+            trained_tiny_model,
+            small_split.calibration.images,
+            config=PTQConfig(observer="percentile", percentile=99.5),
+        )
+        images, labels = small_split.test.images[:80], small_split.test.labels[:80]
+        assert qmodel.evaluate_accuracy(images, labels) > 0.1
+
+    def test_n_classes_detected(self, tiny_qmodel):
+        assert tiny_qmodel.n_classes == 10
+
+
+class TestQuantizedModelContainer:
+    def test_layer_shapes_chain(self, tiny_qmodel):
+        shapes = tiny_qmodel.layer_shapes()
+        for (_, _, out_shape), (_, next_in, _) in zip(shapes, shapes[1:]):
+            assert out_shape == next_in
+        assert shapes[-1][2] == (10,)
+
+    def test_get_layer(self, tiny_qmodel):
+        assert tiny_qmodel.get_layer("conv1").name == "conv1"
+        with pytest.raises(KeyError):
+            tiny_qmodel.get_layer("missing")
+
+    def test_weight_and_activation_bytes_positive(self, tiny_qmodel):
+        assert tiny_qmodel.weight_nbytes() > 0
+        assert tiny_qmodel.activation_nbytes() > 0
+
+    def test_forward_quantized_matches_forward(self, tiny_qmodel, small_split):
+        images = small_split.test.images[:8]
+        q_in = tiny_qmodel.quantize_input(images)
+        q_out = tiny_qmodel.forward_quantized(q_in)
+        logits = tiny_qmodel.forward(images)
+        np.testing.assert_array_equal(q_out.argmax(-1), logits.argmax(-1))
+
+    def test_summary_text(self, tiny_qmodel):
+        text = tiny_qmodel.summary()
+        assert "conv1" in text and "total MACs" in text
+
+    def test_predict_classes_batching(self, tiny_qmodel, small_split):
+        images = small_split.test.images[:10]
+        a = tiny_qmodel.predict_classes(images, batch_size=3)
+        b = tiny_qmodel.predict_classes(images, batch_size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_input(self, tiny_qmodel):
+        empty = np.zeros((0, 16, 16, 3), dtype=np.float32)
+        assert tiny_qmodel.predict_classes(empty).shape == (0,)
+        assert tiny_qmodel.evaluate_accuracy(empty, np.zeros(0, dtype=int)) == 0.0

@@ -1,0 +1,80 @@
+"""Tests for the fixed-point requantization (arm_nn_requantize emulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import FixedPointMultiplier, quantize_multiplier, requantize, requantize_float, saturate_int8
+
+
+class TestQuantizeMultiplier:
+    @pytest.mark.parametrize("value", [1.0, 0.5, 0.25, 3.7e-4, 0.9999, 123.456, 1e-9])
+    def test_roundtrip_precision(self, value):
+        fp = quantize_multiplier(value)
+        assert fp.real_value == pytest.approx(value, rel=1e-8)
+
+    def test_zero(self):
+        fp = quantize_multiplier(0.0)
+        assert fp.multiplier == 0
+        assert fp.real_value == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_multiplier(-0.5)
+
+    def test_significand_normalised(self):
+        fp = quantize_multiplier(0.37)
+        assert 2**30 <= fp.multiplier < 2**31
+
+
+class TestRequantize:
+    def test_matches_float_path_closely(self, rng):
+        acc = rng.integers(-(2**24), 2**24, size=10_000)
+        real = 7.3e-4
+        fp = quantize_multiplier(real)
+        integer = requantize(acc, fp.multiplier, fp.shift)
+        float_path = requantize_float(acc, real)
+        assert np.abs(integer - float_path).max() <= 1  # rounding-tie differences only
+
+    def test_identity_multiplier(self):
+        acc = np.array([-5, 0, 7, 123])
+        fp = quantize_multiplier(1.0)
+        np.testing.assert_array_equal(requantize(acc, fp.multiplier, fp.shift), acc)
+
+    def test_halving(self):
+        acc = np.array([2, 4, -6, 101])
+        fp = quantize_multiplier(0.5)
+        np.testing.assert_array_equal(requantize(acc, fp.multiplier, fp.shift), [1, 2, -3, 51])
+
+    def test_scalar_like_behaviour(self):
+        fp = quantize_multiplier(0.001)
+        out = requantize(np.array([1000]), fp.multiplier, fp.shift)
+        assert out[0] == 1
+
+    def test_saturate_int8(self):
+        values = np.array([-300, -128, 0, 127, 300])
+        out = saturate_int8(values)
+        np.testing.assert_array_equal(out, [-128, -128, 0, 127, 127])
+        assert out.dtype == np.int8
+
+    def test_requantize_float_per_channel(self):
+        acc = np.array([[100, 100], [200, 200]])
+        multipliers = np.array([0.01, 0.1])
+        out = requantize_float(acc, multipliers[None, :])
+        np.testing.assert_array_equal(out, [[1, 10], [2, 20]])
+
+
+@given(
+    real=st.floats(min_value=1e-6, max_value=2.0),
+    acc=st.integers(min_value=-(2**27), max_value=2**27),
+)
+@settings(max_examples=200, deadline=None)
+def test_requantize_integer_float_agreement_property(real, acc):
+    """The bit-faithful integer path and the float path agree to within 1 LSB."""
+    fp = quantize_multiplier(real)
+    integer = requantize(np.array([acc]), fp.multiplier, fp.shift)[0]
+    float_path = requantize_float(np.array([acc]), fp.real_value)[0]
+    assert abs(int(integer) - int(float_path)) <= 1

@@ -1,0 +1,166 @@
+"""Tests for quantization schemes, observers and the QTensor container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    MinMaxObserver,
+    PercentileObserver,
+    QTensor,
+    QuantizationParams,
+    dequantize,
+    params_from_minmax,
+    quantize,
+    symmetric_params_from_absmax,
+)
+from repro.quant.observers import make_observer
+from repro.quant.schemes import quantization_error
+
+
+class TestQuantizationParams:
+    def test_per_tensor_scalars(self):
+        params = params_from_minmax(-1.0, 1.0)
+        assert not params.is_per_channel
+        assert params.scalar_scale() > 0
+        assert -128 <= params.scalar_zero_point() <= 127
+        assert params.qmin == -128 and params.qmax == 127
+
+    def test_per_channel(self):
+        params = symmetric_params_from_absmax(np.array([1.0, 2.0, 0.5]))
+        assert params.is_per_channel
+        assert (params.zero_point == 0).all()
+        with pytest.raises(ValueError):
+            params.scalar_scale()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            QuantizationParams(scale=np.array([0.0]), zero_point=np.array([0]))
+
+    def test_only_8bit(self):
+        with pytest.raises(ValueError):
+            QuantizationParams(scale=np.array([0.1]), zero_point=np.array([0]), bits=4)
+
+    def test_zero_absmax_handled(self):
+        params = symmetric_params_from_absmax(np.array([0.0, 1.0]))
+        assert (params.scale > 0).all()
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bound(self, rng):
+        values = rng.uniform(-3, 5, size=1000).astype(np.float32)
+        params = params_from_minmax(values.min(), values.max())
+        error = np.abs(dequantize(quantize(values, params), params) - values)
+        assert error.max() <= params.scalar_scale() * 0.5 + 1e-7
+
+    def test_zero_exactly_representable(self):
+        params = params_from_minmax(0.1, 6.3)  # range is expanded to include 0
+        q_zero = quantize(np.array([0.0]), params)
+        assert dequantize(q_zero, params)[0] == pytest.approx(0.0, abs=params.scalar_scale() * 0.5)
+
+    def test_saturation(self):
+        params = params_from_minmax(-1.0, 1.0)
+        q = quantize(np.array([100.0, -100.0]), params)
+        assert q[0] == 127 and q[1] == -128
+
+    def test_output_dtype(self):
+        params = params_from_minmax(-1, 1)
+        assert quantize(np.zeros(4), params).dtype == np.int8
+        assert dequantize(np.zeros(4, np.int8), params).dtype == np.float32
+
+    def test_degenerate_range(self):
+        params = params_from_minmax(0.0, 0.0)
+        assert params.scalar_scale() > 0
+
+    def test_quantization_error_metric(self, rng):
+        values = rng.normal(size=200).astype(np.float32)
+        params = params_from_minmax(values.min(), values.max())
+        assert 0 <= quantization_error(values, params) < params.scalar_scale()
+
+
+class TestObservers:
+    def test_minmax_tracks_extremes(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 2.0]))
+        obs.observe(np.array([-4.0, 0.5]))
+        params = obs.compute_params()
+        assert dequantize(np.array([-128], np.int8), params)[0] == pytest.approx(-4.0, abs=0.05)
+
+    def test_minmax_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().compute_params()
+
+    def test_minmax_ignores_empty_batches(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([]))
+        with pytest.raises(RuntimeError):
+            obs.compute_params()
+
+    def test_percentile_clips_outliers(self, rng):
+        values = rng.normal(size=10_000).astype(np.float32)
+        values[0] = 1000.0
+        minmax = MinMaxObserver()
+        minmax.observe(values)
+        percentile = PercentileObserver(percentile=99.5)
+        percentile.observe(values)
+        assert percentile.compute_params().scalar_scale() < minmax.compute_params().scalar_scale()
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(percentile=40)
+        with pytest.raises(RuntimeError):
+            PercentileObserver().compute_params()
+
+    def test_percentile_reservoir_bounded(self, rng):
+        obs = PercentileObserver(reservoir_size=100)
+        for _ in range(5):
+            obs.observe(rng.normal(size=1000))
+        assert obs._reservoir.size <= 100
+        assert obs.count == 5000
+
+    def test_factory(self):
+        assert isinstance(make_observer("minmax"), MinMaxObserver)
+        assert isinstance(make_observer("percentile", percentile=99.0), PercentileObserver)
+        with pytest.raises(ValueError):
+            make_observer("nope")
+
+
+class TestQTensor:
+    def test_from_float_and_back(self, rng):
+        values = rng.uniform(-1, 1, size=(4, 4)).astype(np.float32)
+        params = params_from_minmax(-1, 1)
+        qt = QTensor.from_float(values, params)
+        assert qt.shape == (4, 4)
+        assert qt.nbytes == 16
+        assert np.abs(qt.dequantize() - values).max() <= params.scalar_scale()
+
+    def test_requires_int8(self):
+        with pytest.raises(TypeError):
+            QTensor(values=np.zeros(4, np.int32), params=params_from_minmax(-1, 1))
+
+
+@given(
+    low=st.floats(min_value=-50, max_value=0),
+    high=st.floats(min_value=0.01, max_value=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_quantization_roundtrip_property(low, high):
+    """Round-trip error is bounded by half a quantization step for in-range values."""
+    params = params_from_minmax(low, high)
+    rng = np.random.default_rng(0)
+    values = rng.uniform(low, high, size=64).astype(np.float64)
+    recovered = dequantize(quantize(values, params), params)
+    assert np.abs(recovered - values).max() <= params.scalar_scale() * 0.5 + 1e-6
+
+
+@given(st.lists(st.floats(min_value=1e-3, max_value=100), min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_symmetric_params_property(abs_maxes):
+    params = symmetric_params_from_absmax(np.array(abs_maxes))
+    # +/- abs_max must be representable without saturation error larger than one step.
+    values = np.array(abs_maxes)
+    q = np.rint(values / params.scale)
+    assert (np.abs(q) <= 127).all()

@@ -1,0 +1,100 @@
+"""Tests for float-model and quantized-model persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_tiny_cnn
+from repro.nn import BatchNorm, Conv2D, Dense, Flatten, ReLU, Sequential, load_model, save_model
+from repro.quant import load_quantized_model, save_quantized_model
+
+
+class TestFloatModelSerialization:
+    def test_roundtrip_preserves_outputs(self, trained_tiny_model, tmp_path, rng):
+        stem = tmp_path / "models" / "tiny"
+        json_path = save_model(trained_tiny_model, stem)
+        assert json_path.exists()
+        assert json_path.with_suffix(".npz").exists()
+
+        restored = load_model(stem)
+        x = rng.normal(size=(4, 16, 16, 3)).astype(np.float32)
+        np.testing.assert_allclose(trained_tiny_model.predict(x), restored.predict(x), rtol=1e-6)
+        assert restored.input_shape == trained_tiny_model.input_shape
+        assert restored.name == trained_tiny_model.name
+
+    def test_roundtrip_with_batchnorm_and_extras(self, tmp_path, rng):
+        model = Sequential(
+            [
+                Conv2D(3, 4, kernel_size=3, padding=1, rng=0, name="conv"),
+                BatchNorm(4, name="bn"),
+                ReLU(name="relu"),
+                Flatten(name="flatten"),
+                Dense(4 * 64, 5, rng=1, name="fc"),
+            ],
+            input_shape=(8, 8, 3),
+            name="bn_model",
+        )
+        # Populate running statistics so they must survive the round trip.
+        model.forward(rng.normal(size=(8, 8, 8, 3)).astype(np.float32))
+        model.eval()
+        x = rng.normal(size=(2, 8, 8, 3)).astype(np.float32)
+        reference = model.forward(x)
+        save_model(model, tmp_path / "bn_model")
+        restored = load_model(tmp_path / "bn_model")
+        np.testing.assert_allclose(restored.forward(x), reference, rtol=1e-5, atol=1e-6)
+
+    def test_accepts_suffixed_path(self, tmp_path):
+        model = build_tiny_cnn(rng=0)
+        save_model(model, tmp_path / "m.json")
+        restored = load_model(tmp_path / "m.npz")
+        assert len(restored) == len(model)
+
+    def test_unknown_layer_type_rejected(self, tmp_path):
+        from repro.utils.serialization import save_json
+
+        save_json(tmp_path / "bad.json", {"name": "bad", "input_shape": [4], "layers": [{"type": "Mystery", "name": "x"}]})
+        with pytest.raises(ValueError):
+            load_model(tmp_path / "bad")
+
+
+class TestQuantizedModelSerialization:
+    def test_roundtrip_bit_exact(self, tiny_qmodel, small_split, tmp_path):
+        stem = tmp_path / "q" / "tiny_q"
+        save_quantized_model(tiny_qmodel, stem)
+        restored = load_quantized_model(stem)
+
+        assert restored.name == tiny_qmodel.name
+        assert restored.input_shape == tiny_qmodel.input_shape
+        assert restored.n_classes == tiny_qmodel.n_classes
+        assert len(restored) == len(tiny_qmodel)
+        assert restored.total_macs() == tiny_qmodel.total_macs()
+
+        images = small_split.test.images[:16]
+        np.testing.assert_array_equal(
+            restored.forward_quantized(restored.quantize_input(images)),
+            tiny_qmodel.forward_quantized(tiny_qmodel.quantize_input(images)),
+        )
+
+    def test_roundtrip_preserves_quant_params(self, tiny_qmodel, tmp_path):
+        save_quantized_model(tiny_qmodel, tmp_path / "q2")
+        restored = load_quantized_model(tmp_path / "q2")
+        for original, loaded in zip(tiny_qmodel.layers, restored.layers):
+            assert original.__class__.__name__ == loaded.__class__.__name__
+            np.testing.assert_allclose(original.output_params.scale, loaded.output_params.scale)
+            np.testing.assert_array_equal(original.output_params.zero_point, loaded.output_params.zero_point)
+
+    def test_roundtrip_supports_pipeline(self, tiny_qmodel, small_split, tmp_path):
+        """A reloaded model is a fully functional input to the approximation pipeline."""
+        from repro.core import AtamanPipeline, DSEConfig
+
+        save_quantized_model(tiny_qmodel, tmp_path / "q3")
+        restored = load_quantized_model(tmp_path / "q3")
+        pipeline = AtamanPipeline(restored)
+        result = pipeline.run(
+            small_split.calibration.images[:32],
+            small_split.test.images[:48],
+            small_split.test.labels[:48],
+            dse_config=DSEConfig(tau_values=[0.0, 0.05]),
+        )
+        assert len(result.dse.points) >= 2
