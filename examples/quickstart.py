@@ -1,13 +1,16 @@
 #!/usr/bin/env python
 """Quickstart: train a small CNN, quantize it, and accelerate it with ATAMAN.
 
-This walks the public API end to end in a couple of minutes of CPU time:
+This walks the composable ``Experiment`` API end to end in a couple of
+minutes of CPU time:
 
 1. generate a synthetic CIFAR-10-class dataset;
 2. train a small CNN in float;
 3. post-training-quantize it to int8 (CMSIS-NN style);
-4. run the paper's cooperative approximation framework (unpacking,
-   significance, computation skipping, DSE, Pareto analysis);
+4. run the paper's cooperative approximation framework as a cached stage
+   graph (unpacking, significance, computation skipping, DSE, Pareto
+   analysis) -- then re-run with a finer tau sweep and watch every stage
+   except the DSE come back from the artifact cache;
 5. deploy the exact CMSIS-NN baseline and the approximate ATAMAN design on the
    STM32U575 board model and compare latency / flash / energy / accuracy.
 
@@ -16,9 +19,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import AtamanPipeline, DSEConfig
+from repro.core import DSEConfig
 from repro.data import load_synthetic_cifar10, train_val_test_split
 from repro.evaluation.reports import format_table
 from repro.frameworks import AtamanEngine, CMSISNNEngine, XCubeAIEngine
@@ -27,6 +28,7 @@ from repro.mcu import deploy
 from repro.models import build_tiny_cnn
 from repro.nn import Adam, Trainer
 from repro.quant import quantize_model
+from repro.workflow import ArtifactStore, Experiment
 
 
 def main() -> None:
@@ -47,14 +49,30 @@ def main() -> None:
     qmodel = quantize_model(model, split.calibration.images)
     print(qmodel.summary())
 
-    # ------------------------------------------------------------------ approximate
-    pipeline = AtamanPipeline(qmodel, board=STM32U575)
-    result = pipeline.run(
-        split.calibration.images,
-        split.test.images[:256],
-        split.test.labels[:256],
-        dse_config=DSEConfig(tau_values=[0.0, 0.002, 0.005, 0.01, 0.02, 0.04, 0.07, 0.1]),
-    )
+    # ------------------------------------------------------------------ approximate (stage graph)
+    store = ArtifactStore()  # pass a directory to persist across processes
+
+    def build_experiment(dse_config: DSEConfig) -> Experiment:
+        return Experiment.from_quantized(
+            qmodel,
+            split.calibration.images,
+            split.test.images[:256],
+            split.test.labels[:256],
+            board=STM32U575,
+            dse_config=dse_config,
+            store=store,
+        )
+
+    result = build_experiment(DSEConfig(tau_values=[0.0, 0.005, 0.02, 0.07])).run()
+    print(f"\nfirst run executed stages: {result.executed_stages}")
+
+    # A finer sweep: unpack/calibrate/significance are served from the store,
+    # only the DSE stage re-runs.
+    result = build_experiment(
+        DSEConfig(tau_values=[0.0, 0.002, 0.005, 0.01, 0.02, 0.04, 0.07, 0.1])
+    ).run()
+    print(f"finer sweep executed: {result.executed_stages}, cached: {result.cached_stages}")
+
     print("\nPareto front (conv-MAC reduction, accuracy):")
     for point in result.pareto_points():
         print(f"  reduction={point.conv_mac_reduction:5.1%}  accuracy={point.accuracy:.3f}  "
@@ -68,7 +86,9 @@ def main() -> None:
     engines = [
         ("cmsis-nn", CMSISNNEngine(qmodel)),
         ("x-cube-ai", XCubeAIEngine(qmodel)),
-        ("ataman", pipeline.build_engine(result, design=design)),
+        ("ataman", AtamanEngine(qmodel, config=design.config,
+                                significance=result["significance"],
+                                unpacked=result["unpacked"])),
     ]
     rows = []
     for label, engine in engines:

@@ -17,6 +17,12 @@ depends on:
 * ``repro.frameworks`` -- baseline inference engines (CMSIS-NN, X-CUBE-AI, uTVM,
                           CMix-NN stand-ins) plus the ATAMAN engine.
 * ``repro.evaluation`` -- drivers regenerating every table and figure of the paper.
+* ``repro.workflow``   -- the composable experiment API: typed stages, the
+                          incremental ``Experiment`` runner and the
+                          content-addressed ``ArtifactStore``.
+* ``repro.registry``   -- plugin registries for significance metrics, skipping
+                          granularities, DSE search strategies, inference
+                          engines and board profiles.
 """
 
 from repro._version import __version__

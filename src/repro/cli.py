@@ -4,10 +4,17 @@ Usage (also installed as the ``repro-tinyml`` console script)::
 
     python -m repro.cli train     --model lenet --out runs/lenet --samples 3000 --epochs 5
     python -m repro.cli quantize  --model-path runs/lenet --out runs/lenet_q
-    python -m repro.cli explore   --qmodel runs/lenet_q --out runs/lenet_dse.json --loss 0.05
+    python -m repro.cli explore   --qmodel runs/lenet_q --out runs/lenet_dse.json --loss 0.05 \
+                                  --strategy exhaustive --resume runs/cache
     python -m repro.cli codegen   --qmodel runs/lenet_q --config runs/lenet_dse.config.json --out runs/lenet.c
     python -m repro.cli deploy    --qmodel runs/lenet_q --config runs/lenet_dse.config.json --engine ataman
     python -m repro.cli reproduce --table1 --table2 --figure2 --claims
+
+The ``--strategy``, ``--engine`` and ``--board`` choices are populated from
+the plugin registries (:mod:`repro.registry`), so registered extensions show
+up automatically.  ``--resume DIR`` points the explore/codegen/deploy
+commands at a persistent artifact store: stages whose configuration and
+inputs are unchanged are served from the cache instead of recomputed.
 
 Every command works entirely offline: the dataset is the deterministic
 synthetic CIFAR-10 surrogate, regenerated from its seed on demand.
@@ -18,42 +25,46 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core import ApproxConfig, AtamanPipeline, DSEConfig
+from repro.core import ApproxConfig, DSEConfig
 from repro.data import load_synthetic_cifar10, train_val_test_split
 from repro.evaluation.reports import format_table
-from repro.frameworks import (
-    AtamanEngine,
-    CMSISNNEngine,
-    CMixNNEngine,
-    MicroTVMEngine,
-    TFLiteMicroEngine,
-    XCubeAIEngine,
-)
 from repro.isa import get_board
 from repro.mcu import deploy as mcu_deploy
 from repro.models import build_model, list_models
 from repro.nn import Adam, Trainer, load_model, save_model
 from repro.quant import load_quantized_model, quantize_model, save_quantized_model
+from repro.registry import BOARDS, ENGINES, SEARCH_STRATEGIES
 from repro.utils.logging import set_verbosity
 from repro.utils.serialization import save_json
-
-_EXACT_ENGINES = {
-    "cmsis-nn": CMSISNNEngine,
-    "x-cube-ai": XCubeAIEngine,
-    "utvm": MicroTVMEngine,
-    "cmix-nn": CMixNNEngine,
-    "tflite-micro": TFLiteMicroEngine,
-}
+from repro.workflow import (
+    ArtifactStore,
+    CalibrateStage,
+    CodegenStage,
+    Experiment,
+    SignificanceStage,
+    UnpackStage,
+)
 
 
 def _dataset_split(samples: int, seed: int, calibration: int = 128):
     dataset = load_synthetic_cifar10(samples, seed=seed)
     return train_val_test_split(dataset, val_fraction=0.0, test_fraction=0.2,
                                 calibration_size=calibration, rng=seed)
+
+
+def _store(args: argparse.Namespace) -> Optional[ArtifactStore]:
+    """The persistent artifact store behind ``--resume`` (None when unset)."""
+    resume = getattr(args, "resume", None)
+    return ArtifactStore(resume) if resume else None
+
+
+def _report_cache(result) -> None:
+    if result.cached_stages:
+        print(f"served from artifact store: {', '.join(result.cached_stages)}")
 
 
 # --------------------------------------------------------------------------- commands
@@ -85,20 +96,34 @@ def cmd_quantize(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    """Run the ATAMAN pipeline (unpack/calibrate/significance/DSE) on a quantized model."""
+    """Run the ATAMAN experiment (unpack/calibrate/significance/DSE) on a quantized model."""
     qmodel = load_quantized_model(args.qmodel)
     split = _dataset_split(args.samples, args.seed)
     board = get_board(args.board)
-    pipeline = AtamanPipeline(qmodel, board=board)
     taus = [float(t) for t in args.taus.split(",")] if args.taus else None
+    strategy_options = {}
+    if args.strategy == "greedy":
+        strategy_options["max_accuracy_loss"] = args.loss
     dse_config = DSEConfig(
         tau_values=taus,
         tau_step=args.tau_step,
         tau_max=args.tau_max,
         max_eval_samples=args.eval_samples,
+        n_workers=args.workers,
+        strategy=args.strategy,
+        strategy_options=strategy_options,
     )
-    result = pipeline.run(split.calibration.images, split.test.images, split.test.labels,
-                          dse_config=dse_config)
+    experiment = Experiment.from_quantized(
+        qmodel,
+        split.calibration.images,
+        split.test.images,
+        split.test.labels,
+        board=board,
+        dse_config=dse_config,
+        store=_store(args),
+    )
+    result = experiment.run()
+    _report_cache(result)
 
     rows = [p.as_dict() for p in result.dse.pareto_points()]
     print(format_table(rows, columns=["label", "accuracy", "conv_mac_reduction", "total_macs"],
@@ -120,18 +145,20 @@ def cmd_codegen(args: argparse.Namespace) -> int:
     """Emit the unpacked (approximate) kernel code for a saved configuration."""
     qmodel = load_quantized_model(args.qmodel)
     split = _dataset_split(args.samples, args.seed)
-    pipeline = AtamanPipeline(qmodel)
-    unpacked = pipeline.unpack()
-    calibration = pipeline.calibrate(split.calibration.images)
-    significance = pipeline.significance(calibration)
-    masks = None
-    if args.config:
-        config = ApproxConfig.load(args.config)
-        if not config.is_exact:
-            masks = config.build_masks(significance, unpacked=unpacked)
-    from repro.core import generate_model_code
-
-    code = generate_model_code(unpacked, masks=masks, model_name=qmodel.name)
+    approx_config = ApproxConfig.load(args.config) if args.config else None
+    experiment = Experiment(
+        [
+            UnpackStage(),
+            CalibrateStage(),
+            SignificanceStage(),
+            CodegenStage(approx_config=approx_config),
+        ],
+        inputs={"qmodel": qmodel, "calibration_images": split.calibration.images},
+        store=_store(args),
+    )
+    result = experiment.run()
+    _report_cache(result)
+    code = result["code"]
     Path(args.out).parent.mkdir(parents=True, exist_ok=True)
     Path(args.out).write_text(code, encoding="utf-8")
     print(f"wrote {len(code.splitlines())} lines of generated kernel code to {args.out}")
@@ -143,16 +170,21 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     qmodel = load_quantized_model(args.qmodel)
     split = _dataset_split(args.samples, args.seed)
     board = get_board(args.board)
+    engine_cls = ENGINES.resolve(args.engine)
 
     if args.engine == "ataman":
-        pipeline = AtamanPipeline(qmodel, board=board)
-        unpacked = pipeline.unpack()
-        calibration = pipeline.calibrate(split.calibration.images)
-        significance = pipeline.significance(calibration)
+        experiment = Experiment(
+            [UnpackStage(), CalibrateStage(), SignificanceStage()],
+            inputs={"qmodel": qmodel, "calibration_images": split.calibration.images},
+            store=_store(args),
+        )
+        result = experiment.run()
+        _report_cache(result)
         config = ApproxConfig.load(args.config) if args.config else ApproxConfig.exact(qmodel.name)
-        engine = AtamanEngine(qmodel, config=config, significance=significance, unpacked=unpacked)
+        engine = engine_cls(qmodel, config=config, significance=result["significance"],
+                            unpacked=result["unpacked"])
     else:
-        engine = _EXACT_ENGINES[args.engine](qmodel)
+        engine = engine_cls(qmodel)
 
     report = mcu_deploy(engine, board, split.test.images[:args.eval_samples],
                         split.test.labels[:args.eval_samples], model_name=qmodel.name)
@@ -177,7 +209,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         format_table2,
     )
 
-    context = ExperimentContext(scale=args.scale)
+    context = ExperimentContext(scale=args.scale, seed=args.seed, n_workers=args.workers)
     wanted_all = args.all or not (args.table1 or args.table2 or args.figure2 or args.claims)
     if args.table1 or wanted_all:
         print(format_table1(build_table1(context)), end="\n\n")
@@ -191,8 +223,23 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- parser
+def engine_choices() -> List[str]:
+    """Engine names registered in :data:`repro.registry.ENGINES`."""
+    return ENGINES.names()
+
+
+def strategy_choices() -> List[str]:
+    """Search-strategy names registered in :data:`repro.registry.SEARCH_STRATEGIES`."""
+    return SEARCH_STRATEGIES.names()
+
+
+def board_choices() -> List[str]:
+    """Board names registered in :data:`repro.registry.BOARDS`."""
+    return BOARDS.names()
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser."""
+    """Construct the CLI argument parser (choices come from the registries)."""
     parser = argparse.ArgumentParser(prog="repro-tinyml", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("-v", "--verbose", action="store_true", help="enable INFO logging")
@@ -201,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     def add_common(p, samples=2000):
         p.add_argument("--samples", type=int, default=samples, help="synthetic dataset size")
         p.add_argument("--seed", type=int, default=7, help="dataset/model seed")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for parallel work (default: all cores minus one)")
+
+    def add_resume(p):
+        p.add_argument("--resume", default=None, metavar="DIR",
+                       help="artifact-store directory; unchanged stages are read from it")
 
     p_train = sub.add_parser("train", help="train a model on the synthetic dataset")
     p_train.add_argument("--model", choices=list_models(), default="lenet")
@@ -222,11 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--qmodel", required=True)
     p_explore.add_argument("--out", required=True, help="output JSON for the DSE table")
     p_explore.add_argument("--loss", type=float, default=0.0, help="accuracy-loss budget")
+    p_explore.add_argument("--strategy", choices=strategy_choices(), default="exhaustive",
+                           help="DSE search strategy (from the strategy registry)")
     p_explore.add_argument("--taus", default=None, help="comma-separated explicit tau values")
     p_explore.add_argument("--tau-step", type=float, default=0.005)
     p_explore.add_argument("--tau-max", type=float, default=0.1)
     p_explore.add_argument("--eval-samples", type=int, default=256)
-    p_explore.add_argument("--board", default="stm32u575")
+    p_explore.add_argument("--board", choices=board_choices(), default="stm32u575")
+    add_resume(p_explore)
     add_common(p_explore)
     p_explore.set_defaults(func=cmd_explore)
 
@@ -234,15 +290,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_code.add_argument("--qmodel", required=True)
     p_code.add_argument("--config", default=None, help="ApproxConfig JSON (omit for exact code)")
     p_code.add_argument("--out", required=True)
-    add_common(p_code, samples=1000)
+    add_resume(p_code)
+    # Same dataset defaults as explore/deploy, so a shared --resume store hits.
+    add_common(p_code)
     p_code.set_defaults(func=cmd_codegen)
 
     p_deploy = sub.add_parser("deploy", help="deploy a quantized model on a board model")
     p_deploy.add_argument("--qmodel", required=True)
-    p_deploy.add_argument("--engine", choices=sorted(_EXACT_ENGINES) + ["ataman"], default="cmsis-nn")
+    p_deploy.add_argument("--engine", choices=engine_choices(), default="cmsis-nn")
     p_deploy.add_argument("--config", default=None, help="ApproxConfig JSON for the ataman engine")
-    p_deploy.add_argument("--board", default="stm32u575")
+    p_deploy.add_argument("--board", choices=board_choices(), default="stm32u575")
     p_deploy.add_argument("--eval-samples", type=int, default=256)
+    add_resume(p_deploy)
     add_common(p_deploy)
     p_deploy.set_defaults(func=cmd_deploy)
 
@@ -253,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--claims", action="store_true")
     p_rep.add_argument("--all", action="store_true")
     p_rep.add_argument("--scale", choices=("ci", "fast", "full"), default=None)
+    p_rep.add_argument("--seed", type=int, default=7, help="master experiment seed")
+    p_rep.add_argument("--workers", type=int, default=None,
+                       help="worker processes for parallel work (default: all cores minus one)")
     p_rep.set_defaults(func=cmd_reproduce)
 
     return parser

@@ -25,13 +25,18 @@ from repro.core.skipping import (
     retained_fraction,
 )
 from repro.core.config import ApproxConfig, LayerApproxSpec
-from repro.core.dse import DSEConfig, DSEResult, DesignPoint, run_dse
+from repro.core.dse import DSEConfig, DSEResult, DesignPoint, exhaustive_sweep, run_dse
 from repro.core.pareto import pareto_front, select_by_accuracy_loss
 from repro.core.codegen import generate_layer_code, generate_model_code, estimate_code_bytes
 from repro.core.pipeline import AtamanPipeline, PipelineResult
 from repro.core.strategies import (
+    ExhaustiveSearch,
+    GreedyPerLayerSearch,
     GreedySearchResult,
     GreedyStep,
+    LatencyAwareSearch,
+    SearchStrategy,
+    estimate_design_latency_ms,
     greedy_per_layer_search,
     latency_aware_selection,
 )
@@ -56,6 +61,7 @@ __all__ = [
     "DSEResult",
     "DesignPoint",
     "run_dse",
+    "exhaustive_sweep",
     "pareto_front",
     "select_by_accuracy_loss",
     "generate_layer_code",
@@ -67,4 +73,9 @@ __all__ = [
     "GreedyStep",
     "greedy_per_layer_search",
     "latency_aware_selection",
+    "SearchStrategy",
+    "ExhaustiveSearch",
+    "GreedyPerLayerSearch",
+    "LatencyAwareSearch",
+    "estimate_design_latency_ms",
 ]

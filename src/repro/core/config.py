@@ -15,7 +15,7 @@ from typing import Dict, Iterable, Mapping, Optional
 import numpy as np
 
 from repro.core.significance import SignificanceResult
-from repro.core.skipping import Granularity, build_model_masks
+from repro.core.skipping import Granularity, build_model_masks, validate_granularity
 from repro.core.unpacking import UnpackedLayer
 from repro.utils.serialization import load_json, save_json
 
@@ -31,7 +31,7 @@ class LayerApproxSpec:
     def __post_init__(self) -> None:
         if self.tau < 0:
             raise ValueError("tau must be non-negative (use an empty spec for exact layers)")
-        Granularity(self.granularity)  # validates
+        validate_granularity(self.granularity)
 
 
 @dataclass
@@ -67,16 +67,21 @@ class ApproxConfig:
         significance: SignificanceResult,
         unpacked: Optional[Dict[str, UnpackedLayer]] = None,
     ) -> Dict[str, np.ndarray]:
-        """Materialise the retention masks this configuration describes."""
+        """Materialise the retention masks this configuration describes.
+
+        Layers sharing a granularity (the common case: all of them) are built
+        with a single :func:`build_model_masks` call over the full layer->tau
+        mapping -- this sits on the DSE hot path, where the old per-layer
+        loop rebuilt shared state once per layer.
+        """
         masks: Dict[str, np.ndarray] = {}
+        by_granularity: Dict[str, Dict[str, float]] = {}
         for name, spec in self.layer_specs.items():
-            layer_masks = build_model_masks(
-                significance,
-                {name: spec.tau},
-                granularity=spec.granularity,
-                unpacked=unpacked,
+            by_granularity.setdefault(spec.granularity, {})[name] = spec.tau
+        for granularity, taus in by_granularity.items():
+            masks.update(
+                build_model_masks(significance, taus, granularity=granularity, unpacked=unpacked)
             )
-            masks.update(layer_masks)
         return masks
 
     # ------------------------------------------------------------------ construction helpers

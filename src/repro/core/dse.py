@@ -20,7 +20,9 @@ from repro.core.config import ApproxConfig, LayerApproxSpec
 from repro.core.significance import SignificanceResult
 from repro.core.skipping import Granularity, conv_mac_reduction
 from repro.core.unpacking import UnpackedLayer
+from repro.isa.profiles import BoardProfile
 from repro.quant.qmodel import QuantizedModel
+from repro.registry import SEARCH_STRATEGIES
 from repro.utils.logging import get_logger
 from repro.utils.parallel import parallel_map
 
@@ -53,9 +55,20 @@ class DSEConfig:
     max_configs:
         Optional hard cap on the number of explored configurations.
     n_workers:
-        Worker processes for the accuracy simulations (1 = serial).
+        Worker processes for the accuracy simulations.  ``None`` (default)
+        uses :func:`repro.utils.parallel.default_workers` -- the exploration
+        is embarrassingly parallel, so it should saturate the machine unless
+        explicitly told otherwise; ``1`` forces the serial path.
     include_exact:
         Always include the exact design as a reference point.
+    strategy:
+        Name of a search strategy registered in
+        :data:`repro.registry.SEARCH_STRATEGIES` (``"exhaustive"`` reproduces
+        the paper's sweep; ``"greedy"`` and ``"latency-aware"`` are the
+        refinements from :mod:`repro.core.strategies`).
+    strategy_options:
+        Keyword arguments forwarded to the strategy's constructor (e.g.
+        ``{"max_accuracy_loss": 0.05}`` for the greedy search).
     """
 
     tau_values: Optional[Sequence[float]] = None
@@ -66,8 +79,10 @@ class DSEConfig:
     metric: str = "expected_contribution"
     max_eval_samples: int = 512
     max_configs: Optional[int] = None
-    n_workers: int = 1
+    n_workers: Optional[int] = None
     include_exact: bool = True
+    strategy: str = "exhaustive"
+    strategy_options: Dict[str, object] = field(default_factory=dict)
 
     def resolved_taus(self) -> List[float]:
         """The tau sweep actually used."""
@@ -91,10 +106,12 @@ class DesignPoint:
     total_macs: int
     conv_macs: int
     retained_operand_fraction: float
+    #: Board-level latency estimate; filled in by the latency-aware strategy.
+    latency_ms: Optional[float] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view."""
-        return {
+        payload = {
             "label": self.config.label,
             "taus": self.config.taus(),
             "accuracy": self.accuracy,
@@ -103,6 +120,9 @@ class DesignPoint:
             "conv_macs": self.conv_macs,
             "retained_operand_fraction": self.retained_operand_fraction,
         }
+        if self.latency_ms is not None:
+            payload["latency_ms"] = self.latency_ms
+        return payload
 
 
 @dataclass
@@ -160,10 +180,27 @@ def _generate_layer_subsets(layer_names: Sequence[str], mode: str) -> List[Tuple
     raise ValueError(f"unknown layer_subsets mode {mode!r}")
 
 
+#: Per-worker invariant payload installed by :func:`_init_eval_worker` -- the
+#: model/significance/eval arrays are shipped once per worker instead of being
+#: re-pickled into every configuration's work item.
+_EVAL_STATE: dict = {}
+
+
+def _init_eval_worker(qmodel, significance, unpacked, images, labels) -> None:
+    """Process-pool initializer: stash the shared evaluation payload."""
+    _EVAL_STATE["payload"] = (qmodel, significance, unpacked, images, labels)
+
+
+def _evaluate_config(config: ApproxConfig) -> DesignPoint:
+    """Worker: simulate one approximate configuration against the shared payload."""
+    qmodel, significance, unpacked, images, labels = _EVAL_STATE["payload"]
+    return _evaluate_design((config, qmodel, significance, unpacked, images, labels))
+
+
 def _evaluate_design(
     args: Tuple[ApproxConfig, QuantizedModel, SignificanceResult, Optional[Dict[str, UnpackedLayer]], np.ndarray, np.ndarray]
 ) -> DesignPoint:
-    """Worker: simulate one approximate configuration."""
+    """Simulate one approximate configuration."""
     config, qmodel, significance, unpacked, images, labels = args
     masks = config.build_masks(significance, unpacked=unpacked)
     accuracy = qmodel.evaluate_accuracy(images, labels, masks=masks)
@@ -193,8 +230,9 @@ def run_dse(
     dse_config: Optional[DSEConfig] = None,
     unpacked: Optional[Dict[str, UnpackedLayer]] = None,
     layer_names: Optional[Sequence[str]] = None,
+    board: Optional[BoardProfile] = None,
 ) -> DSEResult:
-    """Explore the design space and simulate every configuration's accuracy.
+    """Explore the design space with the strategy named by ``dse_config.strategy``.
 
     Parameters
     ----------
@@ -205,13 +243,42 @@ def run_dse(
     eval_images, eval_labels:
         Held-out data used to simulate classification accuracy.
     dse_config:
-        Exploration options (defaults to :class:`DSEConfig`).
+        Exploration options (defaults to :class:`DSEConfig`); the
+        ``strategy`` field picks the search algorithm from
+        :data:`repro.registry.SEARCH_STRATEGIES`.
     unpacked:
         Unpacked layers (needed for coarse-granularity masks; optional).
     layer_names:
         Restrict the exploration to these layers (defaults to every layer
         with significance data, i.e. every conv layer).
+    board:
+        Target board; required by latency-objective strategies only.
     """
+    dse_config = dse_config or DSEConfig()
+    strategy_cls = SEARCH_STRATEGIES.resolve(dse_config.strategy)
+    strategy = strategy_cls(**dse_config.strategy_options)
+    return strategy.search(
+        qmodel,
+        significance,
+        eval_images,
+        eval_labels,
+        dse_config=dse_config,
+        unpacked=unpacked,
+        layer_names=layer_names,
+        board=board,
+    )
+
+
+def exhaustive_sweep(
+    qmodel: QuantizedModel,
+    significance: SignificanceResult,
+    eval_images: np.ndarray,
+    eval_labels: np.ndarray,
+    dse_config: Optional[DSEConfig] = None,
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    layer_names: Optional[Sequence[str]] = None,
+) -> DSEResult:
+    """The paper's exhaustive sweep: simulate every (tau, layer-subset) design."""
     dse_config = dse_config or DSEConfig()
     eval_images = np.asarray(eval_images, dtype=np.float32)
     eval_labels = np.asarray(eval_labels)
@@ -255,9 +322,13 @@ def run_dse(
     )
 
     baseline_accuracy = qmodel.evaluate_accuracy(eval_images, eval_labels)
-    work = [(cfg, qmodel, significance, unpacked, eval_images, eval_labels) for cfg in configs]
     points = parallel_map(
-        _evaluate_design, work, n_workers=dse_config.n_workers, min_items_for_pool=4
+        _evaluate_config,
+        configs,
+        n_workers=dse_config.n_workers,
+        min_items_for_pool=4,
+        initializer=_init_eval_worker,
+        initargs=(qmodel, significance, unpacked, eval_images, eval_labels),
     )
 
     if dse_config.include_exact:

@@ -1,6 +1,7 @@
 """End-to-end orchestration of the cooperative approximation framework (Fig. 1).
 
-:class:`AtamanPipeline` chains every stage of the paper's framework:
+:class:`AtamanPipeline` is the legacy, batteries-included entry point: it
+chains every stage of the paper's framework --
 
 1. layer-based code unpacking of the (quantized) CNN;
 2. input-distribution capture on a calibration subset;
@@ -9,21 +10,28 @@
 5. design-space exploration, Pareto analysis and configuration selection for
    a user-specified accuracy-loss budget, followed by deployment on the
    target board model.
+
+Since the workflow redesign it is a thin facade over
+:class:`repro.workflow.Experiment`: :meth:`AtamanPipeline.run` builds the
+standard stage graph and executes it through the experiment runner, so a
+pipeline constructed with a persistent
+:class:`~repro.workflow.artifacts.ArtifactStore` gets incremental re-runs for
+free.  New code should prefer the :class:`Experiment` API directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.calibration import ActivationCalibrator, CalibrationResult
+from repro.core.calibration import CalibrationResult
 from repro.core.codegen import generate_model_code
 from repro.core.config import ApproxConfig
-from repro.core.dse import DSEConfig, DSEResult, DesignPoint, run_dse
-from repro.core.significance import SignificanceResult, compute_significance
-from repro.core.unpacking import UnpackedLayer, unpack_model
+from repro.core.dse import DSEConfig, DSEResult, DesignPoint
+from repro.core.significance import SignificanceResult
+from repro.core.unpacking import UnpackedLayer
 from repro.isa.profiles import STM32U575, BoardProfile
 from repro.quant.qmodel import QuantizedModel
 from repro.quant.quantizer import PTQConfig, quantize_model
@@ -57,7 +65,7 @@ class PipelineResult:
 
 
 class AtamanPipeline:
-    """The automated cooperative approximation framework.
+    """The automated cooperative approximation framework (facade).
 
     Parameters
     ----------
@@ -69,6 +77,10 @@ class AtamanPipeline:
     include_dense:
         Extend unpacking/skipping to fully-connected layers (extension beyond
         the paper, used by ablations).
+    store:
+        Optional artifact store; when given, :meth:`run` caches stage outputs
+        content-addressed so repeated runs with unchanged configs skip
+        recomputation entirely.
     """
 
     def __init__(
@@ -76,10 +88,12 @@ class AtamanPipeline:
         qmodel: QuantizedModel,
         board: BoardProfile = STM32U575,
         include_dense: bool = False,
+        store=None,
     ):
         self.qmodel = qmodel
         self.board = board
         self.include_dense = include_dense
+        self.store = store
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -90,28 +104,34 @@ class AtamanPipeline:
         board: BoardProfile = STM32U575,
         ptq_config: Optional[PTQConfig] = None,
         include_dense: bool = False,
+        store=None,
     ) -> "AtamanPipeline":
         """Quantize a trained float model and wrap it in a pipeline."""
         qmodel = quantize_model(model, calibration_images, config=ptq_config)
-        return cls(qmodel, board=board, include_dense=include_dense)
+        return cls(qmodel, board=board, include_dense=include_dense, store=store)
 
     # ------------------------------------------------------------------ stages
     def unpack(self) -> Dict[str, UnpackedLayer]:
         """Stage 1: layer-based code unpacking."""
-        return unpack_model(self.qmodel, include_dense=self.include_dense)
+        from repro.workflow.stages import UnpackStage
+
+        return self._run_stage(UnpackStage(include_dense=self.include_dense), {})["unpacked"]
 
     def calibrate(self, calibration_images: np.ndarray) -> CalibrationResult:
         """Stage 2: capture the input distribution E[a_i]."""
-        calibrator = ActivationCalibrator(self.qmodel, include_dense=self.include_dense)
-        return calibrator.calibrate(calibration_images)
+        from repro.workflow.stages import CalibrateStage
+
+        stage = CalibrateStage(include_dense=self.include_dense)
+        return self._run_stage(stage, {"calibration_images": calibration_images})["calibration"]
 
     def significance(
         self, calibration: CalibrationResult, metric: str = "expected_contribution"
     ) -> SignificanceResult:
         """Stage 3: per-operand significance (paper Eq. 2)."""
-        return compute_significance(
-            self.qmodel, calibration, metric=metric, include_dense=self.include_dense
-        )
+        from repro.workflow.stages import SignificanceStage
+
+        stage = SignificanceStage(metric=metric, include_dense=self.include_dense)
+        return self._run_stage(stage, {"calibration": calibration})["significance"]
 
     def explore(
         self,
@@ -122,14 +142,24 @@ class AtamanPipeline:
         unpacked: Optional[Dict[str, UnpackedLayer]] = None,
     ) -> DSEResult:
         """Stage 5: design-space exploration with accuracy simulation."""
-        return run_dse(
-            self.qmodel,
-            significance,
-            eval_images,
-            eval_labels,
-            dse_config=dse_config,
-            unpacked=unpacked,
-        )
+        from repro.workflow.stages import DSEStage
+
+        stage = DSEStage(dse_config=dse_config, board=self.board)
+        return self._run_stage(
+            stage,
+            {
+                "significance": significance,
+                "unpacked": unpacked,
+                "eval_images": eval_images,
+                "eval_labels": eval_labels,
+            },
+        )["dse"]
+
+    def _run_stage(self, stage, extra_artifacts: Dict[str, object]) -> Dict[str, object]:
+        """Execute one stage directly (no caching) against this pipeline's model."""
+        from repro.workflow.stage import StageContext
+
+        return stage.run(StageContext({"qmodel": self.qmodel, **extra_artifacts}))
 
     def run(
         self,
@@ -139,20 +169,28 @@ class AtamanPipeline:
         dse_config: Optional[DSEConfig] = None,
         metric: str = "expected_contribution",
     ) -> PipelineResult:
-        """Run every stage and return the combined result."""
-        logger.info("ATAMAN pipeline on %s: unpacking", self.qmodel.name)
-        unpacked = self.unpack()
-        logger.info("calibrating on %d images", len(calibration_images))
-        calibration = self.calibrate(calibration_images)
-        significance = self.significance(calibration, metric=metric)
-        logger.info("running DSE")
-        dse = self.explore(significance, eval_images, eval_labels, dse_config, unpacked)
+        """Run every stage through the experiment runner and combine the results."""
+        from repro.workflow.experiment import Experiment
+
+        logger.info("ATAMAN pipeline on %s: running experiment graph", self.qmodel.name)
+        experiment = Experiment.from_quantized(
+            self.qmodel,
+            calibration_images,
+            eval_images,
+            eval_labels,
+            board=self.board,
+            dse_config=dse_config,
+            metric=metric,
+            include_dense=self.include_dense,
+            store=self.store,
+        )
+        result = experiment.run()
         return PipelineResult(
             qmodel=self.qmodel,
-            unpacked=unpacked,
-            calibration=calibration,
-            significance=significance,
-            dse=dse,
+            unpacked=result["unpacked"],
+            calibration=result["calibration"],
+            significance=result["significance"],
+            dse=result["dse"],
         )
 
     # ------------------------------------------------------------------ deployment

@@ -24,6 +24,7 @@ from repro.core.calibration import CalibrationResult
 from repro.core.unpacking import UnpackedLayer
 from repro.quant.qlayers import QConv2D, QDense
 from repro.quant.qmodel import QuantizedModel
+from repro.registry import SIGNIFICANCE_METRICS
 from repro.utils.rng import SeedLike, as_rng
 
 SignificanceMetric = Literal["expected_contribution", "product_magnitude", "weight_magnitude", "random"]
@@ -45,6 +46,45 @@ def _real_weights(layer: QConv2D | QDense) -> np.ndarray:
     raise TypeError(f"unsupported layer type {type(layer).__name__}")
 
 
+@SIGNIFICANCE_METRICS.register("expected_contribution")
+def _metric_expected_contribution(weights: np.ndarray, mean_inputs: np.ndarray, rng: SeedLike) -> np.ndarray:
+    """Paper Eq. 2: relative magnitude of the expected contribution."""
+    products = mean_inputs[None, :] * weights
+    denom = products.sum(axis=1, keepdims=True)
+    scale_ref = np.abs(products).max(axis=1, keepdims=True) + _ZERO_SUM_EPS
+    zero_sum = np.abs(denom) <= _ZERO_SUM_EPS * scale_ref
+    safe_denom = np.where(zero_sum, 1.0, denom)
+    significance = np.abs(products / safe_denom)
+    # Zero-sum channels: every operand is treated as maximally significant.
+    return np.where(zero_sum, np.inf, significance)
+
+
+@SIGNIFICANCE_METRICS.register("product_magnitude")
+def _metric_product_magnitude(weights: np.ndarray, mean_inputs: np.ndarray, rng: SeedLike) -> np.ndarray:
+    """Ablation: normalised |E[a_i] * w_i| without the signed-sum denominator."""
+    products = np.abs(mean_inputs[None, :] * weights)
+    denom = products.sum(axis=1, keepdims=True)
+    denom = np.where(denom <= 0, 1.0, denom)
+    return products / denom
+
+
+@SIGNIFICANCE_METRICS.register("weight_magnitude")
+def _metric_weight_magnitude(weights: np.ndarray, mean_inputs: np.ndarray, rng: SeedLike) -> np.ndarray:
+    """Ablation: normalised |w_i| (magnitude pruning, no calibration input)."""
+    magnitude = np.abs(weights)
+    denom = magnitude.sum(axis=1, keepdims=True)
+    denom = np.where(denom <= 0, 1.0, denom)
+    return magnitude / denom
+
+
+@SIGNIFICANCE_METRICS.register("random")
+def _metric_random(weights: np.ndarray, mean_inputs: np.ndarray, rng: SeedLike) -> np.ndarray:
+    """Ablation: a random ranking normalised per output channel."""
+    gen = as_rng(rng)
+    random_scores = gen.random(weights.shape)
+    return random_scores / random_scores.sum(axis=1, keepdims=True)
+
+
 def compute_layer_significance(
     layer: QConv2D | QDense,
     mean_inputs: np.ndarray,
@@ -60,43 +100,25 @@ def compute_layer_significance(
     mean_inputs:
         ``E[a_i]`` vector of length K (from :class:`ActivationCalibrator`).
     metric:
+        Name of a ranking registered in
+        :data:`repro.registry.SIGNIFICANCE_METRICS`.
         ``"expected_contribution"`` is the paper's Eq. 2; the others are
         ablation rankings normalised the same way (per-channel sums of the
         ranking quantity).
     rng:
         Only used by the ``"random"`` metric.
     """
+    metric_fn = SIGNIFICANCE_METRICS.get(metric)
+    if metric_fn is None:
+        raise ValueError(
+            f"unknown significance metric {metric!r}; registered: {SIGNIFICANCE_METRICS.names()}"
+        )
     weights = _real_weights(layer)
-    out_c, k = weights.shape
+    _, k = weights.shape
     mean_inputs = np.asarray(mean_inputs, dtype=np.float64).reshape(-1)
     if mean_inputs.shape[0] != k:
         raise ValueError(f"mean_inputs has length {mean_inputs.shape[0]}, expected {k}")
-
-    if metric == "expected_contribution":
-        products = mean_inputs[None, :] * weights
-        denom = products.sum(axis=1, keepdims=True)
-        scale_ref = np.abs(products).max(axis=1, keepdims=True) + _ZERO_SUM_EPS
-        zero_sum = np.abs(denom) <= _ZERO_SUM_EPS * scale_ref
-        safe_denom = np.where(zero_sum, 1.0, denom)
-        significance = np.abs(products / safe_denom)
-        # Zero-sum channels: every operand is treated as maximally significant.
-        significance = np.where(zero_sum, np.inf, significance)
-        return significance
-    if metric == "product_magnitude":
-        products = np.abs(mean_inputs[None, :] * weights)
-        denom = products.sum(axis=1, keepdims=True)
-        denom = np.where(denom <= 0, 1.0, denom)
-        return products / denom
-    if metric == "weight_magnitude":
-        magnitude = np.abs(weights)
-        denom = magnitude.sum(axis=1, keepdims=True)
-        denom = np.where(denom <= 0, 1.0, denom)
-        return magnitude / denom
-    if metric == "random":
-        gen = as_rng(rng)
-        random_scores = gen.random((out_c, k))
-        return random_scores / random_scores.sum(axis=1, keepdims=True)
-    raise ValueError(f"unknown significance metric {metric!r}")
+    return metric_fn(weights, mean_inputs, rng)
 
 
 @dataclass

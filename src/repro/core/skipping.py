@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.significance import SignificanceResult
 from repro.core.unpacking import UnpackedLayer
 from repro.quant.qmodel import QuantizedModel
+from repro.registry import GRANULARITIES
 
 
 class Granularity(str, Enum):
@@ -29,6 +30,41 @@ class Granularity(str, Enum):
     OPERAND = "operand"
     INPUT_CHANNEL = "input_channel"
     KERNEL_POSITION = "kernel_position"
+
+
+def _grouped_mask(significance: np.ndarray, tau: float, group_ids: np.ndarray) -> np.ndarray:
+    """Retention mask that skips a whole group when its mean significance <= tau."""
+    mask = np.ones_like(significance, dtype=bool)
+    finite = np.where(np.isfinite(significance), significance, 1.0)
+    for group in np.unique(group_ids):
+        member = group_ids == group
+        group_mean = finite[:, member].mean(axis=1)  # (out_channels,)
+        keep = group_mean > tau
+        mask[:, member] = keep[:, None]
+    return mask
+
+
+@GRANULARITIES.register(Granularity.OPERAND.value)
+def _operand_mask(significance: np.ndarray, tau: float, operand_coords: Optional[np.ndarray]) -> np.ndarray:
+    """Paper granularity: an operand is retained iff its own significance > tau."""
+    return significance > tau
+
+
+@GRANULARITIES.register(Granularity.INPUT_CHANNEL.value)
+def _input_channel_mask(significance: np.ndarray, tau: float, operand_coords: Optional[np.ndarray]) -> np.ndarray:
+    """Ablation granularity: skip all operands of an input channel together."""
+    if operand_coords is None:
+        raise ValueError("operand_coords are required for granularity input_channel")
+    return _grouped_mask(significance, tau, operand_coords[:, 2])
+
+
+@GRANULARITIES.register(Granularity.KERNEL_POSITION.value)
+def _kernel_position_mask(significance: np.ndarray, tau: float, operand_coords: Optional[np.ndarray]) -> np.ndarray:
+    """Ablation granularity: skip all operands of a kernel position together."""
+    if operand_coords is None:
+        raise ValueError("operand_coords are required for granularity kernel_position")
+    group_ids = operand_coords[:, 0] * (operand_coords[:, 1].max() + 1) + operand_coords[:, 1]
+    return _grouped_mask(significance, tau, group_ids)
 
 
 def build_skip_mask(
@@ -47,9 +83,11 @@ def build_skip_mask(
         Skip threshold; operands with ``S <= tau`` are skipped.  ``tau < 0``
         keeps everything (the exact design).
     granularity:
-        ``operand`` (paper), ``input_channel`` or ``kernel_position``.  The
-        coarse granularities skip a whole group when the group's *mean*
-        significance falls at or below ``tau``.
+        Name of a granularity registered in
+        :data:`repro.registry.GRANULARITIES`: ``operand`` (paper),
+        ``input_channel`` or ``kernel_position`` built in.  The coarse
+        granularities skip a whole group when the group's *mean* significance
+        falls at or below ``tau``.
     operand_coords:
         ``(K, 3)`` operand coordinates (required for the coarse granularities).
 
@@ -63,30 +101,24 @@ def build_skip_mask(
         raise ValueError("significance must be 2-D (out_channels, K)")
     if tau < 0:
         return np.ones_like(significance, dtype=bool)
-    granularity = Granularity(granularity)
+    masker = GRANULARITIES.get(validate_granularity(granularity))
 
-    if granularity is Granularity.OPERAND:
-        return significance > tau
+    if operand_coords is not None:
+        operand_coords = np.asarray(operand_coords)
+        if operand_coords.shape[0] != significance.shape[1]:
+            raise ValueError("operand_coords length must match the number of operands")
 
-    if operand_coords is None:
-        raise ValueError(f"operand_coords are required for granularity {granularity.value}")
-    operand_coords = np.asarray(operand_coords)
-    if operand_coords.shape[0] != significance.shape[1]:
-        raise ValueError("operand_coords length must match the number of operands")
+    return masker(significance, tau, operand_coords)
 
-    if granularity is Granularity.INPUT_CHANNEL:
-        group_ids = operand_coords[:, 2]
-    else:  # KERNEL_POSITION
-        group_ids = operand_coords[:, 0] * (operand_coords[:, 1].max() + 1) + operand_coords[:, 1]
 
-    mask = np.ones_like(significance, dtype=bool)
-    finite = np.where(np.isfinite(significance), significance, 1.0)
-    for group in np.unique(group_ids):
-        member = group_ids == group
-        group_mean = finite[:, member].mean(axis=1)  # (out_channels,)
-        keep = group_mean > tau
-        mask[:, member] = keep[:, None]
-    return mask
+def validate_granularity(granularity: Granularity | str) -> str:
+    """Normalise a granularity name, raising ``ValueError`` when unregistered."""
+    name = granularity.value if isinstance(granularity, Granularity) else str(granularity)
+    if name not in GRANULARITIES:
+        raise ValueError(
+            f"unknown skipping granularity {name!r}; registered: {GRANULARITIES.names()}"
+        )
+    return name
 
 
 def build_model_masks(

@@ -22,13 +22,15 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import ApproxConfig, LayerApproxSpec
-from repro.core.dse import DSEResult, DesignPoint
+from repro.core.dse import DSEConfig, DSEResult, DesignPoint, exhaustive_sweep
 from repro.core.significance import SignificanceResult
 from repro.core.skipping import build_model_masks, conv_mac_reduction
+from repro.core.unpacking import UnpackedLayer
 from repro.isa.cost_model import ExecutionStyle, KernelCostModel
 from repro.isa.profiles import BoardProfile
 from repro.kernels.cycle_counters import CycleCounter
 from repro.quant.qmodel import QuantizedModel
+from repro.registry import SEARCH_STRATEGIES
 from repro.utils.logging import get_logger
 
 logger = get_logger("core.strategies")
@@ -69,6 +71,9 @@ def greedy_per_layer_search(
     tau_candidates: Optional[Sequence[float]] = None,
     max_steps: int = 64,
     layer_names: Optional[Sequence[str]] = None,
+    granularity: str = "operand",
+    metric: str = "expected_contribution",
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
 ) -> GreedySearchResult:
     """Greedy heterogeneous-threshold search under an accuracy-loss budget.
 
@@ -93,6 +98,12 @@ def greedy_per_layer_search(
         Safety cap on accepted moves.
     layer_names:
         Layers to consider (default: every layer with significance data).
+    granularity, metric:
+        Skipping granularity and significance metric recorded in the emitted
+        layer specs; masks are built at this granularity (coarse
+        granularities need ``unpacked`` for the operand coordinates).
+    unpacked:
+        Unpacked layers (required for coarse granularities only).
     """
     if max_accuracy_loss < 0:
         raise ValueError("max_accuracy_loss must be non-negative")
@@ -119,7 +130,7 @@ def greedy_per_layer_search(
         taus = taus_from_levels(levels)
         if not taus:
             return baseline_accuracy, 0.0
-        masks = build_model_masks(significance, taus)
+        masks = build_model_masks(significance, taus, granularity=granularity, unpacked=unpacked)
         accuracy = qmodel.evaluate_accuracy(eval_images, eval_labels, masks=masks)
         return accuracy, conv_mac_reduction(qmodel, masks)
 
@@ -161,7 +172,7 @@ def greedy_per_layer_search(
         )
 
     specs = {
-        name: LayerApproxSpec(tau=ladder[idx])
+        name: LayerApproxSpec(tau=ladder[idx], granularity=granularity, metric=metric)
         for name, idx in current_levels.items()
         if idx >= 0
     }
@@ -214,4 +225,200 @@ def latency_aware_selection(
     return min(
         feasible,
         key=lambda p: estimate_design_latency_ms(qmodel, p, significance, board),
+    )
+
+
+# --------------------------------------------------------------------------- strategy classes
+class SearchStrategy:
+    """A pluggable DSE search algorithm.
+
+    Strategies are registered in :data:`repro.registry.SEARCH_STRATEGIES` and
+    selected by name through ``DSEConfig.strategy``; ``DSEConfig.strategy_options``
+    is forwarded to the constructor.  A strategy turns a model + significance
+    data + evaluation set into a :class:`~repro.core.dse.DSEResult`, so every
+    downstream consumer (Pareto analysis, selection, reports, the CLI) works
+    with any strategy.
+    """
+
+    name: str = "base"
+
+    def search(
+        self,
+        qmodel: QuantizedModel,
+        significance: SignificanceResult,
+        eval_images: np.ndarray,
+        eval_labels: np.ndarray,
+        dse_config: Optional[DSEConfig] = None,
+        unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+        layer_names: Optional[Sequence[str]] = None,
+        board: Optional[BoardProfile] = None,
+    ) -> DSEResult:
+        """Explore the design space and return the evaluated designs."""
+        raise NotImplementedError
+
+
+@SEARCH_STRATEGIES.register("exhaustive")
+class ExhaustiveSearch(SearchStrategy):
+    """The paper's exhaustive (tau x layer-subset) sweep."""
+
+    name = "exhaustive"
+
+    def search(self, qmodel, significance, eval_images, eval_labels,
+               dse_config=None, unpacked=None, layer_names=None, board=None) -> DSEResult:
+        return exhaustive_sweep(
+            qmodel, significance, eval_images, eval_labels,
+            dse_config=dse_config, unpacked=unpacked, layer_names=layer_names,
+        )
+
+
+@SEARCH_STRATEGIES.register("greedy")
+class GreedyPerLayerSearch(SearchStrategy):
+    """Heterogeneous-threshold search wrapping :func:`greedy_per_layer_search`.
+
+    Parameters
+    ----------
+    max_accuracy_loss:
+        Accuracy-loss budget the greedy climb must respect.
+    tau_candidates:
+        Optional threshold ladder (defaults to the geometric ladder of
+        :func:`greedy_per_layer_search`).
+    max_steps:
+        Safety cap on accepted moves.
+    """
+
+    name = "greedy"
+
+    def __init__(
+        self,
+        max_accuracy_loss: float = 0.05,
+        tau_candidates: Optional[Sequence[float]] = None,
+        max_steps: int = 64,
+    ):
+        self.max_accuracy_loss = float(max_accuracy_loss)
+        self.tau_candidates = tau_candidates
+        self.max_steps = int(max_steps)
+
+    def search(self, qmodel, significance, eval_images, eval_labels,
+               dse_config=None, unpacked=None, layer_names=None, board=None) -> DSEResult:
+        dse_config = dse_config or DSEConfig()
+        eval_images = np.asarray(eval_images, dtype=np.float32)
+        eval_labels = np.asarray(eval_labels)
+        if eval_images.shape[0] > dse_config.max_eval_samples:
+            eval_images = eval_images[: dse_config.max_eval_samples]
+            eval_labels = eval_labels[: dse_config.max_eval_samples]
+        # The threshold ladder: explicit constructor candidates win, then an
+        # explicit DSE tau sweep (its strictly positive values), then the
+        # default geometric ladder of greedy_per_layer_search.
+        tau_candidates = self.tau_candidates
+        if tau_candidates is None and dse_config.tau_values is not None:
+            tau_candidates = [t for t in dse_config.resolved_taus() if t > 0] or None
+        greedy = greedy_per_layer_search(
+            qmodel,
+            significance,
+            eval_images,
+            eval_labels,
+            max_accuracy_loss=self.max_accuracy_loss,
+            tau_candidates=tau_candidates,
+            max_steps=self.max_steps,
+            layer_names=layer_names,
+            granularity=dse_config.granularity,
+            metric=dse_config.metric,
+            unpacked=unpacked,
+        )
+        # Materialise every accepted intermediate configuration as a design
+        # point, so Pareto/selection consumers see the whole greedy trajectory.
+        points: List[DesignPoint] = []
+        if dse_config.include_exact:
+            points.append(_design_point(qmodel, significance, ApproxConfig.exact(qmodel.name),
+                                        greedy.baseline_accuracy, unpacked))
+        levels: Dict[str, float] = {}
+        for step in greedy.steps:
+            levels[step.layer] = step.tau
+            config = ApproxConfig(
+                model_name=qmodel.name,
+                layer_specs={
+                    name: LayerApproxSpec(
+                        tau=tau,
+                        granularity=dse_config.granularity,
+                        metric=dse_config.metric,
+                    )
+                    for name, tau in levels.items()
+                },
+                label=f"{qmodel.name}:greedy:step{len(points)}",
+            )
+            points.append(_design_point(qmodel, significance, config, step.accuracy, unpacked))
+        return DSEResult(
+            points=points,
+            baseline_accuracy=greedy.baseline_accuracy,
+            baseline_total_macs=qmodel.total_macs(),
+            baseline_conv_macs=qmodel.conv_macs(),
+            config=dse_config,
+        )
+
+
+class LatencyAwareDSEResult(DSEResult):
+    """A DSE result whose loss-budget selection minimises latency, not MACs."""
+
+    def best_within_loss(self, max_accuracy_loss: float) -> Optional[DesignPoint]:
+        threshold = self.baseline_accuracy - max_accuracy_loss
+        feasible = [
+            p for p in self.points if p.accuracy >= threshold and p.latency_ms is not None
+        ]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.latency_ms)
+
+
+@SEARCH_STRATEGIES.register("latency-aware")
+class LatencyAwareSearch(SearchStrategy):
+    """Exhaustive sweep re-ranked by the board-level latency estimate.
+
+    Runs the paper's sweep, then annotates every design with
+    :func:`estimate_design_latency_ms` on the target board; the returned
+    result's :meth:`best_within_loss` picks the *lowest-latency* design inside
+    the accuracy budget, which is what ultimately matters for Table II.
+    """
+
+    name = "latency-aware"
+
+    def search(self, qmodel, significance, eval_images, eval_labels,
+               dse_config=None, unpacked=None, layer_names=None, board=None) -> DSEResult:
+        if board is None:
+            raise ValueError("the latency-aware strategy needs a target board profile")
+        sweep = exhaustive_sweep(
+            qmodel, significance, eval_images, eval_labels,
+            dse_config=dse_config, unpacked=unpacked, layer_names=layer_names,
+        )
+        for point in sweep.points:
+            point.latency_ms = estimate_design_latency_ms(qmodel, point, significance, board)
+        return LatencyAwareDSEResult(
+            points=sweep.points,
+            baseline_accuracy=sweep.baseline_accuracy,
+            baseline_total_macs=sweep.baseline_total_macs,
+            baseline_conv_macs=sweep.baseline_conv_macs,
+            config=sweep.config,
+        )
+
+
+def _design_point(
+    qmodel: QuantizedModel,
+    significance: SignificanceResult,
+    config: ApproxConfig,
+    accuracy: float,
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+) -> DesignPoint:
+    """Build a :class:`DesignPoint` for an already-evaluated configuration."""
+    masks = config.build_masks(significance, unpacked=unpacked) if not config.is_exact else {}
+    retained = (
+        float(np.mean([np.asarray(m, dtype=bool).mean() for m in masks.values()]))
+        if masks
+        else 1.0
+    )
+    return DesignPoint(
+        config=config,
+        accuracy=accuracy,
+        conv_mac_reduction=conv_mac_reduction(qmodel, masks) if masks else 0.0,
+        total_macs=qmodel.total_macs(masks=masks or None),
+        conv_macs=qmodel.conv_macs(masks=masks or None),
+        retained_operand_fraction=retained,
     )

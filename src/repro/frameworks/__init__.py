@@ -14,6 +14,12 @@ from repro.frameworks.utvm import MicroTVMEngine
 from repro.frameworks.cmix_nn import CMixNNEngine
 from repro.frameworks.tflite_micro import TFLiteMicroEngine
 from repro.frameworks.ataman import AtamanEngine
+from repro.registry import ENGINES
+
+for _engine in (CMSISNNEngine, XCubeAIEngine, MicroTVMEngine, CMixNNEngine,
+                TFLiteMicroEngine, AtamanEngine):
+    if _engine.engine_name not in ENGINES:
+        ENGINES.register(_engine.engine_name, _engine)
 
 __all__ = [
     "BaseEngine",

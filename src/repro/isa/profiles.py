@@ -10,7 +10,9 @@ energy numbers in Table II are consistent with a constant active power of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
+
+from repro.registry import BOARDS
 
 
 @dataclass(frozen=True)
@@ -109,21 +111,19 @@ STM32L4 = BoardProfile(
     active_power_w=0.030,
 )
 
-_BOARDS: Dict[str, BoardProfile] = {
-    "stm32u575": STM32U575,
-    "stm32h743": STM32H743,
-    "stm32l4": STM32L4,
-}
+for _name, _board in (("stm32u575", STM32U575), ("stm32h743", STM32H743), ("stm32l4", STM32L4)):
+    if _name not in BOARDS:
+        BOARDS.register(_name, _board)
 
 
 def list_boards() -> List[str]:
     """Names of the registered board profiles."""
-    return sorted(_BOARDS)
+    return BOARDS.names()
 
 
 def get_board(name: str) -> BoardProfile:
     """Look a board profile up by its registry key."""
-    try:
-        return _BOARDS[name.lower()]
-    except KeyError as exc:
-        raise ValueError(f"unknown board {name!r}; available: {list_boards()}") from exc
+    board = BOARDS.get(name)
+    if board is None:
+        raise ValueError(f"unknown board {name!r}; available: {list_boards()}")
+    return board

@@ -27,8 +27,10 @@ def parallel_map(
     func: Callable[[T], R],
     items: Sequence[T] | Iterable[T],
     n_workers: Optional[int] = None,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
     min_items_for_pool: int = 8,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: tuple = (),
 ) -> List[R]:
     """Map ``func`` over ``items``, optionally using a process pool.
 
@@ -42,9 +44,15 @@ def parallel_map(
         Number of worker processes.  ``None`` uses :func:`default_workers`;
         ``0`` or ``1`` forces serial execution.
     chunksize:
-        Items handed to each worker at a time (larger amortises IPC overhead).
+        Items handed to each worker at a time (larger amortises IPC
+        overhead).  ``None`` picks ``len(items) / (4 * n_workers)`` -- a few
+        chunks per worker for load balance without per-item IPC.
     min_items_for_pool:
         Below this many items the serial path is always used.
+    initializer, initargs:
+        Per-worker setup hook: use it to ship large *invariant* state to each
+        worker once (e.g. as module globals) instead of pickling it into
+        every work item.  The serial path calls it once in-process.
 
     Returns
     -------
@@ -55,6 +63,12 @@ def parallel_map(
     if n_workers is None:
         n_workers = default_workers()
     if n_workers <= 1 or len(items) < min_items_for_pool:
+        if initializer is not None:
+            initializer(*initargs)
         return [func(item) for item in items]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+    if chunksize is None:
+        chunksize = max(1, len(items) // (4 * n_workers))
+    with ProcessPoolExecutor(
+        max_workers=n_workers, initializer=initializer, initargs=initargs
+    ) as pool:
         return list(pool.map(func, items, chunksize=max(1, chunksize)))

@@ -1,0 +1,53 @@
+"""Composable experiment API: stage graph + plugin registries + artifact cache.
+
+This package re-founds the public API of the reproduction on three ideas:
+
+* **Typed stages** (:mod:`repro.workflow.stage`, :mod:`repro.workflow.stages`)
+  -- each step of the paper's framework declares the artifacts it consumes
+  and produces, so flows are composed rather than hard-coded.
+* **An incremental runner** (:class:`Experiment`) -- stages execute in
+  dependency order with their outputs cached content-addressed; unchanged
+  prefixes of the graph are never re-executed.
+* **An artifact store** (:class:`ArtifactStore`) -- the on-disk (or
+  in-memory) cache keyed by stage-config + upstream-content hashes, which
+  also backs the CLI's ``--resume``.
+
+The legacy :class:`repro.core.AtamanPipeline` remains available as a thin
+facade over :class:`Experiment`.
+"""
+
+from repro.workflow.artifacts import ArtifactStore, fingerprint
+from repro.workflow.stage import Stage, StageContext
+from repro.workflow.stages import (
+    CalibrateStage,
+    CodegenStage,
+    DeployStage,
+    DSEStage,
+    QuantizeStage,
+    SignificanceStage,
+    UnpackStage,
+)
+from repro.workflow.experiment import (
+    Experiment,
+    ExperimentError,
+    ExperimentResult,
+    StageExecution,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "fingerprint",
+    "Stage",
+    "StageContext",
+    "QuantizeStage",
+    "UnpackStage",
+    "CalibrateStage",
+    "SignificanceStage",
+    "DSEStage",
+    "CodegenStage",
+    "DeployStage",
+    "Experiment",
+    "ExperimentError",
+    "ExperimentResult",
+    "StageExecution",
+]

@@ -1,0 +1,199 @@
+"""Content-addressed artifact storage for incremental experiments.
+
+Every stage output is cached under a *signature*: the hash of the stage's
+name/version, its configuration fingerprint and the digests of its upstream
+artifacts.  Because signatures chain (a stage's signature embeds its inputs'
+signatures), any change -- a different tau sweep, a new calibration set, an
+edited stage implementation -- invalidates exactly the affected suffix of the
+stage graph, and untouched prefixes are served from the store without
+executing a single stage body.
+
+The store itself is a flat pickle-per-object layout (``<root>/ab/abcd....pkl``)
+or, when constructed without a root directory, a process-local dict -- handy
+for tests and for the in-memory caching of :class:`repro.workflow.Experiment`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+#: Bump to invalidate every existing on-disk artifact (format change).
+STORE_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- fingerprinting
+def _update(hasher: "hashlib._Hash", token: str) -> None:
+    hasher.update(token.encode("utf-8"))
+    hasher.update(b"\x00")
+
+
+def _fingerprint_into(obj: Any, hasher: "hashlib._Hash") -> None:
+    """Feed a canonical byte representation of ``obj`` into ``hasher``."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        _update(hasher, f"{type(obj).__name__}:{obj!r}")
+    elif isinstance(obj, float):
+        _update(hasher, f"float:{obj.hex() if obj == obj else 'nan'}")
+    elif isinstance(obj, bytes):
+        _update(hasher, "bytes")
+        hasher.update(obj)
+    elif isinstance(obj, Enum):
+        _fingerprint_into(obj.value, hasher)
+    elif isinstance(obj, np.ndarray):
+        _update(hasher, f"ndarray:{obj.dtype.str}:{obj.shape}")
+        hasher.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, np.generic):
+        _fingerprint_into(obj.item(), hasher)
+    elif isinstance(obj, (list, tuple)):
+        _update(hasher, f"{type(obj).__name__}[{len(obj)}]")
+        for item in obj:
+            _fingerprint_into(item, hasher)
+    elif isinstance(obj, (set, frozenset)):
+        _update(hasher, f"set[{len(obj)}]")
+        for item in sorted(obj, key=repr):
+            _fingerprint_into(item, hasher)
+    elif isinstance(obj, dict):
+        _update(hasher, f"dict[{len(obj)}]")
+        for key in sorted(obj, key=repr):
+            _fingerprint_into(key, hasher)
+            _fingerprint_into(obj[key], hasher)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        _update(hasher, f"dataclass:{type(obj).__name__}")
+        for f in dataclasses.fields(obj):
+            _update(hasher, f.name)
+            _fingerprint_into(getattr(obj, f.name), hasher)
+    else:
+        # Arbitrary objects (e.g. QuantizedModel and its QLayers): fall back
+        # to pickle, which is content-deterministic for numpy/graph objects
+        # built the same way.
+        _update(hasher, f"pickle:{type(obj).__name__}")
+        hasher.update(pickle.dumps(obj, protocol=4))
+
+
+def fingerprint(obj: Any) -> str:
+    """Stable content digest (sha256 hex) of an arbitrary artifact/config.
+
+    Dataclasses, dicts, sequences, numpy arrays and scalars are hashed
+    structurally (order-independent for mappings); other objects fall back to
+    their pickle byte stream.  Two objects with equal content produce equal
+    fingerprints within and across processes.
+    """
+    hasher = hashlib.sha256()
+    _fingerprint_into(obj, hasher)
+    return hasher.hexdigest()
+
+
+# --------------------------------------------------------------------------- store
+class ArtifactStore:
+    """Content-addressed artifact cache, on disk or in memory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cached artifacts.  ``None`` keeps everything in
+        a process-local dict (no persistence), which is the default store of
+        ad-hoc :class:`~repro.workflow.experiment.Experiment` runs.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None):
+        self.root = Path(root) if root is not None else None
+        self._memory: Dict[str, Any] = {}
+        if self.root is not None:
+            if self.root.exists() and not self.root.is_dir():
+                raise ValueError(
+                    f"artifact store root {self.root} exists and is not a directory"
+                )
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ paths
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / key[:2] / f"{key}.pkl"
+
+    @property
+    def persistent(self) -> bool:
+        """True when artifacts are written to disk."""
+        return self.root is not None
+
+    # ------------------------------------------------------------------ access
+    def has(self, key: str) -> bool:
+        """Whether an artifact is cached under ``key``."""
+        if key in self._memory:
+            return True
+        return self.root is not None and self._path(key).exists()
+
+    def save(self, key: str, value: Any) -> str:
+        """Store ``value`` under ``key`` and return the key."""
+        self._memory[key] = value
+        if self.root is not None:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            with tmp.open("wb") as fh:
+                pickle.dump({"format": STORE_FORMAT_VERSION, "value": value}, fh, protocol=4)
+            tmp.replace(path)  # atomic publish: readers never see partial writes
+        return key
+
+    def load(self, key: str) -> Any:
+        """Retrieve the artifact stored under ``key`` (``KeyError`` if absent)."""
+        if key in self._memory:
+            return self._memory[key]
+        if self.root is not None:
+            path = self._path(key)
+            if path.exists():
+                with path.open("rb") as fh:
+                    payload = pickle.load(fh)
+                if payload.get("format") != STORE_FORMAT_VERSION:
+                    # A format bump turns old artifacts into cache misses.
+                    raise KeyError(
+                        f"artifact {key!r} was written with store format "
+                        f"{payload.get('format')!r}, expected {STORE_FORMAT_VERSION}"
+                    )
+                value = payload["value"]
+                self._memory[key] = value
+                return value
+        raise KeyError(f"no artifact cached under {key!r}")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Like :meth:`load` but returning ``default`` for missing keys."""
+        try:
+            return self.load(key)
+        except KeyError:
+            return default
+
+    # ------------------------------------------------------------------ maintenance
+    def keys(self) -> List[str]:
+        """Keys of every cached artifact (memory plus disk)."""
+        keys = set(self._memory)
+        if self.root is not None:
+            keys.update(p.stem for p in self.root.glob("*/*.pkl"))
+        return sorted(keys)
+
+    def clear(self) -> None:
+        """Drop every cached artifact."""
+        self._memory.clear()
+        if self.root is not None:
+            for path in self.root.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self.has(key)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        where = str(self.root) if self.root is not None else "memory"
+        return f"ArtifactStore({where!r}, {len(self)} artifacts)"

@@ -1,0 +1,102 @@
+"""The typed stage protocol of the composable experiment API.
+
+A :class:`Stage` is one node of an experiment's dataflow graph.  It declares
+the logical artifacts it consumes (:attr:`Stage.requires`) and produces
+(:attr:`Stage.provides`), exposes its configuration for fingerprinting
+(:meth:`Stage.config`) and implements the actual work in :meth:`Stage.run`.
+The :class:`~repro.workflow.experiment.Experiment` runner wires stages
+together by artifact name, executes them in dependency order and caches each
+stage's outputs in a content-addressed
+:class:`~repro.workflow.artifacts.ArtifactStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.workflow.artifacts import fingerprint
+
+
+class StageContext:
+    """Read-only view of the artifacts available to a running stage."""
+
+    def __init__(self, artifacts: Mapping[str, Any]):
+        self._artifacts = dict(artifacts)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._artifacts[name]
+        except KeyError:
+            raise KeyError(
+                f"stage requested artifact {name!r} which is not available; "
+                f"declared inputs: {sorted(self._artifacts)}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._artifacts
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Artifact by name, or ``default`` when absent."""
+        return self._artifacts.get(name, default)
+
+    def names(self) -> list:
+        """Names of the available artifacts."""
+        return sorted(self._artifacts)
+
+
+class Stage:
+    """One typed step of an experiment.
+
+    Subclasses set :attr:`name`, :attr:`requires` and :attr:`provides`, and
+    implement :meth:`run`.  Anything that influences the stage's output beyond
+    its input artifacts must be surfaced through :meth:`config` -- it is
+    hashed into the stage's cache signature, so forgetting a knob there means
+    stale cache hits when that knob changes.
+
+    Attributes
+    ----------
+    name:
+        Unique stage name inside an experiment.
+    requires:
+        Logical names of the artifacts the stage consumes (experiment inputs
+        or upstream stages' ``provides``).
+    provides:
+        Logical names of the artifacts the stage produces; :meth:`run` must
+        return a dict with exactly these keys.
+    version:
+        Implementation version; bump it when the stage's semantics change so
+        previously cached outputs are invalidated.
+    """
+
+    name: str = "stage"
+    requires: Tuple[str, ...] = ()
+    provides: Tuple[str, ...] = ()
+    version: str = "1"
+
+    # ------------------------------------------------------------------ caching
+    def config(self) -> Dict[str, Any]:
+        """The stage configuration hashed into the cache signature."""
+        return {}
+
+    def signature(self, input_digests: Mapping[str, str]) -> str:
+        """Content-addressed cache key of this stage given its input digests."""
+        return fingerprint(
+            {
+                "stage": self.name,
+                "class": type(self).__name__,
+                "version": self.version,
+                "config": self.config(),
+                "inputs": {key: input_digests[key] for key in self.requires},
+            }
+        )
+
+    # ------------------------------------------------------------------ execution
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Execute the stage; return a mapping with exactly ``provides`` keys."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"requires={self.requires!r}, provides={self.provides!r})"
+        )

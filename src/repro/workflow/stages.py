@@ -1,0 +1,286 @@
+"""Concrete stages of the cooperative approximation framework.
+
+These map the paper's Fig. 1 flow onto the :class:`~repro.workflow.stage.Stage`
+protocol::
+
+    QuantizeStage      float_model + calibration_images -> qmodel
+    UnpackStage        qmodel                           -> unpacked       (stage 1)
+    CalibrateStage     qmodel + calibration_images      -> calibration    (stage 2)
+    SignificanceStage  qmodel + calibration             -> significance   (stage 3)
+    DSEStage           qmodel + significance + ...      -> dse            (stage 5)
+    CodegenStage       unpacked + significance + dse    -> code           (stage 4)
+    DeployStage        qmodel + significance + dse      -> deployment
+
+Each stage declares exactly what it consumes and produces, so the
+:class:`~repro.workflow.experiment.Experiment` runner can order them, cache
+their outputs content-addressed and re-run only what a config change touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from repro.core.calibration import ActivationCalibrator
+from repro.core.codegen import generate_model_code
+from repro.core.config import ApproxConfig
+from repro.core.dse import DSEConfig, run_dse
+from repro.core.significance import compute_significance
+from repro.core.unpacking import unpack_model
+from repro.isa.profiles import BoardProfile, STM32U575
+from repro.quant.quantizer import PTQConfig, quantize_model
+from repro.registry import ENGINES, SEARCH_STRATEGIES
+from repro.utils.rng import SeedLike
+from repro.workflow.stage import Stage, StageContext
+
+
+def _class_identity(cls: type) -> str:
+    """Qualified class name used to tie cache keys to the resolved implementation."""
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+class QuantizeStage(Stage):
+    """Post-training-quantize a float model into the deployable int8 artefact."""
+
+    name = "quantize"
+    requires = ("float_model", "calibration_images")
+    provides = ("qmodel",)
+
+    def __init__(self, ptq_config: Optional[PTQConfig] = None, model_name: Optional[str] = None):
+        self.ptq_config = ptq_config
+        self.model_name = model_name
+
+    def config(self) -> Dict[str, Any]:
+        return {"ptq_config": self.ptq_config, "model_name": self.model_name}
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        kwargs = {"name": self.model_name} if self.model_name else {}
+        qmodel = quantize_model(
+            ctx["float_model"], ctx["calibration_images"], config=self.ptq_config, **kwargs
+        )
+        return {"qmodel": qmodel}
+
+
+class UnpackStage(Stage):
+    """Stage 1: layer-based code unpacking."""
+
+    name = "unpack"
+    requires = ("qmodel",)
+    provides = ("unpacked",)
+
+    def __init__(self, include_dense: bool = False):
+        self.include_dense = bool(include_dense)
+
+    def config(self) -> Dict[str, Any]:
+        return {"include_dense": self.include_dense}
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        return {"unpacked": unpack_model(ctx["qmodel"], include_dense=self.include_dense)}
+
+
+class CalibrateStage(Stage):
+    """Stage 2: capture the input distribution E[a_i] on a calibration subset."""
+
+    name = "calibrate"
+    requires = ("qmodel", "calibration_images")
+    provides = ("calibration",)
+
+    def __init__(self, include_dense: bool = False, batch_size: int = 32):
+        self.include_dense = bool(include_dense)
+        self.batch_size = int(batch_size)
+
+    def config(self) -> Dict[str, Any]:
+        return {"include_dense": self.include_dense, "batch_size": self.batch_size}
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        calibrator = ActivationCalibrator(
+            ctx["qmodel"], include_dense=self.include_dense, batch_size=self.batch_size
+        )
+        return {"calibration": calibrator.calibrate(ctx["calibration_images"])}
+
+
+class SignificanceStage(Stage):
+    """Stage 3: per-operand significance (paper Eq. 2, or any registered metric)."""
+
+    name = "significance"
+    requires = ("qmodel", "calibration")
+    provides = ("significance",)
+
+    def __init__(
+        self,
+        metric: str = "expected_contribution",
+        include_dense: bool = False,
+        rng: SeedLike = 0,
+    ):
+        self.metric = metric
+        self.include_dense = bool(include_dense)
+        self.rng = rng
+
+    def config(self) -> Dict[str, Any]:
+        return {"metric": self.metric, "include_dense": self.include_dense, "rng": self.rng}
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        significance = compute_significance(
+            ctx["qmodel"],
+            ctx["calibration"],
+            metric=self.metric,
+            include_dense=self.include_dense,
+            rng=self.rng,
+        )
+        return {"significance": significance}
+
+
+class DSEStage(Stage):
+    """Stage 5: design-space exploration with the configured search strategy."""
+
+    name = "dse"
+    requires = ("qmodel", "significance", "unpacked", "eval_images", "eval_labels")
+    provides = ("dse",)
+
+    def __init__(self, dse_config: Optional[DSEConfig] = None, board: Optional[BoardProfile] = None):
+        self.dse_config = dse_config or DSEConfig()
+        self.board = board
+
+    def config(self) -> Dict[str, Any]:
+        # n_workers only parallelises the sweep -- it cannot change the result,
+        # so it is normalised out of the cache key.  The resolved strategy
+        # class is hashed alongside its registry name, so re-registering a
+        # different implementation under the same name invalidates the cache.
+        return {
+            "dse_config": replace(self.dse_config, n_workers=None),
+            "board": self.board,
+            "strategy_class": _class_identity(SEARCH_STRATEGIES.resolve(self.dse_config.strategy)),
+        }
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        dse = run_dse(
+            ctx["qmodel"],
+            ctx["significance"],
+            ctx["eval_images"],
+            ctx["eval_labels"],
+            dse_config=self.dse_config,
+            unpacked=ctx["unpacked"],
+            board=self.board,
+        )
+        return {"dse": dse}
+
+
+class CodegenStage(Stage):
+    """Stage 4: emit the (approximate) unpacked C-like kernel code.
+
+    The emitted design is either an explicit :class:`ApproxConfig` or, when a
+    ``max_accuracy_loss`` budget is given, the best design the DSE found
+    within that budget (falling back to exact code when nothing qualifies and
+    no budget/config is set).
+    """
+
+    name = "codegen"
+    requires = ("qmodel", "unpacked", "significance", "dse")
+    provides = ("code",)
+
+    def __init__(
+        self,
+        approx_config: Optional[ApproxConfig] = None,
+        max_accuracy_loss: Optional[float] = None,
+    ):
+        if approx_config is not None and max_accuracy_loss is not None:
+            raise ValueError("pass either an explicit config or a loss budget, not both")
+        self.approx_config = approx_config
+        self.max_accuracy_loss = max_accuracy_loss
+        # The DSE result is only consumed when selecting by loss budget, so an
+        # explicit-config codegen composes without a DSE stage in the graph.
+        if max_accuracy_loss is None:
+            self.requires = ("qmodel", "unpacked", "significance")
+
+    def config(self) -> Dict[str, Any]:
+        return {"approx_config": self.approx_config, "max_accuracy_loss": self.max_accuracy_loss}
+
+    def _selected_config(self, ctx: StageContext) -> Optional[ApproxConfig]:
+        if self.approx_config is not None:
+            return self.approx_config
+        if self.max_accuracy_loss is None:
+            return None
+        design = ctx["dse"].best_within_loss(self.max_accuracy_loss)
+        if design is None:
+            raise ValueError(
+                f"no design satisfies an accuracy-loss budget of {self.max_accuracy_loss:.3f}"
+            )
+        return design.config
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        config = self._selected_config(ctx)
+        masks = (
+            config.build_masks(ctx["significance"], unpacked=ctx["unpacked"])
+            if config is not None and not config.is_exact
+            else None
+        )
+        code = generate_model_code(
+            ctx["unpacked"], masks=masks, model_name=ctx["qmodel"].name
+        )
+        return {"code": code}
+
+
+class DeployStage(Stage):
+    """Select a design within a loss budget and deploy it on the board model."""
+
+    name = "deploy"
+    requires = ("qmodel", "significance", "unpacked", "dse", "eval_images", "eval_labels")
+    provides = ("deployment",)
+
+    def __init__(
+        self,
+        max_accuracy_loss: float = 0.0,
+        board: BoardProfile = STM32U575,
+        engine: str = "ataman",
+        eval_samples: Optional[int] = None,
+        strict: bool = False,
+    ):
+        self.max_accuracy_loss = float(max_accuracy_loss)
+        self.board = board
+        self.engine = engine
+        self.eval_samples = eval_samples
+        self.strict = bool(strict)
+
+    def config(self) -> Dict[str, Any]:
+        return {
+            "max_accuracy_loss": self.max_accuracy_loss,
+            "board": self.board,
+            "engine": self.engine,
+            "engine_class": _class_identity(ENGINES.resolve(self.engine)),
+            "eval_samples": self.eval_samples,
+            "strict": self.strict,
+        }
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        from repro.mcu.deploy import deploy as mcu_deploy
+
+        qmodel = ctx["qmodel"]
+        engine_cls = ENGINES.resolve(self.engine)
+        if self.engine == "ataman":
+            design = ctx["dse"].best_within_loss(self.max_accuracy_loss)
+            if design is None:
+                raise ValueError(
+                    f"no design satisfies an accuracy-loss budget of {self.max_accuracy_loss:.3f}"
+                )
+            engine = engine_cls(
+                qmodel,
+                config=design.config,
+                significance=ctx["significance"],
+                unpacked=ctx["unpacked"],
+            )
+        else:
+            engine = engine_cls(qmodel)
+        images = ctx["eval_images"]
+        labels = ctx["eval_labels"]
+        if self.eval_samples is not None:
+            images = images[: self.eval_samples]
+            labels = labels[: self.eval_samples]
+        report = mcu_deploy(
+            engine,
+            self.board,
+            eval_images=images,
+            eval_labels=labels,
+            model_name=qmodel.name,
+            strict=self.strict,
+        )
+        return {"deployment": report}

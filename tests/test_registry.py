@@ -1,0 +1,139 @@
+"""Tests for the plugin registries (repro.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import (
+    BOARDS,
+    ENGINES,
+    GRANULARITIES,
+    SEARCH_STRATEGIES,
+    SIGNIFICANCE_METRICS,
+    Registry,
+    RegistryError,
+)
+
+
+class TestRegistry:
+    def test_register_and_resolve_direct(self):
+        reg = Registry("widget")
+        reg.register("a", object_a := object())
+        assert reg.resolve("a") is object_a
+        assert "a" in reg
+        assert reg.names() == ["a"]
+
+    def test_register_as_decorator(self):
+        reg = Registry("widget")
+
+        @reg.register("thing")
+        class Thing:
+            pass
+
+        assert reg.resolve("thing") is Thing
+
+    def test_resolve_is_case_insensitive(self):
+        reg = Registry("widget")
+        reg.register("MiXeD", 1)
+        assert reg.resolve("mixed") == 1
+        assert reg.resolve("MIXED") == 1
+
+    def test_unknown_name_lists_registered(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        with pytest.raises(RegistryError, match=r"unknown widget 'nope'.*\['a'\]"):
+            reg.resolve("nope")
+
+    def test_get_returns_default(self):
+        reg = Registry("widget")
+        assert reg.get("missing") is None
+        assert reg.get("missing", 42) == 42
+
+    def test_duplicate_rejected_unless_override(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        with pytest.raises(RegistryError):
+            reg.register("a", 2)
+        reg.register("a", 2, override=True)
+        assert reg.resolve("a") == 2
+
+    def test_aliases(self):
+        reg = Registry("widget")
+        reg.register("canonical", 7, aliases=("alt", "other"))
+        assert reg.resolve("alt") == 7
+        assert reg.resolve("other") == 7
+
+    def test_unregister(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        reg.unregister("a")
+        assert "a" not in reg
+
+
+class TestBuiltinRegistries:
+    """The built-in components register themselves lazily on first access."""
+
+    def test_search_strategies(self):
+        assert {"exhaustive", "greedy", "latency-aware"} <= set(SEARCH_STRATEGIES.names())
+
+    def test_engines(self):
+        assert {"ataman", "cmsis-nn", "x-cube-ai", "utvm", "cmix-nn", "tflite-micro"} == set(
+            ENGINES.names()
+        )
+
+    def test_boards(self):
+        assert {"stm32u575", "stm32h743", "stm32l4"} <= set(BOARDS.names())
+
+    def test_significance_metrics(self):
+        assert {
+            "expected_contribution",
+            "product_magnitude",
+            "weight_magnitude",
+            "random",
+        } <= set(SIGNIFICANCE_METRICS.names())
+
+    def test_granularities(self):
+        assert {"operand", "input_channel", "kernel_position"} <= set(GRANULARITIES.names())
+
+    def test_engine_classes_resolve(self):
+        from repro.frameworks import AtamanEngine, CMSISNNEngine
+
+        assert ENGINES.resolve("ataman") is AtamanEngine
+        assert ENGINES.resolve("cmsis-nn") is CMSISNNEngine
+
+
+class TestRegistryIntegration:
+    def test_custom_significance_metric_flows_through(self, tiny_qmodel, tiny_calibration):
+        import numpy as np
+
+        from repro.core import compute_significance
+
+        @SIGNIFICANCE_METRICS.register("uniform-test")
+        def _uniform(weights, mean_inputs, rng):
+            return np.full(weights.shape, 1.0 / weights.shape[1])
+
+        try:
+            result = compute_significance(tiny_qmodel, tiny_calibration, metric="uniform-test")
+            for name in result.layer_names():
+                np.testing.assert_allclose(result[name].sum(axis=1), 1.0)
+        finally:
+            SIGNIFICANCE_METRICS.unregister("uniform-test")
+
+    def test_unknown_strategy_raises(self, tiny_qmodel, tiny_significance, small_split):
+        from repro.core import DSEConfig, run_dse
+
+        with pytest.raises(RegistryError, match="search strategy"):
+            run_dse(
+                tiny_qmodel,
+                tiny_significance,
+                small_split.test.images[:8],
+                small_split.test.labels[:8],
+                dse_config=DSEConfig(strategy="simulated-annealing"),
+            )
+
+    def test_cli_choices_come_from_registries(self):
+        from repro.cli import board_choices, engine_choices, strategy_choices
+
+        assert "ataman" in engine_choices()
+        assert {"exhaustive", "greedy", "latency-aware"} <= set(strategy_choices())
+        assert "stm32u575" in board_choices()
