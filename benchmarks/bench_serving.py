@@ -1,0 +1,281 @@
+"""Serving benchmarks: batching speedup, sustained throughput, adaptive ramp.
+
+Three questions, answered on LeNet:
+
+* how much throughput does the scheduler's dynamic micro-batching buy over
+  serving every request as its own forward pass (batch size 1)?
+* what does the stack sustain end-to-end (queue -> policy -> batched int8
+  forward -> completion) under a steady concurrent load?
+* does the adaptive policy actually move along the Pareto front under a load
+  ramp, and what does that save in simulated MCU cycles?
+
+Plus the hot-path satellite: the im2col scratch-buffer reuse inside
+``QuantizedModel.predict_classes``, measured off vs on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import Client, Deployment, QueueDepthPolicy, Scheduler
+from repro.quant.qlayers import set_im2col_scratch
+
+from bench_utils import record_result
+from repro.evaluation.reports import format_table
+
+
+@pytest.fixture(scope="module")
+def lenet_serving(context):
+    """LeNet artefacts plus a three-level deployment for the serving benches."""
+    artifacts = context.build_model("lenet")
+    result = artifacts.result
+    conv_names = [layer.name for layer in artifacts.qmodel.conv_layers()]
+    points = [
+        {"label": "exact", "taus": {}, "accuracy": 1.0},
+        {"label": "mid", "taus": {name: 0.02 for name in conv_names}, "accuracy": 0.9},
+        {"label": "aggressive", "taus": {name: 0.08 for name in conv_names}, "accuracy": 0.8},
+    ]
+    deployment = Deployment.from_points(
+        artifacts.qmodel, points, result.significance, unpacked=result.unpacked
+    )
+    images = context.eval_set(256)[0]
+    return {"deployment": deployment, "images": images, "qmodel": artifacts.qmodel}
+
+
+def _fire_and_drain(scheduler, images: np.ndarray, n_requests: int, warmup: int = 48) -> float:
+    """Submit ``n_requests`` concurrently; return the wall seconds to drain."""
+    client = Client(scheduler, timeout_s=600.0)
+    for request in client.submit_many(images[:warmup]):
+        request.result(timeout=600.0)
+    xs = images[np.arange(n_requests) % len(images)]
+    started = time.perf_counter()
+    requests = client.submit_many(xs)
+    for request in requests:
+        request.result(timeout=600.0)
+    return time.perf_counter() - started
+
+
+def _sequential_rps(scheduler, images: np.ndarray, n_requests: int, warmup: int = 16) -> float:
+    """Closed-loop concurrency-1 client: one request in flight at a time."""
+    client = Client(scheduler, timeout_s=600.0)
+    for i in range(warmup):
+        client.predict(images[i % len(images)])
+    started = time.perf_counter()
+    for i in range(n_requests):
+        client.predict(images[i % len(images)])
+    return n_requests / (time.perf_counter() - started)
+
+
+def _speedup_rows(deployment, images, n_requests: int, repeats: int = 3):
+    """Measure sequential / concurrent-batch-1 / coalesced throughput.
+
+    The three modes are re-measured ``repeats`` times interleaved and the
+    best run of each is kept -- the shared CI containers have noisy
+    neighbours, and best-of-interleaved is robust against a slow minute
+    biasing whichever mode happened to run during it.
+    """
+    rps_seq = rps_b1 = rps_coalesced = 0.0
+    mean_batch = 0.0
+    for _ in range(repeats):
+        with Scheduler(deployment, policy="fixed", max_batch_size=1, max_wait_ms=0.0) as scheduler:
+            rps_seq = max(rps_seq, _sequential_rps(scheduler, images, max(64, n_requests // 3)))
+        with Scheduler(deployment, policy="fixed", max_batch_size=1, max_wait_ms=0.0) as scheduler:
+            rps_b1 = max(rps_b1, n_requests / _fire_and_drain(scheduler, images, n_requests))
+        with Scheduler(deployment, policy="fixed", max_batch_size=64, max_wait_ms=10.0) as scheduler:
+            rps = n_requests / _fire_and_drain(scheduler, images, n_requests)
+            if rps > rps_coalesced:
+                rps_coalesced = rps
+                mean_batch = scheduler.metrics.snapshot().mean_batch_size
+    return rps_seq, rps_b1, rps_coalesced, mean_batch
+
+
+def test_bench_batching_speedup(lenet_serving, tiny_artifacts):
+    """Scheduler-coalesced batches vs batch-size-1 serving.
+
+    Three baselines, worst to best: a closed-loop client (one request in
+    flight -- the classic no-batching request/response server), concurrent
+    batch-size-1 (requests pipeline through the queue but every forward pass
+    serves one sample), and the coalescing scheduler.  The speedup is bounded
+    by how much per-invocation overhead batching can amortise: on this
+    container every NumPy forward runs on a single core, so the multiple
+    grows as the per-sample compute shrinks relative to the per-call
+    overhead -- the tiny-CNN rows demonstrate the headroom the scheduler has
+    on smaller models (and on multi-core hosts, where the batched GEMMs
+    parallelise while per-request dispatch does not).
+    """
+    deployment = lenet_serving["deployment"]
+    images = lenet_serving["images"]
+    n_requests = 192
+
+    rps_seq, rps_b1, rps_coalesced, mean_batch = _speedup_rows(deployment, images, n_requests)
+
+    tiny = tiny_artifacts
+    tiny_points = [{"label": "exact", "taus": {}, "accuracy": 1.0}]
+    tiny_deployment = Deployment.from_points(
+        tiny["qmodel"], tiny_points, tiny["result"].significance, unpacked=tiny["result"].unpacked
+    )
+    tiny_images = tiny["split"].test.images
+    t_seq, t_b1, t_coalesced, t_mean = _speedup_rows(tiny_deployment, tiny_images, 256)
+
+    rows = [
+        {"model": "lenet", "mode": "sequential (1 in flight)", "req/s": rps_seq, "vs sequential": 1.0},
+        {"model": "lenet", "mode": "concurrent, batch=1", "req/s": rps_b1, "vs sequential": rps_b1 / rps_seq},
+        {
+            "model": "lenet",
+            "mode": f"coalesced (<=64, mean {mean_batch:.1f})",
+            "req/s": rps_coalesced,
+            "vs sequential": rps_coalesced / rps_seq,
+        },
+        {"model": "tiny_cnn", "mode": "sequential (1 in flight)", "req/s": t_seq, "vs sequential": 1.0},
+        {"model": "tiny_cnn", "mode": "concurrent, batch=1", "req/s": t_b1, "vs sequential": t_b1 / t_seq},
+        {
+            "model": "tiny_cnn",
+            "mode": f"coalesced (<=64, mean {t_mean:.1f})",
+            "req/s": t_coalesced,
+            "vs sequential": t_coalesced / t_seq,
+        },
+    ]
+    record_result("serving_batching_speedup", format_table(rows, title="serving: batching speedup"))
+    assert rps_coalesced / rps_b1 >= 1.5, "coalescing bought almost nothing on LeNet"
+    assert t_coalesced / t_b1 >= 2.5, "coalescing bought almost nothing on the tiny CNN"
+
+
+def test_bench_sustained_throughput(lenet_serving):
+    """Steady concurrent load through the full stack, three waves deep."""
+    deployment = lenet_serving["deployment"]
+    images = lenet_serving["images"]
+    wave = 128
+
+    with Scheduler(deployment, policy="fixed", max_batch_size=32, max_wait_ms=5.0) as scheduler:
+        total_seconds = sum(_fire_and_drain(scheduler, images, wave) for _ in range(3))
+        snapshot = scheduler.metrics.snapshot()
+
+    # Warm-up waves also pass through the metrics sink; everything answered.
+    assert snapshot.requests_completed >= 3 * wave
+    assert snapshot.requests_failed == 0
+    rows = [
+        {
+            "requests": 3 * wave,
+            "req/s": 3 * wave / total_seconds,
+            "mean batch": snapshot.mean_batch_size,
+            "p50 ms": snapshot.p50_latency_ms,
+            "p95 ms": snapshot.p95_latency_ms,
+        }
+    ]
+    record_result(
+        "serving_sustained_throughput",
+        format_table(rows, title="serving: sustained throughput (LeNet)"),
+    )
+
+
+def test_bench_adaptive_load_ramp(lenet_serving):
+    """Trickle -> burst -> trickle: the queue-depth policy must walk the front."""
+    deployment = lenet_serving["deployment"]
+    images = lenet_serving["images"]
+
+    policy = QueueDepthPolicy(depth_per_level=12, hysteresis=2)
+    with Scheduler(deployment, policy=policy, max_batch_size=16, max_wait_ms=2.0) as scheduler:
+        client = Client(scheduler, timeout_s=600.0)
+        for i in range(8):  # trickle: shallow queue, accurate level
+            client.predict(images[i])
+        burst = [client.submit(images[i % len(images)]) for i in range(96)]
+        for request in burst:
+            request.result(timeout=600.0)
+        for i in range(8):  # trickle: policy relaxes again
+            client.predict(images[i])
+        snapshot = scheduler.metrics.snapshot()
+
+    assert snapshot.requests_completed == 112
+    escalated = sum(n for name, n in snapshot.per_level_requests.items() if name != "L0")
+    assert escalated > 0, "burst never escalated off the exact design"
+    assert snapshot.level_switches >= 2
+    rows = [
+        {
+            "level": level.name,
+            "label": level.config.label,
+            "mcu ms/sample": level.mcu_latency_ms,
+            "requests": snapshot.per_level_requests.get(level.name, 0),
+        }
+        for level in deployment.levels
+    ]
+    rows.append(
+        {
+            "level": "switches",
+            "label": snapshot.level_switches,
+            "mcu ms/sample": "",
+            "requests": "",
+        }
+    )
+    rows.append(
+        {
+            "level": "cycles saved",
+            "label": f"{snapshot.cycles_saved:,.0f}",
+            "mcu ms/sample": f"{snapshot.mcu_ms_saved:,.1f} ms",
+            "requests": "",
+        }
+    )
+    record_result(
+        "serving_load_ramp",
+        format_table(rows, title="serving: adaptive load ramp (queue-depth policy, LeNet)"),
+    )
+
+
+def test_bench_predict_classes_scratch_reuse(lenet_serving):
+    """im2col buffer strategy on the batch hot path: allocator vs dedicated scratch.
+
+    Records both modes of :func:`repro.quant.qlayers.set_im2col_scratch`.
+    The measured outcome on this container is the *reason the default is
+    off*: NumPy's caching allocator already recycles one layer's just-freed
+    patch buffer into the next layer's allocations, and pinning a dedicated
+    buffer per layer fragments that recycling (slightly slower once the
+    working set outgrows the cache).  No assertion on the ratio -- the table
+    documents the trade on whatever host runs the suite.
+    """
+    qmodel = lenet_serving["qmodel"]
+    images = lenet_serving["images"]
+    xs = images[np.arange(512) % len(images)]
+
+    def measure():
+        qmodel.predict_classes(xs[:64], batch_size=64)  # warm-up / allocate
+        started = time.perf_counter()
+        predictions = qmodel.predict_classes(xs, batch_size=64)
+        return time.perf_counter() - started, predictions
+
+    # Interleaved best-of-3 per mode: robust against noisy-neighbour minutes.
+    seconds_default = seconds_scratch = float("inf")
+    predictions_default = predictions_scratch = None
+    for _ in range(3):
+        elapsed, predictions_default = measure()
+        seconds_default = min(seconds_default, elapsed)
+        previous = set_im2col_scratch(True)
+        try:
+            elapsed, predictions_scratch = measure()
+            seconds_scratch = min(seconds_scratch, elapsed)
+        finally:
+            set_im2col_scratch(previous)
+    np.testing.assert_array_equal(predictions_default, predictions_scratch)
+
+    rows = [
+        {
+            "im2col buffers": "allocator recycling (default)",
+            "wall (s)": seconds_default,
+            "images/s": len(xs) / seconds_default,
+        },
+        {
+            "im2col buffers": "dedicated per-layer scratch",
+            "wall (s)": seconds_scratch,
+            "images/s": len(xs) / seconds_scratch,
+        },
+        {
+            "im2col buffers": "scratch/default ratio",
+            "wall (s)": "",
+            "images/s": seconds_default / seconds_scratch,
+        },
+    ]
+    record_result(
+        "predict_classes_scratch",
+        format_table(rows, title="predict_classes: im2col buffer strategy (LeNet, batch 64)"),
+    )

@@ -8,13 +8,15 @@ Usage (also installed as the ``repro-tinyml`` console script)::
                                   --strategy exhaustive --resume runs/cache
     python -m repro.cli codegen   --qmodel runs/lenet_q --config runs/lenet_dse.config.json --out runs/lenet.c
     python -m repro.cli deploy    --qmodel runs/lenet_q --config runs/lenet_dse.config.json --engine ataman
+    python -m repro.cli serve     --qmodel runs/lenet_q --config runs/lenet_dse.json --policy queue-depth
     python -m repro.cli reproduce --table1 --table2 --figure2 --claims
 
-The ``--strategy``, ``--engine`` and ``--board`` choices are populated from
-the plugin registries (:mod:`repro.registry`), so registered extensions show
-up automatically.  ``--resume DIR`` points the explore/codegen/deploy
-commands at a persistent artifact store: stages whose configuration and
-inputs are unchanged are served from the cache instead of recomputed.
+The ``--strategy``, ``--engine``, ``--board`` and ``--policy`` choices are
+populated from the plugin registries (:mod:`repro.registry`), so registered
+extensions show up automatically.  ``--resume DIR`` points the
+explore/codegen/deploy/serve commands at a persistent artifact store: stages
+whose configuration and inputs are unchanged are served from the cache
+instead of recomputed.
 
 Every command works entirely offline: the dataset is the deterministic
 synthetic CIFAR-10 surrogate, regenerated from its seed on demand.
@@ -37,14 +39,16 @@ from repro.mcu import deploy as mcu_deploy
 from repro.models import build_model, list_models
 from repro.nn import Adam, Trainer, load_model, save_model
 from repro.quant import load_quantized_model, quantize_model, save_quantized_model
-from repro.registry import BOARDS, ENGINES, SEARCH_STRATEGIES
+from repro.registry import BOARDS, ENGINES, POLICIES, SEARCH_STRATEGIES
 from repro.utils.logging import set_verbosity
-from repro.utils.serialization import save_json
+from repro.utils.serialization import load_json, save_json
 from repro.workflow import (
     ArtifactStore,
     CalibrateStage,
     CodegenStage,
+    DSEStage,
     Experiment,
+    ServeStage,
     SignificanceStage,
     UnpackStage,
 )
@@ -195,6 +199,116 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     return 0 if report.fits else 1
 
 
+def _smoke_load_ramp(scheduler, images: np.ndarray, n_requests: int) -> int:
+    """Drive a trickle -> burst -> trickle load ramp; returns answered count.
+
+    The trickle phases keep the queue near-empty (the policy should serve the
+    accurate end of the Pareto front); the concurrent burst spikes the queue
+    depth so an adaptive policy escalates to an aggressive skip configuration
+    -- the switches show up in the metrics summary.
+    """
+    from repro.serving import Client
+
+    client = Client(scheduler, timeout_s=120.0)
+    # Two trickle phases bracket the burst; small -N runs shrink the phases
+    # so exactly n_requests are issued.
+    trickle = min(max(4, n_requests // 10), n_requests // 3)
+    burst = n_requests - 2 * trickle
+    answered = 0
+    for i in range(trickle):
+        client.predict(images[i % len(images)])
+        answered += 1
+    pending = [client.submit(images[i % len(images)]) for i in range(burst)]
+    for request in pending:
+        request.result(timeout=120.0)
+        answered += 1
+    for i in range(trickle):
+        client.predict(images[i % len(images)])
+        answered += 1
+    return answered
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve predictions from a deployed model over its DSE Pareto front."""
+    from repro.serving import PredictionServer, Scheduler
+
+    qmodel = load_quantized_model(args.qmodel)
+    split = _dataset_split(args.samples, args.seed)
+    board = get_board(args.board)
+
+    stages = [UnpackStage(), CalibrateStage(), SignificanceStage()]
+    inputs = {"qmodel": qmodel, "calibration_images": split.calibration.images}
+    if args.config:
+        points = load_json(args.config)["points"]
+        stages.append(ServeStage(points=points, max_levels=args.max_levels, board=board))
+    else:
+        # No DSE table supplied: run a small sweep in-graph (cached by --resume).
+        dse_config = DSEConfig(
+            tau_values=[0.0, 0.005, 0.01, 0.02, 0.05, 0.1],
+            max_eval_samples=args.eval_samples,
+            n_workers=args.workers,
+        )
+        stages.append(DSEStage(dse_config=dse_config, board=board))
+        stages.append(ServeStage(max_levels=args.max_levels, board=board))
+        inputs["eval_images"] = split.test.images
+        inputs["eval_labels"] = split.test.labels
+    experiment = Experiment(stages, inputs=inputs, store=_store(args))
+    result = experiment.run()
+    _report_cache(result)
+    deployment = result["serving"]
+    print(format_table(
+        deployment.describe(),
+        columns=["name", "label", "accuracy", "conv_mac_reduction", "mcu_latency_ms"],
+        title=f"service levels of {qmodel.name} ({args.policy} policy)",
+    ))
+
+    scheduler = Scheduler(
+        deployment,
+        policy=args.policy,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        n_workers=args.replicas,
+    )
+    scheduler.start()
+    try:
+        if args.smoke is not None:
+            answered = _smoke_load_ramp(scheduler, split.test.images, args.smoke)
+            snapshot = scheduler.metrics.snapshot()
+            rows = [
+                {
+                    "level": name,
+                    "requests": snapshot.per_level_requests.get(name, 0),
+                    "batches": snapshot.per_level_batches.get(name, 0),
+                }
+                for name in (level.name for level in deployment.levels)
+            ]
+            print(format_table(rows, title="per-level traffic"))
+            print(f"answered: {answered}/{args.smoke}")
+            print(f"level switches: {snapshot.level_switches}")
+            print(
+                f"throughput: {snapshot.throughput_rps:.1f} req/s   "
+                f"mean batch: {snapshot.mean_batch_size:.1f}   "
+                f"p50/p95 latency: {snapshot.p50_latency_ms:.1f}/{snapshot.p95_latency_ms:.1f} ms"
+            )
+            print(
+                f"simulated MCU cycles saved: {snapshot.cycles_saved:,.0f} "
+                f"({snapshot.mcu_ms_saved:,.1f} ms on {board.name})"
+            )
+            return 0 if answered == args.smoke else 1
+        server = PredictionServer(scheduler, host=args.host, port=args.port)
+        print(
+            f"serving {qmodel.name} at {server.url} "
+            "(POST /predict, GET /metrics, /levels, /healthz); Ctrl-C to stop"
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        return 0
+    finally:
+        scheduler.stop()
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     """Regenerate the paper's tables/figures through the shared experiment context."""
     from repro.evaluation import (
@@ -236,6 +350,11 @@ def strategy_choices() -> List[str]:
 def board_choices() -> List[str]:
     """Board names registered in :data:`repro.registry.BOARDS`."""
     return BOARDS.names()
+
+
+def policy_choices() -> List[str]:
+    """Serving-policy names registered in :data:`repro.registry.POLICIES`."""
+    return POLICIES.names()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -304,6 +423,32 @@ def build_parser() -> argparse.ArgumentParser:
     add_resume(p_deploy)
     add_common(p_deploy)
     p_deploy.set_defaults(func=cmd_deploy)
+
+    p_serve = sub.add_parser("serve", help="serve predictions with load-adaptive batching")
+    p_serve.add_argument("--qmodel", required=True)
+    p_serve.add_argument("--config", default=None,
+                         help="DSE table JSON from `explore` (omit to run a small DSE in-line)")
+    p_serve.add_argument("--policy", choices=policy_choices(), default="queue-depth",
+                         help="adaptive serving policy (from the policy registry)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument("--max-batch-size", type=int, default=32)
+    p_serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                         help="batch coalescing window in milliseconds")
+    p_serve.add_argument("--max-levels", type=int, default=6,
+                         help="cap on the number of Pareto service levels")
+    p_serve.add_argument("--replicas", type=int, default=1,
+                         help="worker processes holding model replicas (1 = in-process)")
+    p_serve.add_argument("--board", choices=board_choices(), default="stm32u575",
+                         help="board model for the simulated MCU latency/savings")
+    p_serve.add_argument("--eval-samples", type=int, default=256,
+                         help="evaluation images for the in-line DSE (no --config only)")
+    p_serve.add_argument("--smoke", type=int, default=None, metavar="N",
+                         help="answer N self-generated requests through a load ramp, "
+                              "print the metrics summary and exit")
+    add_resume(p_serve)
+    add_common(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_rep = sub.add_parser("reproduce", help="regenerate the paper's tables and figures")
     p_rep.add_argument("--table1", action="store_true")

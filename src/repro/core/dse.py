@@ -120,6 +120,13 @@ class DesignPoint:
             "conv_macs": self.conv_macs,
             "retained_operand_fraction": self.retained_operand_fraction,
         }
+        if self.config.layer_specs:
+            # Carried so a saved DSE table (``explore``'s JSON) reproduces the
+            # exact masks downstream (e.g. serving's Deployment.from_points)
+            # even under non-default granularity/metric settings.
+            spec = next(iter(self.config.layer_specs.values()))
+            payload["granularity"] = spec.granularity
+            payload["metric"] = spec.metric
         if self.latency_ms is not None:
             payload["latency_ms"] = self.latency_ms
         return payload

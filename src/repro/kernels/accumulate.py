@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-#: Maximum absolute value of an int8 x int8 product.
-_MAX_PRODUCT = 127 * 128
+#: Maximum absolute value of an int8 x int8 product ((-128) * (-128)).
+_MAX_PRODUCT = 128 * 128
 
 
 def exact_matmul_dtype(reduction_depth: int) -> np.dtype:

@@ -22,11 +22,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.kernels.accumulate import integer_matmul
+from repro.kernels.accumulate import exact_matmul_dtype
 from repro.kernels.cycle_counters import CycleCounter, KernelStats
 from repro.kernels.im2col import im2col_s8
 from repro.nn.functional import conv_output_shape
-from repro.kernels.requantize import requantize_float
 
 
 def convolve_s8(
@@ -43,6 +42,7 @@ def convolve_s8(
     weight_mask: Optional[np.ndarray] = None,
     counter: Optional[CycleCounter] = None,
     section: str = "conv",
+    cols_out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Quantized 2-D convolution.
 
@@ -69,6 +69,10 @@ def convolve_s8(
         Optional boolean ``(Cout, kh*kw*Cin)`` retention mask.
     counter, section:
         Optional operation counter and section name.
+    cols_out:
+        Optional preallocated im2col destination (see
+        :func:`~repro.kernels.im2col.im2col_s8`); lets repeated same-shaped
+        calls reuse one scratch buffer.
 
     Returns
     -------
@@ -95,23 +99,43 @@ def convolve_s8(
             )
         w_mat = w_mat * weight_mask
 
-    cols = im2col_s8(x, (kh, kw), stride, padding, input_zero_point)
+    # The accumulation runs through BLAS in the cheapest float dtype whose
+    # mantissa provably holds the worst-case int8xint8 accumulator (see
+    # repro.kernels.accumulate), so the patches are widened straight to that
+    # dtype -- no intermediate int32 patch matrix, no post-matmul conversion.
+    compute_dtype = exact_matmul_dtype(k)
+    cols = im2col_s8(
+        x, (kh, kw), stride, padding, input_zero_point, out=cols_out, dtype=compute_dtype
+    )
     cols_flat = cols.reshape(n * out_h * out_w, k)
 
     # acc[p, c] = sum_i w[c, i] * (x[p, i] - in_zp)
     #           = (cols @ w.T)[p, c] - in_zp * sum_i w[c, i]
-    acc = integer_matmul(cols_flat, w_mat.T)
-    offset_correction = int(input_zero_point) * w_mat.sum(axis=1)
-    acc = acc - offset_correction[None, :]
+    # Every value below is an exactly-represented integer; the arithmetic is
+    # carried out in float64 from the accumulator on, which is lossless
+    # (< 2**53) and feeds np.rint the same numbers the int64 path produced.
     if bias is not None:
         bias = np.asarray(bias, dtype=np.int64)
         if bias.shape != (out_c,):
             raise ValueError(f"bias must have shape ({out_c},), got {bias.shape}")
-        acc = acc + bias[None, :]
+    acc = (cols_flat @ w_mat.T.astype(compute_dtype)).astype(np.float64, copy=False)
+    # One per-channel additive pass: bias minus the input-offset correction.
+    combined = -float(input_zero_point) * w_mat.sum(axis=1).astype(np.float64)
+    if bias is not None:
+        combined += bias.astype(np.float64)
+    acc += combined[None, :]
 
+    # Fused requantize/offset/clamp, in place on the accumulator, with the
+    # clamp casting straight into the int8 output buffer: numerically
+    # identical to requantize_float + offset + clip (every intermediate is an
+    # exactly-represented integer) without the int64 round trip and its
+    # extra full-array passes.
     multipliers = np.broadcast_to(np.asarray(output_multipliers, dtype=np.float64), (out_c,))
-    out = requantize_float(acc, multipliers[None, :]) + int(output_zero_point)
-    out = np.clip(out, activation_min, activation_max).astype(np.int8)
+    acc *= multipliers[None, :]
+    np.rint(acc, out=acc)
+    acc += float(output_zero_point)
+    out = np.empty(acc.shape, dtype=np.int8)
+    np.clip(acc, activation_min, activation_max, out=out, casting="unsafe")
     out = out.reshape(n, out_h, out_w, out_c)
 
     if counter is not None:

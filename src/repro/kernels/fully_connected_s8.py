@@ -6,9 +6,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.kernels.accumulate import integer_matmul
+from repro.kernels.accumulate import exact_matmul_dtype
 from repro.kernels.cycle_counters import CycleCounter, KernelStats
-from repro.kernels.requantize import requantize_float
 
 
 def fully_connected_s8(
@@ -60,18 +59,26 @@ def fully_connected_s8(
             )
         w_mat = w_mat * weight_mask.T
 
-    acc = integer_matmul(x.astype(np.int64), w_mat)
-    offset_correction = int(input_zero_point) * w_mat.sum(axis=0)
-    acc = acc - offset_correction[None, :]
+    # Same exact-float accumulation + fused requantize as the conv kernel
+    # (see convolve_s8): BLAS matmul in the cheapest provably-exact float
+    # dtype, one combined bias/offset pass, clamp casting into int8.
     if bias is not None:
         bias = np.asarray(bias, dtype=np.int64)
         if bias.shape != (out_features,):
             raise ValueError(f"bias must have shape ({out_features},), got {bias.shape}")
-        acc = acc + bias[None, :]
+    compute_dtype = exact_matmul_dtype(in_features)
+    acc = (x.astype(compute_dtype) @ w_mat.astype(compute_dtype)).astype(np.float64, copy=False)
+    combined = -float(input_zero_point) * w_mat.sum(axis=0).astype(np.float64)
+    if bias is not None:
+        combined += bias.astype(np.float64)
+    acc += combined[None, :]
 
     multipliers = np.broadcast_to(np.asarray(output_multipliers, dtype=np.float64), (out_features,))
-    out = requantize_float(acc, multipliers[None, :]) + int(output_zero_point)
-    out = np.clip(out, activation_min, activation_max).astype(np.int8)
+    acc *= multipliers[None, :]
+    np.rint(acc, out=acc)
+    acc += float(output_zero_point)
+    out = np.empty(acc.shape, dtype=np.int8)
+    np.clip(acc, activation_min, activation_max, out=out, casting="unsafe")
 
     if counter is not None:
         n = x.shape[0]

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.nn import functional as F
+from repro.nn.functional import conv_output_shape, pad_nhwc
 
 
 def im2col_s8(
@@ -15,6 +15,8 @@ def im2col_s8(
     stride: Tuple[int, int],
     padding: Tuple[int, int],
     input_zero_point: int,
+    out: Optional[np.ndarray] = None,
+    dtype: np.dtype = np.int32,
 ) -> np.ndarray:
     """Extract int8 convolution patches, padding with the input zero point.
 
@@ -22,15 +24,55 @@ def im2col_s8(
     real value 0) so that padded positions contribute exactly zero after the
     input offset is subtracted.
 
-    Returns an int32 array of shape ``(N, out_h, out_w, kh*kw*C)`` (widened so
-    that downstream accumulation never overflows int8 arithmetic).
+    Returns an array of shape ``(N, out_h, out_w, kh*kw*C)`` holding the int8
+    patch values widened to ``dtype`` (int32 by default, so downstream
+    accumulation never overflows int8 arithmetic; the convolution kernel
+    requests the float dtype its exact BLAS accumulation uses).  The widening
+    happens while gathering the patches -- the input is padded in int8 and
+    each strided window is copied once, directly into the destination -- so
+    no intermediate widened copy of the whole feature map is ever
+    materialised.
+
+    Parameters
+    ----------
+    out:
+        Optional preallocated destination: a C-contiguous array of the result
+        shape and ``dtype``.  When it matches, patches are written in place
+        and ``out`` is returned -- callers running many same-shaped batches
+        (the serving hot path) reuse one scratch buffer instead of allocating
+        per batch.  A mismatched ``out`` is ignored and a fresh array
+        returned.
+    dtype:
+        Destination dtype of the widened patch values.
     """
     x = np.asarray(x)
     if x.dtype != np.int8:
         raise TypeError(f"im2col_s8 expects int8 input, got {x.dtype}")
     if not -128 <= input_zero_point <= 127:
         raise ValueError("input_zero_point must be representable in int8")
-    cols = F.im2col(
-        x.astype(np.int32), kernel, stride, padding, pad_value=float(input_zero_point)
+    if x.ndim != 4:
+        raise ValueError(f"im2col_s8 expects NHWC input, got shape {x.shape}")
+    n, in_h, in_w, in_c = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    out_h, out_w = conv_output_shape(in_h, in_w, kernel, stride, padding)
+    # Unpadded convolutions (LeNet-style) window the input directly.
+    xp = x if padding == (0, 0) else pad_nhwc(x, padding, value=int(input_zero_point))
+
+    # Strided sliding-window view: (N, out_h, out_w, kh, kw, C) without copy.
+    s = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, out_h, out_w, kh, kw, in_c),
+        strides=(s[0], s[1] * sh, s[2] * sw, s[1], s[2], s[3]),
+        writeable=False,
     )
-    return cols.astype(np.int32)
+    dtype = np.dtype(dtype)
+    shape = (n, out_h, out_w, kh * kw * in_c)
+    if out is not None and out.shape == shape and out.dtype == dtype and out.flags["C_CONTIGUOUS"]:
+        cols = out
+    else:
+        cols = np.empty(shape, dtype=dtype)
+    # One gather+widen pass: int8 windows -> widened patch matrix.
+    np.copyto(cols.reshape(n, out_h, out_w, kh, kw, in_c), windows, casting="unsafe")
+    return cols

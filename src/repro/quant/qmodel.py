@@ -146,12 +146,21 @@ class QuantizedModel:
         masks: Optional[Dict[str, np.ndarray]] = None,
         batch_size: int = 256,
     ) -> np.ndarray:
-        """Predicted class indices for float inputs."""
-        outputs = []
-        for start in range(0, x.shape[0], batch_size):
-            logits = self.forward(x[start : start + batch_size], masks=masks)
-            outputs.append(logits.argmax(axis=-1))
-        return np.concatenate(outputs, axis=0) if outputs else np.empty((0,), dtype=np.int64)
+        """Predicted class indices for float inputs.
+
+        The input is processed in fixed-size chunks; predictions land in one
+        preallocated output array instead of a list-and-concatenate round
+        trip, and because every full chunk has the same shape the conv
+        layers' im2col buffers are recycled across chunks (by the allocator,
+        or explicitly via :func:`repro.quant.qlayers.set_im2col_scratch`).
+        """
+        n = int(x.shape[0])
+        predictions = np.empty((n,), dtype=np.int64)
+        for start in range(0, n, batch_size):
+            stop = min(start + batch_size, n)
+            logits = self.forward(x[start:stop], masks=masks)
+            predictions[start:stop] = logits.argmax(axis=-1)
+        return predictions
 
     def evaluate_accuracy(
         self,

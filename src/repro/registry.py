@@ -164,6 +164,11 @@ BOARDS: Registry[Any] = Registry(
     "board profile", builtin_modules=("repro.isa.profiles",)
 )
 
+#: Serving policies (which Pareto design serves the next batch).
+POLICIES: Registry[type] = Registry(
+    "serving policy", builtin_modules=("repro.serving.policy",)
+)
+
 __all__ = [
     "Registry",
     "RegistryError",
@@ -172,4 +177,5 @@ __all__ = [
     "SEARCH_STRATEGIES",
     "ENGINES",
     "BOARDS",
+    "POLICIES",
 ]

@@ -1,0 +1,62 @@
+"""Load-adaptive inference serving over the DSE Pareto front.
+
+This package turns a design-space-exploration result into a servable
+endpoint: the Pareto-optimal designs become runtime *service levels* (skip
+masks prebuilt per configuration), a dynamic micro-batching scheduler
+coalesces concurrent requests into batched int8 forward passes, and an
+adaptive policy picks which service level runs each batch from the live
+telemetry -- under light load the exact design, under heavy load a more
+aggressive skip configuration, trading accuracy for throughput exactly as
+the paper trades accuracy for MCU cycles.
+
+Quick tour::
+
+    from repro.serving import Client, Deployment, Scheduler
+
+    deployment = Deployment.from_dse(qmodel, dse_result, significance, unpacked)
+    with Scheduler(deployment, policy="queue-depth", max_batch_size=32) as scheduler:
+        client = Client(scheduler)
+        classes = client.predict_many(images)        # coalesced into batches
+        print(scheduler.metrics.snapshot().as_dict())
+
+Add an HTTP front with :class:`PredictionServer`, or let serving participate
+in the cached workflow graph through
+:class:`repro.workflow.ServeStage`.  Policies are pluggable via
+:data:`repro.registry.POLICIES`.
+"""
+
+from repro.serving.client import Client, HTTPClient
+from repro.serving.deployment import Deployment, ServiceLevel
+from repro.serving.metrics import MetricsSnapshot, ServerMetrics
+from repro.serving.policy import (
+    FixedPolicy,
+    LatencySLOPolicy,
+    QueueDepthPolicy,
+    ServingPolicy,
+    resolve_policy,
+)
+from repro.serving.request import Request, RequestError, RequestQueue
+from repro.serving.scheduler import Scheduler, SchedulerStopped
+from repro.serving.server import PredictionServer
+from repro.serving.workers import ReplicatedRunner
+
+__all__ = [
+    "Client",
+    "HTTPClient",
+    "Deployment",
+    "ServiceLevel",
+    "MetricsSnapshot",
+    "ServerMetrics",
+    "ServingPolicy",
+    "FixedPolicy",
+    "QueueDepthPolicy",
+    "LatencySLOPolicy",
+    "resolve_policy",
+    "Request",
+    "RequestError",
+    "RequestQueue",
+    "Scheduler",
+    "SchedulerStopped",
+    "PredictionServer",
+    "ReplicatedRunner",
+]

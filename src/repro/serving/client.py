@@ -1,0 +1,93 @@
+"""Clients for the serving stack: in-process and HTTP.
+
+:class:`Client` talks straight to a :class:`~repro.serving.scheduler.Scheduler`
+without any transport -- the tool of choice for tests, benchmarks and the
+CLI's smoke mode, where hundreds of concurrent submissions should exercise
+the coalescing window rather than socket handling.  :class:`HTTPClient` is a
+stdlib ``urllib`` wrapper over the :class:`~repro.serving.server.PredictionServer`
+endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.serving.request import Request
+from repro.serving.scheduler import Scheduler
+
+
+class Client:
+    """In-process client: submit inputs to a scheduler, wait for results."""
+
+    def __init__(self, scheduler: Scheduler, timeout_s: float = 30.0):
+        self.scheduler = scheduler
+        self.timeout_s = float(timeout_s)
+
+    def submit(self, x: np.ndarray) -> Request:
+        """Fire one request without waiting (for concurrency experiments)."""
+        return self.scheduler.submit(x)
+
+    def submit_many(self, xs: np.ndarray) -> List[Request]:
+        """Fire a burst of requests without waiting (FIFO order)."""
+        return self.scheduler.submit_many(xs)
+
+    def predict(self, x: np.ndarray) -> int:
+        """Predicted class of one sample (blocks until served)."""
+        return self.scheduler.submit(x).result(timeout=self.timeout_s)
+
+    def predict_many(self, xs: np.ndarray) -> np.ndarray:
+        """Predicted classes of a batch, submitted concurrently."""
+        requests = self.submit_many(xs)
+        return np.asarray([r.result(timeout=self.timeout_s) for r in requests], dtype=np.int64)
+
+
+class HTTPClient:
+    """Minimal JSON-over-HTTP client for a :class:`PredictionServer`."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    def _get(self, path: str) -> Dict[str, Any]:
+        with urllib.request.urlopen(self.base_url + path, timeout=self.timeout_s) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def _post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # ------------------------------------------------------------------ endpoints
+    def predict(self, xs: np.ndarray) -> Dict[str, Any]:
+        """``POST /predict`` with one sample or a batch; returns the JSON body."""
+        return self._post("/predict", {"inputs": np.asarray(xs, dtype=np.float32).tolist()})
+
+    def predict_classes(self, xs: np.ndarray) -> np.ndarray:
+        """Predicted classes of a batch via ``POST /predict``."""
+        return np.asarray(self.predict(xs)["classes"], dtype=np.int64)
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``."""
+        return self._get("/metrics")
+
+    def levels(self) -> List[Dict[str, Any]]:
+        """``GET /levels``."""
+        return self._get("/levels")["levels"]
+
+    def health(self) -> Optional[str]:
+        """``GET /healthz``; returns the status string or ``None`` when down."""
+        try:
+            return self._get("/healthz").get("status")
+        except (urllib.error.URLError, OSError):
+            return None

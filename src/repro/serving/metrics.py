@@ -1,0 +1,174 @@
+"""Serving telemetry: throughput, batching, per-level traffic, cycle savings.
+
+A single :class:`ServerMetrics` instance is the shared sink of one serving
+stack: the scheduler records every batch it executes, the policies read the
+resulting :class:`MetricsSnapshot` to pick the next service level, and the
+HTTP front exposes the same snapshot on ``GET /metrics``.  All mutation goes
+through one lock, so the HTTP threads, the scheduler core and any worker
+result handlers can share the sink safely.
+
+Besides classic serving telemetry (request counts, batch-size histogram,
+latency percentiles, throughput), the sink tracks the *simulated MCU cycle
+savings*: each service level carries the per-sample cycle estimate of the ISA
+cost model, so every batch served at an aggressive level records how many
+Cortex-M cycles the skip configuration shed relative to the exact design.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class MetricsSnapshot:
+    """Point-in-time view of a :class:`ServerMetrics` sink."""
+
+    requests_completed: int = 0
+    requests_failed: int = 0
+    batches: int = 0
+    queue_depth: int = 0
+    uptime_s: float = 0.0
+    throughput_rps: float = 0.0
+    p50_latency_ms: float = 0.0
+    p95_latency_ms: float = 0.0
+    mean_batch_size: float = 0.0
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+    per_level_requests: Dict[str, int] = field(default_factory=dict)
+    per_level_batches: Dict[str, int] = field(default_factory=dict)
+    level_switches: int = 0
+    current_level: Optional[str] = None
+    cycles_saved: float = 0.0
+    mcu_ms_saved: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view."""
+        return {
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "batches": self.batches,
+            "queue_depth": self.queue_depth,
+            "uptime_s": self.uptime_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": {str(k): v for k, v in sorted(self.batch_size_histogram.items())},
+            "per_level_requests": dict(self.per_level_requests),
+            "per_level_batches": dict(self.per_level_batches),
+            "level_switches": self.level_switches,
+            "current_level": self.current_level,
+            "cycles_saved": self.cycles_saved,
+            "mcu_ms_saved": self.mcu_ms_saved,
+        }
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Percentile of an already-sorted list (nearest-rank)."""
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+class ServerMetrics:
+    """Thread-safe telemetry sink shared by the whole serving stack.
+
+    Parameters
+    ----------
+    baseline_cycles_per_sample:
+        Simulated per-sample cycles of the most accurate service level; the
+        reference against which cycle savings are accumulated.
+    cycles_to_ms:
+        Milliseconds per cycle on the deployment board (savings conversion).
+    window:
+        Number of most-recent request latencies kept for the percentiles.
+    """
+
+    def __init__(
+        self,
+        baseline_cycles_per_sample: float = 0.0,
+        cycles_to_ms: float = 0.0,
+        window: int = 1024,
+    ) -> None:
+        self.baseline_cycles_per_sample = float(baseline_cycles_per_sample)
+        self.cycles_to_ms = float(cycles_to_ms)
+        self._window = int(window)
+        self._lock = threading.Lock()
+        self._started_at = time.monotonic()
+        self._completed = 0
+        self._failed = 0
+        self._batches = 0
+        self._batch_sizes: Dict[int, int] = {}
+        self._per_level_requests: Dict[str, int] = {}
+        self._per_level_batches: Dict[str, int] = {}
+        self._latencies: List[float] = []
+        self._switches = 0
+        self._current_level: Optional[str] = None
+        self._cycles_saved = 0.0
+
+    # ------------------------------------------------------------------ recording
+    def record_batch(
+        self,
+        level_name: str,
+        batch_size: int,
+        latencies_ms: List[float],
+        cycles_per_sample: float = 0.0,
+    ) -> None:
+        """Record one executed batch.
+
+        ``latencies_ms`` are the end-to-end (queue wait + service) latencies
+        of the batch's requests; ``cycles_per_sample`` is the simulated MCU
+        cost of the level that served it.
+        """
+        with self._lock:
+            self._completed += batch_size
+            self._batches += 1
+            self._batch_sizes[batch_size] = self._batch_sizes.get(batch_size, 0) + 1
+            self._per_level_requests[level_name] = (
+                self._per_level_requests.get(level_name, 0) + batch_size
+            )
+            self._per_level_batches[level_name] = self._per_level_batches.get(level_name, 0) + 1
+            if self._current_level is not None and self._current_level != level_name:
+                self._switches += 1
+            self._current_level = level_name
+            self._latencies.extend(latencies_ms)
+            if len(self._latencies) > self._window:
+                del self._latencies[: len(self._latencies) - self._window]
+            if self.baseline_cycles_per_sample > 0 and cycles_per_sample > 0:
+                saved = self.baseline_cycles_per_sample - cycles_per_sample
+                self._cycles_saved += saved * batch_size
+
+    def record_failure(self, count: int = 1) -> None:
+        """Record failed requests."""
+        with self._lock:
+            self._failed += int(count)
+
+    # ------------------------------------------------------------------ reading
+    def snapshot(self, queue_depth: int = 0) -> MetricsSnapshot:
+        """A consistent point-in-time view of every counter."""
+        with self._lock:
+            uptime = max(time.monotonic() - self._started_at, 1e-9)
+            # Sorted once; both percentiles index the same ordered window
+            # (snapshot runs on the scheduler loop before every batch).
+            latencies = sorted(self._latencies)
+            return MetricsSnapshot(
+                requests_completed=self._completed,
+                requests_failed=self._failed,
+                batches=self._batches,
+                queue_depth=int(queue_depth),
+                uptime_s=uptime,
+                throughput_rps=self._completed / uptime,
+                p50_latency_ms=_percentile(latencies, 0.50),
+                p95_latency_ms=_percentile(latencies, 0.95),
+                mean_batch_size=(self._completed / self._batches) if self._batches else 0.0,
+                batch_size_histogram=dict(self._batch_sizes),
+                per_level_requests=dict(self._per_level_requests),
+                per_level_batches=dict(self._per_level_batches),
+                level_switches=self._switches,
+                current_level=self._current_level,
+                cycles_saved=self._cycles_saved,
+                mcu_ms_saved=self._cycles_saved * self.cycles_to_ms,
+            )

@@ -1,0 +1,161 @@
+"""Adaptive policies: which Pareto design serves the next batch.
+
+A policy maps the current telemetry (:class:`~repro.serving.metrics.MetricsSnapshot`)
+to a service-level index.  The scheduler consults it once per batch, so
+switching costs nothing -- the masks of every level are prebuilt by the
+:class:`~repro.serving.deployment.Deployment`.
+
+Policies are pluggable through :data:`repro.registry.POLICIES`::
+
+    from repro.registry import POLICIES
+
+    @POLICIES.register("accuracy-floor")
+    class AccuracyFloorPolicy(ServingPolicy):
+        def select(self, levels, snapshot):
+            ...
+
+Built-ins:
+
+``fixed``
+    Always serve one level (default: the most accurate).
+``queue-depth``
+    Escalate one skip level per ``depth_per_level`` queued requests -- the
+    queue is the load signal, exactly as continuous-batching LLM servers
+    treat their waiting queue.  De-escalation is one step per batch with a
+    hysteresis margin, so the policy does not flap at a threshold.
+``latency-slo``
+    Track the observed p95 end-to-end latency against a target; escalate
+    while it exceeds the SLO, relax when it drops below the low watermark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.registry import POLICIES
+from repro.serving.deployment import ServiceLevel
+from repro.serving.metrics import MetricsSnapshot
+
+
+class ServingPolicy:
+    """Base policy: stateful selection of the next batch's service level."""
+
+    #: Registry name (informational; the registry key is authoritative).
+    policy_name: str = "policy"
+
+    def __init__(self) -> None:
+        self._current = 0
+
+    @property
+    def current(self) -> int:
+        """Index of the most recently selected level."""
+        return self._current
+
+    def select(self, levels: Sequence[ServiceLevel], snapshot: MetricsSnapshot) -> int:
+        """Return the index of the level that should serve the next batch."""
+        raise NotImplementedError
+
+    def _clamp(self, index: int, levels: Sequence[ServiceLevel]) -> int:
+        self._current = max(0, min(len(levels) - 1, index))
+        return self._current
+
+
+@POLICIES.register("fixed")
+class FixedPolicy(ServingPolicy):
+    """Always serve the same level (default: the most accurate)."""
+
+    policy_name = "fixed"
+
+    def __init__(self, level: int = 0) -> None:
+        super().__init__()
+        self.level = int(level)
+
+    def select(self, levels: Sequence[ServiceLevel], snapshot: MetricsSnapshot) -> int:
+        return self._clamp(self.level, levels)
+
+
+@POLICIES.register("queue-depth")
+class QueueDepthPolicy(ServingPolicy):
+    """Escalate with queue depth, de-escalate one step at a time.
+
+    Parameters
+    ----------
+    depth_per_level:
+        Queued requests per escalation step: depth ``d`` targets level
+        ``d // depth_per_level``.
+    hysteresis:
+        Extra queued requests the depth must drop below before the policy
+        steps back down, preventing oscillation around a threshold.
+    """
+
+    policy_name = "queue-depth"
+
+    def __init__(self, depth_per_level: int = 8, hysteresis: int = 2) -> None:
+        super().__init__()
+        if depth_per_level < 1:
+            raise ValueError("depth_per_level must be >= 1")
+        self.depth_per_level = int(depth_per_level)
+        self.hysteresis = int(hysteresis)
+
+    def select(self, levels: Sequence[ServiceLevel], snapshot: MetricsSnapshot) -> int:
+        target = snapshot.queue_depth // self.depth_per_level
+        if target > self._current:
+            return self._clamp(target, levels)
+        if target < self._current:
+            # Step down only once the depth clears the hysteresis margin.  The
+            # floor of 1 keeps a near-idle queue relaxing even when the margin
+            # swallows the whole threshold (small depth_per_level) -- without
+            # it the policy would stay pinned at a degraded level forever.
+            threshold = self._current * self.depth_per_level - self.hysteresis
+            if snapshot.queue_depth < max(threshold, 1):
+                return self._clamp(self._current - 1, levels)
+        return self._clamp(self._current, levels)
+
+
+@POLICIES.register("latency-slo")
+class LatencySLOPolicy(ServingPolicy):
+    """Keep the observed p95 end-to-end latency under a target.
+
+    Parameters
+    ----------
+    slo_ms:
+        The p95 latency target in milliseconds.
+    low_watermark:
+        Fraction of the SLO below which the policy relaxes back toward the
+        accurate end (escalate > ``slo_ms``, de-escalate < ``low_watermark
+        * slo_ms``, hold in between).
+    min_samples:
+        Completed requests required before the percentile is trusted.
+    """
+
+    policy_name = "latency-slo"
+
+    def __init__(self, slo_ms: float = 50.0, low_watermark: float = 0.5, min_samples: int = 8) -> None:
+        super().__init__()
+        if slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        if not 0.0 < low_watermark < 1.0:
+            raise ValueError("low_watermark must be in (0, 1)")
+        self.slo_ms = float(slo_ms)
+        self.low_watermark = float(low_watermark)
+        self.min_samples = int(min_samples)
+
+    def select(self, levels: Sequence[ServiceLevel], snapshot: MetricsSnapshot) -> int:
+        if snapshot.requests_completed < self.min_samples:
+            return self._clamp(self._current, levels)
+        if snapshot.p95_latency_ms > self.slo_ms:
+            return self._clamp(self._current + 1, levels)
+        if snapshot.p95_latency_ms < self.low_watermark * self.slo_ms:
+            return self._clamp(self._current - 1, levels)
+        return self._clamp(self._current, levels)
+
+
+def resolve_policy(policy) -> ServingPolicy:
+    """Coerce a policy argument: an instance, a registry name, or a class."""
+    if isinstance(policy, ServingPolicy):
+        return policy
+    if isinstance(policy, str):
+        return POLICIES.resolve(policy)()
+    if isinstance(policy, type) and issubclass(policy, ServingPolicy):
+        return policy()
+    raise TypeError(f"cannot interpret {policy!r} as a serving policy")

@@ -1,0 +1,162 @@
+"""Requests and the FIFO request queue feeding the batching scheduler.
+
+A :class:`Request` carries one input sample through the serving stack: the
+HTTP front (or the in-process :class:`~repro.serving.client.Client`) enqueues
+it, the :class:`~repro.serving.scheduler.Scheduler` coalesces pending
+requests into a batch, runs them through the model and completes each request
+with its predicted class.  Completion is signalled through a
+``threading.Event``, so any number of front-end threads can block on
+:meth:`Request.result` while the single scheduler core drains the queue.
+
+:meth:`RequestQueue.get_batch` implements the dynamic micro-batching window:
+it blocks until at least one request is pending, then keeps coalescing
+arrivals until either ``max_batch_size`` requests are collected or
+``max_wait_ms`` has elapsed since the batch leader was picked -- the same
+latency/throughput trade continuous-batching LLM servers make, adapted to
+batched NumPy inference.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+_request_ids = itertools.count()
+
+
+class RequestError(RuntimeError):
+    """Raised by :meth:`Request.result` when serving a request failed."""
+
+
+class Request:
+    """One in-flight prediction request.
+
+    Parameters
+    ----------
+    x:
+        A single float input sample (per-sample shape, e.g. ``(H, W, C)``).
+    """
+
+    __slots__ = (
+        "id",
+        "x",
+        "enqueued_at",
+        "level_name",
+        "prediction",
+        "wait_ms",
+        "service_ms",
+        "error",
+        "_done",
+    )
+
+    def __init__(self, x: np.ndarray):
+        self.id = next(_request_ids)
+        self.x = np.asarray(x, dtype=np.float32)
+        self.enqueued_at = time.monotonic()
+        self.level_name: Optional[str] = None
+        self.prediction: Optional[int] = None
+        self.wait_ms: float = 0.0
+        self.service_ms: float = 0.0
+        self.error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has been completed (or failed)."""
+        return self._done.is_set()
+
+    def complete(self, prediction: int, level_name: str, service_ms: float) -> None:
+        """Fill in the result and wake any thread waiting on :meth:`result`."""
+        self.prediction = int(prediction)
+        self.level_name = level_name
+        self.service_ms = float(service_ms)
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        """Record a serving failure and wake waiters."""
+        self.error = error
+        self._done.set()
+
+    def result(self, timeout: Optional[float] = None) -> int:
+        """Block until the request completes; return the predicted class.
+
+        Raises
+        ------
+        TimeoutError
+            If the request is not completed within ``timeout`` seconds.
+        RequestError
+            If the scheduler failed the request.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"request {self.id} not completed within {timeout}s")
+        if self.error is not None:
+            raise RequestError(f"request {self.id} failed: {self.error}") from self.error
+        assert self.prediction is not None
+        return self.prediction
+
+
+class RequestQueue:
+    """Thread-safe FIFO queue with a batch-coalescing pop.
+
+    Producers (front-end threads) call :meth:`put`; the single scheduler
+    consumer calls :meth:`get_batch`.
+    """
+
+    def __init__(self) -> None:
+        self._items: Deque[Request] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def put(self, request: Request) -> None:
+        """Enqueue a request (FIFO order)."""
+        with self._not_empty:
+            request.enqueued_at = time.monotonic()
+            self._items.append(request)
+            self._not_empty.notify()
+
+    def depth(self) -> int:
+        """Number of requests currently waiting."""
+        with self._lock:
+            return len(self._items)
+
+    def get_batch(
+        self,
+        max_batch_size: int,
+        max_wait_ms: float,
+        poll_timeout: float = 0.05,
+    ) -> List[Request]:
+        """Pop up to ``max_batch_size`` requests, coalescing briefly.
+
+        Blocks up to ``poll_timeout`` seconds for the first request; returns
+        an empty list if none arrives (so the scheduler loop can check its
+        shutdown flag instead of blocking forever).  Once a batch leader is
+        present, arrivals are coalesced until the batch is full or
+        ``max_wait_ms`` has elapsed -- a queue already holding a full batch
+        pays no wait at all.
+        """
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        with self._not_empty:
+            if not self._items and not self._not_empty.wait(timeout=poll_timeout):
+                return []
+            deadline = time.monotonic() + max_wait_ms / 1000.0
+            while len(self._items) < max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._not_empty.wait(timeout=remaining):
+                    break
+            batch = [self._items.popleft() for _ in range(min(max_batch_size, len(self._items)))]
+        return batch
+
+    def drain(self, error: BaseException) -> int:
+        """Fail every pending request (shutdown path); returns how many."""
+        with self._lock:
+            pending = list(self._items)
+            self._items.clear()
+        for request in pending:
+            request.fail(error)
+        return len(pending)

@@ -1,0 +1,198 @@
+"""Stdlib-only HTTP front end over the batching scheduler.
+
+A ``ThreadingHTTPServer`` accepts concurrent connections; every handler
+thread only enqueues requests and blocks on their completion events, so
+concurrent HTTP clients are exactly what feeds the scheduler's coalescing
+window -- more simultaneous callers means bigger batches, not more model
+invocations.  No dependencies beyond ``http.server`` and ``json``.
+
+Endpoints::
+
+    POST /predict   {"inputs": [[...]] or [[[...]]]}  -> predicted classes
+    GET  /metrics                                     -> ServerMetrics snapshot
+    GET  /levels                                      -> service-level table
+    GET  /healthz                                     -> liveness probe
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.scheduler import Scheduler
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.server")
+
+#: Refuse request bodies beyond this size (64 MiB of JSON is already absurd).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class PredictionServer:
+    """HTTP front end: serve a running :class:`Scheduler` on a TCP port.
+
+    Parameters
+    ----------
+    scheduler:
+        The (started) batching scheduler to feed.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    request_timeout_s:
+        How long a handler waits for the scheduler before answering 503.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 30.0,
+    ):
+        self.scheduler = scheduler
+        self.request_timeout_s = float(request_timeout_s)
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port (resolved when constructed with ``port=0``)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the server."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "PredictionServer":
+        """Serve in a background thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="serving-http", daemon=True
+            )
+            self._thread.start()
+            logger.info("serving %s on %s", self.scheduler.deployment.qmodel.name, self.url)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting connections and join the server thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ request handling
+    def handle_predict(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Execute one ``POST /predict`` body; returns (status, response)."""
+        inputs = payload.get("inputs")
+        if inputs is None:
+            return 400, {"error": "missing 'inputs' field"}
+        try:
+            xs = np.asarray(inputs, dtype=np.float32)
+        except (TypeError, ValueError):
+            return 400, {"error": "'inputs' is not a numeric array"}
+        sample_shape = self.scheduler.deployment.qmodel.input_shape
+        if xs.shape == sample_shape:
+            xs = xs[None, ...]
+        if xs.ndim != len(sample_shape) + 1 or xs.shape[1:] != sample_shape:
+            return 400, {
+                "error": f"expected inputs of per-sample shape {list(sample_shape)}, "
+                f"got array of shape {list(xs.shape)}"
+            }
+        try:
+            requests = self.scheduler.submit_many(xs)
+            # One deadline for the whole body, not per request -- a stalled
+            # scheduler must 503 after request_timeout_s, however many
+            # samples the POST carried.
+            deadline = time.monotonic() + self.request_timeout_s
+            for request in requests:
+                request.result(timeout=max(deadline - time.monotonic(), 0.001))
+        except TimeoutError:
+            return 503, {"error": "prediction timed out"}
+        except Exception as error:
+            return 503, {"error": str(error)}
+        return 200, {
+            "classes": [request.prediction for request in requests],
+            "levels": [request.level_name for request in requests],
+            "wait_ms": [round(request.wait_ms, 3) for request in requests],
+            "service_ms": [round(request.service_ms, 3) for request in requests],
+        }
+
+    def handle_get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        """Execute one GET; returns (status, response)."""
+        if path == "/healthz":
+            return 200, {"status": "ok" if self.scheduler.running else "stopped"}
+        if path == "/metrics":
+            snapshot = self.scheduler.metrics.snapshot(queue_depth=self.scheduler.queue.depth())
+            return 200, snapshot.as_dict()
+        if path == "/levels":
+            return 200, {"levels": self.scheduler.deployment.describe()}
+        return 404, {"error": f"unknown path {path!r}"}
+
+
+def _make_handler(server: PredictionServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            logger.debug("%s -- %s", self.address_string(), format % args)
+
+        def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            status, payload = server.handle_get(self.path)
+            self._respond(status, payload)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            if self.path != "/predict":
+                self._respond(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except ValueError:
+                self._respond(400, {"error": "malformed Content-Length header"})
+                return
+            if length <= 0 or length > MAX_BODY_BYTES:
+                self._respond(400, {"error": "missing or oversized request body"})
+                return
+            try:
+                payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self._respond(400, {"error": "request body is not valid JSON"})
+                return
+            status, response = server.handle_predict(payload)
+            self._respond(status, response)
+
+    return Handler

@@ -24,6 +24,7 @@ from repro.workflow.stages import (
     DeployStage,
     DSEStage,
     QuantizeStage,
+    ServeStage,
     SignificanceStage,
     UnpackStage,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "DSEStage",
     "CodegenStage",
     "DeployStage",
+    "ServeStage",
     "Experiment",
     "ExperimentError",
     "ExperimentResult",

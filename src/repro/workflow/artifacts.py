@@ -19,6 +19,8 @@ import dataclasses
 import hashlib
 import os
 import pickle
+import threading
+import time
 from enum import Enum
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -96,6 +98,16 @@ def fingerprint(obj: Any) -> str:
 class ArtifactStore:
     """Content-addressed artifact cache, on disk or in memory.
 
+    The store is safe for concurrent readers and writers sharing one root --
+    serving workers reading deployments while a background ``explore
+    --resume`` keeps writing, several processes resuming against the same
+    cache, or multiple threads inside one process.  Writes publish through a
+    uniquely-named temp file plus an atomic rename, so a reader either sees a
+    complete artifact or none; reads retry briefly when they race a writer's
+    rename and then degrade to a cache miss.  Because keys are content
+    hashes, two writers racing on the same key write identical payloads and
+    either rename is correct.
+
     Parameters
     ----------
     root:
@@ -104,9 +116,16 @@ class ArtifactStore:
         ad-hoc :class:`~repro.workflow.experiment.Experiment` runs.
     """
 
+    #: How often a reader retries after hitting a torn/partial file.
+    _READ_RETRIES = 3
+    #: Pause between read retries (seconds).
+    _READ_RETRY_DELAY = 0.02
+
     def __init__(self, root: Optional[PathLike] = None):
         self.root = Path(root) if root is not None else None
         self._memory: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._tmp_counter = 0
         if self.root is not None:
             if self.root.exists() and not self.root.is_dir():
                 raise ValueError(
@@ -124,42 +143,74 @@ class ArtifactStore:
         """True when artifacts are written to disk."""
         return self.root is not None
 
+    def _tmp_path(self, path: Path) -> Path:
+        """A collision-free temp name: unique per process *and* per thread/write."""
+        with self._lock:
+            self._tmp_counter += 1
+            n = self._tmp_counter
+        return path.with_name(f"{path.name}.{os.getpid()}.{n}.tmp")
+
     # ------------------------------------------------------------------ access
     def has(self, key: str) -> bool:
         """Whether an artifact is cached under ``key``."""
-        if key in self._memory:
-            return True
+        with self._lock:
+            if key in self._memory:
+                return True
         return self.root is not None and self._path(key).exists()
 
     def save(self, key: str, value: Any) -> str:
         """Store ``value`` under ``key`` and return the key."""
-        self._memory[key] = value
+        with self._lock:
+            self._memory[key] = value
         if self.root is not None:
             path = self._path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-            with tmp.open("wb") as fh:
-                pickle.dump({"format": STORE_FORMAT_VERSION, "value": value}, fh, protocol=4)
-            tmp.replace(path)  # atomic publish: readers never see partial writes
+            tmp = self._tmp_path(path)
+            try:
+                with tmp.open("wb") as fh:
+                    pickle.dump({"format": STORE_FORMAT_VERSION, "value": value}, fh, protocol=4)
+                tmp.replace(path)  # atomic publish: readers never see partial writes
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
         return key
+
+    def _load_disk(self, key: str, path: Path) -> Any:
+        """Read one on-disk artifact, retrying around racing writers."""
+        for attempt in range(self._READ_RETRIES + 1):
+            try:
+                with path.open("rb") as fh:
+                    payload = pickle.load(fh)
+                break
+            except FileNotFoundError:
+                raise KeyError(f"no artifact cached under {key!r}") from None
+            except (EOFError, pickle.UnpicklingError):
+                # A torn read can only happen against a non-atomic writer
+                # (e.g. a copy onto the store from outside); give the writer
+                # a moment, then treat the artifact as a cache miss rather
+                # than poisoning the run.
+                if attempt == self._READ_RETRIES:
+                    raise KeyError(f"artifact {key!r} is unreadable (partial write?)") from None
+                time.sleep(self._READ_RETRY_DELAY)
+        if payload.get("format") != STORE_FORMAT_VERSION:
+            # A format bump turns old artifacts into cache misses.
+            raise KeyError(
+                f"artifact {key!r} was written with store format "
+                f"{payload.get('format')!r}, expected {STORE_FORMAT_VERSION}"
+            )
+        return payload["value"]
 
     def load(self, key: str) -> Any:
         """Retrieve the artifact stored under ``key`` (``KeyError`` if absent)."""
-        if key in self._memory:
-            return self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                return self._memory[key]
         if self.root is not None:
             path = self._path(key)
             if path.exists():
-                with path.open("rb") as fh:
-                    payload = pickle.load(fh)
-                if payload.get("format") != STORE_FORMAT_VERSION:
-                    # A format bump turns old artifacts into cache misses.
-                    raise KeyError(
-                        f"artifact {key!r} was written with store format "
-                        f"{payload.get('format')!r}, expected {STORE_FORMAT_VERSION}"
-                    )
-                value = payload["value"]
-                self._memory[key] = value
+                value = self._load_disk(key, path)
+                with self._lock:
+                    self._memory[key] = value
                 return value
         raise KeyError(f"no artifact cached under {key!r}")
 
@@ -173,14 +224,16 @@ class ArtifactStore:
     # ------------------------------------------------------------------ maintenance
     def keys(self) -> List[str]:
         """Keys of every cached artifact (memory plus disk)."""
-        keys = set(self._memory)
+        with self._lock:
+            keys = set(self._memory)
         if self.root is not None:
             keys.update(p.stem for p in self.root.glob("*/*.pkl"))
         return sorted(keys)
 
     def clear(self) -> None:
         """Drop every cached artifact."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if self.root is not None:
             for path in self.root.glob("*/*.pkl"):
                 path.unlink(missing_ok=True)

@@ -220,6 +220,57 @@ class CodegenStage(Stage):
         return {"code": code}
 
 
+class ServeStage(Stage):
+    """Turn DSE output into a servable :class:`~repro.serving.deployment.Deployment`.
+
+    The stage prebuilds every service level's skip masks and per-sample
+    simulated MCU cycle cost, so the resulting artifact is ready for the
+    batching scheduler with zero warm-up -- and, like any other stage output,
+    it is cached content-addressed: unchanged model/significance/DSE inputs
+    serve the deployment straight from the artifact store.
+
+    Service levels come either from the in-graph ``dse`` artifact (the
+    default) or from an explicit ``points`` table (the JSON written by
+    ``repro-tinyml explore``), in which case no DSE stage is needed.
+    """
+
+    name = "serve"
+    requires = ("qmodel", "significance", "unpacked", "dse")
+    provides = ("serving",)
+
+    def __init__(
+        self,
+        points: Optional[list] = None,
+        max_levels: int = 8,
+        board: BoardProfile = STM32U575,
+    ):
+        self.points = None if points is None else [dict(p) for p in points]
+        self.max_levels = int(max_levels)
+        self.board = board
+        # An explicit point table replaces the DSE artifact, so serving
+        # composes without a DSE stage in the graph.
+        if self.points is not None:
+            self.requires = ("qmodel", "significance", "unpacked")
+
+    def config(self) -> Dict[str, Any]:
+        return {"points": self.points, "max_levels": self.max_levels, "board": self.board}
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        from repro.serving.deployment import Deployment
+
+        common = {
+            "significance": ctx["significance"],
+            "unpacked": ctx["unpacked"],
+            "board": self.board,
+            "max_levels": self.max_levels,
+        }
+        if self.points is not None:
+            deployment = Deployment.from_points(ctx["qmodel"], self.points, **common)
+        else:
+            deployment = Deployment.from_dse(ctx["qmodel"], ctx["dse"], **common)
+        return {"serving": deployment}
+
+
 class DeployStage(Stage):
     """Select a design within a loss budget and deploy it on the board model."""
 

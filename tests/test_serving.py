@@ -1,0 +1,499 @@
+"""Tests of the load-adaptive serving subsystem."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.quant.qlayers import im2col_scratch_enabled, set_im2col_scratch
+from repro.registry import POLICIES
+from repro.serving import (
+    Client,
+    Deployment,
+    FixedPolicy,
+    HTTPClient,
+    LatencySLOPolicy,
+    PredictionServer,
+    QueueDepthPolicy,
+    ReplicatedRunner,
+    Request,
+    RequestQueue,
+    Scheduler,
+    SchedulerStopped,
+    ServerMetrics,
+    resolve_policy,
+)
+from repro.serving.metrics import MetricsSnapshot
+from repro.workflow import ArtifactStore, Experiment, ServeStage, fingerprint
+
+
+# --------------------------------------------------------------------------- fixtures
+@pytest.fixture(scope="module")
+def deployment(tiny_qmodel, tiny_pipeline_result):
+    """A three-level deployment spanning the exact-to-aggressive range."""
+    points = [
+        {"label": "exact", "taus": {}, "accuracy": 0.9},
+        {"label": "mid", "taus": {"conv1": 0.05, "conv2": 0.05}, "accuracy": 0.85},
+        {"label": "aggressive", "taus": {"conv1": 0.2, "conv2": 0.2}, "accuracy": 0.7},
+    ]
+    return Deployment.from_points(
+        tiny_qmodel,
+        points,
+        tiny_pipeline_result.significance,
+        unpacked=tiny_pipeline_result.unpacked,
+    )
+
+
+def _sample_images(split, n):
+    return split.test.images[:n]
+
+
+# --------------------------------------------------------------------------- request queue
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue()
+        requests = [Request(np.zeros((2, 2, 1))) for _ in range(6)]
+        for request in requests:
+            queue.put(request)
+        batch = queue.get_batch(max_batch_size=6, max_wait_ms=0.0)
+        assert [r.id for r in batch] == [r.id for r in requests]
+
+    def test_full_batch_pays_no_wait(self):
+        queue = RequestQueue()
+        for _ in range(8):
+            queue.put(Request(np.zeros((2, 2, 1))))
+        started = time.monotonic()
+        batch = queue.get_batch(max_batch_size=4, max_wait_ms=500.0)
+        elapsed = time.monotonic() - started
+        assert len(batch) == 4
+        assert elapsed < 0.25  # far below the 500 ms window
+        assert queue.depth() == 4
+
+    def test_coalescing_deadline(self):
+        queue = RequestQueue()
+        queue.put(Request(np.zeros((2, 2, 1))))
+        started = time.monotonic()
+        batch = queue.get_batch(max_batch_size=8, max_wait_ms=60.0)
+        elapsed = time.monotonic() - started
+        assert len(batch) == 1
+        assert elapsed >= 0.05  # waited (most of) the window for co-riders
+
+    def test_coalesces_late_arrivals(self):
+        queue = RequestQueue()
+        queue.put(Request(np.zeros((2, 2, 1))))
+
+        def late_put():
+            time.sleep(0.02)
+            queue.put(Request(np.zeros((2, 2, 1))))
+
+        thread = threading.Thread(target=late_put)
+        thread.start()
+        batch = queue.get_batch(max_batch_size=2, max_wait_ms=500.0)
+        thread.join()
+        assert len(batch) == 2
+
+    def test_empty_queue_idle_poll(self):
+        queue = RequestQueue()
+        started = time.monotonic()
+        assert queue.get_batch(max_batch_size=4, max_wait_ms=5.0, poll_timeout=0.02) == []
+        assert time.monotonic() - started < 1.0
+
+    def test_drain_fails_pending(self):
+        queue = RequestQueue()
+        request = Request(np.zeros((2, 2, 1)))
+        queue.put(request)
+        assert queue.drain(RuntimeError("boom")) == 1
+        with pytest.raises(Exception, match="boom"):
+            request.result(timeout=0.1)
+
+
+# --------------------------------------------------------------------------- policies
+def _snapshot(**kwargs) -> MetricsSnapshot:
+    return MetricsSnapshot(**kwargs)
+
+
+class TestPolicies:
+    def test_registry_names(self):
+        assert {"fixed", "queue-depth", "latency-slo"} <= set(POLICIES.names())
+        assert isinstance(resolve_policy("queue-depth"), QueueDepthPolicy)
+        assert isinstance(resolve_policy(FixedPolicy), FixedPolicy)
+        with pytest.raises(TypeError):
+            resolve_policy(42)
+
+    def test_fixed_policy(self, deployment):
+        policy = FixedPolicy(level=1)
+        assert policy.select(deployment.levels, _snapshot(queue_depth=500)) == 1
+        assert FixedPolicy(level=99).select(deployment.levels, _snapshot()) == len(deployment.levels) - 1
+
+    def test_queue_depth_escalates_immediately(self, deployment):
+        policy = QueueDepthPolicy(depth_per_level=4, hysteresis=1)
+        assert policy.select(deployment.levels, _snapshot(queue_depth=0)) == 0
+        assert policy.select(deployment.levels, _snapshot(queue_depth=9)) == 2
+        # Way past the last level: clamped.
+        assert policy.select(deployment.levels, _snapshot(queue_depth=400)) == 2
+
+    def test_queue_depth_deescalates_stepwise_with_hysteresis(self, deployment):
+        policy = QueueDepthPolicy(depth_per_level=4, hysteresis=1)
+        policy.select(deployment.levels, _snapshot(queue_depth=9))
+        assert policy.current == 2
+        # Depth just below the level-2 threshold but inside hysteresis: hold.
+        assert policy.select(deployment.levels, _snapshot(queue_depth=7)) == 2
+        # Clearly below: one step down per batch, not a jump to the target.
+        assert policy.select(deployment.levels, _snapshot(queue_depth=0)) == 1
+        assert policy.select(deployment.levels, _snapshot(queue_depth=0)) == 0
+
+    def test_queue_depth_always_relaxes_when_idle(self, deployment):
+        # Regression: with depth_per_level <= hysteresis the de-escalation
+        # threshold collapsed to 0 and the policy stayed pinned at a degraded
+        # level forever, even on an empty queue.
+        policy = QueueDepthPolicy(depth_per_level=2, hysteresis=2)
+        policy.select(deployment.levels, _snapshot(queue_depth=5))
+        assert policy.current == 2
+        for _ in range(len(deployment.levels)):
+            policy.select(deployment.levels, _snapshot(queue_depth=0))
+        assert policy.current == 0
+
+    def test_latency_slo_transitions(self, deployment):
+        policy = LatencySLOPolicy(slo_ms=50.0, low_watermark=0.5, min_samples=4)
+        # Too few samples: hold at the accurate end.
+        assert policy.select(deployment.levels, _snapshot(requests_completed=1, p95_latency_ms=500)) == 0
+        # Above the SLO: escalate one level per batch.
+        assert policy.select(deployment.levels, _snapshot(requests_completed=10, p95_latency_ms=80)) == 1
+        assert policy.select(deployment.levels, _snapshot(requests_completed=20, p95_latency_ms=80)) == 2
+        # Between the watermarks: hold.
+        assert policy.select(deployment.levels, _snapshot(requests_completed=30, p95_latency_ms=40)) == 2
+        # Below the low watermark: relax.
+        assert policy.select(deployment.levels, _snapshot(requests_completed=40, p95_latency_ms=10)) == 1
+
+
+# --------------------------------------------------------------------------- deployment
+class TestDeployment:
+    def test_from_points_drops_dominated_designs(self, tiny_qmodel, tiny_pipeline_result):
+        # `explore` JSON contains every explored point; a design that is less
+        # accurate but no cheaper than a better one must not become a level.
+        points = [
+            {"label": "exact", "taus": {}, "accuracy": 0.9},
+            {"label": "dup-of-exact", "taus": {"conv1": 0.0, "conv2": 0.0}, "accuracy": 0.8},
+            {"label": "aggressive", "taus": {"conv1": 0.2, "conv2": 0.2}, "accuracy": 0.7},
+        ]
+        dep = Deployment.from_points(
+            tiny_qmodel, points, tiny_pipeline_result.significance,
+            unpacked=tiny_pipeline_result.unpacked,
+        )
+        cycles = [level.cycles_per_sample for level in dep.levels]
+        assert cycles == sorted(cycles, reverse=True)
+        assert len(set(cycles)) == len(cycles)  # strictly decreasing
+        assert dep.levels[0].config.is_exact
+
+    def test_unknown_accuracy_never_outranks_exact(self, tiny_qmodel, tiny_pipeline_result):
+        # A point without an accuracy (allowed by from_points) must sort after
+        # the known-accurate designs, not evict the exact baseline.
+        points = [
+            {"taus": {"conv1": 0.2, "conv2": 0.2}},
+            {"label": "exact", "taus": {}, "accuracy": 0.9},
+        ]
+        dep = Deployment.from_points(
+            tiny_qmodel, points, tiny_pipeline_result.significance,
+            unpacked=tiny_pipeline_result.unpacked,
+        )
+        assert dep.levels[0].config.is_exact
+        assert dep.baseline_cycles_per_sample == dep.levels[0].cycles_per_sample
+
+    def test_levels_ordered_and_costed(self, deployment):
+        accuracies = [level.accuracy for level in deployment.levels]
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert deployment.levels[0].masks is None  # exact design
+        cycles = [level.cycles_per_sample for level in deployment.levels]
+        assert cycles[0] == deployment.baseline_cycles_per_sample
+        assert cycles[-1] < cycles[0]  # aggressive level sheds simulated cycles
+        assert all(level.mcu_latency_ms > 0 for level in deployment.levels)
+
+    def test_from_dse_uses_pareto_front(self, tiny_qmodel, tiny_pipeline_result):
+        dep = Deployment.from_dse(
+            tiny_qmodel,
+            tiny_pipeline_result.dse,
+            tiny_pipeline_result.significance,
+            unpacked=tiny_pipeline_result.unpacked,
+            max_levels=3,
+        )
+        assert 1 <= len(dep.levels) <= 3
+        assert dep.level_index(dep.levels[-1].name) == len(dep.levels) - 1
+
+    def test_predict_matches_direct_forward(self, deployment, small_split):
+        xs = _sample_images(small_split, 16)
+        for idx, level in enumerate(deployment.levels):
+            expected = deployment.qmodel.predict_classes(xs, masks=level.masks)
+            np.testing.assert_array_equal(deployment.predict(xs, level=idx), expected)
+
+
+# --------------------------------------------------------------------------- scheduler
+class TestScheduler:
+    def test_round_trip_equivalence(self, deployment, small_split):
+        xs = _sample_images(small_split, 24)
+        expected = deployment.qmodel.predict_classes(xs, masks=None)
+        with Scheduler(deployment, policy="fixed", max_batch_size=8, max_wait_ms=5) as scheduler:
+            predictions = Client(scheduler).predict_many(xs)
+        np.testing.assert_array_equal(predictions, expected)
+
+    def test_burst_coalesces_into_batches(self, deployment, small_split):
+        xs = _sample_images(small_split, 24)
+        with Scheduler(deployment, policy="fixed", max_batch_size=8, max_wait_ms=25) as scheduler:
+            Client(scheduler).predict_many(xs)
+            snapshot = scheduler.metrics.snapshot()
+        assert snapshot.requests_completed == 24
+        assert snapshot.batches < 24  # definitely coalesced
+        assert snapshot.mean_batch_size > 1.0
+        assert sum(size * n for size, n in snapshot.batch_size_histogram.items()) == 24
+
+    def test_adaptive_policy_switches_under_burst(self, deployment, small_split):
+        xs = _sample_images(small_split, 8)
+        policy = QueueDepthPolicy(depth_per_level=8, hysteresis=2)
+        with Scheduler(deployment, policy=policy, max_batch_size=4, max_wait_ms=2) as scheduler:
+            client = Client(scheduler)
+            for x in xs[:4]:  # trickle: queue stays shallow -> L0
+                client.predict(x)
+            burst = [client.submit(xs[i % len(xs)]) for i in range(48)]
+            for request in burst:
+                request.result(timeout=60)
+            for x in xs[:4]:  # trickle again: policy relaxes
+                client.predict(x)
+            snapshot = scheduler.metrics.snapshot()
+        assert snapshot.per_level_requests.get("L0", 0) > 0
+        escalated = sum(
+            count for name, count in snapshot.per_level_requests.items() if name != "L0"
+        )
+        assert escalated > 0
+        assert snapshot.level_switches >= 2
+        assert snapshot.cycles_saved > 0
+
+    def test_submit_validates_shape(self, deployment):
+        with Scheduler(deployment) as scheduler:
+            with pytest.raises(ValueError, match="shape"):
+                scheduler.submit(np.zeros((3, 3, 3), dtype=np.float32))
+
+    def test_stopped_scheduler_rejects_and_fails_pending(self, deployment, small_split):
+        scheduler = Scheduler(deployment).start()
+        scheduler.stop()
+        with pytest.raises(SchedulerStopped):
+            scheduler.submit(_sample_images(small_split, 1)[0])
+
+    def test_idle_scheduler_does_not_spin_or_crash(self, deployment):
+        with Scheduler(deployment, max_wait_ms=1) as scheduler:
+            time.sleep(0.15)
+            snapshot = scheduler.metrics.snapshot()
+        assert snapshot.requests_completed == 0
+        assert snapshot.batches == 0
+
+    def test_multi_worker_replicas_match_serial(self, deployment, small_split):
+        xs = _sample_images(small_split, 24)
+        expected = deployment.qmodel.predict_classes(xs, masks=None)
+        with ReplicatedRunner(deployment, n_workers=2, min_shard=4) as runner:
+            np.testing.assert_array_equal(runner.predict(xs, level=0), expected)
+
+
+# --------------------------------------------------------------------------- metrics
+class TestServerMetrics:
+    def test_counts_and_percentiles(self):
+        metrics = ServerMetrics(baseline_cycles_per_sample=1000.0, cycles_to_ms=0.001)
+        metrics.record_batch("L0", 4, [10.0, 12.0, 14.0, 16.0], cycles_per_sample=1000.0)
+        metrics.record_batch("L1", 2, [20.0, 30.0], cycles_per_sample=600.0)
+        metrics.record_failure(3)
+        snapshot = metrics.snapshot(queue_depth=5)
+        assert snapshot.requests_completed == 6
+        assert snapshot.requests_failed == 3
+        assert snapshot.queue_depth == 5
+        assert snapshot.batches == 2
+        assert snapshot.per_level_requests == {"L0": 4, "L1": 2}
+        assert snapshot.level_switches == 1
+        assert snapshot.current_level == "L1"
+        assert snapshot.p50_latency_ms == pytest.approx(14.0)
+        assert snapshot.p95_latency_ms == pytest.approx(30.0)
+        # Only the L1 batch saved cycles: (1000 - 600) * 2 samples.
+        assert snapshot.cycles_saved == pytest.approx(800.0)
+        assert snapshot.mcu_ms_saved == pytest.approx(0.8)
+        assert snapshot.as_dict()["per_level_requests"] == {"L0": 4, "L1": 2}
+
+
+# --------------------------------------------------------------------------- HTTP front
+class TestHTTPServer:
+    def test_http_round_trip_and_introspection(self, deployment, small_split):
+        xs = _sample_images(small_split, 6)
+        expected = deployment.qmodel.predict_classes(xs, masks=None)
+        with Scheduler(deployment, policy="fixed", max_batch_size=8, max_wait_ms=5) as scheduler:
+            with PredictionServer(scheduler, port=0) as server:
+                client = HTTPClient(server.url)
+                assert client.health() == "ok"
+                np.testing.assert_array_equal(client.predict_classes(xs), expected)
+                # A single un-batched sample is accepted too.
+                single = client.predict(xs[0])
+                assert single["classes"] == [int(expected[0])]
+                metrics = client.metrics()
+                assert metrics["requests_completed"] >= 7
+                levels = client.levels()
+                assert [entry["name"] for entry in levels] == [
+                    level.name for level in deployment.levels
+                ]
+
+    def test_http_rejects_bad_inputs(self, deployment):
+        with Scheduler(deployment) as scheduler:
+            with PredictionServer(scheduler, port=0) as server:
+                import json
+                import urllib.error
+                import urllib.request
+
+                def post(body: bytes):
+                    request = urllib.request.Request(
+                        server.url + "/predict", data=body,
+                        headers={"Content-Type": "application/json"}, method="POST",
+                    )
+                    try:
+                        with urllib.request.urlopen(request, timeout=10) as response:
+                            return response.status, json.loads(response.read())
+                    except urllib.error.HTTPError as error:
+                        return error.code, json.loads(error.read())
+
+                assert post(b"not json")[0] == 400
+                assert post(b"{}")[0] == 400
+                status, payload = post(json.dumps({"inputs": [[1, 2], [3, 4]]}).encode())
+                assert status == 400 and "shape" in payload["error"]
+
+
+# --------------------------------------------------------------------------- workflow integration
+class TestServeStage:
+    def test_serve_stage_from_points_is_cached(self, tiny_qmodel, small_split):
+        from repro.workflow import CalibrateStage, SignificanceStage, UnpackStage
+
+        points = [
+            {"label": "exact", "taus": {}, "accuracy": 0.9},
+            {"label": "skip", "taus": {"conv1": 0.1, "conv2": 0.1}, "accuracy": 0.8},
+        ]
+        stages = [
+            UnpackStage(),
+            CalibrateStage(),
+            SignificanceStage(),
+            ServeStage(points=points, max_levels=4),
+        ]
+        inputs = {"qmodel": tiny_qmodel, "calibration_images": small_split.calibration.images}
+        store = ArtifactStore()
+        first = Experiment(stages, inputs=inputs, store=store).run()
+        assert "serve" in first.executed_stages
+        deployment = first["serving"]
+        assert isinstance(deployment, Deployment)
+        assert len(deployment.levels) == 2
+        second = Experiment(stages, inputs=inputs, store=store).run()
+        assert "serve" in second.cached_stages
+        # The cached deployment still serves.
+        with Scheduler(second["serving"]) as scheduler:
+            assert isinstance(
+                Client(scheduler).predict(small_split.test.images[0]), int
+            )
+
+    def test_serve_stage_requires_dse_only_without_points(self):
+        assert "dse" in ServeStage().requires
+        assert "dse" not in ServeStage(points=[{"taus": {}}]).requires
+
+
+# --------------------------------------------------------------------------- hot-path satellites
+class TestScratchBuffers:
+    def test_forward_identical_with_and_without_scratch(self, tiny_qmodel, small_split):
+        xs = _sample_images(small_split, 9)
+        assert not im2col_scratch_enabled()  # allocator recycling is the default
+        without = tiny_qmodel.predict_classes(xs, batch_size=4)
+        previous = set_im2col_scratch(True)
+        try:
+            with_scratch_1 = tiny_qmodel.predict_classes(xs, batch_size=4)
+            with_scratch_2 = tiny_qmodel.predict_classes(xs, batch_size=4)  # reused buffers
+            assert any(layer._cols_scratch is not None for layer in tiny_qmodel.conv_layers())
+        finally:
+            set_im2col_scratch(previous)
+        np.testing.assert_array_equal(with_scratch_1, with_scratch_2)
+        np.testing.assert_array_equal(with_scratch_1, without)
+
+    def test_scratch_survives_shape_changes(self, tiny_qmodel, small_split):
+        xs = _sample_images(small_split, 10)
+        previous = set_im2col_scratch(True)
+        try:
+            a = tiny_qmodel.predict_classes(xs, batch_size=8)  # chunks of 8 then 2
+            b = tiny_qmodel.predict_classes(xs, batch_size=10)
+        finally:
+            set_im2col_scratch(previous)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fingerprint_stable_across_forward(self, tiny_qmodel, small_split):
+        before = fingerprint(tiny_qmodel)
+        previous = set_im2col_scratch(True)
+        try:
+            tiny_qmodel.predict_classes(_sample_images(small_split, 5))
+        finally:
+            set_im2col_scratch(previous)
+        assert fingerprint(tiny_qmodel) == before
+
+    def test_scratch_not_pickled(self, tiny_qmodel, small_split):
+        previous = set_im2col_scratch(True)
+        try:
+            tiny_qmodel.predict_classes(_sample_images(small_split, 5))
+        finally:
+            set_im2col_scratch(previous)
+        clone = pickle.loads(pickle.dumps(tiny_qmodel))
+        for layer in clone.conv_layers():
+            assert layer._cols_scratch is None
+
+
+# --------------------------------------------------------------------------- artifact store concurrency
+class TestArtifactStoreConcurrency:
+    def test_concurrent_readers_and_writers(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        errors = []
+
+        def writer(worker: int):
+            try:
+                for i in range(25):
+                    store.save(f"{worker:02d}{i:038x}"[:40].ljust(40, "a"), {"worker": worker, "i": i})
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        def reader():
+            try:
+                for _ in range(50):
+                    for key in store.keys()[:5]:
+                        store.get(key)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(store.keys()) == 100
+
+    def test_two_stores_share_one_root(self, tmp_path):
+        a = ArtifactStore(tmp_path / "shared")
+        b = ArtifactStore(tmp_path / "shared")
+        a.save("k" * 40, {"x": 1})
+        assert b.load("k" * 40) == {"x": 1}
+
+    def test_partial_write_degrades_to_cache_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = "ab" + "c" * 38
+        path = store._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x80\x04garbage-truncated")
+        with pytest.raises(KeyError, match="unreadable"):
+            store.load(key)
+        # A later complete write repairs the entry.
+        store2 = ArtifactStore(tmp_path / "store")
+        store2.save(key, 42)
+        assert store2.load(key) == 42
+
+    def test_no_stale_tmp_files_after_save(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        for i in range(5):
+            store.save(f"{i:040d}", i)
+        assert not list((tmp_path / "store").rglob("*.tmp"))
