@@ -1,0 +1,149 @@
+"""VM benchmarks: interpreter vs turbo mode vs the kernel simulation path.
+
+The virtual machine buys executable fidelity (it runs the *generated*
+instruction stream, verified bit-identical to the kernels); these benchmarks
+quantify what that fidelity costs:
+
+* ``interp``  -- instruction-granular interpretation, the most literal
+  rendering of the straight-line code;
+* ``turbo``   -- per-channel instruction runs fused into one exact-BLAS
+  matrix product (same bit-identical outputs);
+* ``kernel``  -- the :class:`~repro.quant.qmodel.QuantizedModel` simulation
+  path the rest of the toolkit uses, as the reference.
+
+A summary table (throughput per mode, turbo speedup over interp, VM overhead
+vs the kernels) lands in ``benchmarks/results/vm_throughput.txt`` and is
+uploaded as a CI artifact by the verify-codegen smoke job.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ApproxConfig
+from repro.vm import VirtualMachine, lower_model, verify_designs
+
+from bench_utils import record_result
+from repro.evaluation.reports import format_table
+
+#: Batch driven through every execution path.
+N_IMAGES = 32
+
+
+@pytest.fixture(scope="module")
+def lenet_vm(context):
+    """LeNet artefacts plus prelowered exact + aggressive programs."""
+    artifacts = context.build_model("lenet")
+    result = artifacts.result
+    qmodel = artifacts.qmodel
+    conv_names = [layer.name for layer in qmodel.conv_layers()]
+    config = ApproxConfig.uniform(qmodel.name, conv_names, 0.05, label="tau=0.05")
+    masks = config.build_masks(result.significance, unpacked=result.unpacked)
+    images = context.eval_set(N_IMAGES)[0][:N_IMAGES]
+    return {
+        "qmodel": qmodel,
+        "unpacked": result.unpacked,
+        "significance": result.significance,
+        "masks": masks,
+        "config": config,
+        "q_input": qmodel.quantize_input(images),
+        "images": images,
+    }
+
+
+def _throughput(fn, n_images: int, repeats: int = 3) -> float:
+    """Best-of-N images/second of one batched forward implementation."""
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return n_images / best
+
+
+@pytest.mark.benchmark(group="vm")
+def test_bench_vm_interp(benchmark, lenet_vm):
+    """Instruction-granular interpretation of exact LeNet."""
+    machine = VirtualMachine(lenet_vm["qmodel"], mode="interp")
+    q_in = lenet_vm["q_input"][:4]  # interp is ~40x slower; keep the round short
+    out = benchmark(lambda: machine.forward_quantized(q_in))
+    assert out.shape[0] == 4
+
+
+@pytest.mark.benchmark(group="vm")
+def test_bench_vm_turbo(benchmark, lenet_vm):
+    """Fused turbo execution of exact LeNet."""
+    machine = VirtualMachine(lenet_vm["qmodel"], mode="turbo")
+    q_in = lenet_vm["q_input"]
+    out = benchmark(lambda: machine.forward_quantized(q_in))
+    assert out.shape[0] == N_IMAGES
+
+
+@pytest.mark.benchmark(group="vm")
+def test_bench_kernel_reference(benchmark, lenet_vm):
+    """The simulation-kernel path the VM is verified against."""
+    qmodel = lenet_vm["qmodel"]
+    q_in = lenet_vm["q_input"]
+    out = benchmark(lambda: qmodel.forward_quantized(q_in))
+    assert out.shape[0] == N_IMAGES
+
+
+@pytest.mark.benchmark(group="vm")
+def test_bench_lowering(benchmark, lenet_vm):
+    """Cost of lowering an aggressive design to IR (the per-level serving cost)."""
+    program = benchmark(
+        lambda: lower_model(
+            lenet_vm["qmodel"], unpacked=lenet_vm["unpacked"], masks=lenet_vm["masks"]
+        )
+    )
+    assert len(program) == len(lenet_vm["unpacked"])
+
+
+def test_vm_throughput_summary(lenet_vm):
+    """Record the mode comparison table (interp vs turbo vs kernel path)."""
+    qmodel = lenet_vm["qmodel"]
+    q_in = lenet_vm["q_input"]
+
+    interp = VirtualMachine(qmodel, mode="interp")
+    turbo = VirtualMachine(qmodel, mode="turbo")
+    n_interp = 4
+    rows = []
+    interp_rps = _throughput(lambda: interp.forward_quantized(q_in[:n_interp]), n_interp)
+    turbo_rps = _throughput(lambda: turbo.forward_quantized(q_in), N_IMAGES)
+    kernel_rps = _throughput(lambda: qmodel.forward_quantized(q_in), N_IMAGES)
+    rows.append({"path": "vm interp", "images_per_s": f"{interp_rps:.1f}",
+                 "vs_interp": "1.0x", "vs_kernel": f"{interp_rps / kernel_rps:.3f}x"})
+    rows.append({"path": "vm turbo", "images_per_s": f"{turbo_rps:.1f}",
+                 "vs_interp": f"{turbo_rps / interp_rps:.1f}x",
+                 "vs_kernel": f"{turbo_rps / kernel_rps:.3f}x"})
+    rows.append({"path": "kernel", "images_per_s": f"{kernel_rps:.1f}",
+                 "vs_interp": f"{kernel_rps / interp_rps:.1f}x", "vs_kernel": "1.0x"})
+    record_result(
+        "vm_throughput",
+        format_table(rows, title=f"VM execution throughput (LeNet, batch {N_IMAGES})"),
+    )
+    # Turbo must deliver a substantial speedup over the interpreter (the
+    # headline claim) while remaining within a small factor of the kernels.
+    assert turbo_rps > 5 * interp_rps
+    assert turbo_rps > 0.2 * kernel_rps
+
+
+def test_vm_verification_summary(lenet_vm):
+    """Record the differential-verification + calibration table on LeNet."""
+    configs = [ApproxConfig.exact(lenet_vm["qmodel"].name), lenet_vm["config"]]
+    report = verify_designs(
+        lenet_vm["qmodel"],
+        configs,
+        lenet_vm["images"][:8],
+        significance=lenet_vm["significance"],
+        unpacked=lenet_vm["unpacked"],
+    )
+    record_result(
+        "vm_verification",
+        format_table(report.summary_rows(), title="differential verification (LeNet)"),
+    )
+    assert report.all_match

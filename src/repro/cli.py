@@ -7,6 +7,7 @@ Usage (also installed as the ``repro-tinyml`` console script)::
     python -m repro.cli explore   --qmodel runs/lenet_q --out runs/lenet_dse.json --loss 0.05 \
                                   --strategy exhaustive --resume runs/cache
     python -m repro.cli codegen   --qmodel runs/lenet_q --config runs/lenet_dse.config.json --out runs/lenet.c
+    python -m repro.cli verify-codegen --qmodel runs/lenet_q --taus 0.0,0.01,0.05
     python -m repro.cli deploy    --qmodel runs/lenet_q --config runs/lenet_dse.config.json --engine ataman
     python -m repro.cli serve     --qmodel runs/lenet_q --config runs/lenet_dse.json --policy queue-depth
     python -m repro.cli reproduce --table1 --table2 --figure2 --claims
@@ -51,6 +52,7 @@ from repro.workflow import (
     ServeStage,
     SignificanceStage,
     UnpackStage,
+    VerifyStage,
 )
 
 
@@ -169,6 +171,44 @@ def cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify_codegen(args: argparse.Namespace) -> int:
+    """Differentially verify the generated code through the ISA virtual machine."""
+    qmodel = load_quantized_model(args.qmodel)
+    split = _dataset_split(args.samples, args.seed)
+    taus = [float(t) for t in args.taus.split(",")] if args.taus else [0.01, 0.05]
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    if not modes:
+        print("error: --modes must name at least one VM execution mode", file=sys.stderr)
+        return 2
+    experiment = Experiment(
+        [
+            UnpackStage(),
+            CalibrateStage(),
+            SignificanceStage(),
+            VerifyStage(taus=taus, n_samples=args.n_verify, modes=modes),
+        ],
+        inputs={
+            "qmodel": qmodel,
+            "calibration_images": split.calibration.images,
+            "eval_images": split.test.images,
+        },
+        store=_store(args),
+    )
+    result = experiment.run()
+    _report_cache(result)
+    report = result["verification"]
+    print(format_table(
+        report.summary_rows(),
+        title=f"differential verification of {qmodel.name} "
+              f"({len(report.designs)} designs x {len(modes)} VM modes)",
+    ))
+    if report.all_match:
+        print(f"all designs bit-identical to the kernel path on {args.n_verify} samples")
+        return 0
+    print("MISMATCH: the generated code diverges from the kernel path")
+    return 1
+
+
 def cmd_deploy(args: argparse.Namespace) -> int:
     """Deploy a quantized model with a chosen engine on a board model."""
     qmodel = load_quantized_model(args.qmodel)
@@ -176,7 +216,7 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     board = get_board(args.board)
     engine_cls = ENGINES.resolve(args.engine)
 
-    if args.engine == "ataman":
+    if getattr(engine_cls, "supports_approx", False):
         experiment = Experiment(
             [UnpackStage(), CalibrateStage(), SignificanceStage()],
             inputs={"qmodel": qmodel, "calibration_images": split.calibration.images},
@@ -240,7 +280,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     inputs = {"qmodel": qmodel, "calibration_images": split.calibration.images}
     if args.config:
         points = load_json(args.config)["points"]
-        stages.append(ServeStage(points=points, max_levels=args.max_levels, board=board))
+        stages.append(ServeStage(points=points, max_levels=args.max_levels, board=board,
+                                 cycle_source=args.cycle_source))
     else:
         # No DSE table supplied: run a small sweep in-graph (cached by --resume).
         dse_config = DSEConfig(
@@ -249,7 +290,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             n_workers=args.workers,
         )
         stages.append(DSEStage(dse_config=dse_config, board=board))
-        stages.append(ServeStage(max_levels=args.max_levels, board=board))
+        stages.append(ServeStage(max_levels=args.max_levels, board=board,
+                                 cycle_source=args.cycle_source))
         inputs["eval_images"] = split.test.images
         inputs["eval_labels"] = split.test.labels
     experiment = Experiment(stages, inputs=inputs, store=_store(args))
@@ -414,6 +456,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_code)
     p_code.set_defaults(func=cmd_codegen)
 
+    p_verify = sub.add_parser(
+        "verify-codegen",
+        help="run generated code through the ISA VM and verify it against the kernels",
+    )
+    p_verify.add_argument("--qmodel", required=True)
+    p_verify.add_argument("--taus", default="0.0,0.01,0.05",
+                          help="comma-separated uniform tau designs to verify "
+                               "(the exact design is always included)")
+    p_verify.add_argument("--modes", default="interp,turbo",
+                          help="comma-separated VM execution modes to check")
+    p_verify.add_argument("--n-verify", type=int, default=32,
+                          help="input samples driven through both execution paths")
+    add_resume(p_verify)
+    add_common(p_verify)
+    p_verify.set_defaults(func=cmd_verify_codegen)
+
     p_deploy = sub.add_parser("deploy", help="deploy a quantized model on a board model")
     p_deploy.add_argument("--qmodel", required=True)
     p_deploy.add_argument("--engine", choices=engine_choices(), default="cmsis-nn")
@@ -441,6 +499,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes holding model replicas (1 = in-process)")
     p_serve.add_argument("--board", choices=board_choices(), default="stm32u575",
                          help="board model for the simulated MCU latency/savings")
+    p_serve.add_argument("--cycle-source", choices=("analytic", "traced"), default="analytic",
+                         help="cost service levels with the analytic model or the "
+                              "VM's per-instruction trace")
     p_serve.add_argument("--eval-samples", type=int, default=256,
                          help="evaluation images for the in-line DSE (no --config only)")
     p_serve.add_argument("--smoke", type=int, default=None, metavar="N",

@@ -27,7 +27,14 @@ from repro.core.skipping import (
 from repro.core.config import ApproxConfig, LayerApproxSpec
 from repro.core.dse import DSEConfig, DSEResult, DesignPoint, exhaustive_sweep, run_dse
 from repro.core.pareto import pareto_front, select_by_accuracy_loss
-from repro.core.codegen import generate_layer_code, generate_model_code, estimate_code_bytes
+from repro.core.codegen import (
+    ChannelPlan,
+    LayerPlan,
+    estimate_code_bytes,
+    generate_layer_code,
+    generate_model_code,
+    plan_layer,
+)
 from repro.core.pipeline import AtamanPipeline, PipelineResult
 from repro.core.strategies import (
     ExhaustiveSearch,
@@ -64,6 +71,9 @@ __all__ = [
     "exhaustive_sweep",
     "pareto_front",
     "select_by_accuracy_loss",
+    "ChannelPlan",
+    "LayerPlan",
+    "plan_layer",
     "generate_layer_code",
     "generate_model_code",
     "estimate_code_bytes",

@@ -2,17 +2,28 @@
 
 The deliverable of the paper's framework is C code in which every convolution
 layer is replaced by straight-line, fixed-weight SMLAD code with the
-insignificant MACs removed.  This module emits that code as text (one
-function per layer plus a model-level dispatch function) and provides the
-flash-size accounting used by the deployment model.  The emitted code is a
-faithful rendering of what the kernels in :mod:`repro.kernels` simulate --
-the retention masks are shared between both paths -- so the simulator and
-the generated code describe the same design.
+insignificant MACs removed.  This module builds a *structured* description of
+that code -- :func:`plan_layer` turns an :class:`UnpackedLayer` plus an
+optional retention mask into a :class:`LayerPlan` of per-channel SMLAD
+pairs -- and renders it two ways:
+
+* the C emitter here (:func:`generate_layer_code`/:func:`generate_model_code`)
+  renders the plan as text, one function per layer plus a model-level
+  dispatch function;
+* the IR lowerer (:mod:`repro.vm.lower`) turns the *same* plan into an
+  executable instruction program for the :mod:`repro.vm` interpreter.
+
+Both renderings therefore describe the identical instruction stream; the
+retention masks are shared with the simulation kernels in
+:mod:`repro.kernels`, so the simulator, the generated text and the executable
+VM program all speak for the same design.  The flash-size accounting used by
+the deployment model also lives here.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +35,135 @@ def _format_packed_constant(w_hi: int, w_lo: int) -> str:
     """Hex literal of two int8 weights packed for SMLAD (paper Section II-B)."""
     packed = ((int(w_hi) & 0xFFFF) << 16) | (int(w_lo) & 0xFFFF)
     return f"0x{packed:08X}"
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """The instruction plan of one output channel's accumulation.
+
+    Attributes
+    ----------
+    channel:
+        Output-channel index.
+    pairs:
+        Retained operand pairs ``(i, j, w_i, w_j)`` -- each becomes one SMLAD
+        with the two weights hard-wired as a packed constant.
+    odd:
+        Trailing unpaired operand ``(i, w_i)`` (``None`` when the retained
+        count is even) -- becomes a single MLA.
+    retained, skipped:
+        Operand counts under the mask.
+    """
+
+    channel: int
+    pairs: Tuple[Tuple[int, int, int, int], ...]
+    odd: Optional[Tuple[int, int]]
+    retained: int
+    skipped: int
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """Structured description of one layer's unpacked (approximate) code.
+
+    This is the single source both code renderings consume: the C emitter
+    turns it into text and :mod:`repro.vm.lower` turns it into an executable
+    IR program, so the two can never drift apart.
+    """
+
+    name: str
+    out_channels: int
+    operands_per_channel: int
+    total_operands: int
+    retained: int
+    code_bytes: int
+    channels: Tuple[ChannelPlan, ...]
+
+    @property
+    def skipped(self) -> int:
+        """Total operands removed by the mask."""
+        return self.total_operands - self.retained
+
+
+def _validated_mask(layer: UnpackedLayer, mask: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """Normalise ``mask`` to boolean and fail fast on a shape mismatch."""
+    if mask is None:
+        return None
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != layer.weights.shape:
+        raise ValueError(
+            f"layer {layer.name!r}: retention mask shape {mask.shape} does not match "
+            f"the weight matrix {layer.weights.shape} (out_channels, operands)"
+        )
+    return mask
+
+
+def plan_layer(
+    layer: UnpackedLayer,
+    mask: Optional[np.ndarray] = None,
+    max_channels: Optional[int] = None,
+) -> LayerPlan:
+    """Build the structured code plan of one unpacked layer.
+
+    Parameters
+    ----------
+    layer:
+        The unpacked layer representation.
+    mask:
+        Optional boolean retention mask ``(out_channels, K)``; skipped
+        operands appear in no pair and no odd tail.
+    max_channels:
+        Plan only the first ``max_channels`` output channels (the C emitter's
+        preview cap -- per-channel planning is the expensive part, so
+        render-only callers skip it for elided channels).  The plan's
+        ``out_channels``/``retained``/``code_bytes`` totals always describe
+        the *full* layer; the IR lowerer plans every channel.
+
+    Raises
+    ------
+    ValueError
+        If ``mask`` does not match the layer's weight matrix shape -- raised
+        here, before any arithmetic, with the layer name and both shapes.
+    """
+    weights = layer.weights
+    out_c, k = weights.shape
+    mask = _validated_mask(layer, mask)
+
+    plan_channels = out_c if max_channels is None else min(out_c, max_channels)
+    channels: List[ChannelPlan] = []
+    for channel in range(plan_channels):
+        row = weights[channel]
+        keep = mask[channel] if mask is not None else np.ones(k, dtype=bool)
+        kept_idx = np.nonzero(keep)[0]
+        retained = int(kept_idx.size)
+        pairs = tuple(
+            (
+                int(kept_idx[p]),
+                int(kept_idx[p + 1]),
+                int(row[kept_idx[p]]),
+                int(row[kept_idx[p + 1]]),
+            )
+            for p in range(0, retained - retained % 2, 2)
+        )
+        odd = None
+        if retained % 2 == 1:
+            i = int(kept_idx[-1])
+            odd = (i, int(row[i]))
+        channels.append(
+            ChannelPlan(
+                channel=channel, pairs=pairs, odd=odd, retained=retained, skipped=k - retained
+            )
+        )
+
+    return LayerPlan(
+        name=layer.name,
+        out_channels=out_c,
+        operands_per_channel=k,
+        total_operands=layer.total_operands,
+        retained=layer.retained_operands(mask),
+        code_bytes=layer.code_bytes(mask),
+        channels=tuple(channels),
+    )
 
 
 def generate_layer_code(
@@ -47,48 +187,52 @@ def generate_layer_code(
         Truncate emission after this many output channels (keeps example
         output readable); the full code size is still reported in the header.
     """
-    weights = layer.weights
-    out_c, k = weights.shape
-    if mask is not None:
-        mask = np.asarray(mask, dtype=bool)
-        if mask.shape != weights.shape:
-            raise ValueError("mask shape must match the layer's weight matrix")
-    retained = layer.retained_operands(mask)
-    code_bytes = layer.code_bytes(mask)
+    plan = plan_layer(layer, mask, max_channels=max_channels)
+    return render_layer_plan(plan, output_zero_point=output_zero_point)
 
+
+def render_layer_plan(
+    plan: LayerPlan,
+    output_zero_point: int = 0,
+    max_channels: Optional[int] = None,
+) -> str:
+    """Render a :class:`LayerPlan` as the C-like unpacked kernel text.
+
+    Channels beyond ``max_channels`` -- or beyond what the plan carries (see
+    :func:`plan_layer`'s own ``max_channels``) -- are elided with a comment.
+    """
     lines: List[str] = []
-    lines.append(f"/* Unpacked kernel for layer '{layer.name}'.")
-    lines.append(f" * operands: {layer.total_operands} total, {retained} retained "
-                 f"({layer.total_operands - retained} skipped)")
-    lines.append(f" * estimated code size: {code_bytes} bytes */")
-    lines.append(f"static void {layer.name}_unpacked(const int8_t *in, int8_t *out)")
+    lines.append(f"/* Unpacked kernel for layer '{plan.name}'.")
+    lines.append(f" * operands: {plan.total_operands} total, {plan.retained} retained "
+                 f"({plan.skipped} skipped)")
+    lines.append(f" * estimated code size: {plan.code_bytes} bytes */")
+    lines.append(f"static void {plan.name}_unpacked(const int8_t *in, int8_t *out)")
     lines.append("{")
     lines.append("    int32_t acc;")
 
-    emit_channels = out_c if max_channels is None else min(out_c, max_channels)
-    for channel in range(emit_channels):
-        row = weights[channel]
-        keep = mask[channel] if mask is not None else np.ones(k, dtype=bool)
-        kept_idx = np.nonzero(keep)[0]
-        skipped = k - kept_idx.size
-        lines.append(f"    /* output channel {channel}: {kept_idx.size} MACs"
-                     + (f", {skipped} skipped" if skipped else "") + " */")
-        lines.append(f"    acc = bias[{channel}];")
-        for pair_start in range(0, kept_idx.size - kept_idx.size % 2, 2):
-            i, j = int(kept_idx[pair_start]), int(kept_idx[pair_start + 1])
-            const = _format_packed_constant(int(row[i]), int(row[j]))
+    emit_channels = len(plan.channels) if max_channels is None else min(
+        len(plan.channels), max_channels
+    )
+    for ch in plan.channels[:emit_channels]:
+        lines.append(f"    /* output channel {ch.channel}: {ch.retained} MACs"
+                     + (f", {ch.skipped} skipped" if ch.skipped else "") + " */")
+        lines.append(f"    acc = bias[{ch.channel}];")
+        for i, j, w_hi, w_lo in ch.pairs:
+            const = _format_packed_constant(w_hi, w_lo)
             lines.append(
                 f"    acc = __SMLAD({const}, PACK(in[{i}], in[{j}]), acc);"
             )
-        if kept_idx.size % 2 == 1:
-            i = int(kept_idx[-1])
-            lines.append(f"    acc += {int(row[i])} * (int32_t)in[{i}];")
+        if ch.odd is not None:
+            i, w = ch.odd
+            lines.append(f"    acc += {w} * (int32_t)in[{i}];")
         lines.append(
-            f"    out[{channel}] = requantize(acc, mult[{channel}], shift[{channel}], "
+            f"    out[{ch.channel}] = requantize(acc, mult[{ch.channel}], shift[{ch.channel}], "
             f"{output_zero_point});"
         )
-    if emit_channels < out_c:
-        lines.append(f"    /* ... {out_c - emit_channels} further output channels elided ... */")
+    if emit_channels < plan.out_channels:
+        lines.append(
+            f"    /* ... {plan.out_channels - emit_channels} further output channels elided ... */"
+        )
     lines.append("}")
     return "\n".join(lines)
 

@@ -47,6 +47,7 @@ class AtamanEngine(BaseEngine):
 
     style = ExecutionStyle.UNPACKED
     engine_name = "ataman"
+    supports_approx = True
 
     kernel_code_bytes = 24 * 1024  # only the non-conv library kernels remain
     runtime_flash_bytes = 14 * 1024  # structure parameters resolved at compile time

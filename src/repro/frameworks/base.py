@@ -33,6 +33,10 @@ class BaseEngine:
     style: ExecutionStyle = ExecutionStyle.CMSIS_PACKED
     #: Human-readable engine name.
     engine_name: str = "base"
+    #: Whether the engine's constructor accepts the approximation artifacts
+    #: (``config``/``significance``/``unpacked``) -- the deploy paths use
+    #: this to decide how to instantiate a registry-resolved engine class.
+    supports_approx: bool = False
 
     # -- flash model constants (bytes) ----------------------------------------
     #: Library kernel code size.

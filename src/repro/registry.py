@@ -154,9 +154,9 @@ SEARCH_STRATEGIES: Registry[type] = Registry(
     "search strategy", builtin_modules=("repro.core.strategies",)
 )
 
-#: Inference engines (the ATAMAN engine and the exact baselines).
+#: Inference engines (the ATAMAN engine, the exact baselines and the VM engines).
 ENGINES: Registry[type] = Registry(
-    "inference engine", builtin_modules=("repro.frameworks",)
+    "inference engine", builtin_modules=("repro.frameworks", "repro.vm.engine")
 )
 
 #: Target board profiles.

@@ -35,7 +35,7 @@ from repro.serving.policy import (
     ServingPolicy,
     resolve_policy,
 )
-from repro.serving.request import Request, RequestError, RequestQueue
+from repro.serving.request import Request, RequestError, RequestQueue, RequestTimedOut
 from repro.serving.scheduler import Scheduler, SchedulerStopped
 from repro.serving.server import PredictionServer
 from repro.serving.workers import ReplicatedRunner
@@ -54,6 +54,7 @@ __all__ = [
     "resolve_policy",
     "Request",
     "RequestError",
+    "RequestTimedOut",
     "RequestQueue",
     "Scheduler",
     "SchedulerStopped",

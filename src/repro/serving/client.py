@@ -28,21 +28,26 @@ class Client:
         self.scheduler = scheduler
         self.timeout_s = float(timeout_s)
 
-    def submit(self, x: np.ndarray) -> Request:
-        """Fire one request without waiting (for concurrency experiments)."""
-        return self.scheduler.submit(x)
+    def submit(self, x: np.ndarray, timeout_ms: Optional[float] = None) -> Request:
+        """Fire one request without waiting (for concurrency experiments).
 
-    def submit_many(self, xs: np.ndarray) -> List[Request]:
+        ``timeout_ms`` arms the scheduler-side shedding deadline; a shed
+        request's :meth:`~repro.serving.request.Request.result` raises
+        :class:`~repro.serving.request.RequestTimedOut`.
+        """
+        return self.scheduler.submit(x, timeout_ms=timeout_ms)
+
+    def submit_many(self, xs: np.ndarray, timeout_ms: Optional[float] = None) -> List[Request]:
         """Fire a burst of requests without waiting (FIFO order)."""
-        return self.scheduler.submit_many(xs)
+        return self.scheduler.submit_many(xs, timeout_ms=timeout_ms)
 
-    def predict(self, x: np.ndarray) -> int:
+    def predict(self, x: np.ndarray, timeout_ms: Optional[float] = None) -> int:
         """Predicted class of one sample (blocks until served)."""
-        return self.scheduler.submit(x).result(timeout=self.timeout_s)
+        return self.scheduler.submit(x, timeout_ms=timeout_ms).result(timeout=self.timeout_s)
 
-    def predict_many(self, xs: np.ndarray) -> np.ndarray:
+    def predict_many(self, xs: np.ndarray, timeout_ms: Optional[float] = None) -> np.ndarray:
         """Predicted classes of a batch, submitted concurrently."""
-        requests = self.submit_many(xs)
+        requests = self.submit_many(xs, timeout_ms=timeout_ms)
         return np.asarray([r.result(timeout=self.timeout_s) for r in requests], dtype=np.int64)
 
 

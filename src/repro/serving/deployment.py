@@ -107,12 +107,16 @@ class Deployment:
         unpacked: Optional[Dict[str, UnpackedLayer]] = None,
         board: BoardProfile = STM32U575,
         max_levels: int = 8,
+        cycle_source: str = "analytic",
     ) -> "Deployment":
         """Build a deployment from a :class:`~repro.core.dse.DSEResult`.
 
         The Pareto-optimal designs become the service levels, ordered from
         most accurate to most aggressive and thinned to ``max_levels`` while
-        always keeping both endpoints.
+        always keeping both endpoints.  ``cycle_source="traced"`` costs each
+        level from the VM's per-instruction trace of the lowered program
+        (:func:`repro.vm.verify.hybrid_cycles_per_sample`) instead of the
+        analytic cost model.
         """
         points = sorted(dse.pareto_points(), key=lambda p: (-p.accuracy, p.conv_mac_reduction))
         entries = [
@@ -124,7 +128,7 @@ class Deployment:
             }
             for p in points
         ]
-        return cls._build(qmodel, entries, significance, unpacked, board, max_levels)
+        return cls._build(qmodel, entries, significance, unpacked, board, max_levels, cycle_source)
 
     @classmethod
     def from_points(
@@ -135,6 +139,7 @@ class Deployment:
         unpacked: Optional[Dict[str, UnpackedLayer]] = None,
         board: BoardProfile = STM32U575,
         max_levels: int = 8,
+        cycle_source: str = "analytic",
     ) -> "Deployment":
         """Build a deployment from a DSE point table (``explore``'s JSON output).
 
@@ -179,7 +184,7 @@ class Deployment:
                 e["conv_mac_reduction"],
             )
         )
-        return cls._build(qmodel, entries, significance, unpacked, board, max_levels)
+        return cls._build(qmodel, entries, significance, unpacked, board, max_levels, cycle_source)
 
     @classmethod
     def _build(
@@ -190,7 +195,12 @@ class Deployment:
         unpacked: Optional[Dict[str, UnpackedLayer]],
         board: BoardProfile,
         max_levels: int,
+        cycle_source: str = "analytic",
     ) -> "Deployment":
+        if cycle_source not in ("analytic", "traced"):
+            raise ValueError(
+                f"unknown cycle_source {cycle_source!r}; expected 'analytic' or 'traced'"
+            )
         if not entries:
             raise ValueError("no design points to build service levels from")
         # Drop duplicate designs (same tau assignment) keeping the first.
@@ -209,6 +219,9 @@ class Deployment:
 
         from repro.core.skipping import conv_mac_reduction
 
+        if cycle_source == "traced":
+            from repro.vm.verify import hybrid_cycles_per_sample
+
         cost_model = KernelCostModel(ExecutionStyle.UNPACKED)
         probe = np.zeros((1, *qmodel.input_shape), dtype=np.float32)
         levels: List[ServiceLevel] = []
@@ -219,9 +232,15 @@ class Deployment:
                 if config.is_exact
                 else config.build_masks(significance, unpacked=unpacked)
             )
-            counter = CycleCounter()
-            qmodel.forward(probe, masks=masks, counter=counter)
-            cycles = cost_model.estimate_cycles(counter)
+            if cycle_source == "traced":
+                # Cost the level from the VM's per-instruction trace of the
+                # lowered program (analytic figures are kept for the
+                # library-kernel layers and the fixed overhead).
+                cycles = hybrid_cycles_per_sample(qmodel, unpacked=unpacked, masks=masks)
+            else:
+                counter = CycleCounter()
+                qmodel.forward(probe, masks=masks, counter=counter)
+                cycles = cost_model.estimate_cycles(counter)
             # A level after the first (most accurate) earns its place only by
             # being cheaper than every level above it -- dominated designs
             # (less accurate, not faster) would make 'escalation' pointless.

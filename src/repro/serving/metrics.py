@@ -28,6 +28,7 @@ class MetricsSnapshot:
 
     requests_completed: int = 0
     requests_failed: int = 0
+    requests_shed: int = 0
     batches: int = 0
     queue_depth: int = 0
     uptime_s: float = 0.0
@@ -48,6 +49,7 @@ class MetricsSnapshot:
         return {
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
+            "requests_shed": self.requests_shed,
             "batches": self.batches,
             "queue_depth": self.queue_depth,
             "uptime_s": self.uptime_s,
@@ -100,6 +102,7 @@ class ServerMetrics:
         self._started_at = time.monotonic()
         self._completed = 0
         self._failed = 0
+        self._shed = 0
         self._batches = 0
         self._batch_sizes: Dict[int, int] = {}
         self._per_level_requests: Dict[str, int] = {}
@@ -146,6 +149,11 @@ class ServerMetrics:
         with self._lock:
             self._failed += int(count)
 
+    def record_shed(self, count: int = 1) -> None:
+        """Record requests shed because their per-request deadline expired."""
+        with self._lock:
+            self._shed += int(count)
+
     # ------------------------------------------------------------------ reading
     def snapshot(self, queue_depth: int = 0) -> MetricsSnapshot:
         """A consistent point-in-time view of every counter."""
@@ -157,6 +165,7 @@ class ServerMetrics:
             return MetricsSnapshot(
                 requests_completed=self._completed,
                 requests_failed=self._failed,
+                requests_shed=self._shed,
                 batches=self._batches,
                 queue_depth=int(queue_depth),
                 uptime_s=uptime,

@@ -33,6 +33,15 @@ class RequestError(RuntimeError):
     """Raised by :meth:`Request.result` when serving a request failed."""
 
 
+class RequestTimedOut(RequestError):
+    """The request's per-request deadline expired before it was served.
+
+    Raised by :meth:`Request.result` for requests the scheduler shed; a shed
+    request never reaches the model, so the cycles it would have cost are
+    saved for requests that can still meet their deadline.
+    """
+
+
 class Request:
     """One in-flight prediction request.
 
@@ -40,12 +49,19 @@ class Request:
     ----------
     x:
         A single float input sample (per-sample shape, e.g. ``(H, W, C)``).
+    timeout_ms:
+        Optional per-request deadline: if the request is still queued when
+        ``timeout_ms`` milliseconds have passed since it was enqueued, the
+        scheduler sheds it with :class:`RequestTimedOut` instead of serving
+        a prediction nobody is waiting for anymore.
     """
 
     __slots__ = (
         "id",
         "x",
         "enqueued_at",
+        "timeout_ms",
+        "deadline",
         "level_name",
         "prediction",
         "wait_ms",
@@ -54,16 +70,31 @@ class Request:
         "_done",
     )
 
-    def __init__(self, x: np.ndarray):
+    def __init__(self, x: np.ndarray, timeout_ms: Optional[float] = None):
+        if timeout_ms is not None and float(timeout_ms) <= 0:
+            raise ValueError("timeout_ms must be positive (or None for no deadline)")
         self.id = next(_request_ids)
         self.x = np.asarray(x, dtype=np.float32)
         self.enqueued_at = time.monotonic()
+        self.timeout_ms: Optional[float] = None if timeout_ms is None else float(timeout_ms)
+        self.deadline: Optional[float] = None
+        self._arm_deadline()
         self.level_name: Optional[str] = None
         self.prediction: Optional[int] = None
         self.wait_ms: float = 0.0
         self.service_ms: float = 0.0
         self.error: Optional[BaseException] = None
         self._done = threading.Event()
+
+    def _arm_deadline(self) -> None:
+        """(Re)compute the absolute deadline from ``enqueued_at``."""
+        if self.timeout_ms is not None:
+            self.deadline = self.enqueued_at + self.timeout_ms / 1000.0
+
+    @property
+    def expired(self) -> bool:
+        """Whether the per-request deadline has passed (False without one)."""
+        return self.deadline is not None and time.monotonic() > self.deadline
 
     @property
     def done(self) -> bool:
@@ -95,6 +126,8 @@ class Request:
         if not self._done.wait(timeout):
             raise TimeoutError(f"request {self.id} not completed within {timeout}s")
         if self.error is not None:
+            if isinstance(self.error, RequestError):
+                raise self.error  # preserve the distinct error type (e.g. shed)
             raise RequestError(f"request {self.id} failed: {self.error}") from self.error
         assert self.prediction is not None
         return self.prediction
@@ -113,9 +146,10 @@ class RequestQueue:
         self._not_empty = threading.Condition(self._lock)
 
     def put(self, request: Request) -> None:
-        """Enqueue a request (FIFO order)."""
+        """Enqueue a request (FIFO order); its deadline starts counting here."""
         with self._not_empty:
             request.enqueued_at = time.monotonic()
+            request._arm_deadline()
             self._items.append(request)
             self._not_empty.notify()
 

@@ -26,7 +26,7 @@ import numpy as np
 from repro.serving.deployment import Deployment
 from repro.serving.metrics import ServerMetrics
 from repro.serving.policy import ServingPolicy, resolve_policy
-from repro.serving.request import Request, RequestQueue
+from repro.serving.request import Request, RequestQueue, RequestTimedOut
 from repro.serving.workers import ReplicatedRunner
 from repro.utils.logging import get_logger
 
@@ -126,8 +126,13 @@ class Scheduler:
         self.stop()
 
     # ------------------------------------------------------------------ submission
-    def submit(self, x: np.ndarray) -> Request:
-        """Enqueue one input sample; returns the in-flight request."""
+    def submit(self, x: np.ndarray, timeout_ms: Optional[float] = None) -> Request:
+        """Enqueue one input sample; returns the in-flight request.
+
+        ``timeout_ms`` arms a per-request deadline: a request still queued
+        when it expires is shed with
+        :class:`~repro.serving.request.RequestTimedOut` instead of executed.
+        """
         if not self.running:
             raise SchedulerStopped("cannot submit to a stopped scheduler")
         x = np.asarray(x, dtype=np.float32)
@@ -135,7 +140,7 @@ class Scheduler:
             raise ValueError(
                 f"expected a sample of shape {self.deployment.qmodel.input_shape}, got {x.shape}"
             )
-        request = Request(x)
+        request = Request(x, timeout_ms=timeout_ms)
         self.queue.put(request)
         if self._stop.is_set():
             # A stop() raced this submit past the running check; its drain may
@@ -146,9 +151,9 @@ class Scheduler:
                 self.metrics.record_failure(failed)
         return request
 
-    def submit_many(self, xs: np.ndarray) -> List[Request]:
+    def submit_many(self, xs: np.ndarray, timeout_ms: Optional[float] = None) -> List[Request]:
         """Enqueue a batch of samples as individual requests (FIFO order)."""
-        return [self.submit(x) for x in np.asarray(xs, dtype=np.float32)]
+        return [self.submit(x, timeout_ms=timeout_ms) for x in np.asarray(xs, dtype=np.float32)]
 
     # ------------------------------------------------------------------ core loop
     def _run_loop(self) -> None:
@@ -160,6 +165,22 @@ class Scheduler:
         logger.info("scheduler core stopped")
 
     def _execute(self, batch: List[Request]) -> None:
+        # Timeout-based shedding: requests whose deadline passed while they
+        # waited are failed here, before any model work -- their co-riders
+        # still execute, and an all-expired batch costs nothing but the pop.
+        expired = [request for request in batch if request.expired]
+        if expired:
+            for request in expired:
+                request.fail(
+                    RequestTimedOut(
+                        f"request {request.id} shed: exceeded its {request.timeout_ms:g} ms "
+                        "deadline while queued"
+                    )
+                )
+            self.metrics.record_shed(len(expired))
+            batch = [request for request in batch if not request.done]
+            if not batch:
+                return
         # The load signal is the *backlog* left after popping this batch: a
         # single full-batch request on an idle server is not overload and must
         # not push the policy off the accurate end of the front.

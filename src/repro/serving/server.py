@@ -8,7 +8,8 @@ invocations.  No dependencies beyond ``http.server`` and ``json``.
 
 Endpoints::
 
-    POST /predict   {"inputs": [[...]] or [[[...]]]}  -> predicted classes
+    POST /predict   {"inputs": [[...]] or [[[...]]],
+                     "timeout_ms": 50.0 (optional)}   -> predicted classes
     GET  /metrics                                     -> ServerMetrics snapshot
     GET  /levels                                      -> service-level table
     GET  /healthz                                     -> liveness probe
@@ -24,6 +25,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.serving.request import RequestTimedOut
 from repro.serving.scheduler import Scheduler
 from repro.utils.logging import get_logger
 
@@ -125,14 +127,26 @@ class PredictionServer:
                 "error": f"expected inputs of per-sample shape {list(sample_shape)}, "
                 f"got array of shape {list(xs.shape)}"
             }
+        timeout_ms = payload.get("timeout_ms")
+        if timeout_ms is not None:
+            if isinstance(timeout_ms, bool):  # bool passes float() -- reject explicitly
+                return 400, {"error": "'timeout_ms' is not a number"}
+            try:
+                timeout_ms = float(timeout_ms)
+            except (TypeError, ValueError):
+                return 400, {"error": "'timeout_ms' is not a number"}
+            if timeout_ms <= 0:
+                return 400, {"error": "'timeout_ms' must be positive"}
         try:
-            requests = self.scheduler.submit_many(xs)
+            requests = self.scheduler.submit_many(xs, timeout_ms=timeout_ms)
             # One deadline for the whole body, not per request -- a stalled
             # scheduler must 503 after request_timeout_s, however many
             # samples the POST carried.
             deadline = time.monotonic() + self.request_timeout_s
             for request in requests:
                 request.result(timeout=max(deadline - time.monotonic(), 0.001))
+        except RequestTimedOut as error:
+            return 504, {"error": f"request shed: {error}"}
         except TimeoutError:
             return 503, {"error": "prediction timed out"}
         except Exception as error:

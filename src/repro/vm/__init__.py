@@ -1,0 +1,79 @@
+"""Executable ISA virtual machine for the generated unpacked kernel code.
+
+The rest of the toolkit *describes* the paper's deliverable -- approximate
+unpacked SMLAD code -- as text (:mod:`repro.core.codegen`) and as aggregate
+cost-model estimates (:mod:`repro.isa`).  This package makes the description
+executable:
+
+* :mod:`repro.vm.ir`          -- the typed instruction IR and layer/model programs;
+* :mod:`repro.vm.lower`       -- lowering from the shared codegen plans to IR;
+* :mod:`repro.vm.interpreter` -- NumPy-backed execution (instruction-granular
+  ``interp`` and fused ``turbo`` modes) with per-instruction trace recording;
+* :mod:`repro.vm.verify`      -- differential verification against the
+  simulation kernels and traced-vs-analytic cycle-model calibration;
+* :mod:`repro.vm.engine`      -- the ``vm``/``vm-interp`` inference engines.
+"""
+
+from repro.vm.ir import (
+    Instruction,
+    LayerProgram,
+    ModelProgram,
+    Opcode,
+    OPCODE_EXPANSION,
+)
+from repro.vm.lower import lower_layer, lower_model
+from repro.vm.interpreter import (
+    EXECUTION_MODES,
+    ExecutionTrace,
+    LayerExecution,
+    VirtualMachine,
+    VMError,
+    execute_layer_interp,
+    execute_layer_turbo,
+    traced_layer_cycles,
+)
+from repro.vm.verify import (
+    CalibrationReport,
+    DesignVerification,
+    LayerCalibration,
+    VerificationError,
+    VerificationReport,
+    calibrate_cycle_model,
+    hybrid_cycles_per_sample,
+    uniform_tau_configs,
+    verify_design,
+    verify_designs,
+    verify_dse,
+)
+from repro.vm.engine import VMEngine, VMInterpEngine
+
+__all__ = [
+    "Opcode",
+    "OPCODE_EXPANSION",
+    "Instruction",
+    "LayerProgram",
+    "ModelProgram",
+    "lower_layer",
+    "lower_model",
+    "EXECUTION_MODES",
+    "VirtualMachine",
+    "VMError",
+    "ExecutionTrace",
+    "LayerExecution",
+    "execute_layer_interp",
+    "execute_layer_turbo",
+    "traced_layer_cycles",
+    "CalibrationReport",
+    "LayerCalibration",
+    "DesignVerification",
+    "VerificationReport",
+    "VerificationError",
+    "calibrate_cycle_model",
+    "hybrid_cycles_per_sample",
+    "uniform_tau_configs",
+    "verify_design",
+    "verify_designs",
+    "verify_dse",
+    "VMEngine",
+    "VMInterpEngine",
+]

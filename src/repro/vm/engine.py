@@ -1,0 +1,95 @@
+"""Inference engines backed by the ISA virtual machine.
+
+``--engine vm`` deploys the model by *executing the generated code*: the
+approximate design is lowered to the instruction IR and run through the VM's
+turbo interpreter, and the latency estimate comes from the per-instruction
+trace (the measured side of the calibration report) instead of the aggregate
+analytic cost model.  ``--engine vm-interp`` is the same engine in the
+instruction-granular interpretation mode -- the slowest, most literal
+rendering of the generated code, kept for debugging and verification.
+
+Both engines share the ATAMAN engine's mask construction and memory model:
+the design being executed is identical, only the execution/costing substrate
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.frameworks.ataman import AtamanEngine
+from repro.isa.profiles import BoardProfile
+from repro.registry import ENGINES
+from repro.vm.interpreter import VirtualMachine
+from repro.vm.lower import lower_model
+from repro.vm.verify import calibrate_cycle_model
+
+
+class VMEngine(AtamanEngine):
+    """Execute the unpacked approximate design through the IR virtual machine."""
+
+    engine_name = "vm"
+    #: VM execution mode ("turbo": fused per-channel runs).
+    vm_mode = "turbo"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._machine: Optional[VirtualMachine] = None
+
+    # ------------------------------------------------------------------ machinery
+    def machine(self) -> VirtualMachine:
+        """The (lazily lowered) virtual machine for this engine's design."""
+        if self._machine is None:
+            program = lower_model(self.qmodel, unpacked=self.unpacked, masks=self.masks)
+            self._machine = VirtualMachine(
+                self.qmodel, program=program, masks=self.masks, mode=self.vm_mode
+            )
+        return self._machine
+
+    # ------------------------------------------------------------------ inference
+    def predict_logits(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        machine = self.machine()
+        outputs = []
+        for start in range(0, images.shape[0], batch_size):
+            outputs.append(machine.forward(images[start : start + batch_size]))
+        return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+
+    def predict_classes(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        return self.machine().predict_classes(images, batch_size=batch_size)
+
+    def evaluate_accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        predictions = self.predict_classes(images)
+        if predictions.size == 0:
+            return 0.0
+        return float((predictions == np.asarray(labels)).mean())
+
+    # ------------------------------------------------------------------ performance
+    def estimate_cycles(self) -> float:
+        """Traced hybrid cycles: VM-measured lowered layers + analytic rest."""
+        return self.calibration_report().hybrid_total_cycles
+
+    def latency_ms(self, board: BoardProfile) -> float:
+        """Single-inference latency from the traced cycle estimate."""
+        return board.cycles_to_seconds(self.estimate_cycles()) * 1e3
+
+    def calibration_report(self):
+        """Traced-vs-analytic cycle calibration of the deployed design."""
+        return calibrate_cycle_model(
+            self.qmodel, self.machine().program, masks=self.masks, label=self.engine_name
+        )
+
+
+class VMInterpEngine(VMEngine):
+    """The VM engine in instruction-granular interpretation mode."""
+
+    engine_name = "vm-interp"
+    vm_mode = "interp"
+
+
+for _engine in (VMEngine, VMInterpEngine):
+    if _engine.engine_name not in ENGINES:
+        ENGINES.register(_engine.engine_name, _engine)
+
+__all__ = ["VMEngine", "VMInterpEngine"]

@@ -1,0 +1,250 @@
+"""Typed instruction IR of the unpacked kernel code.
+
+A :class:`LayerProgram` is the executable form of one layer's generated code:
+a flat sequence of :class:`Instruction` records (SMLAD/MLA accumulations plus
+the INIT/REQUANT/CLAMP/STORE epilogue of every output channel) together with
+the layer's geometry and quantization metadata.  The instruction stream is
+lowered from the same :class:`~repro.core.codegen.LayerPlan` the C emitter
+renders, so text and IR describe the identical design.
+
+Each IR instruction expands to a fixed bundle of Thumb-2 opcodes
+(:data:`OPCODE_EXPANSION`, matching :mod:`repro.isa.trace`'s modelling of the
+unpacked code) -- that mapping gives every executed instruction a cycle cost
+and every program a flash footprint, which is what the VM's trace recorder
+feeds back to calibrate the analytic cost model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.trace import FLASH_WAIT_PER_WORD, OPCODE_BYTES, InstructionTrace
+
+
+class Opcode(str, Enum):
+    """Semantic operations of the unpacked kernel IR."""
+
+    #: ``acc = init_acc[channel]`` (bias with the input-offset correction folded in).
+    INIT = "init"
+    #: ``acc += w_hi * patch[a] + w_lo * patch[b]`` (dual MAC, hard-wired constants).
+    SMLAD = "smlad"
+    #: ``acc += w_hi * patch[a]`` (odd trailing operand).
+    MLA = "mla"
+    #: ``acc = rint(acc * multiplier[channel]) + output_zero_point``.
+    REQUANT = "requant"
+    #: ``acc = clip(acc, activation_min, activation_max)``.
+    CLAMP = "clamp"
+    #: ``out[channel] = (int8) acc``.
+    STORE = "store"
+
+
+#: Thumb-2 opcode bundle each IR instruction expands to (cycle/flash costing).
+#: The bundles mirror :func:`repro.isa.trace.trace_unpacked_conv`: an SMLAD
+#: pair materialises its packed constant (MOVW/MOVT), loads the two packed
+#: activations (LDR) and issues the dual MAC; the odd tail is a byte load plus
+#: a single MLA; the per-channel epilogue is bias load, requantize high
+#: multiply/shift/round+zero-point adds, saturate, byte store.
+OPCODE_EXPANSION: Dict[Opcode, Tuple[str, ...]] = {
+    Opcode.INIT: ("LDR",),
+    Opcode.SMLAD: ("MOVW", "MOVT", "LDR", "SMLAD"),
+    Opcode.MLA: ("LDRB", "MLA"),
+    Opcode.REQUANT: ("SMMUL", "ASR", "ADD", "ADD"),
+    Opcode.CLAMP: ("SSAT",),
+    Opcode.STORE: ("STRB",),
+}
+
+#: Spatial-loop bookkeeping opcodes executed once per position (pointer
+#: increments, compare, branch) -- present in the generated code's loop, not
+#: in any per-channel instruction.
+LOOP_OVERHEAD_OPCODES: Tuple[str, ...] = ("ADD", "ADD", "CMP", "B")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One IR instruction with its operand metadata.
+
+    ``a``/``b`` index the flattened receptive field (im2col operand order,
+    the same order :class:`~repro.core.unpacking.UnpackedLayer` uses);
+    ``w_hi``/``w_lo`` are the hard-wired int8 weights.  ``channel`` is the
+    output channel the instruction accumulates into (every instruction
+    belongs to exactly one channel's straight-line run).
+    """
+
+    op: Opcode
+    channel: int
+    a: int = -1
+    b: int = -1
+    w_hi: int = 0
+    w_lo: int = 0
+
+    def expanded_opcodes(self) -> Tuple[str, ...]:
+        """Thumb-2 opcodes this instruction stands for."""
+        return OPCODE_EXPANSION[self.op]
+
+
+@dataclass
+class LayerProgram:
+    """The executable IR program of one unpacked layer.
+
+    Attributes
+    ----------
+    name:
+        Layer name (matches the quantized layer's name).
+    instructions:
+        The straight-line body executed once per spatial position.
+    is_conv:
+        Whether the source layer is a convolution (dense layers run the body
+        once per sample).
+    kernel_size, stride, padding, in_channels:
+        Convolution geometry (ignored for dense layers).
+    out_channels, operands_per_channel:
+        Accumulation shape; ``operands_per_channel`` is K, the patch length.
+    input_zero_point, output_zero_point:
+        Activation zero points.
+    init_acc:
+        Per-channel accumulator initialisation: ``bias[c] - zp_in * sum_i
+        w_{c,i}`` over the *retained* operands -- the input-offset correction
+        is folded into the hard-wired constant exactly as a compiler folds it
+        into the generated code's bias table.
+    multipliers:
+        Per-channel real requantization multipliers.
+    activation_min, activation_max:
+        Output clamp range.
+    channel_indices, channel_weights:
+        Per-channel fused views of the retained operands (indices into the
+        patch, int64 weights) -- the per-channel rendering of the
+        instruction stream used by tests and diagnostics.
+    dense_weights:
+        The ``(out_channels, K)`` weight matrix reconstructed from the
+        instruction stream (skipped operands are zero) -- precomputed at
+        lowering time so the turbo execution mode can fuse every channel's
+        instruction run into one batched matrix product.
+    retained_operands:
+        Total retained MACs (for reporting).
+    """
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    is_conv: bool
+    kernel_size: Tuple[int, int]
+    stride: Tuple[int, int]
+    padding: Tuple[int, int]
+    in_channels: int
+    out_channels: int
+    operands_per_channel: int
+    input_zero_point: int
+    output_zero_point: int
+    init_acc: np.ndarray
+    multipliers: np.ndarray
+    activation_min: int
+    activation_max: int
+    channel_indices: List[np.ndarray] = field(default_factory=list)
+    channel_weights: List[np.ndarray] = field(default_factory=list)
+    dense_weights: Optional[np.ndarray] = None
+    retained_operands: int = 0
+
+    # ------------------------------------------------------------------ accounting
+    @property
+    def instructions_per_position(self) -> int:
+        """IR instructions executed per spatial position."""
+        return len(self.instructions)
+
+    def opcode_counts(self, include_loop_overhead: bool = True) -> Counter:
+        """Thumb-2 opcode counts of one execution of the body."""
+        counts: Counter = Counter()
+        for instruction in self.instructions:
+            counts.update(instruction.expanded_opcodes())
+        if include_loop_overhead:
+            counts.update(LOOP_OVERHEAD_OPCODES)
+        return counts
+
+    def code_bytes(self) -> int:
+        """Flash footprint of the lowered body (stored once, executed per position)."""
+        return int(
+            sum(OPCODE_BYTES[op] * count for op, count in self.opcode_counts().items())
+        )
+
+    def instruction_trace(self, spatial_positions: int) -> InstructionTrace:
+        """An :class:`~repro.isa.trace.InstructionTrace` of this program.
+
+        ``spatial_positions`` is how many times the body runs (``out_h *
+        out_w`` per sample for convolutions, 1 for dense layers); the trace
+        carries the per-opcode cycle costing and flash-wait model of
+        :mod:`repro.isa.trace`.
+        """
+        return InstructionTrace(
+            name=self.name,
+            opcode_counts=self.opcode_counts(),
+            spatial_positions=int(spatial_positions),
+            code_bytes=self.code_bytes(),
+        )
+
+    def spatial_positions(self, input_shape: Tuple[int, ...]) -> int:
+        """Body executions per sample for a per-sample ``input_shape``."""
+        if not self.is_conv:
+            return 1
+        from repro.nn.functional import conv_output_shape
+
+        in_h, in_w = int(input_shape[0]), int(input_shape[1])
+        out_h, out_w = conv_output_shape(in_h, in_w, self.kernel_size, self.stride, self.padding)
+        return out_h * out_w
+
+    def cycles_per_sample(
+        self, input_shape: Tuple[int, ...], flash_wait_per_word: float = FLASH_WAIT_PER_WORD
+    ) -> float:
+        """Traced cycles of one sample through this layer."""
+        trace = self.instruction_trace(self.spatial_positions(input_shape))
+        return trace.total_cycles(flash_wait_per_word)
+
+
+@dataclass
+class ModelProgram:
+    """An ordered set of layer programs covering a model's unpacked layers.
+
+    Layers of the source model that were not unpacked (pooling, standalone
+    ReLU, the dense classifier unless ``include_dense`` was requested) have
+    no program here; the VM executes them through the library kernels, which
+    is exactly how the deployed firmware treats them.
+    """
+
+    model_name: str
+    input_shape: Tuple[int, ...]
+    programs: Dict[str, LayerProgram]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.programs
+
+    def __getitem__(self, name: str) -> LayerProgram:
+        return self.programs[name]
+
+    def __iter__(self):
+        return iter(self.programs.values())
+
+    def __len__(self) -> int:
+        return len(self.programs)
+
+    @property
+    def total_instructions(self) -> int:
+        """IR instructions per position summed over every lowered layer."""
+        return sum(p.instructions_per_position for p in self.programs.values())
+
+    def code_bytes(self) -> int:
+        """Flash footprint of every lowered body."""
+        return sum(p.code_bytes() for p in self.programs.values())
+
+    def summary(self) -> str:
+        """Human-readable per-layer program summary."""
+        lines = [f"ModelProgram: {self.model_name}"]
+        lines.append(f"{'layer':<22}{'instrs/pos':>12}{'retained':>10}{'code (B)':>10}")
+        lines.append("-" * 54)
+        for program in self:
+            lines.append(
+                f"{program.name:<22}{program.instructions_per_position:>12}"
+                f"{program.retained_operands:>10}{program.code_bytes():>10}"
+            )
+        return "\n".join(lines)

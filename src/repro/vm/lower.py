@@ -1,0 +1,152 @@
+"""Lowering: structured codegen plans -> executable IR programs.
+
+The C emitter and this lowerer consume the *same*
+:class:`~repro.core.codegen.LayerPlan` (built by
+:func:`~repro.core.codegen.plan_layer`), so the instruction stream the VM
+executes is the instruction stream the generated text describes: one SMLAD
+per retained operand pair with the packed weights hard-wired, one MLA for an
+odd tail, and an INIT/REQUANT/CLAMP/STORE epilogue per output channel.
+
+The only lowering-time transformation beyond the plan is constant folding:
+the input-offset correction ``-zp_in * sum(retained weights)`` is folded into
+each channel's accumulator initialisation (``init_acc``), exactly as a
+compiler folds it into the generated code's bias table -- the emitted
+``acc = bias[c]`` reads that corrected constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.codegen import LayerPlan, plan_layer
+from repro.core.unpacking import UnpackedLayer, unpack_model
+from repro.quant.qlayers import QConv2D, QDense, QLayer
+from repro.quant.qmodel import QuantizedModel
+from repro.vm.ir import Instruction, LayerProgram, ModelProgram, Opcode
+
+
+def _lower_plan(plan: LayerPlan, qlayer: QConv2D | QDense) -> LayerProgram:
+    """Turn one layer plan plus its quantized layer's metadata into a program."""
+    instructions: List[Instruction] = []
+    channel_indices: List[np.ndarray] = []
+    channel_weights: List[np.ndarray] = []
+    for ch in plan.channels:
+        c = ch.channel
+        instructions.append(Instruction(op=Opcode.INIT, channel=c))
+        idx: List[int] = []
+        wts: List[int] = []
+        for i, j, w_hi, w_lo in ch.pairs:
+            instructions.append(
+                Instruction(op=Opcode.SMLAD, channel=c, a=i, b=j, w_hi=w_hi, w_lo=w_lo)
+            )
+            idx.extend((i, j))
+            wts.extend((w_hi, w_lo))
+        if ch.odd is not None:
+            i, w = ch.odd
+            instructions.append(Instruction(op=Opcode.MLA, channel=c, a=i, w_hi=w))
+            idx.append(i)
+            wts.append(w)
+        instructions.append(Instruction(op=Opcode.REQUANT, channel=c))
+        instructions.append(Instruction(op=Opcode.CLAMP, channel=c))
+        instructions.append(Instruction(op=Opcode.STORE, channel=c))
+        channel_indices.append(np.asarray(idx, dtype=np.int64))
+        channel_weights.append(np.asarray(wts, dtype=np.int64))
+
+    if isinstance(qlayer, QConv2D):
+        is_conv = True
+        kernel_size, stride, padding = qlayer.kernel_size, qlayer.stride, qlayer.padding
+        in_channels = qlayer.in_channels
+    else:
+        is_conv = False
+        kernel_size, stride, padding = (1, 1), (1, 1), (0, 0)
+        in_channels = qlayer.in_features
+
+    # Fold the input-offset correction into the per-channel init constant:
+    # init_acc[c] = bias[c] - zp_in * sum of the channel's retained weights.
+    zp_in = int(qlayer.input_params.scalar_zero_point())
+    retained_weight_sums = np.asarray(
+        [int(w.sum()) for w in channel_weights], dtype=np.int64
+    )
+    init_acc = -zp_in * retained_weight_sums
+    if qlayer.bias is not None:
+        init_acc = init_acc + np.asarray(qlayer.bias, dtype=np.int64)
+
+    multipliers = np.broadcast_to(
+        np.asarray(qlayer.output_multipliers, dtype=np.float64), (plan.out_channels,)
+    ).copy()
+
+    # Reconstruct the dense (masked) weight matrix from the instruction
+    # stream for the turbo mode's fused matrix product; skipped operands stay
+    # zero, exactly as they contribute nothing in the straight-line code.
+    dense_weights = np.zeros((plan.out_channels, plan.operands_per_channel), dtype=np.int64)
+    for channel, (idx, wts) in enumerate(zip(channel_indices, channel_weights)):
+        dense_weights[channel, idx] = wts
+
+    return LayerProgram(
+        name=plan.name,
+        instructions=tuple(instructions),
+        is_conv=is_conv,
+        kernel_size=kernel_size,
+        stride=stride,
+        padding=padding,
+        in_channels=in_channels,
+        out_channels=plan.out_channels,
+        operands_per_channel=plan.operands_per_channel,
+        input_zero_point=zp_in,
+        output_zero_point=int(qlayer.output_params.scalar_zero_point()),
+        init_acc=init_acc,
+        multipliers=multipliers,
+        activation_min=int(qlayer.activation_min),
+        activation_max=int(qlayer.activation_max),
+        channel_indices=channel_indices,
+        channel_weights=channel_weights,
+        dense_weights=dense_weights,
+        retained_operands=plan.retained,
+    )
+
+
+def lower_layer(
+    qlayer: QConv2D | QDense,
+    unpacked: UnpackedLayer,
+    mask: Optional[np.ndarray] = None,
+) -> LayerProgram:
+    """Lower one unpacked layer (under an optional retention mask) to IR."""
+    if not isinstance(qlayer, (QConv2D, QDense)):
+        raise TypeError(f"cannot lower layer of type {type(qlayer).__name__}")
+    plan = plan_layer(unpacked, mask)
+    return _lower_plan(plan, qlayer)
+
+
+def lower_model(
+    qmodel: QuantizedModel,
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    masks: Optional[Dict[str, np.ndarray]] = None,
+) -> ModelProgram:
+    """Lower every unpacked layer of a quantized model into a :class:`ModelProgram`.
+
+    Parameters
+    ----------
+    qmodel:
+        The quantized model.
+    unpacked:
+        Unpacked layer representations (recomputed from the model when
+        omitted; pass the experiment's artifact to avoid the rework).
+    masks:
+        Optional retention masks (layer name -> boolean matrix) describing
+        the approximate design to lower; absent layers are lowered exact.
+    """
+    if unpacked is None:
+        unpacked = unpack_model(qmodel)
+    programs: Dict[str, LayerProgram] = {}
+    for layer in qmodel.layers:
+        if layer.name not in unpacked:
+            continue
+        mask = masks.get(layer.name) if masks else None
+        programs[layer.name] = lower_layer(layer, unpacked[layer.name], mask)
+    return ModelProgram(
+        model_name=qmodel.name,
+        input_shape=tuple(qmodel.input_shape),
+        programs=programs,
+    )

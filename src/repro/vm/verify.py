@@ -1,0 +1,404 @@
+"""Differential verification of the generated code + cycle-model calibration.
+
+The VM executes the *generated* instruction stream; the simulation kernels
+execute the *reference* masked NumPy dataflow.  If code generation, lowering
+or the interpreter disagree with the kernels in any bit of any output, the
+design the DSE evaluated is not the design the firmware would run -- this
+module turns that invariant into a checkable artifact:
+
+* :func:`verify_design` runs one design (an :class:`ApproxConfig` or raw
+  masks) through both paths on real inputs and asserts bit-identical int8
+  outputs, in every requested execution mode;
+* :func:`verify_designs` / :func:`verify_dse` sweep a set of designs (e.g.
+  the DSE's Pareto front) and aggregate a :class:`VerificationReport`;
+* :func:`calibrate_cycle_model` compares the VM's per-instruction traced
+  cycles against the analytic :class:`~repro.isa.cost_model.KernelCostModel`
+  estimates the DSE and serving's ``ServiceLevel`` costs are built on,
+  quantifying the per-layer delta between the two models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ApproxConfig
+from repro.core.significance import SignificanceResult
+from repro.core.unpacking import UnpackedLayer, unpack_model
+from repro.isa.cost_model import ExecutionStyle, KernelCostModel
+from repro.kernels.cycle_counters import CycleCounter
+from repro.quant.qmodel import QuantizedModel
+from repro.vm.interpreter import EXECUTION_MODES, VirtualMachine, traced_layer_cycles
+from repro.vm.ir import ModelProgram
+from repro.vm.lower import lower_model
+
+
+class VerificationError(AssertionError):
+    """Raised by the strict harness when VM and kernel outputs differ."""
+
+
+# --------------------------------------------------------------------------- calibration
+@dataclass
+class LayerCalibration:
+    """Traced-vs-analytic cycle comparison of one lowered layer."""
+
+    name: str
+    traced_cycles: float
+    analytic_cycles: float
+
+    @property
+    def delta_cycles(self) -> float:
+        """Traced minus analytic cycles (positive: the analytic model undershoots)."""
+        return self.traced_cycles - self.analytic_cycles
+
+    @property
+    def ratio(self) -> float:
+        """Traced / analytic cycles (1.0 = the models agree)."""
+        return self.traced_cycles / self.analytic_cycles if self.analytic_cycles else float("inf")
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-serialisable view."""
+        return {
+            "name": self.name,
+            "traced_cycles": self.traced_cycles,
+            "analytic_cycles": self.analytic_cycles,
+            "delta_cycles": self.delta_cycles,
+            "ratio": self.ratio,
+        }
+
+
+@dataclass
+class CalibrationReport:
+    """Cycle-model calibration of one design: per-layer traced vs analytic.
+
+    ``analytic_total_cycles`` is the full-model analytic estimate (the number
+    the DSE's latency-aware strategy and serving's ``ServiceLevel`` costs
+    use); ``hybrid_total_cycles`` replaces the lowered layers' analytic
+    share with the VM's traced cycles, keeping the analytic figures for the
+    library-kernel layers and the fixed per-inference overhead.
+    """
+
+    model_name: str
+    label: str
+    layers: List[LayerCalibration] = field(default_factory=list)
+    analytic_total_cycles: float = 0.0
+    hybrid_total_cycles: float = 0.0
+
+    @property
+    def traced_cycles(self) -> float:
+        """Traced cycles summed over the lowered layers."""
+        return float(sum(layer.traced_cycles for layer in self.layers))
+
+    @property
+    def analytic_lowered_cycles(self) -> float:
+        """Analytic cycles of the same lowered layers."""
+        return float(sum(layer.analytic_cycles for layer in self.layers))
+
+    @property
+    def ratio(self) -> float:
+        """Overall traced/analytic ratio of the lowered layers."""
+        analytic = self.analytic_lowered_cycles
+        return self.traced_cycles / analytic if analytic else float("inf")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view."""
+        return {
+            "model_name": self.model_name,
+            "label": self.label,
+            "layers": [layer.as_dict() for layer in self.layers],
+            "traced_cycles": self.traced_cycles,
+            "analytic_lowered_cycles": self.analytic_lowered_cycles,
+            "ratio": self.ratio,
+            "analytic_total_cycles": self.analytic_total_cycles,
+            "hybrid_total_cycles": self.hybrid_total_cycles,
+        }
+
+
+def calibrate_cycle_model(
+    qmodel: QuantizedModel,
+    program: ModelProgram,
+    masks: Optional[Dict[str, np.ndarray]] = None,
+    label: str = "",
+) -> CalibrationReport:
+    """Compare the VM's traced cycles against the analytic cost model.
+
+    The analytic side is the per-layer :class:`KernelCostModel` estimate of
+    the ``UNPACKED`` execution style over a one-sample probe -- exactly what
+    the DSE and serving cost their designs with; the traced side comes from
+    the lowered instruction stream and the per-opcode cycle table.
+    """
+    probe = np.zeros((1, *qmodel.input_shape), dtype=np.float32)
+    counter = CycleCounter()
+    qmodel.forward(probe, masks=masks, counter=counter)
+    cost_model = KernelCostModel(ExecutionStyle.UNPACKED)
+    analytic_total, analytic_layers = cost_model.estimate(counter)
+
+    traced = traced_layer_cycles(qmodel, program)
+    report = CalibrationReport(
+        model_name=qmodel.name, label=label, analytic_total_cycles=analytic_total
+    )
+    for name, traced_cycles in traced.items():
+        analytic = analytic_layers[name].cycles if name in analytic_layers else 0.0
+        report.layers.append(
+            LayerCalibration(name=name, traced_cycles=traced_cycles, analytic_cycles=analytic)
+        )
+    report.hybrid_total_cycles = (
+        analytic_total - report.analytic_lowered_cycles + report.traced_cycles
+    )
+    return report
+
+
+def hybrid_cycles_per_sample(
+    qmodel: QuantizedModel,
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    masks: Optional[Dict[str, np.ndarray]] = None,
+) -> float:
+    """Measured-cycle estimate of one sample: traced lowered layers + analytic rest.
+
+    This is the VM-grounded alternative to the purely analytic
+    ``ServiceLevel.cycles_per_sample`` -- serving's ``cycle_source="traced"``
+    uses it to cost its levels from the actual instruction stream.
+    """
+    program = lower_model(qmodel, unpacked=unpacked, masks=masks)
+    return calibrate_cycle_model(qmodel, program, masks=masks).hybrid_total_cycles
+
+
+# --------------------------------------------------------------------------- verification
+@dataclass
+class DesignVerification:
+    """Differential-verification outcome of one design."""
+
+    label: str
+    taus: Dict[str, float]
+    n_samples: int
+    modes: Tuple[str, ...]
+    matches: Dict[str, bool]
+    max_abs_diff: int
+    retained_fraction: float
+    calibration: CalibrationReport
+
+    @property
+    def match(self) -> bool:
+        """Whether every execution mode was bit-identical to the kernels."""
+        return all(self.matches.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view (flattened for table rendering)."""
+        return {
+            "label": self.label,
+            "taus": dict(self.taus),
+            "n_samples": self.n_samples,
+            "match": self.match,
+            "matches": dict(self.matches),
+            "max_abs_diff": self.max_abs_diff,
+            "retained_fraction": self.retained_fraction,
+            "traced_kcycles": self.calibration.traced_cycles / 1e3,
+            "analytic_kcycles": self.calibration.analytic_lowered_cycles / 1e3,
+            "cycle_ratio": self.calibration.ratio,
+        }
+
+
+@dataclass
+class VerificationReport:
+    """Aggregated differential verification across a set of designs."""
+
+    model_name: str
+    designs: List[DesignVerification] = field(default_factory=list)
+
+    @property
+    def all_match(self) -> bool:
+        """Whether every design verified bit-identical in every mode."""
+        return all(design.match for design in self.designs)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view."""
+        return {
+            "model_name": self.model_name,
+            "all_match": self.all_match,
+            "designs": [design.as_dict() for design in self.designs],
+        }
+
+    def summary_rows(self) -> List[Dict[str, Any]]:
+        """Rows for :func:`repro.evaluation.reports.format_table`."""
+        rows = []
+        for design in self.designs:
+            entry = design.as_dict()
+            rows.append(
+                {
+                    "label": entry["label"],
+                    "match": "yes" if entry["match"] else "NO",
+                    "samples": entry["n_samples"],
+                    "retained": f"{entry['retained_fraction']:.3f}",
+                    "traced_kcycles": f"{entry['traced_kcycles']:.1f}",
+                    "analytic_kcycles": f"{entry['analytic_kcycles']:.1f}",
+                    "traced/analytic": f"{entry['cycle_ratio']:.3f}",
+                }
+            )
+        return rows
+
+
+def _design_masks(
+    config: ApproxConfig,
+    significance: Optional[SignificanceResult],
+    unpacked: Dict[str, UnpackedLayer],
+) -> Optional[Dict[str, np.ndarray]]:
+    if config.is_exact:
+        return None
+    if significance is None:
+        raise ValueError("verifying an approximate design requires significance data")
+    return config.build_masks(significance, unpacked=unpacked)
+
+
+def verify_design(
+    qmodel: QuantizedModel,
+    config: ApproxConfig,
+    images: np.ndarray,
+    significance: Optional[SignificanceResult] = None,
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    modes: Sequence[str] = EXECUTION_MODES,
+    strict: bool = False,
+) -> DesignVerification:
+    """Differentially verify one design: VM output must equal the kernel path.
+
+    Parameters
+    ----------
+    qmodel, config:
+        The model and the design point to verify.
+    images:
+        Float input samples driven through both paths.
+    significance, unpacked:
+        Pipeline artifacts (recomputed/required as needed).
+    modes:
+        VM execution modes to check (both by default).
+    strict:
+        Raise :class:`VerificationError` on the first mismatch instead of
+        recording it.
+    """
+    if unpacked is None:
+        unpacked = unpack_model(qmodel)
+    masks = _design_masks(config, significance, unpacked)
+    program = lower_model(qmodel, unpacked=unpacked, masks=masks)
+
+    images = np.asarray(images, dtype=np.float32)
+    q_input = qmodel.quantize_input(images)
+    reference = qmodel.forward_quantized(q_input, masks=masks)
+
+    matches: Dict[str, bool] = {}
+    max_abs_diff = 0
+    for mode in modes:
+        machine = VirtualMachine(qmodel, program=program, masks=masks, mode=mode)
+        outputs = machine.forward_quantized(q_input)
+        equal = bool(np.array_equal(outputs, reference))
+        matches[mode] = equal
+        if not equal:
+            diff = int(
+                np.max(np.abs(outputs.astype(np.int64) - reference.astype(np.int64)))
+            )
+            max_abs_diff = max(max_abs_diff, diff)
+            if strict:
+                raise VerificationError(
+                    f"{qmodel.name} design {config.label or config.taus()!r}: VM mode "
+                    f"{mode!r} diverged from the kernel path (max |diff| = {diff})"
+                )
+
+    # Layers without a mask stay exact: they count as fully retained (a
+    # greedy-DSE config may approximate only a subset of the conv layers).
+    total = sum(layer.total_operands for layer in unpacked.values())
+    kept = sum(
+        int(np.asarray(masks[name], dtype=bool).sum())
+        if masks and name in masks
+        else layer.total_operands
+        for name, layer in unpacked.items()
+    )
+    calibration = calibrate_cycle_model(
+        qmodel, program, masks=masks, label=config.label or str(config.taus())
+    )
+    return DesignVerification(
+        label=config.label or (str(config.taus()) if not config.is_exact else "exact"),
+        taus=config.taus(),
+        n_samples=int(images.shape[0]),
+        modes=tuple(modes),
+        matches=matches,
+        max_abs_diff=max_abs_diff,
+        retained_fraction=kept / total if total else 1.0,
+        calibration=calibration,
+    )
+
+
+def verify_designs(
+    qmodel: QuantizedModel,
+    configs: Sequence[ApproxConfig],
+    images: np.ndarray,
+    significance: Optional[SignificanceResult] = None,
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    modes: Sequence[str] = EXECUTION_MODES,
+    strict: bool = False,
+) -> VerificationReport:
+    """Differentially verify a set of designs; aggregate one report."""
+    if unpacked is None:
+        unpacked = unpack_model(qmodel)
+    report = VerificationReport(model_name=qmodel.name)
+    for config in configs:
+        report.designs.append(
+            verify_design(
+                qmodel,
+                config,
+                images,
+                significance=significance,
+                unpacked=unpacked,
+                modes=modes,
+                strict=strict,
+            )
+        )
+    return report
+
+
+def uniform_tau_configs(
+    qmodel: QuantizedModel,
+    unpacked: Mapping[str, UnpackedLayer],
+    taus: Sequence[float],
+    include_exact: bool = True,
+) -> List[ApproxConfig]:
+    """Exact plus one uniform-tau design per requested threshold."""
+    configs: List[ApproxConfig] = []
+    if include_exact:
+        configs.append(ApproxConfig.exact(qmodel.name))
+    for tau in taus:
+        configs.append(
+            ApproxConfig.uniform(
+                qmodel.name, sorted(unpacked), float(tau), label=f"tau={float(tau):g}"
+            )
+        )
+    return configs
+
+
+def verify_dse(
+    qmodel: QuantizedModel,
+    dse,
+    images: np.ndarray,
+    significance: Optional[SignificanceResult] = None,
+    unpacked: Optional[Dict[str, UnpackedLayer]] = None,
+    max_designs: Optional[int] = None,
+    modes: Sequence[str] = EXECUTION_MODES,
+    strict: bool = False,
+) -> VerificationReport:
+    """Verify every Pareto-optimal design of a DSE result (thinned to ``max_designs``)."""
+    points = sorted(dse.pareto_points(), key=lambda p: (-p.accuracy, p.conv_mac_reduction))
+    configs = [p.config for p in points]
+    if max_designs is not None and len(configs) > max_designs:
+        idx = np.linspace(0, len(configs) - 1, max_designs).round().astype(int)
+        configs = [configs[i] for i in sorted(set(idx.tolist()))]
+    exact = ApproxConfig.exact(qmodel.name)
+    if not any(c.is_exact for c in configs):
+        configs.insert(0, exact)
+    return verify_designs(
+        qmodel,
+        configs,
+        images,
+        significance=significance,
+        unpacked=unpacked,
+        modes=modes,
+        strict=strict,
+    )

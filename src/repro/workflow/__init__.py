@@ -27,6 +27,7 @@ from repro.workflow.stages import (
     ServeStage,
     SignificanceStage,
     UnpackStage,
+    VerifyStage,
 )
 from repro.workflow.experiment import (
     Experiment,
@@ -48,6 +49,7 @@ __all__ = [
     "CodegenStage",
     "DeployStage",
     "ServeStage",
+    "VerifyStage",
     "Experiment",
     "ExperimentError",
     "ExperimentResult",

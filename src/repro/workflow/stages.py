@@ -9,6 +9,7 @@ protocol::
     SignificanceStage  qmodel + calibration             -> significance   (stage 3)
     DSEStage           qmodel + significance + ...      -> dse            (stage 5)
     CodegenStage       unpacked + significance + dse    -> code           (stage 4)
+    VerifyStage        qmodel + significance + ...      -> verification
     DeployStage        qmodel + significance + dse      -> deployment
 
 Each stage declares exactly what it consumes and produces, so the
@@ -220,6 +221,73 @@ class CodegenStage(Stage):
         return {"code": code}
 
 
+class VerifyStage(Stage):
+    """Differentially verify the generated code through the ISA virtual machine.
+
+    Every selected design is lowered to the instruction IR and executed on
+    real inputs in the requested VM modes; the stage asserts bit-identical
+    int8 outputs against the :class:`~repro.quant.qmodel.QuantizedModel`
+    kernel path and attaches a traced-vs-analytic cycle calibration report
+    per design (see :mod:`repro.vm.verify`).
+
+    Designs come either from the in-graph ``dse`` artifact (the Pareto front,
+    thinned to ``max_designs``) or, when ``taus`` is given, from explicit
+    uniform-tau configurations (exact always included) -- the latter composes
+    without a DSE stage in the graph.
+    """
+
+    name = "verify"
+    requires = ("qmodel", "unpacked", "significance", "dse", "eval_images")
+    provides = ("verification",)
+
+    def __init__(
+        self,
+        taus: Optional[list] = None,
+        max_designs: int = 4,
+        n_samples: int = 32,
+        modes: tuple = ("interp", "turbo"),
+        strict: bool = False,
+    ):
+        self.taus = None if taus is None else [float(t) for t in taus]
+        self.max_designs = int(max_designs)
+        self.n_samples = int(n_samples)
+        self.modes = tuple(modes)
+        if not self.modes:
+            raise ValueError("VerifyStage needs at least one VM execution mode")
+        self.strict = bool(strict)
+        if self.taus is not None:
+            self.requires = ("qmodel", "unpacked", "significance", "eval_images")
+
+    def config(self) -> Dict[str, Any]:
+        return {
+            "taus": self.taus,
+            "max_designs": self.max_designs,
+            "n_samples": self.n_samples,
+            "modes": self.modes,
+            "strict": self.strict,
+        }
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        from repro.vm.verify import uniform_tau_configs, verify_designs, verify_dse
+
+        qmodel = ctx["qmodel"]
+        images = ctx["eval_images"][: self.n_samples]
+        common = {
+            "significance": ctx["significance"],
+            "unpacked": ctx["unpacked"],
+            "modes": self.modes,
+            "strict": self.strict,
+        }
+        if self.taus is not None:
+            configs = uniform_tau_configs(qmodel, ctx["unpacked"], self.taus)
+            report = verify_designs(qmodel, configs, images, **common)
+        else:
+            report = verify_dse(
+                qmodel, ctx["dse"], images, max_designs=self.max_designs, **common
+            )
+        return {"verification": report}
+
+
 class ServeStage(Stage):
     """Turn DSE output into a servable :class:`~repro.serving.deployment.Deployment`.
 
@@ -243,17 +311,24 @@ class ServeStage(Stage):
         points: Optional[list] = None,
         max_levels: int = 8,
         board: BoardProfile = STM32U575,
+        cycle_source: str = "analytic",
     ):
         self.points = None if points is None else [dict(p) for p in points]
         self.max_levels = int(max_levels)
         self.board = board
+        self.cycle_source = str(cycle_source)
         # An explicit point table replaces the DSE artifact, so serving
         # composes without a DSE stage in the graph.
         if self.points is not None:
             self.requires = ("qmodel", "significance", "unpacked")
 
     def config(self) -> Dict[str, Any]:
-        return {"points": self.points, "max_levels": self.max_levels, "board": self.board}
+        return {
+            "points": self.points,
+            "max_levels": self.max_levels,
+            "board": self.board,
+            "cycle_source": self.cycle_source,
+        }
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
         from repro.serving.deployment import Deployment
@@ -263,6 +338,7 @@ class ServeStage(Stage):
             "unpacked": ctx["unpacked"],
             "board": self.board,
             "max_levels": self.max_levels,
+            "cycle_source": self.cycle_source,
         }
         if self.points is not None:
             deployment = Deployment.from_points(ctx["qmodel"], self.points, **common)
@@ -307,7 +383,7 @@ class DeployStage(Stage):
 
         qmodel = ctx["qmodel"]
         engine_cls = ENGINES.resolve(self.engine)
-        if self.engine == "ataman":
+        if getattr(engine_cls, "supports_approx", False):
             design = ctx["dse"].best_within_loss(self.max_accuracy_loss)
             if design is None:
                 raise ValueError(

@@ -42,6 +42,30 @@ class TestCodegen:
         with pytest.raises(ValueError):
             generate_layer_code(layer, np.ones((1, 1), dtype=bool))
 
+    def test_mask_shape_error_is_diagnosable(self, tiny_unpacked):
+        """The mismatch error must name the layer and both shapes -- not a
+        NumPy broadcasting traceback from deep inside the emitter."""
+        name, layer = next(iter(tiny_unpacked.items()))
+        bad = np.ones((layer.out_channels, layer.operands_per_channel + 1), dtype=bool)
+        with pytest.raises(ValueError) as excinfo:
+            generate_layer_code(layer, bad)
+        message = str(excinfo.value)
+        assert name in message
+        assert str(bad.shape) in message and str(layer.weights.shape) in message
+
+    def test_model_code_mask_shape_error_names_layer(self, tiny_unpacked):
+        """A wrong-shaped mask buried in the model-level dict fails the same way."""
+        name = next(iter(tiny_unpacked))
+        with pytest.raises(ValueError, match=name):
+            generate_model_code(tiny_unpacked, masks={name: np.ones((2, 3), dtype=bool)})
+
+    def test_transposed_mask_rejected(self, tiny_unpacked):
+        layer = next(iter(tiny_unpacked.values()))
+        transposed = np.ones(layer.weights.shape[::-1], dtype=bool)
+        if transposed.shape != layer.weights.shape:  # guard for square layers
+            with pytest.raises(ValueError):
+                generate_layer_code(layer, transposed)
+
     def test_model_code_has_dispatch(self, tiny_unpacked):
         code = generate_model_code(tiny_unpacked, model_name="tiny_cnn")
         assert "tiny_cnn_run" in code
@@ -62,6 +86,74 @@ class TestCodegen:
         report = flash_report(tiny_qmodel, tiny_unpacked)
         assert report["total"] == report["total_unpacked_code"] + report["remaining_weights"]
         assert report["remaining_weights"] > 0  # the dense classifier stays as data
+
+
+class TestCodegenEdgeCases:
+    """Edge cases asserted on both renderings: C text and IR lowering."""
+
+    def test_padded_conv_emits_and_lowers(self, tiny_qmodel, tiny_unpacked):
+        """The tiny CNN convs are padded; text and IR must agree on geometry."""
+        from repro.vm import lower_layer
+
+        for name, layer in tiny_unpacked.items():
+            qlayer = tiny_qmodel.get_layer(name)
+            assert qlayer.padding != (0, 0)
+            code = generate_layer_code(layer, max_channels=1)
+            assert f"{name}_unpacked" in code
+            program = lower_layer(qlayer, layer)
+            assert program.padding == qlayer.padding
+            # Positions follow the *padded* output geometry.
+            in_shape = tiny_qmodel.layer_input_shapes()[name]
+            out_h, out_w, _ = qlayer.output_shape(in_shape)
+            assert program.spatial_positions(in_shape) == out_h * out_w
+
+    def test_max_channels_caps_text_but_not_ir(self, tiny_qmodel, tiny_unpacked):
+        from repro.vm import lower_layer
+
+        name, layer = next(iter(tiny_unpacked.items()))
+        code = generate_layer_code(layer, max_channels=1)
+        assert f"{layer.out_channels - 1} further output channels elided" in code
+        assert code.count("requantize(") == 1
+        # The capped emission is presentation only: the full code size stays
+        # in the header and the IR always lowers every channel.
+        assert f"estimated code size: {layer.code_bytes()} bytes" in code
+        program = lower_layer(tiny_qmodel.get_layer(name), layer)
+        stores = [i for i in program.instructions if i.op.value == "store"]
+        assert len(stores) == layer.out_channels
+
+    def test_all_skipped_layer_text_and_ir(self, tiny_qmodel, tiny_unpacked):
+        from repro.vm import Opcode, lower_layer
+
+        name, layer = next(iter(tiny_unpacked.items()))
+        mask = np.zeros_like(layer.weights, dtype=bool)
+        code = generate_layer_code(layer, mask, max_channels=2)
+        assert "__SMLAD" not in code  # no MAC instructions remain
+        assert f"0 retained ({layer.total_operands} skipped)" in code
+        assert "requantize(" in code  # the epilogue survives
+        program = lower_layer(tiny_qmodel.get_layer(name), layer, mask)
+        ops = {i.op for i in program.instructions}
+        assert Opcode.SMLAD not in ops and Opcode.MLA not in ops
+        assert program.retained_operands == 0
+        # init_acc degenerates to the raw bias (no retained-weight correction).
+        np.testing.assert_array_equal(
+            program.init_acc, tiny_qmodel.get_layer(name).bias.astype(np.int64)
+        )
+
+    def test_odd_retained_count_emits_mla_tail(self, tiny_qmodel, tiny_unpacked):
+        """An odd retained count pairs all but one operand and emits the
+        scalar-MAC tail in both renderings."""
+        from repro.vm import Opcode, lower_layer
+
+        name, layer = next(iter(tiny_unpacked.items()))
+        mask = np.ones_like(layer.weights, dtype=bool)
+        # Force an odd retained count on channel 0 regardless of K's parity.
+        drop = 3 if layer.operands_per_channel % 2 == 0 else 4
+        mask[0, :drop] = False
+        code = generate_layer_code(layer, mask, max_channels=1)
+        assert "* (int32_t)in[" in code  # the odd-tail scalar MAC
+        program = lower_layer(tiny_qmodel.get_layer(name), layer, mask)
+        channel0 = [i for i in program.instructions if i.channel == 0]
+        assert sum(1 for i in channel0 if i.op is Opcode.MLA) == 1
 
 
 class TestPipeline:

@@ -77,9 +77,8 @@ class TestBuiltinRegistries:
         assert {"exhaustive", "greedy", "latency-aware"} <= set(SEARCH_STRATEGIES.names())
 
     def test_engines(self):
-        assert {"ataman", "cmsis-nn", "x-cube-ai", "utvm", "cmix-nn", "tflite-micro"} == set(
-            ENGINES.names()
-        )
+        assert {"ataman", "cmsis-nn", "x-cube-ai", "utvm", "cmix-nn", "tflite-micro",
+                "vm", "vm-interp"} == set(ENGINES.names())
 
     def test_boards(self):
         assert {"stm32u575", "stm32h743", "stm32l4"} <= set(BOARDS.names())

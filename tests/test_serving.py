@@ -21,7 +21,9 @@ from repro.serving import (
     QueueDepthPolicy,
     ReplicatedRunner,
     Request,
+    RequestError,
     RequestQueue,
+    RequestTimedOut,
     Scheduler,
     SchedulerStopped,
     ServerMetrics,
@@ -293,6 +295,90 @@ class TestScheduler:
         expected = deployment.qmodel.predict_classes(xs, masks=None)
         with ReplicatedRunner(deployment, n_workers=2, min_shard=4) as runner:
             np.testing.assert_array_equal(runner.predict(xs, level=0), expected)
+
+
+# --------------------------------------------------------------------------- timeout shedding
+class TestTimeoutShedding:
+    def test_timeout_ms_must_be_positive(self, small_split):
+        with pytest.raises(ValueError):
+            Request(_sample_images(small_split, 1)[0], timeout_ms=0)
+        with pytest.raises(ValueError):
+            Request(_sample_images(small_split, 1)[0], timeout_ms=-5)
+
+    def test_no_deadline_never_expires(self, small_split):
+        request = Request(_sample_images(small_split, 1)[0])
+        assert request.deadline is None and not request.expired
+
+    def test_deadline_rearms_on_enqueue(self, small_split):
+        request = Request(_sample_images(small_split, 1)[0], timeout_ms=1000.0)
+        first = request.deadline
+        time.sleep(0.01)
+        RequestQueue().put(request)
+        assert request.deadline > first  # counts from enqueue, not construction
+
+    def test_expired_request_is_shed_with_distinct_error(self, deployment, small_split):
+        scheduler = Scheduler(deployment, max_wait_ms=1)
+        # Arm an already-expired deadline before the core starts, so the shed
+        # path is deterministic regardless of scheduling jitter.
+        request = Request(_sample_images(small_split, 1)[0], timeout_ms=0.001)
+        scheduler.queue.put(request)
+        time.sleep(0.002)
+        scheduler.start()
+        try:
+            with pytest.raises(RequestTimedOut, match="deadline"):
+                request.result(timeout=5.0)
+            deadline = time.monotonic() + 5.0
+            while scheduler.metrics.snapshot().requests_shed < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            snapshot = scheduler.metrics.snapshot()
+            assert snapshot.requests_shed == 1
+            assert snapshot.requests_completed == 0
+        finally:
+            scheduler.stop()
+
+    def test_live_coriders_still_served(self, deployment, small_split):
+        xs = _sample_images(small_split, 4)
+        scheduler = Scheduler(deployment, max_batch_size=8, max_wait_ms=1)
+        expired = Request(xs[0], timeout_ms=0.001)
+        scheduler.queue.put(expired)
+        live = [Request(x) for x in xs]
+        for request in live:
+            scheduler.queue.put(request)
+        time.sleep(0.002)
+        scheduler.start()
+        try:
+            predictions = [request.result(timeout=10.0) for request in live]
+            assert len(predictions) == len(xs)
+            with pytest.raises(RequestTimedOut):
+                expired.result(timeout=5.0)
+            snapshot = scheduler.metrics.snapshot()
+            assert snapshot.requests_shed == 1
+            assert snapshot.requests_completed == len(xs)
+        finally:
+            scheduler.stop()
+
+    def test_generous_timeout_not_shed(self, deployment, small_split):
+        with Scheduler(deployment, max_wait_ms=1) as scheduler:
+            prediction = Client(scheduler).predict(
+                _sample_images(small_split, 1)[0], timeout_ms=30_000.0
+            )
+            assert isinstance(prediction, int)
+            snapshot = scheduler.metrics.snapshot()
+        assert snapshot.requests_shed == 0
+        assert snapshot.requests_completed == 1
+
+    def test_shed_counter_in_snapshot_dict(self):
+        metrics = ServerMetrics()
+        metrics.record_shed(3)
+        snapshot = metrics.snapshot()
+        assert snapshot.requests_shed == 3
+        assert snapshot.as_dict()["requests_shed"] == 3
+        # Shed is its own counter, not conflated with failures.
+        assert snapshot.requests_failed == 0
+
+    def test_shed_is_request_error_subclass(self):
+        assert issubclass(RequestTimedOut, RequestError)
 
 
 # --------------------------------------------------------------------------- metrics
