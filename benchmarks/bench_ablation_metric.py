@@ -8,7 +8,6 @@ statistics at all) and (c) random skipping, at matched MAC-reduction levels.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import build_skip_mask, compute_significance

@@ -1,29 +1,45 @@
-"""Serving benchmarks: batching speedup, sustained throughput, adaptive ramp.
+"""Serving benchmarks: batching, fronts, priorities, throughput, ramp.
 
-Three questions, answered on LeNet:
+Five questions:
 
 * how much throughput does the scheduler's dynamic micro-batching buy over
   serving every request as its own forward pass (batch size 1)?
 * what does the stack sustain end-to-end (queue -> policy -> batched int8
   forward -> completion) under a steady concurrent load?
+* does the asyncio front sustain at least the threaded front's throughput
+  at 64 concurrent HTTP connections (the per-connection-overhead claim)?
+* does interactive-class traffic hold a lower p95 than batch-class traffic
+  under a mixed-priority burst (the priority-scheduling claim)?
 * does the adaptive policy actually move along the Pareto front under a load
   ramp, and what does that save in simulated MCU cycles?
 
 Plus the hot-path satellite: the im2col scratch-buffer reuse inside
 ``QuantizedModel.predict_classes``, measured off vs on.
+
+Headline numbers land in ``benchmarks/results/serving.json`` for the CI
+perf-regression gate (``benchmarks/check_regression.py``).
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
 
-from repro.serving import Client, Deployment, QueueDepthPolicy, Scheduler
+from repro.serving import (
+    AsyncPredictionServer,
+    Client,
+    Deployment,
+    HTTPClient,
+    PredictionServer,
+    QueueDepthPolicy,
+    Scheduler,
+)
 from repro.quant.qlayers import set_im2col_scratch
 
-from bench_utils import record_result
+from bench_utils import record_json, record_result
 from repro.evaluation.reports import format_table
 
 
@@ -139,6 +155,15 @@ def test_bench_batching_speedup(lenet_serving, tiny_artifacts):
         },
     ]
     record_result("serving_batching_speedup", format_table(rows, title="serving: batching speedup"))
+    record_json(
+        "serving",
+        {
+            "lenet_coalesced_rps": rps_coalesced,
+            "lenet_coalesce_speedup": rps_coalesced / rps_b1,
+            "tiny_coalesced_rps": t_coalesced,
+            "tiny_coalesce_speedup": t_coalesced / t_b1,
+        },
+    )
     assert rps_coalesced / rps_b1 >= 1.5, "coalescing bought almost nothing on LeNet"
     assert t_coalesced / t_b1 >= 2.5, "coalescing bought almost nothing on the tiny CNN"
 
@@ -169,6 +194,7 @@ def test_bench_sustained_throughput(lenet_serving):
         "serving_sustained_throughput",
         format_table(rows, title="serving: sustained throughput (LeNet)"),
     )
+    record_json("serving", {"lenet_sustained_rps": 3 * wave / total_seconds})
 
 
 def test_bench_adaptive_load_ramp(lenet_serving):
@@ -220,6 +246,137 @@ def test_bench_adaptive_load_ramp(lenet_serving):
     record_result(
         "serving_load_ramp",
         format_table(rows, title="serving: adaptive load ramp (queue-depth policy, LeNet)"),
+    )
+
+
+def _http_burst_rps(server_url: str, images: np.ndarray, n_requests: int,
+                    concurrency: int, warmup: int = 16) -> float:
+    """Requests/second of an HTTP front under ``concurrency`` open-loop clients.
+
+    Every request is its own connection (urllib does not keep-alive), so the
+    measurement includes exactly the per-connection cost the two fronts
+    differ on: accept + thread spawn for the threaded front, accept + loop
+    callback for the asyncio one.
+    """
+    client = HTTPClient(server_url, timeout_s=600.0)
+
+    def call(i: int) -> None:
+        client.predict_classes(images[i % len(images)])
+
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        for _ in pool.map(call, range(warmup)):
+            pass
+        started = time.perf_counter()
+        for _ in pool.map(call, range(n_requests)):
+            pass
+        return n_requests / (time.perf_counter() - started)
+
+
+def test_bench_front_comparison(tiny_artifacts):
+    """Threaded vs asyncio front at 64 concurrent connections.
+
+    The handler work per request is identical (enqueue + block on the
+    scheduler), so any throughput difference is pure front overhead: the
+    threaded server pays an OS thread per connection, the asyncio server a
+    task on one loop.  The tiny CNN keeps the model cost small so the
+    per-connection share of the round trip is as visible as this container
+    allows.  Interleaved best-of-3 per front, like every serving benchmark.
+    """
+    tiny = tiny_artifacts
+    points = [{"label": "exact", "taus": {}, "accuracy": 1.0}]
+    deployment = Deployment.from_points(
+        tiny["qmodel"], points, tiny["result"].significance, unpacked=tiny["result"].unpacked
+    )
+    images = tiny["split"].test.images
+    n_requests, concurrency = 192, 64
+
+    fronts = {"thread": PredictionServer, "asyncio": AsyncPredictionServer}
+    best = {name: 0.0 for name in fronts}
+    for _ in range(3):
+        for name, front_cls in fronts.items():
+            with Scheduler(deployment, policy="fixed", max_batch_size=64, max_wait_ms=5.0) as sched:
+                with front_cls(sched) as server:
+                    rps = _http_burst_rps(server.url, images, n_requests, concurrency)
+                    best[name] = max(best[name], rps)
+
+    ratio = best["asyncio"] / best["thread"]
+    rows = [
+        {"front": "thread (1 thread/conn)", "req/s": best["thread"], "vs thread": 1.0},
+        {"front": "asyncio (event loop)", "req/s": best["asyncio"], "vs thread": ratio},
+    ]
+    record_result(
+        "serving_front_comparison",
+        format_table(rows, title=f"HTTP fronts at {concurrency} concurrent connections (tiny CNN)"),
+    )
+    record_json(
+        "serving",
+        {
+            "thread_front_rps": best["thread"],
+            "asyncio_front_rps": best["asyncio"],
+            "asyncio_vs_thread": ratio,
+        },
+    )
+    # The asyncio front must sustain at least the threaded front's
+    # throughput (small tolerance for container noise on the best-of-3).
+    assert ratio >= 0.95, f"asyncio front slower than threaded: {ratio:.2f}x"
+
+
+def test_bench_mixed_priority_burst(lenet_serving):
+    """Interactive p95 must hold below batch p95 under a bulk-traffic burst.
+
+    A pile of batch-class requests floods the queue, then interactive
+    requests trickle in while the backlog drains.  Priority scheduling puts
+    every interactive arrival at the head of the next coalesced batch, so
+    its end-to-end latency is one service interval -- while the bulk
+    traffic absorbs the whole queueing delay.
+    """
+    deployment = lenet_serving["deployment"]
+    images = lenet_serving["images"]
+    n_bulk, n_interactive = 160, 24
+
+    with Scheduler(deployment, policy="fixed", max_batch_size=16, max_wait_ms=2.0) as scheduler:
+        client = Client(scheduler, timeout_s=600.0)
+        client.predict_many(images[:32])  # warm-up
+        bulk = [
+            client.submit(images[i % len(images)], priority="batch") for i in range(n_bulk)
+        ]
+        # Interactive requests arrive while the bulk backlog is deep.
+        interactive = []
+        for i in range(n_interactive):
+            interactive.append(client.submit(images[i % len(images)], priority="interactive"))
+            time.sleep(0.002)
+        for request in bulk + interactive:
+            request.result(timeout=600.0)
+        snapshot = scheduler.metrics.snapshot()
+
+    stats = snapshot.per_priority
+    interactive_p95 = stats["interactive"]["p95_latency_ms"]
+    batch_p95 = stats["batch"]["p95_latency_ms"]
+    rows = [
+        {
+            "class": name,
+            "completed": stats[name]["completed"],
+            "p50 ms": stats[name]["p50_latency_ms"],
+            "p95 ms": stats[name]["p95_latency_ms"],
+        }
+        for name in ("interactive", "batch")
+        if name in stats
+    ]
+    record_result(
+        "serving_mixed_priority",
+        format_table(rows, title="mixed-priority burst (LeNet, 160 bulk + 24 interactive)"),
+    )
+    record_json(
+        "serving",
+        {
+            "interactive_p95_ms": interactive_p95,
+            "batch_p95_ms": batch_p95,
+            "interactive_vs_batch_p95": interactive_p95 / batch_p95,
+        },
+    )
+    assert stats["interactive"]["completed"] == n_interactive
+    assert interactive_p95 < batch_p95, (
+        f"interactive p95 {interactive_p95:.1f} ms not below batch p95 {batch_p95:.1f} ms"
     )
 
 

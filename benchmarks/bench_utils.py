@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import List
+from typing import Dict, List
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -17,3 +18,20 @@ def record_result(name: str, text: str) -> None:
     REPORTED.append(f"==== {name} ====\n{text}\n")
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def record_json(name: str, metrics: Dict[str, float]) -> None:
+    """Merge numeric metrics into ``benchmarks/results/<name>.json``.
+
+    The perf-regression gate (``benchmarks/check_regression.py``) compares
+    these files against the committed ``benchmarks/baselines/*.json``.
+    Merging (rather than overwriting) lets several tests of one module
+    contribute metrics to the same gate file.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    merged: Dict[str, float] = {}
+    if path.exists():
+        merged = json.loads(path.read_text(encoding="utf-8"))
+    merged.update({key: float(value) for key, value in metrics.items()})
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8")

@@ -20,13 +20,12 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core import ApproxConfig
 from repro.vm import VirtualMachine, lower_model, verify_designs
 
-from bench_utils import record_result
+from bench_utils import record_json, record_result
 from repro.evaluation.reports import format_table
 
 #: Batch driven through every execution path.
@@ -125,6 +124,16 @@ def test_vm_throughput_summary(lenet_vm):
     record_result(
         "vm_throughput",
         format_table(rows, title=f"VM execution throughput (LeNet, batch {N_IMAGES})"),
+    )
+    record_json(
+        "vm",
+        {
+            "interp_images_per_s": interp_rps,
+            "turbo_images_per_s": turbo_rps,
+            "kernel_images_per_s": kernel_rps,
+            "turbo_vs_interp": turbo_rps / interp_rps,
+            "turbo_vs_kernel": turbo_rps / kernel_rps,
+        },
     )
     # Turbo must deliver a substantial speedup over the interpreter (the
     # headline claim) while remaining within a small factor of the kernels.

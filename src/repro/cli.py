@@ -40,7 +40,7 @@ from repro.mcu import deploy as mcu_deploy
 from repro.models import build_model, list_models
 from repro.nn import Adam, Trainer, load_model, save_model
 from repro.quant import load_quantized_model, quantize_model, save_quantized_model
-from repro.registry import BOARDS, ENGINES, POLICIES, SEARCH_STRATEGIES
+from repro.registry import BOARDS, ENGINES, FRONTS, POLICIES, SEARCH_STRATEGIES
 from repro.utils.logging import set_verbosity
 from repro.utils.serialization import load_json, save_json
 from repro.workflow import (
@@ -239,38 +239,61 @@ def cmd_deploy(args: argparse.Namespace) -> int:
     return 0 if report.fits else 1
 
 
-def _smoke_load_ramp(scheduler, images: np.ndarray, n_requests: int) -> int:
-    """Drive a trickle -> burst -> trickle load ramp; returns answered count.
+def _smoke_load_ramp(server_url: str, images: np.ndarray, n_requests: int,
+                     priority: str = "standard"):
+    """Drive a trickle -> burst -> trickle load ramp through an HTTP front.
 
     The trickle phases keep the queue near-empty (the policy should serve the
     accurate end of the Pareto front); the concurrent burst spikes the queue
     depth so an adaptive policy escalates to an aggressive skip configuration
-    -- the switches show up in the metrics summary.
-    """
-    from repro.serving import Client
+    -- the switches show up in the metrics summary.  ``priority`` tags every
+    request with one class, or cycles through all three with ``"mixed"``.
 
-    client = Client(scheduler, timeout_s=120.0)
+    Returns ``{priority: (answered, issued)}`` over the classes exercised.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serving import PRIORITIES, HTTPClient
+
+    import threading
+
+    client = HTTPClient(server_url, timeout_s=120.0)
+    cycle = list(PRIORITIES) if priority == "mixed" else [priority]
+    counts = {name: [0, 0] for name in cycle}  # answered, issued
+    counts_lock = threading.Lock()  # burst workers update concurrently
+
+    def call(i: int) -> None:
+        name = cycle[i % len(cycle)]
+        with counts_lock:
+            counts[name][1] += 1
+        body = client.predict(images[i % len(images)], priority=name)
+        with counts_lock:
+            counts[name][0] += len(body["classes"])
+
     # Two trickle phases bracket the burst; small -N runs shrink the phases
     # so exactly n_requests are issued.
     trickle = min(max(4, n_requests // 10), n_requests // 3)
     burst = n_requests - 2 * trickle
-    answered = 0
-    for i in range(trickle):
-        client.predict(images[i % len(images)])
-        answered += 1
-    pending = [client.submit(images[i % len(images)]) for i in range(burst)]
-    for request in pending:
-        request.result(timeout=120.0)
-        answered += 1
-    for i in range(trickle):
-        client.predict(images[i % len(images)])
-        answered += 1
-    return answered
+    index = 0
+    for _ in range(trickle):
+        call(index)
+        index += 1
+    # The burst runs through a client thread pool: tens of simultaneous
+    # HTTP connections, exactly the traffic the fronts differ on (and deep
+    # enough to spike the queue so an adaptive policy visibly escalates).
+    with ThreadPoolExecutor(max_workers=max(burst, 1)) as pool:
+        for _ in pool.map(call, range(index, index + burst)):
+            pass
+    index += burst
+    for _ in range(trickle):
+        call(index)
+        index += 1
+    return {name: tuple(pair) for name, pair in counts.items()}
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve predictions from a deployed model over its DSE Pareto front."""
-    from repro.serving import PredictionServer, Scheduler
+    from repro.serving import Scheduler
 
     qmodel = load_quantized_model(args.qmodel)
     split = _dataset_split(args.samples, args.seed)
@@ -304,17 +327,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
         title=f"service levels of {qmodel.name} ({args.policy} policy)",
     ))
 
+    policy = args.policy
+    if args.depth_per_level is not None:
+        if args.policy != "queue-depth":
+            raise SystemExit(
+                f"--depth-per-level only applies to --policy queue-depth (got {args.policy!r})"
+            )
+        from repro.serving import QueueDepthPolicy
+
+        policy = QueueDepthPolicy(depth_per_level=args.depth_per_level)
     scheduler = Scheduler(
         deployment,
-        policy=args.policy,
+        policy=policy,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         n_workers=args.replicas,
     )
+    front_cls = FRONTS.resolve(args.front)
     scheduler.start()
     try:
         if args.smoke is not None:
-            answered = _smoke_load_ramp(scheduler, split.test.images, args.smoke)
+            # The smoke ramp drives real HTTP traffic through the selected
+            # front on an ephemeral port -- the same code path a deployment
+            # exercises, whichever of thread/asyncio is under test.
+            with front_cls(scheduler, host=args.host, port=0) as server:
+                counts = _smoke_load_ramp(
+                    server.url, split.test.images, args.smoke, priority=args.priority
+                )
             snapshot = scheduler.metrics.snapshot()
             rows = [
                 {
@@ -325,6 +364,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 for name in (level.name for level in deployment.levels)
             ]
             print(format_table(rows, title="per-level traffic"))
+            answered = sum(done for done, _ in counts.values())
+            for name, (done, issued) in counts.items():
+                stats = snapshot.per_priority.get(name, {})
+                print(
+                    f"priority {name}: answered {done}/{issued}   "
+                    f"p50/p95 {stats.get('p50_latency_ms', 0.0):.1f}/"
+                    f"{stats.get('p95_latency_ms', 0.0):.1f} ms   "
+                    f"shed {stats.get('shed', 0)}"
+                )
             print(f"answered: {answered}/{args.smoke}")
             print(f"level switches: {snapshot.level_switches}")
             print(
@@ -337,9 +385,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"({snapshot.mcu_ms_saved:,.1f} ms on {board.name})"
             )
             return 0 if answered == args.smoke else 1
-        server = PredictionServer(scheduler, host=args.host, port=args.port)
+        server = front_cls(scheduler, host=args.host, port=args.port)
         print(
-            f"serving {qmodel.name} at {server.url} "
+            f"serving {qmodel.name} at {server.url} via the {args.front} front "
             "(POST /predict, GET /metrics, /levels, /healthz); Ctrl-C to stop"
         )
         try:
@@ -397,6 +445,11 @@ def board_choices() -> List[str]:
 def policy_choices() -> List[str]:
     """Serving-policy names registered in :data:`repro.registry.POLICIES`."""
     return POLICIES.names()
+
+
+def front_choices() -> List[str]:
+    """Server-front names registered in :data:`repro.registry.FRONTS`."""
+    return FRONTS.names()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -486,11 +539,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--qmodel", required=True)
     p_serve.add_argument("--config", default=None,
                          help="DSE table JSON from `explore` (omit to run a small DSE in-line)")
+    p_serve.add_argument("--front", choices=front_choices(), default="thread",
+                         help="HTTP front end: thread-per-connection or a single asyncio event loop")
+    p_serve.add_argument("--priority",
+                         choices=("interactive", "standard", "batch", "mixed"),
+                         default="standard",
+                         help="priority class of --smoke traffic ('mixed' cycles all three)")
     p_serve.add_argument("--policy", choices=policy_choices(), default="queue-depth",
                          help="adaptive serving policy (from the policy registry)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8765)
     p_serve.add_argument("--max-batch-size", type=int, default=32)
+    p_serve.add_argument("--depth-per-level", type=int, default=None,
+                         help="queue-depth policy: queued requests per escalation step "
+                              "(smaller = more eager; default: the policy's own default)")
     p_serve.add_argument("--max-wait-ms", type=float, default=5.0,
                          help="batch coalescing window in milliseconds")
     p_serve.add_argument("--max-levels", type=int, default=6,

@@ -12,7 +12,7 @@ and spatial positions.  Values are accumulated in the *real* domain
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

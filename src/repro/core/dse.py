@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import ApproxConfig, LayerApproxSpec
+from repro.core.config import ApproxConfig
 from repro.core.significance import SignificanceResult
 from repro.core.skipping import Granularity, conv_mac_reduction
 from repro.core.unpacking import UnpackedLayer

@@ -16,12 +16,11 @@ random) are provided for the ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Literal, Optional
+from typing import Dict, Literal
 
 import numpy as np
 
 from repro.core.calibration import CalibrationResult
-from repro.core.unpacking import UnpackedLayer
 from repro.quant.qlayers import QConv2D, QDense
 from repro.quant.qmodel import QuantizedModel
 from repro.registry import SIGNIFICANCE_METRICS

@@ -22,13 +22,13 @@ significance analysis.  Both properties hold for this surrogate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.data.dataset import Dataset
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import as_rng
 
 #: Human-readable class names (mirroring CIFAR-10's ten categories in spirit).
 CLASS_NAMES = (

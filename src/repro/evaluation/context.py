@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.dse import DSEConfig, DSEResult
+from repro.core.dse import DSEConfig
 from repro.core.pipeline import AtamanPipeline, PipelineResult
 from repro.data.dataset import DataSplit
 from repro.data.synthetic_cifar import SyntheticCifarConfig, SyntheticCifar10

@@ -7,7 +7,7 @@ latency, the flash utilisation and the RAM usage on the STM32-Nucleo board.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.evaluation.context import ExperimentContext
 from repro.evaluation.reports import format_table

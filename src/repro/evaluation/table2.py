@@ -13,7 +13,7 @@ columns of the paper's Table II.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.evaluation.context import ExperimentContext
 from repro.evaluation.reports import format_table

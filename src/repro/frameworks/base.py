@@ -10,7 +10,6 @@ from repro.isa.cost_model import ExecutionStyle, KernelCostModel
 from repro.isa.profiles import BoardProfile
 from repro.kernels.cycle_counters import CycleCounter
 from repro.mcu.memory import FlashBudget, MemoryLayout, RamBudget
-from repro.quant.qlayers import QConv2D
 from repro.quant.qmodel import QuantizedModel
 
 

@@ -23,13 +23,22 @@ The absolute constants are calibrated (see ``docs in DESIGN.md section 5``)
 so that the exact CMSIS-NN baselines land in the neighbourhood of Table I and
 the *relative* behaviour between engines follows the paper; they are not
 microarchitectural ground truth.
+
+The VM's per-instruction traces measure the ``UNPACKED`` model undershooting
+by a fairly uniform ~1.3x (see ``repro.vm.verify.CalibrationReport``).
+Rather than retune :data:`COST_PARAMS` -- which would silently shift every
+Table-II-calibrated baseline ratio at once -- trace-derived corrections are
+applied through the *override hooks*
+(:func:`set_cost_param_overrides`/:func:`clear_cost_param_overrides`):
+overrides layer replacement field values over the calibrated defaults for
+models constructed afterwards, and the defaults stay untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.kernels.cycle_counters import CycleCounter, KernelStats
 from repro.isa.profiles import BoardProfile
@@ -160,6 +169,63 @@ COST_PARAMS: Dict[ExecutionStyle, KernelCostParams] = {
 }
 
 
+#: Active per-style overrides layered over :data:`COST_PARAMS` (see
+#: :func:`set_cost_param_overrides`).  Field -> value; only the given fields
+#: are replaced.
+_PARAM_OVERRIDES: Dict[ExecutionStyle, Dict[str, float]] = {}
+
+
+def set_cost_param_overrides(style: ExecutionStyle, **fields: float) -> KernelCostParams:
+    """Override individual cost parameters of one execution style.
+
+    The calibrated defaults in :data:`COST_PARAMS` stay untouched -- the
+    override is a layer consulted by :func:`effective_cost_params` (and so by
+    every :class:`KernelCostModel` constructed afterwards).  This is the hook
+    through which ``cycle_source="traced"`` calibration raises
+    ``cycles_per_mac``/``cycles_per_output`` of the ``UNPACKED`` style toward
+    the VM-traced values *opt-in*, without shifting the Table-II baseline
+    ratios for everyone else::
+
+        report = calibrate_cycle_model(qmodel, unpacked=unpacked)
+        set_cost_param_overrides(ExecutionStyle.UNPACKED,
+                                 **report.suggested_cost_overrides())
+        ...
+        clear_cost_param_overrides(ExecutionStyle.UNPACKED)
+
+    Repeated calls merge (later fields win).  Field names must match
+    :class:`KernelCostParams` attributes; unknown names raise ``TypeError``
+    immediately.  Returns the new effective parameters.
+    """
+    style = ExecutionStyle(style)
+    merged = dict(_PARAM_OVERRIDES.get(style, {}))
+    merged.update({name: float(value) for name, value in fields.items()})
+    # Validate eagerly: replace() raises TypeError on unknown field names.
+    effective = replace(COST_PARAMS[style], **merged)
+    _PARAM_OVERRIDES[style] = merged
+    return effective
+
+
+def clear_cost_param_overrides(style: Optional[ExecutionStyle] = None) -> None:
+    """Drop the overrides of one style (or of every style with ``None``)."""
+    if style is None:
+        _PARAM_OVERRIDES.clear()
+    else:
+        _PARAM_OVERRIDES.pop(ExecutionStyle(style), None)
+
+
+def get_cost_param_overrides(style: ExecutionStyle) -> Dict[str, float]:
+    """The raw override fields active for ``style`` (empty when none)."""
+    return dict(_PARAM_OVERRIDES.get(ExecutionStyle(style), {}))
+
+
+def effective_cost_params(style: ExecutionStyle) -> KernelCostParams:
+    """The calibrated defaults of ``style`` with any active overrides applied."""
+    style = ExecutionStyle(style)
+    overrides = _PARAM_OVERRIDES.get(style)
+    params = COST_PARAMS[style]
+    return replace(params, **overrides) if overrides else params
+
+
 def cycles_to_latency_ms(cycles: float, board: BoardProfile) -> float:
     """Convert cycles to milliseconds on ``board``."""
     return board.cycles_to_seconds(cycles) * 1e3
@@ -179,7 +245,7 @@ class KernelCostModel:
 
     def __init__(self, style: ExecutionStyle, params: Optional[KernelCostParams] = None):
         self.style = ExecutionStyle(style)
-        self.params = params or COST_PARAMS[self.style]
+        self.params = params or effective_cost_params(self.style)
 
     def layer_cycles(self, stats: KernelStats) -> float:
         """Cycles of a single layer given its operation counts."""

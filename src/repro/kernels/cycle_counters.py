@@ -11,7 +11,7 @@ as X-CUBE-AI-style code, or as the paper's unpacked approximate code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 

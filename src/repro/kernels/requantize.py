@@ -16,7 +16,6 @@ shift), i.e. ``out = round(acc * multiplier * 2**shift)``.  We provide
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ use), the im2col scratch buffer and the runtime's working memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.isa.profiles import BoardProfile

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.nn.layers.base import Layer
 from repro.nn.layers.conv import Conv2D
-from repro.nn.layers.dense import Dense
 from repro.nn.layers.dropout import Dropout
 from repro.nn.layers.norm import BatchNorm
 from repro.nn.model import Sequential

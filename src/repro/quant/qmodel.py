@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.kernels.cycle_counters import CycleCounter
-from repro.quant.qlayers import QConv2D, QDense, QLayer
+from repro.quant.qlayers import QConv2D, QLayer
 from repro.quant.schemes import QuantizationParams, dequantize, quantize
 
 

@@ -19,12 +19,17 @@ Quick tour::
         classes = client.predict_many(images)        # coalesced into batches
         print(scheduler.metrics.snapshot().as_dict())
 
-Add an HTTP front with :class:`PredictionServer`, or let serving participate
-in the cached workflow graph through
-:class:`repro.workflow.ServeStage`.  Policies are pluggable via
-:data:`repro.registry.POLICIES`.
+Add an HTTP front with :class:`PredictionServer` (thread-per-connection) or
+:class:`AsyncPredictionServer` (single asyncio event loop), or let serving
+participate in the cached workflow graph through
+:class:`repro.workflow.ServeStage`.  Requests carry a priority class
+(``interactive``/``standard``/``batch``; the queue serves urgent traffic
+first, with an aging bound against starvation) and per-class latency/shed
+telemetry flows through :class:`ServerMetrics`.  Policies are pluggable via
+:data:`repro.registry.POLICIES`, fronts via :data:`repro.registry.FRONTS`.
 """
 
+from repro.serving.async_server import AsyncPredictionServer
 from repro.serving.client import Client, HTTPClient
 from repro.serving.deployment import Deployment, ServiceLevel
 from repro.serving.metrics import MetricsSnapshot, ServerMetrics
@@ -35,12 +40,21 @@ from repro.serving.policy import (
     ServingPolicy,
     resolve_policy,
 )
-from repro.serving.request import Request, RequestError, RequestQueue, RequestTimedOut
+from repro.serving.request import (
+    DEFAULT_PRIORITY,
+    PRIORITIES,
+    Request,
+    RequestError,
+    RequestQueue,
+    RequestTimedOut,
+    priority_rank,
+)
 from repro.serving.scheduler import Scheduler, SchedulerStopped
 from repro.serving.server import PredictionServer
 from repro.serving.workers import ReplicatedRunner
 
 __all__ = [
+    "AsyncPredictionServer",
     "Client",
     "HTTPClient",
     "Deployment",
@@ -52,6 +66,9 @@ __all__ = [
     "QueueDepthPolicy",
     "LatencySLOPolicy",
     "resolve_policy",
+    "DEFAULT_PRIORITY",
+    "PRIORITIES",
+    "priority_rank",
     "Request",
     "RequestError",
     "RequestTimedOut",

@@ -1,0 +1,353 @@
+"""Asyncio HTTP front end: one event loop instead of a thread per connection.
+
+The threaded front (:class:`~repro.serving.server.PredictionServer`) spends a
+thread -- stack, spawn, context switches -- on every connection, which is pure
+overhead given that handler threads only enqueue a request and sleep until
+the scheduler completes it.  This front serves the same endpoints from a
+single ``asyncio`` event loop on :func:`asyncio.start_server`:
+
+* **accept/parse** -- connections are multiplexed on the loop; a minimal
+  HTTP/1.1 parser (keep-alive capable) reads each request without blocking.
+* **executor handoff** -- decoding the JSON body and submitting into the
+  synchronous :class:`~repro.serving.scheduler.Scheduler` run in the default
+  thread-pool executor, so a multi-megabyte body never stalls the loop.
+* **completion bridge** -- instead of parking a thread per in-flight request,
+  the front registers a :meth:`~repro.serving.request.Request.add_done_callback`
+  that wakes the loop with ``call_soon_threadsafe`` when the scheduler core
+  completes the request.  Ten thousand waiting requests cost ten thousand
+  futures, not ten thousand stacks.
+
+The endpoint semantics (payload validation, response shapes, error mapping)
+are shared with the threaded front through the helpers in
+:mod:`repro.serving.server`, so the two fronts are drop-in interchangeable --
+``repro-tinyml serve --front asyncio`` is the only switch.  Registered as
+``"asyncio"`` in :data:`repro.registry.FRONTS`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.registry import FRONTS
+from repro.serving.request import Request
+from repro.serving.scheduler import Scheduler
+from repro.serving.server import (
+    MAX_BODY_BYTES,
+    handle_introspection,
+    parse_predict_payload,
+    predict_error_response,
+    predict_success_response,
+)
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.async_server")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _resolve(future: "asyncio.Future") -> None:
+    """Complete a wake-up future exactly once (callbacks may race shutdown)."""
+    if not future.done():
+        future.set_result(None)
+
+
+@FRONTS.register("asyncio")
+class AsyncPredictionServer:
+    """Asyncio HTTP front: serve a running :class:`Scheduler` on a TCP port.
+
+    API-compatible with the threaded :class:`~repro.serving.server.PredictionServer`
+    (same constructor, ``start``/``stop``/``serve_forever``, ``host``/``port``/
+    ``url``, same endpoints), so callers pick a front by name through
+    :data:`repro.registry.FRONTS` and change nothing else.
+
+    Parameters
+    ----------
+    scheduler:
+        The (started) batching scheduler to feed.
+    host, port:
+        Bind address; ``port=0`` picks a free port (resolved immediately --
+        the listening socket is bound in the constructor, exactly like the
+        threaded front).
+    request_timeout_s:
+        How long a request may wait on the scheduler before answering 503.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 30.0,
+    ):
+        self.scheduler = scheduler
+        self.request_timeout_s = float(request_timeout_s)
+        # Bind eagerly so ``port`` resolves before the loop exists; the
+        # asyncio server adopts this socket in _run_loop().  The backlog
+        # matches the threaded front's burst sizing.
+        self._sock = socket.create_server((host, port), backlog=128)
+        self._sock.setblocking(False)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        return self._sock.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port (resolved at construction, even with ``port=0``)."""
+        return int(self._sock.getsockname()[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the server."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AsyncPredictionServer":
+        """Run the event loop in a background thread (idempotent)."""
+        if self._closed:
+            raise RuntimeError("cannot restart a stopped AsyncPredictionServer")
+        if self._thread is None or not self._thread.is_alive():
+            ready = threading.Event()
+            self._thread = threading.Thread(
+                target=self._run_loop, args=(ready,), name="serving-asyncio", daemon=True
+            )
+            self._thread.start()
+            ready.wait(timeout=5.0)
+            logger.info("serving %s on %s (asyncio)", self.scheduler.deployment.qmodel.name, self.url)
+        return self
+
+    def stop(self) -> None:
+        """Close the listener, cancel in-flight handlers, join the loop thread."""
+        self._closed = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._sock.close()
+
+    def serve_forever(self) -> None:
+        """Serve until interrupted (the loop runs on a background thread)."""
+        self.start()
+        try:
+            while self._thread is not None and self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "AsyncPredictionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ event loop
+    def _run_loop(self, ready: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._handle_connection, sock=self._sock)
+            )
+            ready.set()
+            loop.run_forever()
+        finally:
+            ready.set()  # never leave start() hanging if the bind failed
+            if self._server is not None:
+                self._server.close()
+                with _suppress_loop_errors():
+                    loop.run_until_complete(self._server.wait_closed())
+            tasks = asyncio.all_tasks(loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                with _suppress_loop_errors():
+                    loop.run_until_complete(asyncio.gather(*tasks, return_exceptions=True))
+            loop.close()
+            logger.info("asyncio front stopped")
+
+    # ------------------------------------------------------------------ connection handling
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: HTTP/1.1 request loop with keep-alive."""
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break  # client closed the connection
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._respond(writer, 400, {"error": "malformed request line"}, False)
+                    break
+                method, path, version = parts
+                headers = await self._read_headers(reader)
+                if headers is None:
+                    await self._respond(writer, 400, {"error": "malformed headers"}, False)
+                    break
+                keep_alive = (
+                    version == "HTTP/1.1"
+                    and headers.get("connection", "keep-alive").lower() != "close"
+                )
+                # The body is consumed before dispatch, whatever the path or
+                # method -- an unread body would desync the next keep-alive
+                # request on this connection (its bytes would be parsed as a
+                # request line).  Unreadable/oversized lengths close instead.
+                try:
+                    length = int(headers.get("content-length", 0))
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "malformed Content-Length header"}, False)
+                    break
+                if length < 0 or length > MAX_BODY_BYTES:
+                    await self._respond(writer, 400, {"error": "missing or oversized request body"}, False)
+                    break
+                body = b""
+                if length:
+                    try:
+                        body = await reader.readexactly(length)
+                    except asyncio.IncompleteReadError:
+                        await self._respond(
+                            writer, 400, {"error": "request body shorter than Content-Length"}, False
+                        )
+                        break
+                status, payload = await self._dispatch(method, path, body)
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+            pass  # shutdown or client went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - racy close
+                pass
+
+    @staticmethod
+    async def _read_headers(reader: asyncio.StreamReader) -> Optional[Dict[str, str]]:
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n"):
+                return headers
+            if not line:
+                return None  # EOF mid-headers
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        if method == "GET":
+            return handle_introspection(self.scheduler, path)
+        if method != "POST":
+            return 404, {"error": f"unsupported method {method!r}"}
+        if path != "/predict":
+            return 404, {"error": f"unknown path {path!r}"}
+        if not body:
+            return 400, {"error": "missing or oversized request body"}
+        return await self._handle_predict(body)
+
+    async def _handle_predict(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        loop = asyncio.get_running_loop()
+        # Executor handoff: JSON decoding, array validation and the enqueue
+        # into the synchronous scheduler happen off-loop, so one fat body
+        # cannot freeze every other connection.
+        error, requests = await loop.run_in_executor(None, self._parse_and_submit, body)
+        if error is not None:
+            return error
+        assert requests is not None
+        await self._await_done(requests, loop)
+        try:
+            for request in requests:
+                # All events are set (or the gather timed out); a tiny wait
+                # re-raises per-request failures with the shared mapping.
+                request.result(timeout=0.001)
+        except Exception as failure:
+            return predict_error_response(failure)
+        return 200, predict_success_response(requests)
+
+    def _parse_and_submit(
+        self, body: bytes
+    ) -> Tuple[Optional[Tuple[int, Dict[str, Any]]], Optional[List[Request]]]:
+        """Executor body: decode, validate and enqueue one /predict payload."""
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return (400, {"error": "request body is not valid JSON"}), None
+        if not isinstance(payload, dict):
+            return (400, {"error": "request body must be a JSON object"}), None
+        error, xs, timeout_ms, priority = parse_predict_payload(self.scheduler, payload)
+        if error is not None:
+            return error, None
+        try:
+            requests = self.scheduler.submit_many(xs, timeout_ms=timeout_ms, priority=priority)
+        except Exception as failure:
+            return predict_error_response(failure), None
+        return None, requests
+
+    async def _await_done(
+        self, requests: List[Request], loop: asyncio.AbstractEventLoop
+    ) -> None:
+        """Await completion of every request without blocking the loop."""
+        futures = []
+        for request in requests:
+            future: asyncio.Future = loop.create_future()
+
+            def _wake(_request: Request, future: asyncio.Future = future) -> None:
+                try:
+                    loop.call_soon_threadsafe(_resolve, future)
+                except RuntimeError:  # pragma: no cover - loop closed mid-flight
+                    pass
+
+            request.add_done_callback(_wake)
+            futures.append(future)
+        if futures:
+            await asyncio.wait(futures, timeout=self.request_timeout_s)
+            for future in futures:
+                _resolve(future)  # cancel-proof: orphaned futures resolve here
+
+    # ------------------------------------------------------------------ response writing
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any], keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+class _suppress_loop_errors:
+    """Context manager swallowing teardown-time loop errors (best-effort close)."""
+
+    def __enter__(self) -> "_suppress_loop_errors":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return exc_type is not None and issubclass(exc_type, Exception)

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.serving.request import Request
+from repro.serving.request import DEFAULT_PRIORITY, Request
 from repro.serving.scheduler import Scheduler
 
 
@@ -28,26 +28,49 @@ class Client:
         self.scheduler = scheduler
         self.timeout_s = float(timeout_s)
 
-    def submit(self, x: np.ndarray, timeout_ms: Optional[float] = None) -> Request:
+    def submit(
+        self,
+        x: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: str = DEFAULT_PRIORITY,
+    ) -> Request:
         """Fire one request without waiting (for concurrency experiments).
 
         ``timeout_ms`` arms the scheduler-side shedding deadline; a shed
         request's :meth:`~repro.serving.request.Request.result` raises
-        :class:`~repro.serving.request.RequestTimedOut`.
+        :class:`~repro.serving.request.RequestTimedOut`.  ``priority`` picks
+        the request's class (``interactive``/``standard``/``batch``).
         """
-        return self.scheduler.submit(x, timeout_ms=timeout_ms)
+        return self.scheduler.submit(x, timeout_ms=timeout_ms, priority=priority)
 
-    def submit_many(self, xs: np.ndarray, timeout_ms: Optional[float] = None) -> List[Request]:
+    def submit_many(
+        self,
+        xs: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: str = DEFAULT_PRIORITY,
+    ) -> List[Request]:
         """Fire a burst of requests without waiting (FIFO order)."""
-        return self.scheduler.submit_many(xs, timeout_ms=timeout_ms)
+        return self.scheduler.submit_many(xs, timeout_ms=timeout_ms, priority=priority)
 
-    def predict(self, x: np.ndarray, timeout_ms: Optional[float] = None) -> int:
+    def predict(
+        self,
+        x: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: str = DEFAULT_PRIORITY,
+    ) -> int:
         """Predicted class of one sample (blocks until served)."""
-        return self.scheduler.submit(x, timeout_ms=timeout_ms).result(timeout=self.timeout_s)
+        return self.submit(x, timeout_ms=timeout_ms, priority=priority).result(
+            timeout=self.timeout_s
+        )
 
-    def predict_many(self, xs: np.ndarray, timeout_ms: Optional[float] = None) -> np.ndarray:
+    def predict_many(
+        self,
+        xs: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: str = DEFAULT_PRIORITY,
+    ) -> np.ndarray:
         """Predicted classes of a batch, submitted concurrently."""
-        requests = self.submit_many(xs, timeout_ms=timeout_ms)
+        requests = self.submit_many(xs, timeout_ms=timeout_ms, priority=priority)
         return np.asarray([r.result(timeout=self.timeout_s) for r in requests], dtype=np.int64)
 
 
@@ -74,13 +97,31 @@ class HTTPClient:
             return json.loads(response.read().decode("utf-8"))
 
     # ------------------------------------------------------------------ endpoints
-    def predict(self, xs: np.ndarray) -> Dict[str, Any]:
+    def predict(
+        self,
+        xs: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """``POST /predict`` with one sample or a batch; returns the JSON body."""
-        return self._post("/predict", {"inputs": np.asarray(xs, dtype=np.float32).tolist()})
+        payload: Dict[str, Any] = {"inputs": np.asarray(xs, dtype=np.float32).tolist()}
+        if timeout_ms is not None:
+            payload["timeout_ms"] = float(timeout_ms)
+        if priority is not None:
+            payload["priority"] = priority
+        return self._post("/predict", payload)
 
-    def predict_classes(self, xs: np.ndarray) -> np.ndarray:
+    def predict_classes(
+        self,
+        xs: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
+    ) -> np.ndarray:
         """Predicted classes of a batch via ``POST /predict``."""
-        return np.asarray(self.predict(xs)["classes"], dtype=np.int64)
+        return np.asarray(
+            self.predict(xs, timeout_ms=timeout_ms, priority=priority)["classes"],
+            dtype=np.int64,
+        )
 
     def metrics(self) -> Dict[str, Any]:
         """``GET /metrics``."""

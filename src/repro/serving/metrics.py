@@ -12,6 +12,12 @@ latency percentiles, throughput), the sink tracks the *simulated MCU cycle
 savings*: each service level carries the per-sample cycle estimate of the ISA
 cost model, so every batch served at an aggressive level records how many
 Cortex-M cycles the skip configuration shed relative to the exact design.
+
+Latencies and shed counts are additionally tracked *per priority class*
+(:data:`repro.serving.request.PRIORITIES`): the per-class p50/p95 is how the
+benchmarks prove that interactive traffic holds its latency under a
+bulk-traffic burst, and how the SLO control loop can be audited after the
+fact.
 """
 
 from __future__ import annotations
@@ -19,7 +25,9 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serving.request import DEFAULT_PRIORITY, PRIORITIES
 
 
 @dataclass
@@ -43,6 +51,8 @@ class MetricsSnapshot:
     current_level: Optional[str] = None
     cycles_saved: float = 0.0
     mcu_ms_saved: float = 0.0
+    #: Per priority class: completed/shed counts and latency percentiles.
+    per_priority: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serialisable view."""
@@ -64,6 +74,7 @@ class MetricsSnapshot:
             "current_level": self.current_level,
             "cycles_saved": self.cycles_saved,
             "mcu_ms_saved": self.mcu_ms_saved,
+            "per_priority": {name: dict(stats) for name, stats in self.per_priority.items()},
         }
 
 
@@ -111,6 +122,9 @@ class ServerMetrics:
         self._switches = 0
         self._current_level: Optional[str] = None
         self._cycles_saved = 0.0
+        self._priority_completed: Dict[str, int] = {name: 0 for name in PRIORITIES}
+        self._priority_shed: Dict[str, int] = {name: 0 for name in PRIORITIES}
+        self._priority_latencies: Dict[str, List[float]] = {name: [] for name in PRIORITIES}
 
     # ------------------------------------------------------------------ recording
     def record_batch(
@@ -119,13 +133,18 @@ class ServerMetrics:
         batch_size: int,
         latencies_ms: List[float],
         cycles_per_sample: float = 0.0,
+        priorities: Optional[Sequence[str]] = None,
     ) -> None:
         """Record one executed batch.
 
         ``latencies_ms`` are the end-to-end (queue wait + service) latencies
         of the batch's requests; ``cycles_per_sample`` is the simulated MCU
-        cost of the level that served it.
+        cost of the level that served it; ``priorities`` (parallel to
+        ``latencies_ms``) attributes each request to its priority class --
+        omitted entries count as ``"standard"``.
         """
+        if priorities is None:
+            priorities = [DEFAULT_PRIORITY] * len(latencies_ms)
         with self._lock:
             self._completed += batch_size
             self._batches += 1
@@ -140,6 +159,12 @@ class ServerMetrics:
             self._latencies.extend(latencies_ms)
             if len(self._latencies) > self._window:
                 del self._latencies[: len(self._latencies) - self._window]
+            for priority, latency in zip(priorities, latencies_ms):
+                self._priority_completed[priority] = self._priority_completed.get(priority, 0) + 1
+                window = self._priority_latencies.setdefault(priority, [])
+                window.append(latency)
+                if len(window) > self._window:
+                    del window[: len(window) - self._window]
             if self.baseline_cycles_per_sample > 0 and cycles_per_sample > 0:
                 saved = self.baseline_cycles_per_sample - cycles_per_sample
                 self._cycles_saved += saved * batch_size
@@ -149,10 +174,11 @@ class ServerMetrics:
         with self._lock:
             self._failed += int(count)
 
-    def record_shed(self, count: int = 1) -> None:
+    def record_shed(self, count: int = 1, priority: str = DEFAULT_PRIORITY) -> None:
         """Record requests shed because their per-request deadline expired."""
         with self._lock:
             self._shed += int(count)
+            self._priority_shed[priority] = self._priority_shed.get(priority, 0) + int(count)
 
     # ------------------------------------------------------------------ reading
     def snapshot(self, queue_depth: int = 0) -> MetricsSnapshot:
@@ -162,6 +188,19 @@ class ServerMetrics:
             # Sorted once; both percentiles index the same ordered window
             # (snapshot runs on the scheduler loop before every batch).
             latencies = sorted(self._latencies)
+            per_priority: Dict[str, Dict[str, float]] = {}
+            for name in PRIORITIES:
+                completed = self._priority_completed.get(name, 0)
+                shed = self._priority_shed.get(name, 0)
+                if not completed and not shed:
+                    continue  # keep the snapshot small: only classes that saw traffic
+                ordered = sorted(self._priority_latencies.get(name, ()))
+                per_priority[name] = {
+                    "completed": completed,
+                    "shed": shed,
+                    "p50_latency_ms": _percentile(ordered, 0.50),
+                    "p95_latency_ms": _percentile(ordered, 0.95),
+                }
             return MetricsSnapshot(
                 requests_completed=self._completed,
                 requests_failed=self._failed,
@@ -180,4 +219,5 @@ class ServerMetrics:
                 current_level=self._current_level,
                 cycles_saved=self._cycles_saved,
                 mcu_ms_saved=self._cycles_saved * self.cycles_to_ms,
+                per_priority=per_priority,
             )

@@ -24,13 +24,17 @@ Built-ins:
     treat their waiting queue.  De-escalation is one step per batch with a
     hysteresis margin, so the policy does not flap at a threshold.
 ``latency-slo``
-    Track the observed p95 end-to-end latency against a target; escalate
-    while it exceeds the SLO, relax when it drops below the low watermark.
+    A closed control loop on the end-to-end p95 latency: an EWMA tracker
+    smooths the observed percentile, and hysteresis (consecutive-breach
+    patience plus a post-switch cooldown) steps the service level one notch
+    at a time -- escalate while the smoothed p95 sits above the SLO, relax
+    once it drops below the low watermark, never flap on a single noisy
+    batch.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.registry import POLICIES
 from repro.serving.deployment import ServiceLevel
@@ -114,7 +118,26 @@ class QueueDepthPolicy(ServingPolicy):
 
 @POLICIES.register("latency-slo")
 class LatencySLOPolicy(ServingPolicy):
-    """Keep the observed p95 end-to-end latency under a target.
+    """Closed-loop SLO control: keep the smoothed p95 latency under a target.
+
+    The raw windowed p95 is noisy -- one slow batch (a cold cache, a noisy
+    CI neighbour) spikes it for a whole window, and a bare threshold flip
+    would ping-pong the service level on every spike.  This policy closes
+    the loop in three stages:
+
+    1. **EWMA tracker** -- the observed p95 feeds an exponentially weighted
+       moving average (``alpha`` is the weight of the newest sample), so the
+       control signal follows sustained load, not single outliers.
+    2. **Hysteresis via patience** -- the tracker must sit above the SLO
+       (or below the low watermark) for ``patience`` consecutive batches
+       before the level moves; the counter resets whenever the signal
+       returns to the dead band between the watermarks.
+    3. **Cooldown** -- after a switch the policy holds for ``cooldown``
+       batches, giving the new level's latencies time to reach the window
+       before they are judged.
+
+    Escalation and relaxation both step one level at a time, walking the
+    Pareto front instead of jumping across it.
 
     Parameters
     ----------
@@ -122,31 +145,90 @@ class LatencySLOPolicy(ServingPolicy):
         The p95 latency target in milliseconds.
     low_watermark:
         Fraction of the SLO below which the policy relaxes back toward the
-        accurate end (escalate > ``slo_ms``, de-escalate < ``low_watermark
-        * slo_ms``, hold in between).
+        accurate end (escalate above ``slo_ms``, de-escalate below
+        ``low_watermark * slo_ms``, hold in the dead band between).
     min_samples:
         Completed requests required before the percentile is trusted.
+    alpha:
+        EWMA weight of the newest p95 observation (1.0 = no smoothing,
+        reproducing the old threshold-flip behaviour).
+    patience:
+        Consecutive out-of-band batches required before a step.
+    cooldown:
+        Batches to hold after a switch before stepping again.
     """
 
     policy_name = "latency-slo"
 
-    def __init__(self, slo_ms: float = 50.0, low_watermark: float = 0.5, min_samples: int = 8) -> None:
+    def __init__(
+        self,
+        slo_ms: float = 50.0,
+        low_watermark: float = 0.5,
+        min_samples: int = 8,
+        alpha: float = 0.4,
+        patience: int = 2,
+        cooldown: int = 2,
+    ) -> None:
         super().__init__()
         if slo_ms <= 0:
             raise ValueError("slo_ms must be positive")
         if not 0.0 < low_watermark < 1.0:
             raise ValueError("low_watermark must be in (0, 1)")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
         self.slo_ms = float(slo_ms)
         self.low_watermark = float(low_watermark)
         self.min_samples = int(min_samples)
+        self.alpha = float(alpha)
+        self.patience = int(patience)
+        self.cooldown = int(cooldown)
+        self._ewma: Optional[float] = None
+        self._breach_streak = 0
+        self._slack_streak = 0
+        self._since_switch = self.cooldown  # free to act from the first sample
+
+    @property
+    def ewma_p95_ms(self) -> Optional[float]:
+        """Current value of the smoothed p95 tracker (None before any sample)."""
+        return self._ewma
+
+    def _switch(self, index: int, levels: Sequence[ServiceLevel]) -> int:
+        self._breach_streak = 0
+        self._slack_streak = 0
+        self._since_switch = 0
+        return self._clamp(index, levels)
 
     def select(self, levels: Sequence[ServiceLevel], snapshot: MetricsSnapshot) -> int:
         if snapshot.requests_completed < self.min_samples:
             return self._clamp(self._current, levels)
-        if snapshot.p95_latency_ms > self.slo_ms:
-            return self._clamp(self._current + 1, levels)
-        if snapshot.p95_latency_ms < self.low_watermark * self.slo_ms:
-            return self._clamp(self._current - 1, levels)
+        observed = snapshot.p95_latency_ms
+        self._ewma = (
+            observed
+            if self._ewma is None
+            else self.alpha * observed + (1.0 - self.alpha) * self._ewma
+        )
+        self._since_switch += 1
+        if self._ewma > self.slo_ms:
+            self._breach_streak += 1
+            self._slack_streak = 0
+        elif self._ewma < self.low_watermark * self.slo_ms:
+            self._slack_streak += 1
+            self._breach_streak = 0
+        else:  # dead band: hold, and forgive previous excursions
+            self._breach_streak = 0
+            self._slack_streak = 0
+        if self._since_switch <= self.cooldown:
+            # Hold for `cooldown` full batches after a switch (the counter was
+            # zeroed at the switch and incremented above).
+            return self._clamp(self._current, levels)
+        if self._breach_streak >= self.patience and self._current < len(levels) - 1:
+            return self._switch(self._current + 1, levels)
+        if self._slack_streak >= self.patience and self._current > 0:
+            return self._switch(self._current - 1, levels)
         return self._clamp(self._current, levels)
 
 

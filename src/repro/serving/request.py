@@ -1,19 +1,38 @@
-"""Requests and the FIFO request queue feeding the batching scheduler.
+"""Requests, priority classes and the priority-aware request queue.
 
 A :class:`Request` carries one input sample through the serving stack: the
 HTTP front (or the in-process :class:`~repro.serving.client.Client`) enqueues
 it, the :class:`~repro.serving.scheduler.Scheduler` coalesces pending
 requests into a batch, runs them through the model and completes each request
 with its predicted class.  Completion is signalled through a
-``threading.Event``, so any number of front-end threads can block on
-:meth:`Request.result` while the single scheduler core drains the queue.
+``threading.Event`` (front-end threads block on :meth:`Request.result`) and
+through :meth:`Request.add_done_callback` (the asyncio front bridges the
+callback into its event loop with ``call_soon_threadsafe``), so both fronts
+share one scheduler core.
+
+Every request belongs to one of three *priority classes* -- in the spirit of
+packet classification on network switches, where latency-critical flows are
+queued ahead of bulk transfers:
+
+``interactive``
+    Latency-critical traffic.  Served first; under load these requests ride
+    whatever service level the policy picked while bulk traffic absorbs the
+    queueing delay.
+``standard``
+    The default class.
+``batch``
+    Bulk/offline traffic.  Served only when no higher class is waiting,
+    subject to the starvation bound below.
 
 :meth:`RequestQueue.get_batch` implements the dynamic micro-batching window:
 it blocks until at least one request is pending, then keeps coalescing
 arrivals until either ``max_batch_size`` requests are collected or
-``max_wait_ms`` has elapsed since the batch leader was picked -- the same
-latency/throughput trade continuous-batching LLM servers make, adapted to
-batched NumPy inference.
+``max_wait_ms`` has elapsed since the batch leader was picked.  The batch is
+filled in priority order -- a class is drained (FIFO within the class)
+before the pop spills down to the next class -- with one exception: a
+request that has waited longer than ``starvation_ms`` is served ahead of
+everything, whatever its class, so sustained interactive load cannot starve
+the batch class forever.
 """
 
 from __future__ import annotations
@@ -22,11 +41,27 @@ import itertools
 import threading
 import time
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 _request_ids = itertools.count()
+
+#: Priority classes, most urgent first.  The index is the priority rank.
+PRIORITIES: Tuple[str, ...] = ("interactive", "standard", "batch")
+
+#: The class assigned when a request does not specify one.
+DEFAULT_PRIORITY = "standard"
+
+
+def priority_rank(priority: str) -> int:
+    """Rank of a priority class (0 = most urgent); raises on unknown names."""
+    try:
+        return PRIORITIES.index(priority)
+    except ValueError:
+        raise ValueError(
+            f"unknown priority {priority!r}; expected one of {list(PRIORITIES)}"
+        ) from None
 
 
 class RequestError(RuntimeError):
@@ -54,6 +89,9 @@ class Request:
         ``timeout_ms`` milliseconds have passed since it was enqueued, the
         scheduler sheds it with :class:`RequestTimedOut` instead of serving
         a prediction nobody is waiting for anymore.
+    priority:
+        Priority class (one of :data:`PRIORITIES`); defaults to
+        ``"standard"``.
     """
 
     __slots__ = (
@@ -62,29 +100,41 @@ class Request:
         "enqueued_at",
         "timeout_ms",
         "deadline",
+        "priority",
         "level_name",
         "prediction",
         "wait_ms",
         "service_ms",
         "error",
         "_done",
+        "_callbacks",
+        "_callback_lock",
     )
 
-    def __init__(self, x: np.ndarray, timeout_ms: Optional[float] = None):
+    def __init__(
+        self,
+        x: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: str = DEFAULT_PRIORITY,
+    ):
         if timeout_ms is not None and float(timeout_ms) <= 0:
             raise ValueError("timeout_ms must be positive (or None for no deadline)")
+        priority_rank(priority)  # validate eagerly, before the queue sees it
         self.id = next(_request_ids)
         self.x = np.asarray(x, dtype=np.float32)
         self.enqueued_at = time.monotonic()
         self.timeout_ms: Optional[float] = None if timeout_ms is None else float(timeout_ms)
         self.deadline: Optional[float] = None
         self._arm_deadline()
+        self.priority = priority
         self.level_name: Optional[str] = None
         self.prediction: Optional[int] = None
         self.wait_ms: float = 0.0
         self.service_ms: float = 0.0
         self.error: Optional[BaseException] = None
         self._done = threading.Event()
+        self._callbacks: List = []
+        self._callback_lock = threading.Lock()
 
     def _arm_deadline(self) -> None:
         """(Re)compute the absolute deadline from ``enqueued_at``."""
@@ -101,17 +151,40 @@ class Request:
         """Whether the request has been completed (or failed)."""
         return self._done.is_set()
 
+    def add_done_callback(self, callback) -> None:
+        """Call ``callback(request)`` once the request completes or fails.
+
+        The callback runs on whichever thread completes the request (the
+        scheduler core) -- or immediately on the calling thread if the
+        request is already done.  The asyncio front uses this to wake its
+        event loop with ``call_soon_threadsafe`` instead of parking an
+        executor thread per in-flight request.
+        """
+        with self._callback_lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _finish(self) -> None:
+        """Set the done event and fire the registered callbacks exactly once."""
+        with self._callback_lock:
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
     def complete(self, prediction: int, level_name: str, service_ms: float) -> None:
         """Fill in the result and wake any thread waiting on :meth:`result`."""
         self.prediction = int(prediction)
         self.level_name = level_name
         self.service_ms = float(service_ms)
-        self._done.set()
+        self._finish()
 
     def fail(self, error: BaseException) -> None:
         """Record a serving failure and wake waiters."""
         self.error = error
-        self._done.set()
+        self._finish()
 
     def result(self, timeout: Optional[float] = None) -> int:
         """Block until the request completes; return the predicted class.
@@ -134,29 +207,69 @@ class Request:
 
 
 class RequestQueue:
-    """Thread-safe FIFO queue with a batch-coalescing pop.
+    """Thread-safe priority queue with a batch-coalescing pop.
 
     Producers (front-end threads) call :meth:`put`; the single scheduler
-    consumer calls :meth:`get_batch`.
+    consumer calls :meth:`get_batch`.  One FIFO deque per priority class;
+    pops drain the most urgent non-empty class first, except that a request
+    older than ``starvation_ms`` is always served next (the starvation
+    bound: however relentless the interactive load, a batch-class request
+    waits at most ``starvation_ms`` plus one batch's service time).
+
+    Parameters
+    ----------
+    starvation_ms:
+        Age at which a queued request of *any* class jumps ahead of the
+        priority order.  ``None`` disables aging (strict priority).
     """
 
-    def __init__(self) -> None:
-        self._items: Deque[Request] = deque()
+    def __init__(self, starvation_ms: Optional[float] = 2000.0) -> None:
+        if starvation_ms is not None and float(starvation_ms) <= 0:
+            raise ValueError("starvation_ms must be positive (or None for strict priority)")
+        self.starvation_ms = None if starvation_ms is None else float(starvation_ms)
+        self._classes: Dict[str, Deque[Request]] = {name: deque() for name in PRIORITIES}
+        self._size = 0
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
 
     def put(self, request: Request) -> None:
-        """Enqueue a request (FIFO order); its deadline starts counting here."""
+        """Enqueue a request (FIFO within its class); its deadline starts here."""
+        priority_rank(request.priority)  # defensive: reject unknown classes
         with self._not_empty:
             request.enqueued_at = time.monotonic()
             request._arm_deadline()
-            self._items.append(request)
+            self._classes[request.priority].append(request)
+            self._size += 1
             self._not_empty.notify()
 
     def depth(self) -> int:
-        """Number of requests currently waiting."""
+        """Number of requests currently waiting (all classes)."""
         with self._lock:
-            return len(self._items)
+            return self._size
+
+    def depth_by_priority(self) -> Dict[str, int]:
+        """Waiting requests per priority class."""
+        with self._lock:
+            return {name: len(queue) for name, queue in self._classes.items()}
+
+    def _pop_next(self, now: float) -> Request:
+        """Pop the next request under priority-with-aging order (lock held)."""
+        if self.starvation_ms is not None:
+            bound = self.starvation_ms / 1000.0
+            starved: Optional[Deque[Request]] = None
+            oldest = now
+            for queue in self._classes.values():
+                if queue and now - queue[0].enqueued_at > bound and queue[0].enqueued_at < oldest:
+                    starved, oldest = queue, queue[0].enqueued_at
+            if starved is not None:
+                self._size -= 1
+                return starved.popleft()
+        for name in PRIORITIES:
+            queue = self._classes[name]
+            if queue:
+                self._size -= 1
+                return queue.popleft()
+        raise IndexError("pop from an empty RequestQueue")  # pragma: no cover - guarded
 
     def get_batch(
         self,
@@ -171,26 +284,31 @@ class RequestQueue:
         shutdown flag instead of blocking forever).  Once a batch leader is
         present, arrivals are coalesced until the batch is full or
         ``max_wait_ms`` has elapsed -- a queue already holding a full batch
-        pays no wait at all.
+        pays no wait at all.  The batch is assembled in priority order
+        (aging aside), so an interactive arrival during the coalescing
+        window still rides the very next batch.
         """
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         with self._not_empty:
-            if not self._items and not self._not_empty.wait(timeout=poll_timeout):
+            if not self._size and not self._not_empty.wait(timeout=poll_timeout):
                 return []
             deadline = time.monotonic() + max_wait_ms / 1000.0
-            while len(self._items) < max_batch_size:
+            while self._size < max_batch_size:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not self._not_empty.wait(timeout=remaining):
                     break
-            batch = [self._items.popleft() for _ in range(min(max_batch_size, len(self._items)))]
+            now = time.monotonic()
+            batch = [self._pop_next(now) for _ in range(min(max_batch_size, self._size))]
         return batch
 
     def drain(self, error: BaseException) -> int:
         """Fail every pending request (shutdown path); returns how many."""
         with self._lock:
-            pending = list(self._items)
-            self._items.clear()
+            pending = [request for queue in self._classes.values() for request in queue]
+            for queue in self._classes.values():
+                queue.clear()
+            self._size = 0
         for request in pending:
             request.fail(error)
         return len(pending)

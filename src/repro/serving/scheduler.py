@@ -26,7 +26,7 @@ import numpy as np
 from repro.serving.deployment import Deployment
 from repro.serving.metrics import ServerMetrics
 from repro.serving.policy import ServingPolicy, resolve_policy
-from repro.serving.request import Request, RequestQueue, RequestTimedOut
+from repro.serving.request import DEFAULT_PRIORITY, Request, RequestQueue, RequestTimedOut
 from repro.serving.workers import ReplicatedRunner
 from repro.utils.logging import get_logger
 
@@ -55,6 +55,9 @@ class Scheduler:
         ``> 1`` shards large batches over per-process model replicas.
     metrics:
         Shared telemetry sink; a fresh one is created when omitted.
+    starvation_ms:
+        Aging bound of the priority queue: a queued request older than this
+        is served ahead of the priority order (``None``: strict priority).
     """
 
     def __init__(
@@ -65,6 +68,7 @@ class Scheduler:
         max_wait_ms: float = 5.0,
         n_workers: int = 1,
         metrics: Optional[ServerMetrics] = None,
+        starvation_ms: Optional[float] = 2000.0,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -74,7 +78,7 @@ class Scheduler:
         self.policy = resolve_policy(policy)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
-        self.queue = RequestQueue()
+        self.queue = RequestQueue(starvation_ms=starvation_ms)
         board = deployment.board
         self.metrics = metrics or ServerMetrics(
             baseline_cycles_per_sample=deployment.baseline_cycles_per_sample,
@@ -126,12 +130,20 @@ class Scheduler:
         self.stop()
 
     # ------------------------------------------------------------------ submission
-    def submit(self, x: np.ndarray, timeout_ms: Optional[float] = None) -> Request:
+    def submit(
+        self,
+        x: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: str = DEFAULT_PRIORITY,
+    ) -> Request:
         """Enqueue one input sample; returns the in-flight request.
 
         ``timeout_ms`` arms a per-request deadline: a request still queued
         when it expires is shed with
         :class:`~repro.serving.request.RequestTimedOut` instead of executed.
+        ``priority`` picks the request's class (``interactive`` jumps the
+        queue, ``batch`` yields to everything younger than the starvation
+        bound).
         """
         if not self.running:
             raise SchedulerStopped("cannot submit to a stopped scheduler")
@@ -140,7 +152,7 @@ class Scheduler:
             raise ValueError(
                 f"expected a sample of shape {self.deployment.qmodel.input_shape}, got {x.shape}"
             )
-        request = Request(x, timeout_ms=timeout_ms)
+        request = Request(x, timeout_ms=timeout_ms, priority=priority)
         self.queue.put(request)
         if self._stop.is_set():
             # A stop() raced this submit past the running check; its drain may
@@ -151,9 +163,17 @@ class Scheduler:
                 self.metrics.record_failure(failed)
         return request
 
-    def submit_many(self, xs: np.ndarray, timeout_ms: Optional[float] = None) -> List[Request]:
+    def submit_many(
+        self,
+        xs: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: str = DEFAULT_PRIORITY,
+    ) -> List[Request]:
         """Enqueue a batch of samples as individual requests (FIFO order)."""
-        return [self.submit(x, timeout_ms=timeout_ms) for x in np.asarray(xs, dtype=np.float32)]
+        return [
+            self.submit(x, timeout_ms=timeout_ms, priority=priority)
+            for x in np.asarray(xs, dtype=np.float32)
+        ]
 
     # ------------------------------------------------------------------ core loop
     def _run_loop(self) -> None:
@@ -177,7 +197,7 @@ class Scheduler:
                         "deadline while queued"
                     )
                 )
-            self.metrics.record_shed(len(expired))
+                self.metrics.record_shed(priority=request.priority)
             batch = [request for request in batch if not request.done]
             if not batch:
                 return
@@ -205,5 +225,9 @@ class Scheduler:
             request.complete(int(prediction), level.name, service_ms)
             latencies.append((finished - request.enqueued_at) * 1e3)
         self.metrics.record_batch(
-            level.name, len(batch), latencies, cycles_per_sample=level.cycles_per_sample
+            level.name,
+            len(batch),
+            latencies,
+            cycles_per_sample=level.cycles_per_sample,
+            priorities=[request.priority for request in batch],
         )

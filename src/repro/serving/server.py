@@ -1,4 +1,4 @@
-"""Stdlib-only HTTP front end over the batching scheduler.
+"""Stdlib-only threaded HTTP front end over the batching scheduler.
 
 A ``ThreadingHTTPServer`` accepts concurrent connections; every handler
 thread only enqueues requests and blocks on their completion events, so
@@ -6,10 +6,19 @@ concurrent HTTP clients are exactly what feeds the scheduler's coalescing
 window -- more simultaneous callers means bigger batches, not more model
 invocations.  No dependencies beyond ``http.server`` and ``json``.
 
+The endpoint logic (payload validation, response shapes, error mapping) is
+shared with the asyncio front
+(:class:`~repro.serving.async_server.AsyncPredictionServer`) through the
+module-level helpers below -- the two fronts differ only in how they wait
+for request completion (blocking on the event vs awaiting a loop future).
+Fronts are pluggable through :data:`repro.registry.FRONTS`; this one is
+registered as ``"thread"``.
+
 Endpoints::
 
     POST /predict   {"inputs": [[...]] or [[[...]]],
-                     "timeout_ms": 50.0 (optional)}   -> predicted classes
+                     "timeout_ms": 50.0 (optional),
+                     "priority": "interactive" (optional)}  -> predicted classes
     GET  /metrics                                     -> ServerMetrics snapshot
     GET  /levels                                      -> service-level table
     GET  /healthz                                     -> liveness probe
@@ -21,11 +30,12 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.serving.request import RequestTimedOut
+from repro.registry import FRONTS
+from repro.serving.request import DEFAULT_PRIORITY, PRIORITIES, Request, RequestTimedOut
 from repro.serving.scheduler import Scheduler
 from repro.utils.logging import get_logger
 
@@ -35,6 +45,105 @@ logger = get_logger("serving.server")
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
+# --------------------------------------------------------------------------- shared endpoint logic
+def parse_predict_payload(
+    scheduler: Scheduler, payload: Dict[str, Any]
+) -> Tuple[Optional[Tuple[int, Dict[str, Any]]], Optional[np.ndarray], Optional[float], str]:
+    """Validate a ``POST /predict`` body against the scheduler's model.
+
+    Returns ``(error, xs, timeout_ms, priority)``: ``error`` is ``None`` on
+    success, otherwise an ``(http_status, response)`` pair and the remaining
+    fields are meaningless.  Shared by the threaded and asyncio fronts so a
+    malformed body gets the same 400 whichever front receives it.
+    """
+    inputs = payload.get("inputs")
+    if inputs is None:
+        return (400, {"error": "missing 'inputs' field"}), None, None, DEFAULT_PRIORITY
+    try:
+        xs = np.asarray(inputs, dtype=np.float32)
+    except (TypeError, ValueError):
+        return (400, {"error": "'inputs' is not a numeric array"}), None, None, DEFAULT_PRIORITY
+    sample_shape = scheduler.deployment.qmodel.input_shape
+    if xs.shape == sample_shape:
+        xs = xs[None, ...]
+    if xs.ndim != len(sample_shape) + 1 or xs.shape[1:] != sample_shape:
+        return (
+            (
+                400,
+                {
+                    "error": f"expected inputs of per-sample shape {list(sample_shape)}, "
+                    f"got array of shape {list(xs.shape)}"
+                },
+            ),
+            None,
+            None,
+            DEFAULT_PRIORITY,
+        )
+    timeout_ms = payload.get("timeout_ms")
+    if timeout_ms is not None:
+        if isinstance(timeout_ms, bool):  # bool passes float() -- reject explicitly
+            return (400, {"error": "'timeout_ms' is not a number"}), None, None, DEFAULT_PRIORITY
+        try:
+            timeout_ms = float(timeout_ms)
+        except (TypeError, ValueError):
+            return (400, {"error": "'timeout_ms' is not a number"}), None, None, DEFAULT_PRIORITY
+        if timeout_ms <= 0:
+            return (400, {"error": "'timeout_ms' must be positive"}), None, None, DEFAULT_PRIORITY
+    priority = payload.get("priority", DEFAULT_PRIORITY)
+    if not isinstance(priority, str) or priority not in PRIORITIES:
+        return (
+            (400, {"error": f"unknown priority {priority!r}; expected one of {list(PRIORITIES)}"}),
+            None,
+            None,
+            DEFAULT_PRIORITY,
+        )
+    return None, xs, timeout_ms, priority
+
+
+def predict_success_response(requests: List[Request]) -> Dict[str, Any]:
+    """Build the 200 body from a list of completed requests."""
+    return {
+        "classes": [request.prediction for request in requests],
+        "levels": [request.level_name for request in requests],
+        "priority": requests[0].priority if requests else DEFAULT_PRIORITY,
+        "wait_ms": [round(request.wait_ms, 3) for request in requests],
+        "service_ms": [round(request.service_ms, 3) for request in requests],
+    }
+
+
+def predict_error_response(error: BaseException) -> Tuple[int, Dict[str, Any]]:
+    """Map a serving-side failure to the (status, body) both fronts return."""
+    if isinstance(error, RequestTimedOut):
+        return 504, {"error": f"request shed: {error}"}
+    if isinstance(error, TimeoutError):
+        return 503, {"error": "prediction timed out"}
+    return 503, {"error": str(error)}
+
+
+def handle_introspection(scheduler: Scheduler, path: str) -> Tuple[int, Dict[str, Any]]:
+    """Execute one GET (``/healthz``, ``/metrics``, ``/levels``)."""
+    if path == "/healthz":
+        return 200, {"status": "ok" if scheduler.running else "stopped"}
+    if path == "/metrics":
+        snapshot = scheduler.metrics.snapshot(queue_depth=scheduler.queue.depth())
+        return 200, snapshot.as_dict()
+    if path == "/levels":
+        return 200, {"levels": scheduler.deployment.describe()}
+    return 404, {"error": f"unknown path {path!r}"}
+
+
+class _BacklogThreadingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server with a listen backlog sized for burst traffic.
+
+    The stdlib default backlog of 5 resets connections the moment a few
+    dozen clients connect at once -- precisely the burst the serving smoke
+    and benchmarks throw at the front.
+    """
+
+    request_queue_size = 128
+
+
+@FRONTS.register("thread")
 class PredictionServer:
     """HTTP front end: serve a running :class:`Scheduler` on a TCP port.
 
@@ -58,7 +167,7 @@ class PredictionServer:
         self.scheduler = scheduler
         self.request_timeout_s = float(request_timeout_s)
         handler = _make_handler(self)
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd = _BacklogThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 
@@ -112,62 +221,24 @@ class PredictionServer:
     # ------------------------------------------------------------------ request handling
     def handle_predict(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         """Execute one ``POST /predict`` body; returns (status, response)."""
-        inputs = payload.get("inputs")
-        if inputs is None:
-            return 400, {"error": "missing 'inputs' field"}
+        error, xs, timeout_ms, priority = parse_predict_payload(self.scheduler, payload)
+        if error is not None:
+            return error
         try:
-            xs = np.asarray(inputs, dtype=np.float32)
-        except (TypeError, ValueError):
-            return 400, {"error": "'inputs' is not a numeric array"}
-        sample_shape = self.scheduler.deployment.qmodel.input_shape
-        if xs.shape == sample_shape:
-            xs = xs[None, ...]
-        if xs.ndim != len(sample_shape) + 1 or xs.shape[1:] != sample_shape:
-            return 400, {
-                "error": f"expected inputs of per-sample shape {list(sample_shape)}, "
-                f"got array of shape {list(xs.shape)}"
-            }
-        timeout_ms = payload.get("timeout_ms")
-        if timeout_ms is not None:
-            if isinstance(timeout_ms, bool):  # bool passes float() -- reject explicitly
-                return 400, {"error": "'timeout_ms' is not a number"}
-            try:
-                timeout_ms = float(timeout_ms)
-            except (TypeError, ValueError):
-                return 400, {"error": "'timeout_ms' is not a number"}
-            if timeout_ms <= 0:
-                return 400, {"error": "'timeout_ms' must be positive"}
-        try:
-            requests = self.scheduler.submit_many(xs, timeout_ms=timeout_ms)
+            requests = self.scheduler.submit_many(xs, timeout_ms=timeout_ms, priority=priority)
             # One deadline for the whole body, not per request -- a stalled
             # scheduler must 503 after request_timeout_s, however many
             # samples the POST carried.
             deadline = time.monotonic() + self.request_timeout_s
             for request in requests:
                 request.result(timeout=max(deadline - time.monotonic(), 0.001))
-        except RequestTimedOut as error:
-            return 504, {"error": f"request shed: {error}"}
-        except TimeoutError:
-            return 503, {"error": "prediction timed out"}
-        except Exception as error:
-            return 503, {"error": str(error)}
-        return 200, {
-            "classes": [request.prediction for request in requests],
-            "levels": [request.level_name for request in requests],
-            "wait_ms": [round(request.wait_ms, 3) for request in requests],
-            "service_ms": [round(request.service_ms, 3) for request in requests],
-        }
+        except Exception as failure:
+            return predict_error_response(failure)
+        return 200, predict_success_response(requests)
 
     def handle_get(self, path: str) -> Tuple[int, Dict[str, Any]]:
         """Execute one GET; returns (status, response)."""
-        if path == "/healthz":
-            return 200, {"status": "ok" if self.scheduler.running else "stopped"}
-        if path == "/metrics":
-            snapshot = self.scheduler.metrics.snapshot(queue_depth=self.scheduler.queue.depth())
-            return 200, snapshot.as_dict()
-        if path == "/levels":
-            return 200, {"levels": self.scheduler.deployment.describe()}
-        return 404, {"error": f"unknown path {path!r}"}
+        return handle_introspection(self.scheduler, path)
 
 
 def _make_handler(server: PredictionServer):
@@ -190,19 +261,24 @@ def _make_handler(server: PredictionServer):
             self._respond(status, payload)
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except ValueError:
+                self.close_connection = True
+                self._respond(400, {"error": "malformed Content-Length header"})
+                return
+            if length <= 0 or length > MAX_BODY_BYTES:
+                self.close_connection = True
+                self._respond(400, {"error": "missing or oversized request body"})
+                return
+            # Read the body before any routing: leaving it unread would
+            # desync the next request on a keep-alive connection.
+            raw = self.rfile.read(length)
             if self.path != "/predict":
                 self._respond(404, {"error": f"unknown path {self.path!r}"})
                 return
             try:
-                length = int(self.headers.get("Content-Length", 0))
-            except ValueError:
-                self._respond(400, {"error": "malformed Content-Length header"})
-                return
-            if length <= 0 or length > MAX_BODY_BYTES:
-                self._respond(400, {"error": "missing or oversized request body"})
-                return
-            try:
-                payload = json.loads(self.rfile.read(length).decode("utf-8"))
+                payload = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
                 self._respond(400, {"error": "request body is not valid JSON"})
                 return

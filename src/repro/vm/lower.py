@@ -16,13 +16,13 @@ compiler folds it into the generated code's bias table -- the emitted
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.codegen import LayerPlan, plan_layer
 from repro.core.unpacking import UnpackedLayer, unpack_model
-from repro.quant.qlayers import QConv2D, QDense, QLayer
+from repro.quant.qlayers import QConv2D, QDense
 from repro.quant.qmodel import QuantizedModel
 from repro.vm.ir import Instruction, LayerProgram, ModelProgram, Opcode
 

@@ -115,6 +115,34 @@ class CalibrationReport:
             "hybrid_total_cycles": self.hybrid_total_cycles,
         }
 
+    def suggested_cost_overrides(self) -> Dict[str, float]:
+        """Trace-calibrated ``UNPACKED`` parameter overrides.
+
+        Scales the style's ``cycles_per_mac`` and ``cycles_per_output`` by
+        the overall traced/analytic ratio of the lowered layers -- the two
+        terms that dominate the lowered layers' analytic estimate, and the
+        ones the per-instruction traces show undershooting (~1.3x on
+        LeNet-class models).  Apply through
+        :func:`repro.isa.cost_model.set_cost_param_overrides` so the
+        calibration is opt-in and the Table-II-calibrated defaults stay
+        untouched::
+
+            set_cost_param_overrides(ExecutionStyle.UNPACKED,
+                                     **report.suggested_cost_overrides())
+        """
+        from repro.isa.cost_model import COST_PARAMS, ExecutionStyle
+
+        params = COST_PARAMS[ExecutionStyle.UNPACKED]
+        ratio = self.ratio
+        if not np.isfinite(ratio) or ratio <= 0:
+            raise ValueError(
+                f"cannot derive overrides from a degenerate traced/analytic ratio ({ratio!r})"
+            )
+        return {
+            "cycles_per_mac": params.cycles_per_mac * ratio,
+            "cycles_per_output": params.cycles_per_output * ratio,
+        }
+
 
 def calibrate_cycle_model(
     qmodel: QuantizedModel,

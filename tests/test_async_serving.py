@@ -1,0 +1,209 @@
+"""Tests of the asyncio HTTP front end.
+
+The asyncio front must be drop-in interchangeable with the threaded front:
+same endpoints, same validation, same error mapping, same results.  The
+equivalence tests drive identical traffic through both fronts and compare.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.registry import FRONTS
+from repro.serving import (
+    AsyncPredictionServer,
+    Deployment,
+    HTTPClient,
+    PredictionServer,
+    Scheduler,
+)
+
+
+@pytest.fixture(scope="module")
+def deployment(tiny_qmodel, tiny_pipeline_result):
+    """A two-level deployment (exact + aggressive) for the front tests."""
+    points = [
+        {"label": "exact", "taus": {}, "accuracy": 0.9},
+        {"label": "aggressive", "taus": {"conv1": 0.2, "conv2": 0.2}, "accuracy": 0.7},
+    ]
+    return Deployment.from_points(
+        tiny_qmodel,
+        points,
+        tiny_pipeline_result.significance,
+        unpacked=tiny_pipeline_result.unpacked,
+    )
+
+
+def _post_raw(url: str, body: bytes, path: str = "/predict"):
+    request = urllib.request.Request(
+        url + path, data=body, headers={"Content-Type": "application/json"}, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestAsyncFrontEquivalence:
+    def test_round_trip_matches_threaded_front_and_kernels(self, deployment, small_split):
+        xs = small_split.test.images[:6]
+        expected = deployment.qmodel.predict_classes(xs, masks=None)
+        answers = {}
+        for name, front_cls in (("thread", PredictionServer), ("asyncio", AsyncPredictionServer)):
+            with Scheduler(deployment, policy="fixed", max_batch_size=8, max_wait_ms=5) as sched:
+                with front_cls(sched) as server:
+                    answers[name] = HTTPClient(server.url).predict_classes(xs)
+        np.testing.assert_array_equal(answers["thread"], expected)
+        np.testing.assert_array_equal(answers["asyncio"], expected)
+
+    def test_registered_in_fronts_registry(self):
+        assert FRONTS.resolve("asyncio") is AsyncPredictionServer
+        assert FRONTS.resolve("thread") is PredictionServer
+
+    def test_introspection_endpoints(self, deployment):
+        with Scheduler(deployment) as scheduler:
+            with AsyncPredictionServer(scheduler, port=0) as server:
+                client = HTTPClient(server.url)
+                assert client.health() == "ok"
+                metrics = client.metrics()
+                assert "per_priority" in metrics and "requests_completed" in metrics
+                levels = client.levels()
+                assert [entry["name"] for entry in levels] == [
+                    level.name for level in deployment.levels
+                ]
+
+    def test_rejects_bad_inputs_like_threaded_front(self, deployment):
+        with Scheduler(deployment) as scheduler:
+            with AsyncPredictionServer(scheduler, port=0) as server:
+                assert _post_raw(server.url, b"not json")[0] == 400
+                assert _post_raw(server.url, b"{}")[0] == 400
+                status, payload = _post_raw(
+                    server.url, json.dumps({"inputs": [[1, 2], [3, 4]]}).encode()
+                )
+                assert status == 400 and "shape" in payload["error"]
+                sample = np.zeros(deployment.qmodel.input_shape, np.float32).tolist()
+                status, payload = _post_raw(
+                    server.url,
+                    json.dumps({"inputs": sample, "priority": "vip"}).encode(),
+                )
+                assert status == 400 and "priority" in payload["error"]
+                status, _ = _post_raw(
+                    server.url, json.dumps({"inputs": sample, "timeout_ms": -1}).encode()
+                )
+                assert status == 400
+                assert _post_raw(server.url, b'{"inputs": []}', path="/nope")[0] == 404
+
+    def test_priority_tag_round_trips(self, deployment, small_split):
+        xs = small_split.test.images[:2]
+        with Scheduler(deployment) as scheduler:
+            with AsyncPredictionServer(scheduler, port=0) as server:
+                client = HTTPClient(server.url)
+                body = client.predict(xs, priority="interactive")
+                assert body["priority"] == "interactive"
+                assert len(body["classes"]) == 2
+                stats = client.metrics()["per_priority"]
+                assert stats["interactive"]["completed"] == 2
+
+
+class TestAsyncFrontProtocol:
+    def test_keep_alive_serves_multiple_requests_per_connection(self, deployment, small_split):
+        sample = small_split.test.images[0].tolist()
+        with Scheduler(deployment) as scheduler:
+            with AsyncPredictionServer(scheduler, port=0) as server:
+                connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+                try:
+                    for _ in range(3):  # same socket, three requests
+                        body = json.dumps({"inputs": sample}).encode()
+                        connection.request(
+                            "POST", "/predict", body=body,
+                            headers={"Content-Type": "application/json"},
+                        )
+                        response = connection.getresponse()
+                        assert response.status == 200
+                        payload = json.loads(response.read())
+                        assert len(payload["classes"]) == 1
+                finally:
+                    connection.close()
+
+    def test_connection_close_honoured(self, deployment):
+        with Scheduler(deployment) as scheduler:
+            with AsyncPredictionServer(scheduler, port=0) as server:
+                connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+                try:
+                    connection.request("GET", "/healthz", headers={"Connection": "close"})
+                    response = connection.getresponse()
+                    assert response.status == 200
+                    assert response.getheader("Connection") == "close"
+                finally:
+                    connection.close()
+
+    @pytest.mark.parametrize("front_cls", [AsyncPredictionServer, PredictionServer])
+    def test_unread_error_body_does_not_desync_keepalive(self, deployment, small_split, front_cls):
+        # Regression: a POST with a body to an unknown path must not leave the
+        # body bytes in the stream -- the next request on the same keep-alive
+        # connection would be parsed out of the middle of it.
+        sample = small_split.test.images[0].tolist()
+        body = json.dumps({"inputs": sample}).encode()
+        with Scheduler(deployment) as scheduler:
+            with front_cls(scheduler, port=0) as server:
+                connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+                try:
+                    connection.request(
+                        "POST", "/predictt", body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    assert response.status == 404
+                    response.read()
+                    # Same socket: the follow-up valid request must succeed.
+                    connection.request(
+                        "POST", "/predict", body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    assert response.status == 200
+                    assert len(json.loads(response.read())["classes"]) == 1
+                finally:
+                    connection.close()
+
+    def test_unsupported_method_is_404(self, deployment):
+        with Scheduler(deployment) as scheduler:
+            with AsyncPredictionServer(scheduler, port=0) as server:
+                connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+                try:
+                    connection.request("PUT", "/predict", body=b"{}")
+                    assert connection.getresponse().status == 404
+                finally:
+                    connection.close()
+
+    def test_concurrent_clients_all_answered(self, deployment, small_split):
+        xs = small_split.test.images[:16]
+        expected = deployment.qmodel.predict_classes(xs, masks=None)
+        with Scheduler(deployment, policy="fixed", max_batch_size=16, max_wait_ms=5) as scheduler:
+            with AsyncPredictionServer(scheduler, port=0) as server:
+                client = HTTPClient(server.url)
+
+                def call(i: int) -> int:
+                    return int(client.predict_classes(xs[i])[0])
+
+                with ThreadPoolExecutor(max_workers=16) as pool:
+                    answers = list(pool.map(call, range(len(xs))))
+        np.testing.assert_array_equal(np.asarray(answers), expected)
+
+    def test_stop_is_idempotent_and_restart_rejected(self, deployment):
+        with Scheduler(deployment) as scheduler:
+            server = AsyncPredictionServer(scheduler, port=0).start()
+            port = server.port
+            assert port > 0
+            server.stop()
+            server.stop()  # second stop is a no-op
+            with pytest.raises(RuntimeError):
+                server.start()

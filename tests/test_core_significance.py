@@ -8,7 +8,6 @@ import pytest
 from repro.core import (
     CODE_SIZE_MODEL,
     ActivationCalibrator,
-    UnpackedLayer,
     compute_layer_significance,
     compute_significance,
     unpack_layer,

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.core import (
     ApproxConfig,
     DSEConfig,
-    DesignPoint,
     Granularity,
     LayerApproxSpec,
     build_model_masks,

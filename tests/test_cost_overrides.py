@@ -1,0 +1,136 @@
+"""Tests of the cost-parameter override hooks (trace-calibration satellite).
+
+The ``UNPACKED`` analytic model is known to undershoot the VM's traced
+cycles; the override hooks let ``cycle_source="traced"`` calibration raise
+``cycles_per_mac``/``cycles_per_output`` *opt-in* without shifting the
+Table-II-calibrated defaults that every baseline ratio depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.cost_model import (
+    COST_PARAMS,
+    ExecutionStyle,
+    KernelCostModel,
+    clear_cost_param_overrides,
+    effective_cost_params,
+    get_cost_param_overrides,
+    set_cost_param_overrides,
+)
+from repro.kernels.cycle_counters import CycleCounter, KernelStats
+from repro.vm.verify import CalibrationReport, LayerCalibration
+
+
+@pytest.fixture(autouse=True)
+def _clean_overrides():
+    """Every test starts and ends with pristine defaults."""
+    clear_cost_param_overrides()
+    yield
+    clear_cost_param_overrides()
+
+
+def _counted_counter() -> CycleCounter:
+    counter = CycleCounter()
+    counter.record("conv1", KernelStats(macs=1000, output_elements=64))
+    return counter
+
+
+class TestOverrideRoundTrip:
+    def test_set_then_clear_restores_defaults(self):
+        default = effective_cost_params(ExecutionStyle.UNPACKED)
+        boosted = set_cost_param_overrides(
+            ExecutionStyle.UNPACKED, cycles_per_mac=2.70, cycles_per_output=16.0
+        )
+        assert boosted.cycles_per_mac == pytest.approx(2.70)
+        assert boosted.cycles_per_output == pytest.approx(16.0)
+        assert effective_cost_params(ExecutionStyle.UNPACKED) == boosted
+        clear_cost_param_overrides(ExecutionStyle.UNPACKED)
+        assert effective_cost_params(ExecutionStyle.UNPACKED) == default
+
+    def test_defaults_never_mutate(self):
+        before = COST_PARAMS[ExecutionStyle.UNPACKED]
+        set_cost_param_overrides(ExecutionStyle.UNPACKED, cycles_per_mac=99.0)
+        assert COST_PARAMS[ExecutionStyle.UNPACKED] is before
+        assert before.cycles_per_mac == pytest.approx(2.05)
+
+    def test_only_named_fields_change(self):
+        default = COST_PARAMS[ExecutionStyle.UNPACKED]
+        boosted = set_cost_param_overrides(ExecutionStyle.UNPACKED, cycles_per_mac=2.70)
+        assert boosted.cycles_per_output == default.cycles_per_output
+        assert boosted.cycles_per_layer == default.cycles_per_layer
+
+    def test_repeated_calls_merge(self):
+        set_cost_param_overrides(ExecutionStyle.UNPACKED, cycles_per_mac=2.70)
+        set_cost_param_overrides(ExecutionStyle.UNPACKED, cycles_per_output=16.0)
+        assert get_cost_param_overrides(ExecutionStyle.UNPACKED) == {
+            "cycles_per_mac": 2.70,
+            "cycles_per_output": 16.0,
+        }
+
+    def test_unknown_field_rejected_without_side_effects(self):
+        with pytest.raises(TypeError):
+            set_cost_param_overrides(ExecutionStyle.UNPACKED, cycles_per_flux_capacitor=1.21)
+        assert get_cost_param_overrides(ExecutionStyle.UNPACKED) == {}
+
+    def test_styles_are_independent(self):
+        set_cost_param_overrides(ExecutionStyle.UNPACKED, cycles_per_mac=2.70)
+        assert effective_cost_params(ExecutionStyle.CMSIS_PACKED) == COST_PARAMS[
+            ExecutionStyle.CMSIS_PACKED
+        ]
+
+    def test_clear_all(self):
+        set_cost_param_overrides(ExecutionStyle.UNPACKED, cycles_per_mac=2.70)
+        set_cost_param_overrides(ExecutionStyle.CMSIS_PACKED, cycles_per_mac=2.00)
+        clear_cost_param_overrides()
+        assert get_cost_param_overrides(ExecutionStyle.UNPACKED) == {}
+        assert get_cost_param_overrides(ExecutionStyle.CMSIS_PACKED) == {}
+
+
+class TestModelIntegration:
+    def test_models_pick_up_active_overrides(self):
+        counter = _counted_counter()
+        baseline = KernelCostModel(ExecutionStyle.UNPACKED).estimate_cycles(counter)
+        set_cost_param_overrides(ExecutionStyle.UNPACKED, cycles_per_mac=2.05 * 1.3)
+        calibrated = KernelCostModel(ExecutionStyle.UNPACKED).estimate_cycles(counter)
+        assert calibrated == pytest.approx(baseline + 1000 * 2.05 * 0.3)
+        clear_cost_param_overrides(ExecutionStyle.UNPACKED)
+        assert KernelCostModel(ExecutionStyle.UNPACKED).estimate_cycles(counter) == pytest.approx(
+            baseline
+        )
+
+    def test_explicit_params_beat_overrides(self):
+        set_cost_param_overrides(ExecutionStyle.UNPACKED, cycles_per_mac=99.0)
+        explicit = COST_PARAMS[ExecutionStyle.UNPACKED]
+        model = KernelCostModel(ExecutionStyle.UNPACKED, params=explicit)
+        assert model.params.cycles_per_mac == pytest.approx(2.05)
+
+
+class TestCalibrationSuggestions:
+    def _report(self, traced: float, analytic: float) -> CalibrationReport:
+        return CalibrationReport(
+            model_name="m",
+            label="l",
+            layers=[LayerCalibration(name="conv1", traced_cycles=traced, analytic_cycles=analytic)],
+        )
+
+    def test_suggested_overrides_scale_by_ratio(self):
+        report = self._report(traced=1300.0, analytic=1000.0)
+        overrides = report.suggested_cost_overrides()
+        assert overrides["cycles_per_mac"] == pytest.approx(2.05 * 1.3)
+        assert overrides["cycles_per_output"] == pytest.approx(12.0 * 1.3)
+
+    def test_suggested_overrides_apply_cleanly(self):
+        report = self._report(traced=1300.0, analytic=1000.0)
+        params = set_cost_param_overrides(
+            ExecutionStyle.UNPACKED, **report.suggested_cost_overrides()
+        )
+        assert params.cycles_per_mac == pytest.approx(2.05 * 1.3)
+        # The untouched fields keep the Table-II calibration.
+        assert params.cycles_per_layer == COST_PARAMS[ExecutionStyle.UNPACKED].cycles_per_layer
+
+    def test_degenerate_ratio_rejected(self):
+        report = self._report(traced=1300.0, analytic=0.0)
+        with pytest.raises(ValueError):
+            report.suggested_cost_overrides()

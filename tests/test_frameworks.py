@@ -8,7 +8,6 @@ import pytest
 from repro.core import build_model_masks
 from repro.frameworks import (
     AtamanEngine,
-    BaseEngine,
     CMSISNNEngine,
     CMixNNEngine,
     MicroTVMEngine,

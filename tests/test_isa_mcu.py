@@ -17,7 +17,6 @@ from repro.isa import (
 )
 from repro.kernels import CycleCounter, KernelStats
 from repro.mcu import DeploymentError, FlashBudget, MemoryLayout, RamBudget, deploy, energy_mj
-from repro.mcu.memory import FlashBudget as FB
 
 
 class TestBoardProfiles:

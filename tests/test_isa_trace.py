@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.isa import (
     COST_PARAMS,
     ExecutionStyle,
-    InstructionTrace,
     OPCODE_CYCLES,
     effective_cycles_per_mac,
     trace_model_cycles,

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.models import build_micro_cnn, build_tiny_cnn, build_tiny_mlp
-from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.nn import Dense, ReLU, Sequential
 
 
 @pytest.fixture

@@ -5,10 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.models import build_tiny_cnn
-from repro.nn import BatchNorm, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential, Softmax
+from repro.nn import BatchNorm, Conv2D, Dense, Flatten, ReLU, Sequential, Softmax
 from repro.nn.layers.dropout import Dropout
-from repro.quant import PTQConfig, QConv2D, QDense, QuantizedModel, quantize_model
+from repro.quant import PTQConfig, QConv2D, QDense, quantize_model
 from repro.quant.folding import fold_batchnorm, fold_model
 from repro.quant.qlayers import QFlatten, QMaxPool2D, QReLU
 from repro.quant.quantizer import _quantize_conv_weights, _quantize_dense_weights

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.quant import FixedPointMultiplier, quantize_multiplier, requantize, requantize_float, saturate_int8
+from repro.quant import quantize_multiplier, requantize, requantize_float, saturate_int8
 
 
 class TestQuantizeMultiplier:

@@ -27,6 +27,7 @@ from repro.serving import (
     Scheduler,
     SchedulerStopped,
     ServerMetrics,
+    priority_rank,
     resolve_policy,
 )
 from repro.serving.metrics import MetricsSnapshot
@@ -52,6 +53,143 @@ def deployment(tiny_qmodel, tiny_pipeline_result):
 
 def _sample_images(split, n):
     return split.test.images[:n]
+
+
+# --------------------------------------------------------------------------- priority scheduling
+class TestPriorityScheduling:
+    def _x(self):
+        return np.zeros((4, 4, 1), dtype=np.float32)
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError, match="priority"):
+            Request(self._x(), priority="vip")
+        assert priority_rank("interactive") < priority_rank("standard") < priority_rank("batch")
+
+    def test_batch_fills_in_priority_order(self):
+        # "Coalesce within a class before spilling down": a mixed backlog pops
+        # interactive first, then standard, then batch -- FIFO inside a class.
+        queue = RequestQueue(starvation_ms=None)
+        submitted = [
+            Request(self._x(), priority=p)
+            for p in ("batch", "standard", "interactive", "batch", "interactive", "standard")
+        ]
+        for request in submitted:
+            queue.put(request)
+        batch = queue.get_batch(6, max_wait_ms=0)
+        assert [r.priority for r in batch] == [
+            "interactive", "interactive", "standard", "standard", "batch", "batch"
+        ]
+        # FIFO within each class: ids increase inside every priority run.
+        interactive = [r.id for r in batch if r.priority == "interactive"]
+        assert interactive == sorted(interactive)
+
+    def test_higher_class_drained_before_spilling(self):
+        queue = RequestQueue(starvation_ms=None)
+        for _ in range(3):
+            queue.put(Request(self._x(), priority="interactive"))
+        for _ in range(5):
+            queue.put(Request(self._x(), priority="batch"))
+        # A batch smaller than the backlog takes every interactive request
+        # and only then spills into the batch class.
+        popped = queue.get_batch(4, max_wait_ms=0)
+        assert [r.priority for r in popped] == ["interactive"] * 3 + ["batch"]
+        assert queue.depth_by_priority() == {"interactive": 0, "standard": 0, "batch": 4}
+
+    def test_starved_batch_request_jumps_the_priority_order(self):
+        queue = RequestQueue(starvation_ms=40.0)
+        old = Request(self._x(), priority="batch")
+        queue.put(old)
+        time.sleep(0.06)  # let it cross the starvation bound
+        for _ in range(4):
+            queue.put(Request(self._x(), priority="interactive"))
+        batch = queue.get_batch(3, max_wait_ms=0)
+        assert batch[0] is old, "aged-out batch request must be served first"
+        assert [r.priority for r in batch[1:]] == ["interactive", "interactive"]
+
+    def test_strict_priority_without_aging(self):
+        queue = RequestQueue(starvation_ms=None)
+        old = Request(self._x(), priority="batch")
+        queue.put(old)
+        time.sleep(0.02)
+        queue.put(Request(self._x(), priority="interactive"))
+        assert queue.get_batch(1, max_wait_ms=0)[0].priority == "interactive"
+        with pytest.raises(ValueError):
+            RequestQueue(starvation_ms=0)
+
+    def test_starvation_bound_under_sustained_interactive_load(self, deployment, small_split):
+        # Satellite acceptance: batch-class requests still complete while
+        # interactive traffic never lets the high-priority queue drain.
+        xs = _sample_images(small_split, 8)
+        stop_feeding = threading.Event()
+
+        with Scheduler(
+            deployment, max_batch_size=4, max_wait_ms=1, starvation_ms=100.0
+        ) as scheduler:
+            client = Client(scheduler, timeout_s=30.0)
+
+            def interactive_pressure():
+                while not stop_feeding.is_set():
+                    client.predict(xs[0], priority="interactive")
+
+            feeders = [threading.Thread(target=interactive_pressure, daemon=True) for _ in range(3)]
+            for feeder in feeders:
+                feeder.start()
+            time.sleep(0.05)  # pressure established before the bulk arrives
+            try:
+                bulk = [client.submit(x, priority="batch") for x in xs]
+                # Every bulk request completes well within a few starvation
+                # periods despite the interactive firehose.
+                predictions = [request.result(timeout=10.0) for request in bulk]
+                assert len(predictions) == len(xs)
+            finally:
+                stop_feeding.set()
+                for feeder in feeders:
+                    feeder.join(timeout=5.0)
+            snapshot = scheduler.metrics.snapshot()
+        assert snapshot.per_priority["batch"]["completed"] == len(xs)
+        assert snapshot.per_priority["interactive"]["completed"] > 0
+
+    def test_interactive_overtakes_bulk_backlog(self, deployment, small_split):
+        # With a deep batch-class backlog, an interactive arrival rides one of
+        # the next few coalesced batches instead of waiting out the queue.
+        xs = _sample_images(small_split, 8)
+        with Scheduler(deployment, max_batch_size=2, max_wait_ms=1) as scheduler:
+            client = Client(scheduler, timeout_s=30.0)
+            bulk = [client.submit(xs[i % len(xs)], priority="batch") for i in range(24)]
+            urgent = client.submit(xs[0], priority="interactive")
+            urgent.result(timeout=30.0)
+            for request in bulk:
+                request.result(timeout=30.0)
+            # The urgent request waited less than the median bulk request.
+            bulk_waits = sorted(r.wait_ms for r in bulk)
+            assert urgent.wait_ms < bulk_waits[len(bulk_waits) // 2]
+
+    def test_shedding_attributed_to_priority_class(self, deployment, small_split):
+        xs = _sample_images(small_split, 3)
+        scheduler = Scheduler(deployment, max_batch_size=8, max_wait_ms=1)
+        doomed = Request(xs[0], timeout_ms=0.001, priority="batch")
+        scheduler.queue.put(doomed)
+        live = [Request(x, priority="interactive") for x in xs]
+        for request in live:
+            scheduler.queue.put(request)
+        time.sleep(0.002)
+        scheduler.start()
+        try:
+            for request in live:
+                request.result(timeout=10.0)
+            with pytest.raises(RequestTimedOut):
+                doomed.result(timeout=5.0)
+            deadline = time.monotonic() + 5.0
+            while scheduler.metrics.snapshot().requests_shed < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            stats = scheduler.metrics.snapshot().per_priority
+            assert stats["batch"]["shed"] == 1
+            assert stats["batch"]["completed"] == 0
+            assert stats["interactive"]["completed"] == len(xs)
+            assert stats["interactive"]["shed"] == 0
+        finally:
+            scheduler.stop()
 
 
 # --------------------------------------------------------------------------- request queue
@@ -160,7 +298,11 @@ class TestPolicies:
         assert policy.current == 0
 
     def test_latency_slo_transitions(self, deployment):
-        policy = LatencySLOPolicy(slo_ms=50.0, low_watermark=0.5, min_samples=4)
+        # alpha=1 (no smoothing) + patience=1 + no cooldown reproduces the
+        # plain threshold stepping; the control-loop extras are tested below.
+        policy = LatencySLOPolicy(
+            slo_ms=50.0, low_watermark=0.5, min_samples=4, alpha=1.0, patience=1, cooldown=0
+        )
         # Too few samples: hold at the accurate end.
         assert policy.select(deployment.levels, _snapshot(requests_completed=1, p95_latency_ms=500)) == 0
         # Above the SLO: escalate one level per batch.
@@ -170,6 +312,63 @@ class TestPolicies:
         assert policy.select(deployment.levels, _snapshot(requests_completed=30, p95_latency_ms=40)) == 2
         # Below the low watermark: relax.
         assert policy.select(deployment.levels, _snapshot(requests_completed=40, p95_latency_ms=10)) == 1
+
+    def test_latency_slo_ewma_ignores_single_spike(self, deployment):
+        # One outlier batch must not move the level: the EWMA absorbs it and
+        # the patience counter never reaches its threshold.
+        policy = LatencySLOPolicy(
+            slo_ms=50.0, low_watermark=0.5, min_samples=1, alpha=0.1, patience=2, cooldown=0
+        )
+        for _ in range(5):  # settle the tracker well inside the dead band
+            policy.select(deployment.levels, _snapshot(requests_completed=10, p95_latency_ms=40))
+        # A 3x spike moves the tracker to 0.1*120 + 0.9*40 = 48 ms -- still
+        # under the SLO, so the level holds (alpha=1.0 would have escalated).
+        assert policy.select(deployment.levels, _snapshot(requests_completed=20, p95_latency_ms=120)) == 0
+        assert policy.select(deployment.levels, _snapshot(requests_completed=30, p95_latency_ms=40)) == 0
+        assert policy.ewma_p95_ms is not None and policy.ewma_p95_ms < 50
+
+    def test_latency_slo_sustained_breach_escalates_once_per_patience(self, deployment):
+        policy = LatencySLOPolicy(
+            slo_ms=50.0, low_watermark=0.5, min_samples=1, alpha=1.0, patience=2, cooldown=0
+        )
+        # First breach: patience not yet exhausted -> hold.
+        assert policy.select(deployment.levels, _snapshot(requests_completed=10, p95_latency_ms=90)) == 0
+        # Second consecutive breach: step one level.
+        assert policy.select(deployment.levels, _snapshot(requests_completed=20, p95_latency_ms=90)) == 1
+        # The streak reset on the switch: the next breach is #1 again.
+        assert policy.select(deployment.levels, _snapshot(requests_completed=30, p95_latency_ms=90)) == 1
+        assert policy.select(deployment.levels, _snapshot(requests_completed=40, p95_latency_ms=90)) == 2
+
+    def test_latency_slo_cooldown_blocks_back_to_back_switches(self, deployment):
+        policy = LatencySLOPolicy(
+            slo_ms=50.0, low_watermark=0.5, min_samples=1, alpha=1.0, patience=1, cooldown=2
+        )
+        assert policy.select(deployment.levels, _snapshot(requests_completed=10, p95_latency_ms=90)) == 1
+        # Inside the cooldown window (two full batches): breaches accumulate
+        # but the level holds.
+        assert policy.select(deployment.levels, _snapshot(requests_completed=20, p95_latency_ms=90)) == 1
+        assert policy.select(deployment.levels, _snapshot(requests_completed=30, p95_latency_ms=90)) == 1
+        # Cooldown over: the sustained breach finally steps again.
+        assert policy.select(deployment.levels, _snapshot(requests_completed=40, p95_latency_ms=90)) == 2
+
+    def test_latency_slo_cooldown_one_holds_one_batch(self, deployment):
+        # Regression: cooldown=1 must hold exactly one batch, not zero.
+        policy = LatencySLOPolicy(
+            slo_ms=50.0, low_watermark=0.5, min_samples=1, alpha=1.0, patience=1, cooldown=1
+        )
+        assert policy.select(deployment.levels, _snapshot(requests_completed=10, p95_latency_ms=90)) == 1
+        assert policy.select(deployment.levels, _snapshot(requests_completed=20, p95_latency_ms=90)) == 1
+        assert policy.select(deployment.levels, _snapshot(requests_completed=30, p95_latency_ms=90)) == 2
+
+    def test_latency_slo_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LatencySLOPolicy(alpha=0.0)
+        with pytest.raises(ValueError):
+            LatencySLOPolicy(alpha=1.5)
+        with pytest.raises(ValueError):
+            LatencySLOPolicy(patience=0)
+        with pytest.raises(ValueError):
+            LatencySLOPolicy(cooldown=-1)
 
 
 # --------------------------------------------------------------------------- deployment
@@ -402,6 +601,29 @@ class TestServerMetrics:
         assert snapshot.cycles_saved == pytest.approx(800.0)
         assert snapshot.mcu_ms_saved == pytest.approx(0.8)
         assert snapshot.as_dict()["per_level_requests"] == {"L0": 4, "L1": 2}
+
+    def test_per_priority_stats(self):
+        metrics = ServerMetrics()
+        metrics.record_batch(
+            "L0", 3, [10.0, 20.0, 30.0], priorities=["interactive", "batch", "batch"]
+        )
+        metrics.record_shed(2, priority="batch")
+        snapshot = metrics.snapshot()
+        stats = snapshot.per_priority
+        assert stats["interactive"]["completed"] == 1
+        assert stats["interactive"]["p95_latency_ms"] == pytest.approx(10.0)
+        assert stats["batch"]["completed"] == 2
+        assert stats["batch"]["shed"] == 2
+        assert stats["batch"]["p50_latency_ms"] == pytest.approx(20.0)
+        # Classes with no traffic stay out of the snapshot entirely.
+        assert "standard" not in stats
+        assert snapshot.as_dict()["per_priority"]["batch"]["shed"] == 2
+
+    def test_record_batch_without_priorities_counts_standard(self):
+        metrics = ServerMetrics()
+        metrics.record_batch("L0", 2, [5.0, 7.0])
+        stats = metrics.snapshot().per_priority
+        assert stats["standard"]["completed"] == 2
 
 
 # --------------------------------------------------------------------------- HTTP front
