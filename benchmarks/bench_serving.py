@@ -436,3 +436,85 @@ def test_bench_predict_classes_scratch_reuse(lenet_serving):
         "predict_classes_scratch",
         format_table(rows, title="predict_classes: im2col buffer strategy (LeNet, batch 64)"),
     )
+
+
+def test_bench_traced_deployment_build(context):
+    """Build-time regression gate: a traced deployment lowers the model ONCE.
+
+    ``cycle_source="traced"`` used to re-run ``lower_model`` plus a probe
+    forward per Pareto level -- an O(levels x model) build.  The rebuilt path
+    lowers the whole graph once, re-masks only the conv programs per level
+    and costs each level from static trace geometry.  The hard gate is the
+    call count; the timing assertion keeps the build under the old path's
+    floor (``levels`` full lowerings), with the measured ratio recorded for
+    the CI perf gate.
+    """
+    artifacts = context.build_model("lenet")
+    qmodel, result = artifacts.qmodel, artifacts.result
+    conv_names = [layer.name for layer in qmodel.conv_layers()]
+    taus = [0.01, 0.02, 0.04, 0.08, 0.16]
+    points = [{"label": "exact", "taus": {}, "accuracy": 1.0}] + [
+        {
+            "label": f"tau={tau}",
+            "taus": {name: tau for name in conv_names},
+            "accuracy": 1.0 - 0.02 * i,
+        }
+        for i, tau in enumerate(taus, start=1)
+    ]
+
+    from repro.vm import lower as vm_lower
+
+    calls = {"lower_model": 0}
+    original = vm_lower.lower_model
+
+    def counting_lower_model(*args, **kwargs):
+        calls["lower_model"] += 1
+        return original(*args, **kwargs)
+
+    vm_lower.lower_model = counting_lower_model
+    try:
+        started = time.perf_counter()
+        traced = Deployment.from_points(
+            qmodel, points, result.significance, unpacked=result.unpacked,
+            cycle_source="traced",
+        )
+        traced_build_s = time.perf_counter() - started
+    finally:
+        vm_lower.lower_model = original
+
+    n_levels = len(traced.levels)
+    assert n_levels == len(points)
+    assert calls["lower_model"] == 1, (
+        f"traced deployment build lowered the model {calls['lower_model']} times"
+    )
+
+    # The old build's floor: one full-graph lowering per level (it also ran a
+    # probe forward per level on top of that).
+    single_lower_s = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        original(qmodel, unpacked=result.unpacked)
+        single_lower_s = min(single_lower_s, time.perf_counter() - started)
+    per_level_floor_s = n_levels * single_lower_s
+    assert traced_build_s < per_level_floor_s, (
+        f"traced build took {traced_build_s:.2f}s, not better than "
+        f"{n_levels} x full lowering ({per_level_floor_s:.2f}s)"
+    )
+    record_result(
+        "traced_deploy_build",
+        format_table(
+            [
+                {"path": "lower-once + re-mask (current)", "wall (s)": f"{traced_build_s:.3f}"},
+                {"path": f"{n_levels} x full lowering (old floor)",
+                 "wall (s)": f"{per_level_floor_s:.3f}"},
+            ],
+            title=f"traced deployment build (LeNet, {n_levels} levels)",
+        ),
+    )
+    record_json(
+        "serving",
+        {
+            "traced_deploy_build_s": traced_build_s,
+            "traced_build_vs_per_level_lowering": traced_build_s / per_level_floor_s,
+        },
+    )

@@ -99,16 +99,25 @@ def test_bench_lowering(benchmark, lenet_vm):
             lenet_vm["qmodel"], unpacked=lenet_vm["unpacked"], masks=lenet_vm["masks"]
         )
     )
-    assert len(program) == len(lenet_vm["unpacked"])
+    # Whole-graph lowering: every model layer gets a program.
+    assert len(program) == len(lenet_vm["qmodel"].layers)
+    assert program.is_total
 
 
 def test_vm_throughput_summary(lenet_vm):
-    """Record the mode comparison table (interp vs turbo vs kernel path)."""
+    """Record the mode comparison table (interp vs turbo vs kernel path).
+
+    Since whole-model lowering landed, both VM modes execute the *entire*
+    graph as IR (convs, pooling, flatten and the dense classifier included)
+    -- the recorded figures are true whole-model throughput, and the
+    coverage is asserted alongside them.
+    """
     qmodel = lenet_vm["qmodel"]
     q_in = lenet_vm["q_input"]
 
     interp = VirtualMachine(qmodel, mode="interp")
     turbo = VirtualMachine(qmodel, mode="turbo")
+    assert interp.program.is_total and turbo.program.is_total
     n_interp = 4
     rows = []
     interp_rps = _throughput(lambda: interp.forward_quantized(q_in[:n_interp]), n_interp)
@@ -123,22 +132,66 @@ def test_vm_throughput_summary(lenet_vm):
                  "vs_interp": f"{kernel_rps / interp_rps:.1f}x", "vs_kernel": "1.0x"})
     record_result(
         "vm_throughput",
-        format_table(rows, title=f"VM execution throughput (LeNet, batch {N_IMAGES})"),
+        format_table(
+            rows, title=f"whole-model VM execution throughput (LeNet, batch {N_IMAGES})"
+        ),
     )
     record_json(
         "vm",
         {
-            "interp_images_per_s": interp_rps,
-            "turbo_images_per_s": turbo_rps,
+            "whole_model_interp_images_per_s": interp_rps,
+            "whole_model_turbo_images_per_s": turbo_rps,
             "kernel_images_per_s": kernel_rps,
             "turbo_vs_interp": turbo_rps / interp_rps,
             "turbo_vs_kernel": turbo_rps / kernel_rps,
+            "whole_model_coverage": turbo.program.coverage,
         },
     )
     # Turbo must deliver a substantial speedup over the interpreter (the
     # headline claim) while remaining within a small factor of the kernels.
     assert turbo_rps > 5 * interp_rps
     assert turbo_rps > 0.2 * kernel_rps
+
+
+def test_vm_traced_vs_analytic_summary(lenet_vm):
+    """Record the whole-model traced-vs-analytic calibration deltas."""
+    from repro.isa.cost_model import (
+        ExecutionStyle,
+        apply_cost_calibration,
+        clear_cost_param_overrides,
+    )
+    from repro.vm import calibrate_cycle_model
+
+    qmodel = lenet_vm["qmodel"]
+    program = lower_model(qmodel, unpacked=lenet_vm["unpacked"])
+    report = calibrate_cycle_model(qmodel, program)
+    assert report.is_fully_traced
+    try:
+        apply_cost_calibration(report, ExecutionStyle.UNPACKED)
+        after = calibrate_cycle_model(qmodel, program)
+    finally:
+        clear_cost_param_overrides(ExecutionStyle.UNPACKED)
+    rows = [
+        {
+            "op class": name,
+            "traced_kcycles": f"{entry['traced_cycles'] / 1e3:.1f}",
+            "analytic_kcycles": f"{entry['analytic_cycles'] / 1e3:.1f}",
+            "ratio": f"{entry['ratio']:.3f}",
+        }
+        for name, entry in sorted(report.by_op_class().items())
+    ]
+    record_result(
+        "vm_calibration",
+        format_table(rows, title="whole-model traced vs analytic cycles (LeNet, exact)"),
+    )
+    record_json(
+        "vm",
+        {
+            "traced_vs_analytic_ratio": report.ratio,
+            "calibrated_ratio": after.ratio,
+        },
+    )
+    assert abs(after.ratio - 1.0) <= 0.05
 
 
 def test_vm_verification_summary(lenet_vm):

@@ -171,6 +171,64 @@ def cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_lowered_coverage(design) -> None:
+    """One-line whole-graph lowering coverage summary of a verified design."""
+    if design.fully_lowered:
+        print(
+            f"lowered coverage: 100% ({design.lowered_layers}/{design.total_layers} "
+            "layers, no analytic fallback)"
+        )
+    else:
+        unlowered = design.calibration.unlowered_layers
+        print(
+            f"lowered coverage: {design.lowered_layers}/{design.total_layers} layers "
+            f"(library-kernel fallback: {', '.join(unlowered) or 'unknown'})"
+        )
+
+
+def _calibrate_cost_model(qmodel, unpacked, base, masks=None) -> bool:
+    """Apply trace-derived ``UNPACKED`` overrides; print the before/after table.
+
+    ``base`` is the pre-override :class:`~repro.vm.verify.CalibrationReport`
+    whose traced/analytic ratios drive the overrides (``masks`` is the design
+    it was computed on).  The overrides stay active in this process (the
+    point of ``--calibrate-cost-model``: every analytic estimate printed
+    afterwards uses the calibrated parameters).  Returns whether the
+    post-override ratio landed within the +-5% band.
+    """
+    from repro.isa.cost_model import ExecutionStyle, apply_cost_calibration
+    from repro.vm import calibrate_cycle_model, lower_model
+
+    overrides = base.suggested_cost_overrides()
+    apply_cost_calibration(base, ExecutionStyle.UNPACKED)
+    program = lower_model(qmodel, unpacked=unpacked, masks=masks)
+    after = calibrate_cycle_model(qmodel, program, masks=masks, label=base.label)
+    after_by_layer = {layer.name: layer for layer in after.layers}
+    rows = []
+    for layer in base.layers:
+        recalibrated = after_by_layer.get(layer.name)
+        rows.append(
+            {
+                "layer": layer.name,
+                "class": layer.op_class,
+                "traced_kcycles": f"{layer.traced_cycles / 1e3:.1f}",
+                "ratio before": f"{layer.ratio:.3f}",
+                "ratio after": f"{recalibrated.ratio:.3f}" if recalibrated else "-",
+            }
+        )
+    print(format_table(rows, title="cost-model calibration (traced/analytic per layer)"))
+    print(
+        "applied UNPACKED overrides: "
+        + ", ".join(f"{name}={value:.3f}" for name, value in sorted(overrides.items()))
+    )
+    within = abs(after.ratio - 1.0) <= 0.05
+    print(
+        f"overall traced/analytic ratio: {base.ratio:.3f} -> {after.ratio:.3f} "
+        f"({'within' if within else 'OUTSIDE'} +-5%)"
+    )
+    return within
+
+
 def cmd_verify_codegen(args: argparse.Namespace) -> int:
     """Differentially verify the generated code through the ISA virtual machine."""
     qmodel = load_quantized_model(args.qmodel)
@@ -202,6 +260,10 @@ def cmd_verify_codegen(args: argparse.Namespace) -> int:
         title=f"differential verification of {qmodel.name} "
               f"({len(report.designs)} designs x {len(modes)} VM modes)",
     ))
+    exact = next((d for d in report.designs if not d.taus), report.designs[0])
+    _print_lowered_coverage(exact)
+    if args.calibrate_cost_model:
+        _calibrate_cost_model(qmodel, result["unpacked"], exact.calibration)
     if report.all_match:
         print(f"all designs bit-identical to the kernel path on {args.n_verify} samples")
         return 0
@@ -225,9 +287,33 @@ def cmd_deploy(args: argparse.Namespace) -> int:
         result = experiment.run()
         _report_cache(result)
         config = ApproxConfig.load(args.config) if args.config else ApproxConfig.exact(qmodel.name)
+        if args.calibrate_cost_model:
+            # Calibrate the analytic UNPACKED model against the VM trace of
+            # the deployed design before the engine estimates anything: the
+            # overrides stay active, so the deployment table below reports
+            # trace-calibrated cycles/latency.
+            from repro.vm import calibrate_cycle_model, lower_model
+
+            masks = (
+                None
+                if config.is_exact
+                else config.build_masks(result["significance"], unpacked=result["unpacked"])
+            )
+            program = lower_model(qmodel, unpacked=result["unpacked"], masks=masks)
+            base = calibrate_cycle_model(
+                qmodel, program, masks=masks, label=config.label or "deploy"
+            )
+            _calibrate_cost_model(qmodel, result["unpacked"], base, masks=masks)
         engine = engine_cls(qmodel, config=config, significance=result["significance"],
                             unpacked=result["unpacked"])
     else:
+        if args.calibrate_cost_model:
+            print(
+                f"error: --calibrate-cost-model needs an unpacked-style engine "
+                f"(got {args.engine!r}, which has no VM-lowerable design)",
+                file=sys.stderr,
+            )
+            return 2
         engine = engine_cls(qmodel)
 
     report = mcu_deploy(engine, board, split.test.images[:args.eval_samples],
@@ -521,6 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated VM execution modes to check")
     p_verify.add_argument("--n-verify", type=int, default=32,
                           help="input samples driven through both execution paths")
+    p_verify.add_argument("--calibrate-cost-model", action="store_true",
+                          help="derive UNPACKED cost overrides from the VM trace, apply "
+                               "them via the override hooks and print the before/after "
+                               "traced/analytic table")
     add_resume(p_verify)
     add_common(p_verify)
     p_verify.set_defaults(func=cmd_verify_codegen)
@@ -531,6 +621,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_deploy.add_argument("--config", default=None, help="ApproxConfig JSON for the ataman engine")
     p_deploy.add_argument("--board", choices=board_choices(), default="stm32u575")
     p_deploy.add_argument("--eval-samples", type=int, default=256)
+    p_deploy.add_argument("--calibrate-cost-model", action="store_true",
+                          help="calibrate the analytic UNPACKED model against the VM trace "
+                               "of the deployed design before estimating cycles/latency "
+                               "(unpacked-style engines only)")
     add_resume(p_deploy)
     add_common(p_deploy)
     p_deploy.set_defaults(func=cmd_deploy)

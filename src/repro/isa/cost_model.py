@@ -226,6 +226,20 @@ def effective_cost_params(style: ExecutionStyle) -> KernelCostParams:
     return replace(params, **overrides) if overrides else params
 
 
+def apply_cost_calibration(
+    report, style: ExecutionStyle = ExecutionStyle.UNPACKED
+) -> KernelCostParams:
+    """Apply a VM calibration report's suggested overrides to ``style``.
+
+    ``report`` is a :class:`repro.vm.verify.CalibrationReport` (duck-typed to
+    avoid the circular import); the trace-derived parameter scalings land in
+    the override layer, the Table-II defaults stay untouched, and the new
+    effective parameters are returned.  Undo with
+    :func:`clear_cost_param_overrides`.
+    """
+    return set_cost_param_overrides(style, **report.suggested_cost_overrides())
+
+
 def cycles_to_latency_ms(cycles: float, board: BoardProfile) -> float:
     """Convert cycles to milliseconds on ``board``."""
     return board.cycles_to_seconds(cycles) * 1e3

@@ -42,6 +42,8 @@ OPCODE_CYCLES: Dict[str, float] = {
     "STRB": 2.0,   # store the int8 output
     "B": 2.0,      # (taken) branch of the spatial loop
     "CMP": 1.0,
+    "MOV": 1.0,    # register/immediate move (pooling accumulator init)
+    "IT": 1.0,     # if-then block driving a conditional select (max/ReLU)
 }
 
 #: Bytes of each opcode's Thumb-2 encoding (all modelled as 32-bit wide).

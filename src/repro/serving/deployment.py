@@ -220,7 +220,17 @@ class Deployment:
         from repro.core.skipping import conv_mac_reduction
 
         if cycle_source == "traced":
-            from repro.vm.verify import hybrid_cycles_per_sample
+            # One whole-graph lowering up front; every level then re-lowers
+            # only its masked (conv) layers and costs itself from the static
+            # per-instruction trace -- no per-level full lowering, no
+            # per-level probe forward (the O(levels x model) build this
+            # replaces).
+            from repro.core.unpacking import unpack_model
+            from repro.vm import lower as vm_lower
+            from repro.vm.verify import traced_cycles_per_sample
+
+            traced_unpacked = unpacked if unpacked is not None else unpack_model(qmodel)
+            base_program = vm_lower.lower_model(qmodel, unpacked=traced_unpacked)
 
         cost_model = KernelCostModel(ExecutionStyle.UNPACKED)
         probe = np.zeros((1, *qmodel.input_shape), dtype=np.float32)
@@ -233,10 +243,8 @@ class Deployment:
                 else config.build_masks(significance, unpacked=unpacked)
             )
             if cycle_source == "traced":
-                # Cost the level from the VM's per-instruction trace of the
-                # lowered program (analytic figures are kept for the
-                # library-kernel layers and the fixed overhead).
-                cycles = hybrid_cycles_per_sample(qmodel, unpacked=unpacked, masks=masks)
+                program = vm_lower.remask_program(base_program, qmodel, traced_unpacked, masks)
+                cycles = traced_cycles_per_sample(qmodel, program, masks=masks)
             else:
                 counter = CycleCounter()
                 qmodel.forward(probe, masks=masks, counter=counter)

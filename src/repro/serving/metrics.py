@@ -22,6 +22,7 @@ fact.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -79,10 +80,17 @@ class MetricsSnapshot:
 
 
 def _percentile(ordered: List[float], q: float) -> float:
-    """Percentile of an already-sorted list (nearest-rank)."""
+    """Percentile of an already-sorted list (true nearest-rank).
+
+    The nearest-rank definition: the smallest value with at least ``q`` of
+    the sample at or below it, i.e. element ``ceil(q * n) - 1`` (0-indexed).
+    A rounded interpolation index looks similar but lands one rank short on
+    small windows (e.g. p95 of 13 samples picks the 12th instead of the 13th
+    value), systematically under-reporting tail latency.
+    """
     if not ordered:
         return 0.0
-    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
     return ordered[idx]
 
 

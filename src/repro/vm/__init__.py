@@ -19,9 +19,12 @@ from repro.vm.ir import (
     LayerProgram,
     ModelProgram,
     Opcode,
+    OpKind,
+    OpProgram,
+    Program,
     OPCODE_EXPANSION,
 )
-from repro.vm.lower import lower_layer, lower_model
+from repro.vm.lower import lower_layer, lower_model, lower_op_layer, remask_program
 from repro.vm.interpreter import (
     EXECUTION_MODES,
     ExecutionTrace,
@@ -30,6 +33,8 @@ from repro.vm.interpreter import (
     VMError,
     execute_layer_interp,
     execute_layer_turbo,
+    execute_op_interp,
+    execute_op_turbo,
     traced_layer_cycles,
 )
 from repro.vm.verify import (
@@ -40,6 +45,7 @@ from repro.vm.verify import (
     VerificationReport,
     calibrate_cycle_model,
     hybrid_cycles_per_sample,
+    traced_cycles_per_sample,
     uniform_tau_configs,
     verify_design,
     verify_designs,
@@ -49,12 +55,17 @@ from repro.vm.engine import VMEngine, VMInterpEngine
 
 __all__ = [
     "Opcode",
+    "OpKind",
     "OPCODE_EXPANSION",
     "Instruction",
     "LayerProgram",
+    "OpProgram",
+    "Program",
     "ModelProgram",
     "lower_layer",
     "lower_model",
+    "lower_op_layer",
+    "remask_program",
     "EXECUTION_MODES",
     "VirtualMachine",
     "VMError",
@@ -62,6 +73,8 @@ __all__ = [
     "LayerExecution",
     "execute_layer_interp",
     "execute_layer_turbo",
+    "execute_op_interp",
+    "execute_op_turbo",
     "traced_layer_cycles",
     "CalibrationReport",
     "LayerCalibration",
@@ -70,6 +83,7 @@ __all__ = [
     "VerificationError",
     "calibrate_cycle_model",
     "hybrid_cycles_per_sample",
+    "traced_cycles_per_sample",
     "uniform_tau_configs",
     "verify_design",
     "verify_designs",

@@ -20,9 +20,11 @@ outputs are bit-identical to the :class:`~repro.quant.qmodel.QuantizedModel`
 kernel path under the same masks -- the property the differential harness in
 :mod:`repro.vm.verify` asserts.
 
-Layers without a lowered program (pooling, flatten, the dense classifier
-unless it was unpacked) execute through the library kernels, mirroring the
-deployed firmware where only the unpacked layers are generated code.
+Pooling, standalone ReLU and flatten lower to library-op programs
+(:class:`~repro.vm.ir.OpProgram`) with the same two modes, so whole
+LeNet-class graphs execute as IR end to end; any layer left without a
+program (a partial lowering, or an op kind the lowerer does not know)
+executes through the library kernels -- the hybrid fallback.
 """
 
 from __future__ import annotations
@@ -38,7 +40,7 @@ from repro.kernels.im2col import im2col_s8
 from repro.nn.functional import conv_output_shape
 from repro.quant.qmodel import QuantizedModel
 from repro.quant.schemes import dequantize
-from repro.vm.ir import LayerProgram, ModelProgram, Opcode
+from repro.vm.ir import LayerProgram, ModelProgram, Opcode, OpKind, OpProgram, Program
 from repro.vm.lower import lower_model
 
 #: Supported execution modes.
@@ -57,6 +59,7 @@ class LayerExecution:
     spatial_positions: int
     instructions_executed: int
     trace: InstructionTrace
+    op_class: str = "conv"
 
     @property
     def cycles(self) -> float:
@@ -98,6 +101,7 @@ class ExecutionTrace:
                 instructions_executed=previous.instructions_executed
                 + execution.instructions_executed,
                 trace=merged,
+                op_class=previous.op_class,
             )
         else:
             self.layers[execution.name] = execution
@@ -116,6 +120,13 @@ class ExecutionTrace:
         """Traced cycles of the lowered layers per sample."""
         return self.total_cycles / max(self.batch_size, 1)
 
+    def cycles_by_op_class(self) -> Dict[str, float]:
+        """Traced cycles aggregated per op class (conv/dense/pooling/...)."""
+        cycles: Dict[str, float] = {}
+        for layer in self.layers.values():
+            cycles[layer.op_class] = cycles.get(layer.op_class, 0.0) + layer.cycles
+        return cycles
+
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable view."""
         return {
@@ -123,11 +134,13 @@ class ExecutionTrace:
             "batch_size": self.batch_size,
             "total_cycles": self.total_cycles,
             "total_instructions": self.total_instructions,
+            "cycles_by_op_class": self.cycles_by_op_class(),
             "layers": {
                 name: {
                     "spatial_positions": layer.spatial_positions,
                     "instructions_executed": layer.instructions_executed,
                     "cycles": layer.cycles,
+                    "op_class": layer.op_class,
                 }
                 for name, layer in self.layers.items()
             },
@@ -236,7 +249,124 @@ def execute_layer_turbo(program: LayerProgram, x: np.ndarray) -> np.ndarray:
     return out_flat.reshape(out_shape)
 
 
-_EXECUTORS = {"interp": execute_layer_interp, "turbo": execute_layer_turbo}
+def _gather_op_patches(
+    program: OpProgram, x: np.ndarray
+) -> Tuple[np.ndarray, int, Tuple[int, ...]]:
+    """Flattened operand matrix per body execution plus output geometry.
+
+    Pooling kinds gather the spatial window in im2col order (window index
+    major, channel minor -- patch index ``w * C + c``); ReLU presents the
+    channels of each spatial position.
+    """
+    if program.kind in (OpKind.MAX_POOL, OpKind.AVG_POOL):
+        if x.ndim != 4:
+            raise VMError(f"{program.name}: pooling program expects NHWC input, got {x.shape}")
+        n, in_h, in_w, c = x.shape
+        if c != program.channels:
+            raise VMError(f"{program.name}: expected {program.channels} channels, got {c}")
+        out_h, out_w = conv_output_shape(
+            in_h, in_w, program.kernel_size, program.stride, (0, 0)
+        )
+        cols = im2col_s8(
+            x, program.kernel_size, program.stride, (0, 0), program.zero_point, dtype=np.int64
+        )
+        positions = n * out_h * out_w
+        return cols.reshape(positions, program.window * c), positions, (n, out_h, out_w, c)
+    if program.kind is OpKind.RELU:
+        if x.ndim == 4:
+            n, h, w, c = x.shape
+            if c != program.channels:
+                raise VMError(f"{program.name}: expected {program.channels} channels, got {c}")
+            return (
+                x.reshape(n * h * w, c).astype(np.int64),
+                n * h * w,
+                (n, h, w, c),
+            )
+        if x.ndim == 2:
+            if x.shape[1] != program.channels:
+                raise VMError(
+                    f"{program.name}: expected {program.channels} features, got {x.shape[1]}"
+                )
+            return x.astype(np.int64), int(x.shape[0]), (int(x.shape[0]), program.channels)
+        raise VMError(f"{program.name}: relu program expects NHWC or 2-D input, got {x.shape}")
+    raise VMError(f"{program.name}: no operand gather for op kind {program.kind!r}")
+
+
+def execute_op_interp(program: OpProgram, x: np.ndarray) -> np.ndarray:
+    """Instruction-granular execution of one library-op program."""
+    if program.kind is OpKind.FLATTEN:
+        return x.reshape(x.shape[0], -1)
+    patches, positions, out_shape = _gather_op_patches(program, x)
+    out_flat = np.empty((positions, program.channels), dtype=np.int8)
+    acc = np.zeros(positions, dtype=np.int64)
+    pending: Optional[np.ndarray] = None  # scaled float accumulator (avg pool)
+    for instruction in program.instructions:
+        op = instruction.op
+        if op is Opcode.MOVI:
+            acc[:] = 0
+        elif op is Opcode.PLOAD:
+            acc[:] = patches[:, instruction.a]
+        elif op is Opcode.PMAX:
+            np.maximum(acc, patches[:, instruction.a], out=acc)
+        elif op is Opcode.PACC:
+            acc += patches[:, instruction.a]
+        elif op is Opcode.PSCALE:
+            pending = np.rint(acc / float(program.window))
+        elif op is Opcode.CLAMP:
+            if pending is None:
+                raise VMError(f"{program.name}: CLAMP before PSCALE")
+            np.clip(pending, -128, 127, out=pending)
+        elif op is Opcode.RELU:
+            acc[:] = np.maximum(patches[:, instruction.a], program.zero_point)
+        elif op is Opcode.STORE:
+            values = acc if pending is None else pending
+            out_flat[:, instruction.channel] = values.astype(np.int8)
+            pending = None
+        else:
+            raise VMError(f"{program.name}: unexpected opcode {op!r} in op program")
+    return out_flat.reshape(out_shape)
+
+
+def execute_op_turbo(program: OpProgram, x: np.ndarray) -> np.ndarray:
+    """Fused execution of one library-op program (vectorised over channels).
+
+    The pooling math is intentionally NOT delegated to
+    :mod:`repro.kernels.pooling_s8`: the VM is the *other side* of the
+    differential verification against those kernels, so it must compute from
+    the program's own fields (a delegated implementation would compare the
+    kernels with themselves and verify nothing).  The rounding sequence here
+    must therefore mirror the kernels op for op -- rint of the int64 window
+    sum over ``window``, clip, int8 cast.
+    """
+    if program.kind is OpKind.FLATTEN:
+        return x.reshape(x.shape[0], -1)
+    if program.kind is OpKind.RELU:
+        if x.ndim not in (2, 4):
+            raise VMError(f"{program.name}: relu program expects NHWC or 2-D input, got {x.shape}")
+        return np.maximum(x, np.int8(program.zero_point))
+    patches, positions, out_shape = _gather_op_patches(program, x)
+    windows = patches.reshape(positions, program.window, program.channels)
+    if program.kind is OpKind.MAX_POOL:
+        out_flat = windows.max(axis=1).astype(np.int8)
+    else:  # AVG_POOL
+        summed = windows.sum(axis=1, dtype=np.int64)
+        out_flat = np.clip(np.rint(summed / float(program.window)), -128, 127).astype(np.int8)
+    return out_flat.reshape(out_shape)
+
+
+def _dispatch_interp(program: Program, x: np.ndarray) -> np.ndarray:
+    if isinstance(program, OpProgram):
+        return execute_op_interp(program, x)
+    return execute_layer_interp(program, x)
+
+
+def _dispatch_turbo(program: Program, x: np.ndarray) -> np.ndarray:
+    if isinstance(program, OpProgram):
+        return execute_op_turbo(program, x)
+    return execute_layer_turbo(program, x)
+
+
+_EXECUTORS = {"interp": _dispatch_interp, "turbo": _dispatch_turbo}
 
 
 class VirtualMachine:
@@ -292,6 +422,7 @@ class VirtualMachine:
                             spatial_positions=positions,
                             instructions_executed=program.instructions_per_position * positions,
                             trace=program.instruction_trace(positions),
+                            op_class=program.op_class,
                         )
                     )
                 x = out

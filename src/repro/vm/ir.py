@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +41,32 @@ class Opcode(str, Enum):
     CLAMP = "clamp"
     #: ``out[channel] = (int8) acc``.
     STORE = "store"
+    #: ``acc = init_acc[channel]`` materialised as an immediate (pooling init).
+    MOVI = "movi"
+    #: ``acc = patch[a]`` (first pooling window element: plain byte load).
+    PLOAD = "pload"
+    #: ``acc = max(acc, patch[a])`` (max-pool compare/select).
+    PMAX = "pmax"
+    #: ``acc += patch[a]`` (avg-pool accumulate).
+    PACC = "pacc"
+    #: ``acc = rint(acc / window)`` (avg-pool reciprocal scale + round).
+    PSCALE = "pscale"
+    #: ``acc = max(patch[a], zero_point)`` (standalone ReLU clamp).
+    RELU = "relu"
+
+
+class OpKind(str, Enum):
+    """Layer classes the VM lowers to executable IR.
+
+    ``MAC`` programs (conv/dense) are :class:`LayerProgram`; the library-style
+    ops (pooling, standalone ReLU, flatten) are :class:`OpProgram`.
+    """
+
+    MAC = "mac"
+    MAX_POOL = "max_pool"
+    AVG_POOL = "avg_pool"
+    RELU = "relu"
+    FLATTEN = "flatten"
 
 
 #: Thumb-2 opcode bundle each IR instruction expands to (cycle/flash costing).
@@ -56,6 +82,16 @@ OPCODE_EXPANSION: Dict[Opcode, Tuple[str, ...]] = {
     Opcode.REQUANT: ("SMMUL", "ASR", "ADD", "ADD"),
     Opcode.CLAMP: ("SSAT",),
     Opcode.STORE: ("STRB",),
+    # Library-op bundles, mirroring the CMSIS-NN loops (arm_max_pool_s8 /
+    # arm_avgpool_s8 / arm_relu_q7): byte loads, compare + IT-predicated
+    # select for max/ReLU, add-accumulate plus a reciprocal multiply-shift-
+    # round epilogue for the average.
+    Opcode.MOVI: ("MOV",),
+    Opcode.PLOAD: ("LDRB",),
+    Opcode.PMAX: ("LDRB", "CMP", "IT"),
+    Opcode.PACC: ("LDRB", "ADD"),
+    Opcode.PSCALE: ("SMMUL", "ASR", "ADD"),
+    Opcode.RELU: ("LDRB", "CMP", "IT"),
 }
 
 #: Spatial-loop bookkeeping opcodes executed once per position (pointer
@@ -87,8 +123,68 @@ class Instruction:
         return OPCODE_EXPANSION[self.op]
 
 
+class ProgramAccounting:
+    """Shared cycle/flash accounting of an executable IR body.
+
+    Subclasses provide ``name``, ``instructions`` (the straight-line body
+    executed once per spatial position) and :meth:`spatial_positions`.
+    """
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+
+    @property
+    def instructions_per_position(self) -> int:
+        """IR instructions executed per spatial position."""
+        return len(self.instructions)
+
+    def opcode_counts(self, include_loop_overhead: bool = True) -> Counter:
+        """Thumb-2 opcode counts of one execution of the body.
+
+        A body with no instructions (flatten: a pure buffer reinterpretation)
+        has no loop either, so it carries no loop-overhead opcodes.
+        """
+        counts: Counter = Counter()
+        for instruction in self.instructions:
+            counts.update(instruction.expanded_opcodes())
+        if include_loop_overhead and self.instructions:
+            counts.update(LOOP_OVERHEAD_OPCODES)
+        return counts
+
+    def code_bytes(self) -> int:
+        """Flash footprint of the lowered body (stored once, executed per position)."""
+        return int(
+            sum(OPCODE_BYTES[op] * count for op, count in self.opcode_counts().items())
+        )
+
+    def instruction_trace(self, spatial_positions: int) -> InstructionTrace:
+        """An :class:`~repro.isa.trace.InstructionTrace` of this program.
+
+        ``spatial_positions`` is how many times the body runs per batch; the
+        trace carries the per-opcode cycle costing and flash-wait model of
+        :mod:`repro.isa.trace`.
+        """
+        return InstructionTrace(
+            name=self.name,
+            opcode_counts=self.opcode_counts(),
+            spatial_positions=int(spatial_positions),
+            code_bytes=self.code_bytes(),
+        )
+
+    def spatial_positions(self, input_shape: Tuple[int, ...]) -> int:
+        """Body executions per sample for a per-sample ``input_shape``."""
+        raise NotImplementedError
+
+    def cycles_per_sample(
+        self, input_shape: Tuple[int, ...], flash_wait_per_word: float = FLASH_WAIT_PER_WORD
+    ) -> float:
+        """Traced cycles of one sample through this layer."""
+        trace = self.instruction_trace(self.spatial_positions(input_shape))
+        return trace.total_cycles(flash_wait_per_word)
+
+
 @dataclass
-class LayerProgram:
+class LayerProgram(ProgramAccounting):
     """The executable IR program of one unpacked layer.
 
     Attributes
@@ -150,39 +246,14 @@ class LayerProgram:
 
     # ------------------------------------------------------------------ accounting
     @property
-    def instructions_per_position(self) -> int:
-        """IR instructions executed per spatial position."""
-        return len(self.instructions)
+    def kind(self) -> OpKind:
+        """MAC programs render conv and dense layers alike."""
+        return OpKind.MAC
 
-    def opcode_counts(self, include_loop_overhead: bool = True) -> Counter:
-        """Thumb-2 opcode counts of one execution of the body."""
-        counts: Counter = Counter()
-        for instruction in self.instructions:
-            counts.update(instruction.expanded_opcodes())
-        if include_loop_overhead:
-            counts.update(LOOP_OVERHEAD_OPCODES)
-        return counts
-
-    def code_bytes(self) -> int:
-        """Flash footprint of the lowered body (stored once, executed per position)."""
-        return int(
-            sum(OPCODE_BYTES[op] * count for op, count in self.opcode_counts().items())
-        )
-
-    def instruction_trace(self, spatial_positions: int) -> InstructionTrace:
-        """An :class:`~repro.isa.trace.InstructionTrace` of this program.
-
-        ``spatial_positions`` is how many times the body runs (``out_h *
-        out_w`` per sample for convolutions, 1 for dense layers); the trace
-        carries the per-opcode cycle costing and flash-wait model of
-        :mod:`repro.isa.trace`.
-        """
-        return InstructionTrace(
-            name=self.name,
-            opcode_counts=self.opcode_counts(),
-            spatial_positions=int(spatial_positions),
-            code_bytes=self.code_bytes(),
-        )
+    @property
+    def op_class(self) -> str:
+        """Calibration op-class label (``"conv"``/``"dense"``)."""
+        return "conv" if self.is_conv else "dense"
 
     def spatial_positions(self, input_shape: Tuple[int, ...]) -> int:
         """Body executions per sample for a per-sample ``input_shape``."""
@@ -194,32 +265,88 @@ class LayerProgram:
         out_h, out_w = conv_output_shape(in_h, in_w, self.kernel_size, self.stride, self.padding)
         return out_h * out_w
 
-    def cycles_per_sample(
-        self, input_shape: Tuple[int, ...], flash_wait_per_word: float = FLASH_WAIT_PER_WORD
-    ) -> float:
-        """Traced cycles of one sample through this layer."""
-        trace = self.instruction_trace(self.spatial_positions(input_shape))
-        return trace.total_cycles(flash_wait_per_word)
+
+@dataclass
+class OpProgram(ProgramAccounting):
+    """The executable IR program of a library-style op (pooling/ReLU/flatten).
+
+    The body executes once per output spatial position; per channel it holds
+    the CMSIS-NN-shaped instruction run -- first-element load plus
+    compare/select for max pooling, accumulate plus reciprocal-scale
+    round/clamp for average pooling, a compare/select against the zero point
+    for standalone ReLU.  Flatten lowers to an *empty* body: on contiguous
+    NHWC buffers it is a pure reinterpretation with no executed code, zero
+    cycles and zero flash.
+
+    ``zero_point`` is the ReLU clamp floor (unused for the other kinds);
+    ``window`` is ``kh * kw`` for pooling kinds.  The flash footprint models
+    the per-channel run unrolled, consistent with :class:`LayerProgram`.
+    """
+
+    name: str
+    kind: OpKind
+    instructions: Tuple[Instruction, ...]
+    kernel_size: Tuple[int, int]
+    stride: Tuple[int, int]
+    channels: int
+    zero_point: int = 0
+
+    @property
+    def window(self) -> int:
+        """Pooling window size (``kh * kw``)."""
+        return int(self.kernel_size[0] * self.kernel_size[1])
+
+    @property
+    def is_conv(self) -> bool:
+        """Op programs never perform MAC work."""
+        return False
+
+    @property
+    def op_class(self) -> str:
+        """Calibration op-class label (the op kind)."""
+        return self.kind.value
+
+    def spatial_positions(self, input_shape: Tuple[int, ...]) -> int:
+        """Body executions per sample for a per-sample ``input_shape``."""
+        if self.kind is OpKind.FLATTEN:
+            return 1
+        if self.kind is OpKind.RELU:
+            # Elementwise over the feature map: one body per spatial position
+            # of a NHWC input, a single run for already-flat features.
+            if len(input_shape) >= 3:
+                return int(input_shape[0]) * int(input_shape[1])
+            return 1
+        from repro.nn.functional import conv_output_shape
+
+        in_h, in_w = int(input_shape[0]), int(input_shape[1])
+        out_h, out_w = conv_output_shape(in_h, in_w, self.kernel_size, self.stride, (0, 0))
+        return out_h * out_w
+
+
+#: Any executable per-layer program of the VM.
+Program = Union[LayerProgram, OpProgram]
 
 
 @dataclass
 class ModelProgram:
-    """An ordered set of layer programs covering a model's unpacked layers.
+    """An ordered set of per-layer programs covering a model's graph.
 
-    Layers of the source model that were not unpacked (pooling, standalone
-    ReLU, the dense classifier unless ``include_dense`` was requested) have
-    no program here; the VM executes them through the library kernels, which
-    is exactly how the deployed firmware treats them.
+    ``model_layers`` names *every* layer of the source model in execution
+    order; layers without a program (an op kind the lowerer does not know,
+    or layers excluded on request) execute through the library kernels --
+    the hybrid fallback.  When every layer is lowered the VM executes the
+    whole graph as IR and whole-model traces are exact.
     """
 
     model_name: str
     input_shape: Tuple[int, ...]
-    programs: Dict[str, LayerProgram]
+    programs: Dict[str, Program]
+    model_layers: Tuple[str, ...] = ()
 
     def __contains__(self, name: object) -> bool:
         return name in self.programs
 
-    def __getitem__(self, name: str) -> LayerProgram:
+    def __getitem__(self, name: str) -> Program:
         return self.programs[name]
 
     def __iter__(self):
@@ -227,6 +354,23 @@ class ModelProgram:
 
     def __len__(self) -> int:
         return len(self.programs)
+
+    # ------------------------------------------------------------------ coverage
+    def unlowered_layers(self) -> Tuple[str, ...]:
+        """Model layers with no executable program (library-kernel fallback)."""
+        return tuple(name for name in self.model_layers if name not in self.programs)
+
+    @property
+    def is_total(self) -> bool:
+        """Whether every model layer executes as IR (no analytic fallback)."""
+        return bool(self.model_layers) and not self.unlowered_layers()
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of model layers lowered (1.0 when unknown: legacy programs)."""
+        if not self.model_layers:
+            return 1.0
+        return 1.0 - len(self.unlowered_layers()) / len(self.model_layers)
 
     @property
     def total_instructions(self) -> int:
@@ -240,11 +384,16 @@ class ModelProgram:
     def summary(self) -> str:
         """Human-readable per-layer program summary."""
         lines = [f"ModelProgram: {self.model_name}"]
-        lines.append(f"{'layer':<22}{'instrs/pos':>12}{'retained':>10}{'code (B)':>10}")
-        lines.append("-" * 54)
+        lines.append(
+            f"{'layer':<22}{'kind':<10}{'instrs/pos':>12}{'retained':>10}{'code (B)':>10}"
+        )
+        lines.append("-" * 64)
         for program in self:
+            retained = getattr(program, "retained_operands", 0)
             lines.append(
-                f"{program.name:<22}{program.instructions_per_position:>12}"
-                f"{program.retained_operands:>10}{program.code_bytes():>10}"
+                f"{program.name:<22}{program.kind.value:<10}"
+                f"{program.instructions_per_position:>12}{retained:>10}{program.code_bytes():>10}"
             )
+        if self.unlowered_layers():
+            lines.append(f"library fallback: {', '.join(self.unlowered_layers())}")
         return "\n".join(lines)

@@ -12,19 +12,41 @@ the input-offset correction ``-zp_in * sum(retained weights)`` is folded into
 each channel's accumulator initialisation (``init_acc``), exactly as a
 compiler folds it into the generated code's bias table -- the emitted
 ``acc = bias[c]`` reads that corrected constant.
+
+Beyond the MAC layers, :func:`lower_op_layer` lowers the library-style ops
+(max/avg pooling, standalone ReLU, flatten) to :class:`~repro.vm.ir.OpProgram`
+bodies mirroring the CMSIS-NN loops, so :func:`lower_model` covers entire
+LeNet-class graphs and whole-model traces need no analytic fallback;
+:func:`remask_program` swaps only the masked conv programs of an existing
+lowering -- the per-Pareto-level rebuild the serving deployment uses.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.codegen import LayerPlan, plan_layer
-from repro.core.unpacking import UnpackedLayer, unpack_model
-from repro.quant.qlayers import QConv2D, QDense
+from repro.core.unpacking import UnpackedLayer, unpack_layer, unpack_model
+from repro.quant.qlayers import (
+    QAvgPool2D,
+    QConv2D,
+    QDense,
+    QFlatten,
+    QMaxPool2D,
+    QReLU,
+)
 from repro.quant.qmodel import QuantizedModel
-from repro.vm.ir import Instruction, LayerProgram, ModelProgram, Opcode
+from repro.vm.ir import (
+    Instruction,
+    LayerProgram,
+    ModelProgram,
+    Opcode,
+    OpKind,
+    OpProgram,
+    Program,
+)
 
 
 def _lower_plan(plan: LayerPlan, qlayer: QConv2D | QDense) -> LayerProgram:
@@ -119,12 +141,89 @@ def lower_layer(
     return _lower_plan(plan, qlayer)
 
 
+def lower_op_layer(
+    qlayer: QMaxPool2D | QAvgPool2D | QReLU | QFlatten,
+    input_shape: Tuple[int, ...],
+) -> OpProgram:
+    """Lower one library-style op (pooling/ReLU/flatten) to an :class:`OpProgram`.
+
+    ``input_shape`` is the per-sample input shape of the layer (the op's
+    channel count comes from it, not from any weights).  The emitted body
+    mirrors the CMSIS-NN loops: per output channel, max pooling loads the
+    first window element then compare/selects the rest, average pooling
+    accumulates the window and scales by the reciprocal, ReLU compare/selects
+    against the zero point, and flatten emits no instructions at all (a
+    contiguous NHWC buffer needs no code to reinterpret).
+    """
+    instructions: List[Instruction] = []
+    if isinstance(qlayer, QMaxPool2D):
+        kind = OpKind.MAX_POOL
+        kernel, stride = qlayer.kernel, qlayer.stride
+        channels = int(input_shape[-1])
+        window = kernel[0] * kernel[1]
+        for c in range(channels):
+            instructions.append(Instruction(op=Opcode.PLOAD, channel=c, a=c))
+            for w in range(1, window):
+                instructions.append(Instruction(op=Opcode.PMAX, channel=c, a=w * channels + c))
+            instructions.append(Instruction(op=Opcode.STORE, channel=c))
+        zero_point = int(qlayer.input_params.scalar_zero_point())
+    elif isinstance(qlayer, QAvgPool2D):
+        kind = OpKind.AVG_POOL
+        kernel, stride = qlayer.kernel, qlayer.stride
+        channels = int(input_shape[-1])
+        window = kernel[0] * kernel[1]
+        for c in range(channels):
+            instructions.append(Instruction(op=Opcode.MOVI, channel=c))
+            for w in range(window):
+                instructions.append(Instruction(op=Opcode.PACC, channel=c, a=w * channels + c))
+            instructions.append(Instruction(op=Opcode.PSCALE, channel=c))
+            instructions.append(Instruction(op=Opcode.CLAMP, channel=c))
+            instructions.append(Instruction(op=Opcode.STORE, channel=c))
+        zero_point = int(qlayer.input_params.scalar_zero_point())
+    elif isinstance(qlayer, QReLU):
+        kind = OpKind.RELU
+        kernel, stride = (1, 1), (1, 1)
+        channels = int(input_shape[-1])
+        zero_point = int(qlayer.input_params.scalar_zero_point())
+        for c in range(channels):
+            instructions.append(Instruction(op=Opcode.RELU, channel=c, a=c))
+            instructions.append(Instruction(op=Opcode.STORE, channel=c))
+    elif isinstance(qlayer, QFlatten):
+        kind = OpKind.FLATTEN
+        kernel, stride = (1, 1), (1, 1)
+        channels = int(np.prod(input_shape))
+        zero_point = int(qlayer.input_params.scalar_zero_point())
+    else:
+        raise TypeError(f"cannot lower op layer of type {type(qlayer).__name__}")
+    return OpProgram(
+        name=qlayer.name,
+        kind=kind,
+        instructions=tuple(instructions),
+        kernel_size=tuple(kernel),
+        stride=tuple(stride),
+        channels=channels,
+        zero_point=zero_point,
+    )
+
+
+#: Op layer types :func:`lower_op_layer` knows how to lower.
+LOWERABLE_OP_TYPES = (QMaxPool2D, QAvgPool2D, QReLU, QFlatten)
+
+
 def lower_model(
     qmodel: QuantizedModel,
     unpacked: Optional[Dict[str, UnpackedLayer]] = None,
     masks: Optional[Dict[str, np.ndarray]] = None,
+    layers: Optional[Sequence[str]] = None,
 ) -> ModelProgram:
-    """Lower every unpacked layer of a quantized model into a :class:`ModelProgram`.
+    """Lower a quantized model's graph into a :class:`ModelProgram`.
+
+    Every layer the lowerer understands becomes an executable program:
+    conv/dense layers lower through the shared codegen plan (the dense
+    classifier is unpacked on the fly when the experiment's ``unpacked``
+    artifact excludes it), and pooling/ReLU/flatten lower to library-op
+    programs -- on the paper's models the resulting program covers the whole
+    graph, so VM traces need no analytic fallback.
 
     Parameters
     ----------
@@ -136,17 +235,61 @@ def lower_model(
     masks:
         Optional retention masks (layer name -> boolean matrix) describing
         the approximate design to lower; absent layers are lowered exact.
+    layers:
+        Optional subset of layer names to lower (every understood layer when
+        omitted); the rest fall back to the library kernels -- the knob the
+        partial-coverage/hybrid tests and callers use.
     """
     if unpacked is None:
         unpacked = unpack_model(qmodel)
-    programs: Dict[str, LayerProgram] = {}
+    only = None if layers is None else set(layers)
+    input_shapes = qmodel.layer_input_shapes()
+    programs: Dict[str, Program] = {}
     for layer in qmodel.layers:
-        if layer.name not in unpacked:
+        if only is not None and layer.name not in only:
             continue
-        mask = masks.get(layer.name) if masks else None
-        programs[layer.name] = lower_layer(layer, unpacked[layer.name], mask)
+        if isinstance(layer, (QConv2D, QDense)):
+            source = unpacked.get(layer.name)
+            if source is None:
+                source = unpack_layer(layer)
+            mask = masks.get(layer.name) if masks else None
+            programs[layer.name] = lower_layer(layer, source, mask)
+        elif isinstance(layer, LOWERABLE_OP_TYPES):
+            programs[layer.name] = lower_op_layer(layer, input_shapes[layer.name])
+        # Unknown layer types stay on the library kernels (hybrid fallback).
     return ModelProgram(
         model_name=qmodel.name,
         input_shape=tuple(qmodel.input_shape),
         programs=programs,
+        model_layers=tuple(layer.name for layer in qmodel.layers),
+    )
+
+
+def remask_program(
+    base: ModelProgram,
+    qmodel: QuantizedModel,
+    unpacked: Dict[str, UnpackedLayer],
+    masks: Optional[Dict[str, np.ndarray]],
+) -> ModelProgram:
+    """Re-lower only the masked layers of ``base``; share everything else.
+
+    Masks touch the MAC layers only, so a deployment costing many Pareto
+    levels lowers the model once and swaps the masked conv programs per
+    level instead of rebuilding dense/op programs ``levels`` times (the
+    O(levels x model) build this replaces).
+    """
+    if not masks:
+        return base
+    programs: Dict[str, Program] = dict(base.programs)
+    for name, mask in masks.items():
+        qlayer = qmodel.get_layer(name)
+        source = unpacked.get(name)
+        if source is None:
+            source = unpack_layer(qlayer)
+        programs[name] = lower_layer(qlayer, source, mask)
+    return ModelProgram(
+        model_name=base.model_name,
+        input_shape=base.input_shape,
+        programs=programs,
+        model_layers=base.model_layers,
     )

@@ -47,6 +47,7 @@ class LayerCalibration:
     name: str
     traced_cycles: float
     analytic_cycles: float
+    op_class: str = "conv"
 
     @property
     def delta_cycles(self) -> float:
@@ -55,13 +56,21 @@ class LayerCalibration:
 
     @property
     def ratio(self) -> float:
-        """Traced / analytic cycles (1.0 = the models agree)."""
-        return self.traced_cycles / self.analytic_cycles if self.analytic_cycles else float("inf")
+        """Traced / analytic cycles (1.0 = the models agree).
+
+        A layer absent from both models (flatten: zero traced cycles, no
+        analytic section) agrees trivially; a positive trace with no
+        analytic counterpart is infinite disagreement.
+        """
+        if self.analytic_cycles:
+            return self.traced_cycles / self.analytic_cycles
+        return 1.0 if not self.traced_cycles else float("inf")
 
     def as_dict(self) -> Dict[str, float]:
         """JSON-serialisable view."""
         return {
             "name": self.name,
+            "op_class": self.op_class,
             "traced_cycles": self.traced_cycles,
             "analytic_cycles": self.analytic_cycles,
             "delta_cycles": self.delta_cycles,
@@ -85,6 +94,8 @@ class CalibrationReport:
     layers: List[LayerCalibration] = field(default_factory=list)
     analytic_total_cycles: float = 0.0
     hybrid_total_cycles: float = 0.0
+    analytic_fixed_cycles: float = 0.0
+    unlowered_layers: Tuple[str, ...] = ()
 
     @property
     def traced_cycles(self) -> float:
@@ -102,27 +113,64 @@ class CalibrationReport:
         analytic = self.analytic_lowered_cycles
         return self.traced_cycles / analytic if analytic else float("inf")
 
+    @property
+    def is_fully_traced(self) -> bool:
+        """Whether every analytic layer has a lowered program (no fallback)."""
+        return not self.unlowered_layers
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of per-layer analytic cycles covered by lowered programs."""
+        per_layer = self.analytic_total_cycles - self.analytic_fixed_cycles
+        if per_layer <= 0:
+            return 1.0
+        return min(1.0, self.analytic_lowered_cycles / per_layer)
+
+    def by_op_class(self) -> Dict[str, Dict[str, float]]:
+        """Traced/analytic breakdown aggregated per op class."""
+        classes: Dict[str, Dict[str, float]] = {}
+        for layer in self.layers:
+            entry = classes.setdefault(
+                layer.op_class, {"traced_cycles": 0.0, "analytic_cycles": 0.0, "layers": 0}
+            )
+            entry["traced_cycles"] += layer.traced_cycles
+            entry["analytic_cycles"] += layer.analytic_cycles
+            entry["layers"] += 1
+        for entry in classes.values():
+            analytic = entry["analytic_cycles"]
+            if analytic:
+                entry["ratio"] = entry["traced_cycles"] / analytic
+            else:
+                entry["ratio"] = 1.0 if not entry["traced_cycles"] else float("inf")
+        return classes
+
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serialisable view."""
         return {
             "model_name": self.model_name,
             "label": self.label,
             "layers": [layer.as_dict() for layer in self.layers],
+            "by_op_class": self.by_op_class(),
             "traced_cycles": self.traced_cycles,
             "analytic_lowered_cycles": self.analytic_lowered_cycles,
             "ratio": self.ratio,
             "analytic_total_cycles": self.analytic_total_cycles,
             "hybrid_total_cycles": self.hybrid_total_cycles,
+            "analytic_fixed_cycles": self.analytic_fixed_cycles,
+            "unlowered_layers": list(self.unlowered_layers),
+            "coverage": self.coverage,
         }
 
     def suggested_cost_overrides(self) -> Dict[str, float]:
         """Trace-calibrated ``UNPACKED`` parameter overrides.
 
         Scales the style's ``cycles_per_mac`` and ``cycles_per_output`` by
-        the overall traced/analytic ratio of the lowered layers -- the two
-        terms that dominate the lowered layers' analytic estimate, and the
-        ones the per-instruction traces show undershooting (~1.3x on
-        LeNet-class models).  Apply through
+        the traced/analytic ratio of the MAC layers (conv + dense) -- the
+        terms that dominate their analytic estimate and that the
+        per-instruction traces show undershooting (~1.3x on LeNet-class
+        models) -- and, when the calibration covers comparison-driven layers
+        (pooling, standalone ReLU), ``cycles_per_comparison`` by that class's
+        own ratio.  Apply through
         :func:`repro.isa.cost_model.set_cost_param_overrides` so the
         calibration is opt-in and the Table-II-calibrated defaults stay
         untouched::
@@ -133,15 +181,27 @@ class CalibrationReport:
         from repro.isa.cost_model import COST_PARAMS, ExecutionStyle
 
         params = COST_PARAMS[ExecutionStyle.UNPACKED]
-        ratio = self.ratio
+        classes = self.by_op_class()
+        mac = [classes[c] for c in ("conv", "dense") if c in classes]
+        mac_traced = sum(entry["traced_cycles"] for entry in mac)
+        mac_analytic = sum(entry["analytic_cycles"] for entry in mac)
+        ratio = mac_traced / mac_analytic if mac_analytic else self.ratio
         if not np.isfinite(ratio) or ratio <= 0:
             raise ValueError(
                 f"cannot derive overrides from a degenerate traced/analytic ratio ({ratio!r})"
             )
-        return {
+        overrides = {
             "cycles_per_mac": params.cycles_per_mac * ratio,
             "cycles_per_output": params.cycles_per_output * ratio,
         }
+        cmp_entries = [classes[c] for c in ("max_pool", "relu") if c in classes]
+        cmp_analytic = sum(entry["analytic_cycles"] for entry in cmp_entries)
+        cmp_traced = sum(entry["traced_cycles"] for entry in cmp_entries)
+        if cmp_analytic > 0 and cmp_traced > 0:
+            overrides["cycles_per_comparison"] = params.cycles_per_comparison * (
+                cmp_traced / cmp_analytic
+            )
+        return overrides
 
 
 def calibrate_cycle_model(
@@ -165,12 +225,39 @@ def calibrate_cycle_model(
 
     traced = traced_layer_cycles(qmodel, program)
     report = CalibrationReport(
-        model_name=qmodel.name, label=label, analytic_total_cycles=analytic_total
+        model_name=qmodel.name,
+        label=label,
+        analytic_total_cycles=analytic_total,
+        analytic_fixed_cycles=cost_model.params.cycles_fixed,
+        unlowered_layers=tuple(
+            name for name in analytic_layers if name not in program.programs
+        ),
     )
     for name, traced_cycles in traced.items():
-        analytic = analytic_layers[name].cycles if name in analytic_layers else 0.0
+        if name in analytic_layers:
+            analytic = analytic_layers[name].cycles
+        elif traced_cycles:
+            # A lowered layer the analytic model never costed cannot be
+            # silently zero-filled: its traced cycles would inflate the
+            # traced/analytic ratio (and every override derived from it).
+            raise ValueError(
+                f"lowered layer {name!r} is absent from the analytic cycle "
+                f"breakdown of {qmodel.name!r} (analytic sections: "
+                f"{sorted(analytic_layers)}); the calibration ratio would be "
+                "corrupted"
+            )
+        else:
+            # Zero traced cycles and no analytic section (flatten): the
+            # models agree trivially; the layer is recorded for coverage but
+            # contributes nothing to either sum.
+            analytic = 0.0
         report.layers.append(
-            LayerCalibration(name=name, traced_cycles=traced_cycles, analytic_cycles=analytic)
+            LayerCalibration(
+                name=name,
+                traced_cycles=traced_cycles,
+                analytic_cycles=analytic,
+                op_class=program[name].op_class,
+            )
         )
     report.hybrid_total_cycles = (
         analytic_total - report.analytic_lowered_cycles + report.traced_cycles
@@ -178,19 +265,47 @@ def calibrate_cycle_model(
     return report
 
 
+def traced_cycles_per_sample(
+    qmodel: QuantizedModel,
+    program: ModelProgram,
+    masks: Optional[Dict[str, np.ndarray]] = None,
+) -> float:
+    """Per-sample cycle figure of a lowered program.
+
+    When the program covers the whole graph the figure is *purely traced*
+    (the per-instruction trace totals, from static geometry -- no probe
+    forward, no analytic terms, and in particular no ``cycles_fixed``
+    per-inference dispatch overhead: the trace only speaks for executed
+    instructions); for a partially lowered program it falls back to the
+    hybrid: traced lowered layers plus the analytic estimate of the
+    library-kernel remainder *including* that fixed overhead.  The two
+    regimes therefore differ by a constant ~``cycles_fixed`` -- compare
+    cycle figures across deployments only under one coverage regime.
+    """
+    if all(layer.name in program.programs for layer in qmodel.layers):
+        return float(sum(traced_layer_cycles(qmodel, program).values()))
+    return calibrate_cycle_model(qmodel, program, masks=masks).hybrid_total_cycles
+
+
 def hybrid_cycles_per_sample(
     qmodel: QuantizedModel,
     unpacked: Optional[Dict[str, UnpackedLayer]] = None,
     masks: Optional[Dict[str, np.ndarray]] = None,
+    program: Optional[ModelProgram] = None,
 ) -> float:
-    """Measured-cycle estimate of one sample: traced lowered layers + analytic rest.
+    """Measured-cycle estimate of one sample from the lowered program.
 
     This is the VM-grounded alternative to the purely analytic
     ``ServiceLevel.cycles_per_sample`` -- serving's ``cycle_source="traced"``
-    uses it to cost its levels from the actual instruction stream.
+    uses it to cost its levels from the actual instruction stream.  With
+    whole-graph lowering (the default) the figure collapses to the pure
+    per-instruction trace; the hybrid traced+analytic combination remains
+    the fallback for partially lowered programs.  Pass ``program`` to reuse
+    an existing lowering instead of re-lowering per call.
     """
-    program = lower_model(qmodel, unpacked=unpacked, masks=masks)
-    return calibrate_cycle_model(qmodel, program, masks=masks).hybrid_total_cycles
+    if program is None:
+        program = lower_model(qmodel, unpacked=unpacked, masks=masks)
+    return traced_cycles_per_sample(qmodel, program, masks=masks)
 
 
 # --------------------------------------------------------------------------- verification
@@ -206,11 +321,18 @@ class DesignVerification:
     max_abs_diff: int
     retained_fraction: float
     calibration: CalibrationReport
+    lowered_layers: int = 0
+    total_layers: int = 0
 
     @property
     def match(self) -> bool:
         """Whether every execution mode was bit-identical to the kernels."""
         return all(self.matches.values())
+
+    @property
+    def fully_lowered(self) -> bool:
+        """Whether the whole graph executed as IR (no library-kernel fallback)."""
+        return self.total_layers > 0 and self.lowered_layers == self.total_layers
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serialisable view (flattened for table rendering)."""
@@ -222,6 +344,9 @@ class DesignVerification:
             "matches": dict(self.matches),
             "max_abs_diff": self.max_abs_diff,
             "retained_fraction": self.retained_fraction,
+            "lowered_layers": self.lowered_layers,
+            "total_layers": self.total_layers,
+            "fully_lowered": self.fully_lowered,
             "traced_kcycles": self.calibration.traced_cycles / 1e3,
             "analytic_kcycles": self.calibration.analytic_lowered_cycles / 1e3,
             "cycle_ratio": self.calibration.ratio,
@@ -259,6 +384,7 @@ class VerificationReport:
                     "match": "yes" if entry["match"] else "NO",
                     "samples": entry["n_samples"],
                     "retained": f"{entry['retained_fraction']:.3f}",
+                    "lowered": f"{entry['lowered_layers']}/{entry['total_layers']}",
                     "traced_kcycles": f"{entry['traced_kcycles']:.1f}",
                     "analytic_kcycles": f"{entry['analytic_kcycles']:.1f}",
                     "traced/analytic": f"{entry['cycle_ratio']:.3f}",
@@ -352,6 +478,8 @@ def verify_design(
         max_abs_diff=max_abs_diff,
         retained_fraction=kept / total if total else 1.0,
         calibration=calibration,
+        lowered_layers=len(program),
+        total_layers=len(qmodel.layers),
     )
 
 

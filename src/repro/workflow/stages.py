@@ -234,6 +234,14 @@ class VerifyStage(Stage):
     thinned to ``max_designs``) or, when ``taus`` is given, from explicit
     uniform-tau configurations (exact always included) -- the latter composes
     without a DSE stage in the graph.
+
+    With ``calibrate_cost_model=True`` the stage additionally provides a
+    ``cost_calibration`` artifact: the exact design's traced-vs-analytic
+    :class:`~repro.vm.verify.CalibrationReport` together with the
+    trace-derived ``UNPACKED`` parameter overrides
+    (:meth:`~repro.vm.verify.CalibrationReport.suggested_cost_overrides`),
+    ready to apply through the PR-4 override hooks
+    (:func:`repro.isa.cost_model.set_cost_param_overrides`).
     """
 
     name = "verify"
@@ -247,6 +255,7 @@ class VerifyStage(Stage):
         n_samples: int = 32,
         modes: tuple = ("interp", "turbo"),
         strict: bool = False,
+        calibrate_cost_model: bool = False,
     ):
         self.taus = None if taus is None else [float(t) for t in taus]
         self.max_designs = int(max_designs)
@@ -255,8 +264,11 @@ class VerifyStage(Stage):
         if not self.modes:
             raise ValueError("VerifyStage needs at least one VM execution mode")
         self.strict = bool(strict)
+        self.calibrate_cost_model = bool(calibrate_cost_model)
         if self.taus is not None:
             self.requires = ("qmodel", "unpacked", "significance", "eval_images")
+        if self.calibrate_cost_model:
+            self.provides = ("verification", "cost_calibration")
 
     def config(self) -> Dict[str, Any]:
         return {
@@ -265,6 +277,7 @@ class VerifyStage(Stage):
             "n_samples": self.n_samples,
             "modes": self.modes,
             "strict": self.strict,
+            "calibrate_cost_model": self.calibrate_cost_model,
         }
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
@@ -285,7 +298,16 @@ class VerifyStage(Stage):
             report = verify_dse(
                 qmodel, ctx["dse"], images, max_designs=self.max_designs, **common
             )
-        return {"verification": report}
+        outputs: Dict[str, Any] = {"verification": report}
+        if self.calibrate_cost_model:
+            # Derive the overrides from the least-masked design: the exact
+            # design when present, otherwise the first (most accurate) one.
+            design = next((d for d in report.designs if not d.taus), report.designs[0])
+            outputs["cost_calibration"] = {
+                "report": design.calibration,
+                "overrides": design.calibration.suggested_cost_overrides(),
+            }
+        return outputs
 
 
 class ServeStage(Stage):

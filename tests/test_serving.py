@@ -581,6 +581,44 @@ class TestTimeoutShedding:
 
 
 # --------------------------------------------------------------------------- metrics
+class TestPercentile:
+    """Pin the nearest-rank semantics of the metrics percentile helper."""
+
+    def test_empty_window(self):
+        from repro.serving.metrics import _percentile
+
+        assert _percentile([], 0.95) == 0.0
+
+    def test_single_sample(self):
+        from repro.serving.metrics import _percentile
+
+        assert _percentile([42.0], 0.5) == 42.0
+        assert _percentile([42.0], 0.95) == 42.0
+
+    def test_nearest_rank_is_ceil(self):
+        """p-th percentile = element ceil(q*n)-1 of the sorted window."""
+        from repro.serving.metrics import _percentile
+
+        ordered = [float(i) for i in range(1, 21)]  # 1..20
+        assert _percentile(ordered, 0.95) == 19.0  # ceil(19) - 1 -> index 18
+        assert _percentile(ordered, 0.50) == 10.0  # ceil(10) - 1 -> index 9
+        assert _percentile(ordered, 1.00) == 20.0
+
+    def test_small_window_does_not_underreport_tail(self):
+        """The rounded-interpolation index picked rank 12 of 13 for p95;
+        true nearest-rank must pick the 13th (the maximum)."""
+        from repro.serving.metrics import _percentile
+
+        ordered = [float(i) for i in range(1, 14)]  # 1..13
+        assert _percentile(ordered, 0.95) == 13.0  # ceil(12.35) - 1 -> index 12
+
+    def test_p50_of_four_is_second_element(self):
+        from repro.serving.metrics import _percentile
+
+        # Nearest rank: ceil(2) - 1 -> index 1 (the rounded index said 2).
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+
+
 class TestServerMetrics:
     def test_counts_and_percentiles(self):
         metrics = ServerMetrics(baseline_cycles_per_sample=1000.0, cycles_to_ms=0.001)
