@@ -33,6 +33,7 @@ from repro.serving import (
     Client,
     Deployment,
     HTTPClient,
+    Observability,
     PredictionServer,
     QueueDepthPolicy,
     Scheduler,
@@ -195,6 +196,50 @@ def test_bench_sustained_throughput(lenet_serving):
         format_table(rows, title="serving: sustained throughput (LeNet)"),
     )
     record_json("serving", {"lenet_sustained_rps": 3 * wave / total_seconds})
+
+
+def test_bench_obs_overhead(lenet_serving):
+    """Observability tax on the serving hot path: default bundle vs all-off.
+
+    The default :class:`~repro.obs.Observability` records spans per request
+    and events per control-plane decision (profiling stays off);
+    ``Observability.disabled()`` turns every pillar into attribute checks.
+    Interleaved best-of-3 sustained throughput per configuration -- the
+    ratio is gated at 5% in CI (``obs_overhead_ratio`` in
+    ``benchmarks/baselines/serving.json``): tracing must stay cheap enough
+    to leave on by default.
+    """
+    deployment = lenet_serving["deployment"]
+    images = lenet_serving["images"]
+    n_requests = 256
+
+    best = {"on": 0.0, "off": 0.0}
+    for _ in range(3):
+        for key, obs in (("on", Observability()), ("off", Observability.disabled())):
+            with Scheduler(
+                deployment, policy="fixed", max_batch_size=32, max_wait_ms=5.0, obs=obs
+            ) as scheduler:
+                rps = n_requests / _fire_and_drain(scheduler, images, n_requests)
+                best[key] = max(best[key], rps)
+
+    ratio = best["on"] / best["off"]
+    rows = [
+        {"observability": "default (tracing + events)", "req/s": best["on"], "vs off": ratio},
+        {"observability": "disabled (all pillars off)", "req/s": best["off"], "vs off": 1.0},
+    ]
+    record_result(
+        "serving_obs_overhead",
+        format_table(rows, title="observability overhead (LeNet, sustained load)"),
+    )
+    record_json(
+        "serving",
+        {
+            "obs_on_rps": best["on"],
+            "obs_off_rps": best["off"],
+            "obs_overhead_ratio": ratio,
+        },
+    )
+    assert ratio >= 0.90, f"observability cost {1 - ratio:.1%} of throughput"
 
 
 def test_bench_adaptive_load_ramp(lenet_serving):

@@ -41,7 +41,7 @@ from repro.models import build_model, list_models
 from repro.nn import Adam, Trainer, load_model, save_model
 from repro.quant import load_quantized_model, quantize_model, save_quantized_model
 from repro.registry import BOARDS, ENGINES, FRONTS, POLICIES, SEARCH_STRATEGIES
-from repro.utils.logging import set_verbosity
+from repro.utils.logging import configure_cli_verbosity
 from repro.utils.serialization import load_json, save_json
 from repro.workflow import (
     ArtifactStore,
@@ -379,7 +379,8 @@ def _smoke_load_ramp(server_url: str, images: np.ndarray, n_requests: int,
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve predictions from a deployed model over its DSE Pareto front."""
-    from repro.serving import Scheduler
+    from repro.obs import Observability
+    from repro.serving import HTTPClient, Scheduler
 
     qmodel = load_quantized_model(args.qmodel)
     split = _dataset_split(args.samples, args.seed)
@@ -422,12 +423,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.serving import QueueDepthPolicy
 
         policy = QueueDepthPolicy(depth_per_level=args.depth_per_level)
+    obs = Observability(profile_every=args.profile_every)
     scheduler = Scheduler(
         deployment,
         policy=policy,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         n_workers=args.replicas,
+        obs=obs,
     )
     front_cls = FRONTS.resolve(args.front)
     scheduler.start()
@@ -440,6 +443,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 counts = _smoke_load_ramp(
                     server.url, split.test.images, args.smoke, priority=args.priority
                 )
+                # One extra traced round trip exercises the observability
+                # surface end to end: response header, Prometheus scrape,
+                # event ring -- all through the same front under test.
+                obs_client = HTTPClient(server.url, timeout_s=120.0)
+                _, response_headers = obs_client.predict_with_headers(split.test.images[0])
+                prometheus_text = obs_client.metrics(format="prometheus")
+                events = obs_client.events()
             snapshot = scheduler.metrics.snapshot()
             rows = [
                 {
@@ -462,7 +472,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"answered: {answered}/{args.smoke}")
             print(f"level switches: {snapshot.level_switches}")
             print(
-                f"throughput: {snapshot.throughput_rps:.1f} req/s   "
+                f"throughput: {snapshot.throughput_rps:.1f} req/s lifetime / "
+                f"{snapshot.windowed_throughput_rps:.1f} req/s windowed   "
                 f"mean batch: {snapshot.mean_batch_size:.1f}   "
                 f"p50/p95 latency: {snapshot.p50_latency_ms:.1f}/{snapshot.p95_latency_ms:.1f} ms"
             )
@@ -470,11 +481,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"simulated MCU cycles saved: {snapshot.cycles_saved:,.0f} "
                 f"({snapshot.mcu_ms_saved:,.1f} ms on {board.name})"
             )
+            prometheus_series = sum(
+                1 for line in prometheus_text.splitlines() if line and not line.startswith("#")
+            )
+            sample_line = next(
+                (
+                    line
+                    for line in prometheus_text.splitlines()
+                    if line.startswith("repro_requests_completed_total{")
+                ),
+                "",
+            )
+            print(f"X-Trace-Id: {response_headers.get('X-Trace-Id', '')}")
+            print(f"prometheus exposition: {prometheus_series} series   e.g. {sample_line}")
+            last_event = f"   last: {events[-1]['kind']}" if events else ""
+            print(f"events: {len(events)} recorded{last_event}")
+            if obs.profiler.enabled:
+                profile_rows = [
+                    {"section": name, **stats} for name, stats in obs.profiler.snapshot().items()
+                ]
+                print(format_table(
+                    profile_rows,
+                    title=f"profile (sampled every {obs.profiler.sample_every} batches)",
+                ))
             return 0 if answered == args.smoke else 1
         server = front_cls(scheduler, host=args.host, port=args.port)
         print(
             f"serving {qmodel.name} at {server.url} via the {args.front} front "
-            "(POST /predict, GET /metrics, /levels, /healthz); Ctrl-C to stop"
+            "(POST /predict, GET /metrics, /levels, /events, /trace, /healthz); "
+            "Ctrl-C to stop"
         )
         try:
             server.serve_forever()
@@ -482,7 +517,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print("\nshutting down")
         return 0
     finally:
+        if args.trace_export:
+            n_spans = obs.tracer.export_jsonl(args.trace_export)
+            print(f"trace export: {n_spans} spans -> {args.trace_export}")
         scheduler.stop()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Pretty-print per-stage latency breakdowns from a span export."""
+    from repro.obs.tracing import STAGES, load_jsonl, trace_breakdown
+
+    spans = load_jsonl(args.input)
+    if args.trace_id:
+        spans = [span for span in spans if span.trace_id == args.trace_id]
+    if not spans:
+        target = f"trace {args.trace_id!r}" if args.trace_id else "any trace"
+        print(f"no spans for {target} in {args.input}")
+        return 1
+    rows = trace_breakdown(spans)
+    if args.slowest:
+        rows.sort(key=lambda row: row["total_ms"], reverse=True)
+    shown = rows[: args.limit] if args.limit else rows
+    columns = ["trace_id", *STAGES, "layers_ms", "total_ms", "spans"]
+    print(format_table(
+        shown,
+        columns=columns,
+        title=f"per-stage latency breakdown ({len(rows)} traces, ms)",
+    ))
+    if len(rows) > len(shown):
+        print(f"... {len(rows) - len(shown)} more traces (raise --limit)")
+    means = {
+        stage: sum(row[stage] for row in rows) / len(rows) for stage in (*STAGES, "layers_ms")
+    }
+    print(
+        "stage means (ms): "
+        + "   ".join(f"{stage} {value:.3f}" for stage, value in means.items() if value > 0)
+    )
+    return 0
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
@@ -543,6 +614,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-tinyml", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("-v", "--verbose", action="store_true", help="enable INFO logging")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="errors only (overrides --verbose)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p, samples=2000):
@@ -663,9 +736,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--smoke", type=int, default=None, metavar="N",
                          help="answer N self-generated requests through a load ramp, "
                               "print the metrics summary and exit")
+    p_serve.add_argument("--profile-every", type=int, default=0, metavar="N",
+                         help="profile every Nth batch: scheduler loop phases and "
+                              "per-layer forwards (0 = off, the default)")
+    p_serve.add_argument("--trace-export", default=None, metavar="PATH",
+                         help="on shutdown, dump the buffered request spans as JSONL "
+                              "(inspect with `repro-tinyml trace --input PATH`)")
+    # Same dest as the global flags: `repro-tinyml serve -v` works without
+    # having to remember the flag goes before the subcommand.  argparse only
+    # applies a subparser default when the attribute is still unset, so the
+    # pre-subcommand spelling is not clobbered.
+    p_serve.add_argument("-v", "--verbose", action="store_true",
+                         help="enable INFO logging (level switches, lifecycle events)")
+    p_serve.add_argument("-q", "--quiet", action="store_true",
+                         help="errors only (overrides --verbose)")
     add_resume(p_serve)
     add_common(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_trace = sub.add_parser(
+        "trace", help="pretty-print per-stage latency breakdowns from a span export"
+    )
+    p_trace.add_argument("--input", required=True, metavar="PATH",
+                         help="JSONL span export written by `serve --trace-export`")
+    p_trace.add_argument("--trace-id", default=None,
+                         help="show only the spans of one trace (X-Trace-Id header value)")
+    p_trace.add_argument("--limit", type=int, default=20, metavar="N",
+                         help="show at most N traces (0 = all; default 20)")
+    p_trace.add_argument("--slowest", action="store_true",
+                         help="sort by total latency, slowest first")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_rep = sub.add_parser("reproduce", help="regenerate the paper's tables and figures")
     p_rep.add_argument("--table1", action="store_true")
@@ -686,8 +786,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.verbose:
-        set_verbosity("INFO")
+    configure_cli_verbosity(
+        verbose=getattr(args, "verbose", False), quiet=getattr(args, "quiet", False)
+    )
     return int(args.func(args))
 
 

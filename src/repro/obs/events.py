@@ -1,0 +1,105 @@
+"""Structured event log: bounded ring of control-plane decisions.
+
+Metrics answer "how much", traces answer "where did this request go" -- the
+event log answers "*why* did the server do that": every level switch carries
+the policy's EWMA-p95 reading at the moment of the decision, every shed the
+deadline that expired, every starvation promotion the age that triggered it.
+Events land in a bounded ring (``GET /events``) and are mirrored to the
+``repro`` logger at their severity, so ``repro-tinyml serve -v`` streams
+them live while the HTTP endpoint keeps the recent history queryable.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.utils.logging import get_logger
+
+_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO, "warning": logging.WARNING,
+           "error": logging.ERROR}
+
+
+class Event:
+    """One structured event: kind, message, severity, free-form fields."""
+
+    __slots__ = ("ts", "kind", "message", "level", "fields")
+
+    def __init__(self, kind: str, message: str, level: str = "info", fields: Optional[Dict] = None):
+        if level not in _LEVELS:
+            raise ValueError(f"unknown event level {level!r}; expected one of {sorted(_LEVELS)}")
+        self.ts = time.time()
+        self.kind = kind
+        self.message = message
+        self.level = level
+        self.fields = fields or {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view."""
+        return {
+            "ts": self.ts,
+            "kind": self.kind,
+            "level": self.level,
+            "message": self.message,
+            **self.fields,
+        }
+
+
+class EventLog:
+    """Bounded, thread-safe ring of :class:`Event` instances.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; oldest events are evicted first.
+    enabled:
+        ``False`` turns :meth:`emit` into a no-op.
+    logger:
+        Logger the events are mirrored to (default: ``repro.obs.events``).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        enabled: bool = True,
+        logger: Optional[logging.Logger] = None,
+    ):
+        self.enabled = bool(enabled)
+        self._events: deque = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._logger = logger if logger is not None else get_logger("obs.events")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def emit(self, kind: str, message: str, level: str = "info", **fields: Any) -> Optional[Event]:
+        """Record one event; returns it (``None`` when disabled)."""
+        if not self.enabled:
+            return None
+        event = Event(kind, message, level=level, fields=fields or None)
+        with self._lock:
+            self._events.append(event)
+        if self._logger.isEnabledFor(_LEVELS[level]):
+            detail = " ".join(f"{k}={v}" for k, v in event.fields.items())
+            self._logger.log(_LEVELS[level], "%s: %s%s", kind, message,
+                             f" ({detail})" if detail else "")
+        return event
+
+    def snapshot(self, limit: Optional[int] = None, kind: Optional[str] = None) -> List[Dict]:
+        """Recent events as dicts, oldest first, optionally filtered."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        if limit is not None and limit >= 0:
+            events = events[-limit:] if limit else []  # [-0:] would be "all"
+        return [event.as_dict() for event in events]
+
+    def clear(self) -> None:
+        """Drop every buffered event."""
+        with self._lock:
+            self._events.clear()

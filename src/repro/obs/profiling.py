@@ -1,0 +1,120 @@
+"""Sampled wall-clock profiling hooks for the serving hot path.
+
+Profiling the scheduler loop and every per-layer forward on *every* batch
+would tax exactly the latency the serving stack is built to minimise, so the
+:class:`Profiler` samples: with ``sample_every=N`` only every Nth batch is
+timed, and on unsampled batches every hook collapses to one attribute read.
+``sample_every=0`` (the default) disables profiling entirely.
+
+On a sampled batch the scheduler times its loop phases (``poll`` /
+``policy`` / ``execute`` / ``callback``), the deployment times each layer's
+quantised forward (``layer:NAME``) and the VM times each layer program
+(``vm:NAME`` / ``kernel:NAME`` for library fallbacks).  Aggregated stats are
+surfaced in the ``GET /metrics`` JSON view next to the cycle-model numbers,
+and the raw per-section intervals of the latest sampled batch become
+children of that batch's trace span.
+
+Timestamps use ``time.monotonic()`` -- the same clock as spans, so profiled
+sections can be attached to the trace tree without conversion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Tuple
+
+
+class Profiler:
+    """Sampled section timer: cheap when idle, detailed every Nth batch.
+
+    Parameters
+    ----------
+    sample_every:
+        Profile every Nth batch (``1`` = every batch); ``0`` disables.
+    """
+
+    def __init__(self, sample_every: int = 0):
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0 (0 disables profiling)")
+        self.sample_every = int(sample_every)
+        self.active = False  # whether the current batch is being profiled
+        self._counter = 0
+        self._lock = threading.Lock()
+        # section -> [count, total_s, max_s]
+        self._stats: Dict[str, List[float]] = {}
+        # (section, start_s, end_s) intervals of the current sampled batch
+        self._sections: List[Tuple[str, float, float]] = []
+
+    @property
+    def enabled(self) -> bool:
+        """Whether profiling can ever trigger (``sample_every > 0``)."""
+        return self.sample_every > 0
+
+    def begin_batch(self) -> bool:
+        """Advance the sampling counter; returns whether to profile this batch.
+
+        Called once per batch by the scheduler loop (single consumer); the
+        ``active`` flag it sets is what the per-layer hooks check.
+        """
+        if not self.sample_every:
+            self.active = False
+            return False
+        self._counter += 1
+        self.active = self._counter % self.sample_every == 0
+        if self.active:
+            self._sections = []
+        return self.active
+
+    def add(self, section: str, start_s: float, end_s: float) -> None:
+        """Record one timed interval (monotonic clock) for ``section``."""
+        with self._lock:
+            stats = self._stats.get(section)
+            if stats is None:
+                stats = self._stats[section] = [0, 0.0, 0.0]
+            duration = end_s - start_s
+            stats[0] += 1
+            stats[1] += duration
+            stats[2] = max(stats[2], duration)
+            self._sections.append((section, start_s, end_s))
+
+    @contextmanager
+    def timer(self, section: str):
+        """Time the body as one section -- a no-op unless the batch is sampled."""
+        if not self.active:
+            yield
+            return
+        start_s = time.monotonic()
+        try:
+            yield
+        finally:
+            self.add(section, start_s, time.monotonic())
+
+    # ------------------------------------------------------------------ reading
+    def batch_sections(self) -> List[Tuple[str, float, float]]:
+        """The timed intervals of the most recent sampled batch."""
+        with self._lock:
+            return list(self._sections)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Aggregated per-section stats: count / total / mean / max (ms)."""
+        with self._lock:
+            stats = {name: list(values) for name, values in self._stats.items()}
+        return {
+            name: {
+                "count": int(count),
+                "total_ms": round(total * 1e3, 4),
+                "mean_ms": round(total / count * 1e3, 4) if count else 0.0,
+                "max_ms": round(peak * 1e3, 4),
+            }
+            for name, (count, total, peak) in sorted(stats.items())
+        }
+
+    def clear(self) -> None:
+        """Reset aggregated stats and the sampling counter."""
+        with self._lock:
+            self._stats.clear()
+            self._sections = []
+            self._counter = 0
+            self.active = False

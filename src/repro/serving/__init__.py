@@ -27,8 +27,15 @@ participate in the cached workflow graph through
 first, with an aging bound against starvation) and per-class latency/shed
 telemetry flows through :class:`ServerMetrics`.  Policies are pluggable via
 :data:`repro.registry.POLICIES`, fronts via :data:`repro.registry.FRONTS`.
+
+Observability (:mod:`repro.obs`) is wired through the stack: the scheduler
+owns an :class:`~repro.obs.Observability` bundle (metrics registry, request
+tracer, sampled profiler, event log) and both fronts expose it --
+``GET /metrics?format=prometheus``, ``GET /events``, ``GET /trace`` and an
+``X-Trace-Id`` header on every prediction.
 """
 
+from repro.obs import Observability
 from repro.serving.async_server import AsyncPredictionServer
 from repro.serving.client import Client, HTTPClient
 from repro.serving.deployment import Deployment, ServiceLevel
@@ -55,6 +62,7 @@ from repro.serving.workers import ReplicatedRunner
 
 __all__ = [
     "AsyncPredictionServer",
+    "Observability",
     "Client",
     "HTTPClient",
     "Deployment",

@@ -30,8 +30,10 @@ import asyncio
 import json
 import socket
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.obs.tracing import new_trace_id
 from repro.registry import FRONTS
 from repro.serving.request import Request
 from repro.serving.scheduler import Scheduler
@@ -229,8 +231,15 @@ class AsyncPredictionServer:
                             writer, 400, {"error": "request body shorter than Content-Length"}, False
                         )
                         break
-                status, payload = await self._dispatch(method, path, body)
-                await self._respond(writer, status, payload, keep_alive)
+                status, payload, extra_headers = await self._dispatch(method, path, body)
+                # The respond span times serialisation + the socket write --
+                # the last leg of the request's journey, on the loop.
+                tracer = self.scheduler.obs.tracer
+                trace_id = extra_headers.get("X-Trace-Id")
+                write_started = time.monotonic()
+                await self._respond(writer, status, payload, keep_alive, extra_headers)
+                if tracer.enabled and trace_id is not None:
+                    tracer.record_span("respond", trace_id, write_started, time.monotonic())
                 if not keep_alive:
                     break
         except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
@@ -256,25 +265,31 @@ class AsyncPredictionServer:
                 return None
             headers[name.strip().lower()] = value.strip()
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]:
         if method == "GET":
-            return handle_introspection(self.scheduler, path)
+            status, payload = handle_introspection(self.scheduler, path)
+            return status, payload, {}
         if method != "POST":
-            return 404, {"error": f"unsupported method {method!r}"}
+            return 404, {"error": f"unsupported method {method!r}"}, {}
         if path != "/predict":
-            return 404, {"error": f"unknown path {path!r}"}
+            return 404, {"error": f"unknown path {path!r}"}, {}
         if not body:
-            return 400, {"error": "missing or oversized request body"}
+            return 400, {"error": "missing or oversized request body"}, {}
         return await self._handle_predict(body)
 
-    async def _handle_predict(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _handle_predict(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         loop = asyncio.get_running_loop()
         # Executor handoff: JSON decoding, array validation and the enqueue
         # into the synchronous scheduler happen off-loop, so one fat body
         # cannot freeze every other connection.
-        error, requests = await loop.run_in_executor(None, self._parse_and_submit, body)
+        error, requests, trace_id = await loop.run_in_executor(None, self._parse_and_submit, body)
+        headers = {} if trace_id is None else {"X-Trace-Id": trace_id}
         if error is not None:
-            return error
+            return error[0], error[1], headers
         assert requests is not None
         await self._await_done(requests, loop)
         try:
@@ -283,27 +298,38 @@ class AsyncPredictionServer:
                 # re-raises per-request failures with the shared mapping.
                 request.result(timeout=0.001)
         except Exception as failure:
-            return predict_error_response(failure)
-        return 200, predict_success_response(requests)
+            status, payload = predict_error_response(failure)
+            return status, payload, headers
+        return 200, predict_success_response(requests), headers
 
     def _parse_and_submit(
         self, body: bytes
-    ) -> Tuple[Optional[Tuple[int, Dict[str, Any]]], Optional[List[Request]]]:
+    ) -> Tuple[Optional[Tuple[int, Dict[str, Any]]], Optional[List[Request]], Optional[str]]:
         """Executor body: decode, validate and enqueue one /predict payload."""
+        parse_started = time.monotonic()
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
-            return (400, {"error": "request body is not valid JSON"}), None
+            return (400, {"error": "request body is not valid JSON"}), None, None
         if not isinstance(payload, dict):
-            return (400, {"error": "request body must be a JSON object"}), None
+            return (400, {"error": "request body must be a JSON object"}), None, None
         error, xs, timeout_ms, priority = parse_predict_payload(self.scheduler, payload)
         if error is not None:
-            return error, None
+            return error, None, None
+        trace_id = new_trace_id()
         try:
-            requests = self.scheduler.submit_many(xs, timeout_ms=timeout_ms, priority=priority)
+            requests = self.scheduler.submit_many(
+                xs, timeout_ms=timeout_ms, priority=priority, trace_id=trace_id
+            )
         except Exception as failure:
-            return predict_error_response(failure), None
-        return None, requests
+            return predict_error_response(failure), None, trace_id
+        # The parse span covers decode + validation + enqueue, off-loop.
+        tracer = self.scheduler.obs.tracer
+        if tracer.enabled:
+            tracer.record_span(
+                "parse", trace_id, parse_started, time.monotonic(), n_samples=len(requests)
+            )
+        return None, requests, trace_id
 
     async def _await_done(
         self, requests: List[Request], loop: asyncio.AbstractEventLoop
@@ -329,14 +355,25 @@ class AsyncPredictionServer:
     # ------------------------------------------------------------------ response writing
     @staticmethod
     async def _respond(
-        writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any], keep_alive: bool
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Union[Dict[str, Any], str],
+        keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        extras = "".join(f"{k}: {v}\r\n" for k, v in (extra_headers or {}).items())
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extras}"
             "\r\n"
         ).encode("latin-1")
         writer.write(head + body)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -85,7 +85,16 @@ class HTTPClient:
         with urllib.request.urlopen(self.base_url + path, timeout=self.timeout_s) as response:
             return json.loads(response.read().decode("utf-8"))
 
+    def _get_text(self, path: str) -> str:
+        with urllib.request.urlopen(self.base_url + path, timeout=self.timeout_s) as response:
+            return response.read().decode("utf-8")
+
     def _post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self._post_with_headers(path, payload)[0]
+
+    def _post_with_headers(
+        self, path: str, payload: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Dict[str, str]]:
         body = json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             self.base_url + path,
@@ -94,7 +103,7 @@ class HTTPClient:
             method="POST",
         )
         with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-            return json.loads(response.read().decode("utf-8"))
+            return json.loads(response.read().decode("utf-8")), dict(response.headers)
 
     # ------------------------------------------------------------------ endpoints
     def predict(
@@ -123,9 +132,39 @@ class HTTPClient:
             dtype=np.int64,
         )
 
-    def metrics(self) -> Dict[str, Any]:
-        """``GET /metrics``."""
+    def predict_with_headers(
+        self,
+        xs: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
+    ) -> Tuple[Dict[str, Any], Dict[str, str]]:
+        """``POST /predict``; returns ``(body, response_headers)``.
+
+        The headers carry ``X-Trace-Id`` -- the handle for ``GET /trace``
+        and the JSONL trace export.
+        """
+        payload: Dict[str, Any] = {"inputs": np.asarray(xs, dtype=np.float32).tolist()}
+        if timeout_ms is not None:
+            payload["timeout_ms"] = float(timeout_ms)
+        if priority is not None:
+            payload["priority"] = priority
+        return self._post_with_headers("/predict", payload)
+
+    def metrics(self, format: Optional[str] = None) -> Any:
+        """``GET /metrics``; ``format="prometheus"`` returns the text exposition."""
+        if format == "prometheus":
+            return self._get_text("/metrics?format=prometheus")
         return self._get("/metrics")
+
+    def events(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """``GET /events``."""
+        path = "/events" if limit is None else f"/events?limit={int(limit)}"
+        return self._get(path)["events"]
+
+    def trace(self, trace_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """``GET /trace``, optionally filtered to one trace id."""
+        path = "/trace" if trace_id is None else f"/trace?trace_id={trace_id}"
+        return self._get(path)["spans"]
 
     def levels(self) -> List[Dict[str, Any]]:
         """``GET /levels``."""

@@ -27,6 +27,7 @@ from repro.isa.cost_model import ExecutionStyle, KernelCostModel, cycles_to_late
 from repro.isa.profiles import BoardProfile, STM32U575
 from repro.kernels.cycle_counters import CycleCounter
 from repro.quant.qmodel import QuantizedModel
+from repro.quant.schemes import dequantize
 
 
 @dataclass
@@ -89,13 +90,27 @@ class Deployment:
         return [level.as_dict() for level in self.levels]
 
     # ------------------------------------------------------------------ execution
-    def forward(self, x: np.ndarray, level: int = 0) -> np.ndarray:
-        """Dequantized logits of a float NHWC batch under one service level."""
-        return self.qmodel.forward(x, masks=self.levels[level].masks)
+    def forward(self, x: np.ndarray, level: int = 0, profiler=None) -> np.ndarray:
+        """Dequantized logits of a float NHWC batch under one service level.
 
-    def predict(self, x: np.ndarray, level: int = 0) -> np.ndarray:
+        ``profiler`` (a sampled :class:`~repro.obs.profiling.Profiler`)
+        switches to a per-layer loop that times each quantized forward as a
+        ``layer:NAME`` section; the unprofiled path delegates to the model's
+        fused loop untouched.
+        """
+        masks = self.levels[level].masks
+        if profiler is None or not getattr(profiler, "active", False):
+            return self.qmodel.forward(x, masks=masks)
+        q = self.qmodel.quantize_input(x)
+        for layer in self.qmodel.layers:
+            mask = masks.get(layer.name) if masks else None
+            with profiler.timer(f"layer:{layer.name}"):
+                q = layer.forward(q, weight_mask=mask)
+        return dequantize(q, self.qmodel.layers[-1].output_params)
+
+    def predict(self, x: np.ndarray, level: int = 0, profiler=None) -> np.ndarray:
         """Predicted class indices of a float NHWC batch under one level."""
-        return self.forward(x, level=level).argmax(axis=-1)
+        return self.forward(x, level=level, profiler=profiler).argmax(axis=-1)
 
     # ------------------------------------------------------------------ construction
     @classmethod

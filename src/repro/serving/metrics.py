@@ -3,9 +3,12 @@
 A single :class:`ServerMetrics` instance is the shared sink of one serving
 stack: the scheduler records every batch it executes, the policies read the
 resulting :class:`MetricsSnapshot` to pick the next service level, and the
-HTTP front exposes the same snapshot on ``GET /metrics``.  All mutation goes
-through one lock, so the HTTP threads, the scheduler core and any worker
-result handlers can share the sink safely.
+HTTP front exposes the same snapshot on ``GET /metrics``.  All counters live
+in a :class:`~repro.obs.metrics.MetricsRegistry` -- the same registry the
+fronts render as Prometheus text on ``GET /metrics?format=prometheus``, and
+the one a future fleet router will sum per-replica series from.  Only the
+percentile windows, the exact batch-size histogram and the current-level
+marker stay as plain state behind the sink's lock.
 
 Besides classic serving telemetry (request counts, batch-size histogram,
 latency percentiles, throughput), the sink tracks the *simulated MCU cycle
@@ -13,11 +16,16 @@ savings*: each service level carries the per-sample cycle estimate of the ISA
 cost model, so every batch served at an aggressive level records how many
 Cortex-M cycles the skip configuration shed relative to the exact design.
 
-Latencies and shed counts are additionally tracked *per priority class*
+Latencies, sheds and failures are additionally tracked *per priority class*
 (:data:`repro.serving.request.PRIORITIES`): the per-class p50/p95 is how the
 benchmarks prove that interactive traffic holds its latency under a
 bulk-traffic burst, and how the SLO control loop can be audited after the
 fact.
+
+Two throughput figures are reported: ``throughput_rps`` (lifetime average
+over uptime -- stable, but misleading after idle periods) and
+``windowed_throughput_rps`` (completions over the trailing
+``rate_window_s`` seconds -- what the server is doing *now*).
 """
 
 from __future__ import annotations
@@ -25,9 +33,11 @@ from __future__ import annotations
 import math
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs.metrics import BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_MS, MetricsRegistry
 from repro.serving.request import DEFAULT_PRIORITY, PRIORITIES
 
 
@@ -42,6 +52,7 @@ class MetricsSnapshot:
     queue_depth: int = 0
     uptime_s: float = 0.0
     throughput_rps: float = 0.0
+    windowed_throughput_rps: float = 0.0
     p50_latency_ms: float = 0.0
     p95_latency_ms: float = 0.0
     mean_batch_size: float = 0.0
@@ -52,7 +63,7 @@ class MetricsSnapshot:
     current_level: Optional[str] = None
     cycles_saved: float = 0.0
     mcu_ms_saved: float = 0.0
-    #: Per priority class: completed/shed counts and latency percentiles.
+    #: Per priority class: completed/shed/failed counts and latency percentiles.
     per_priority: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -65,6 +76,7 @@ class MetricsSnapshot:
             "queue_depth": self.queue_depth,
             "uptime_s": self.uptime_s,
             "throughput_rps": self.throughput_rps,
+            "windowed_throughput_rps": self.windowed_throughput_rps,
             "p50_latency_ms": self.p50_latency_ms,
             "p95_latency_ms": self.p95_latency_ms,
             "mean_batch_size": self.mean_batch_size,
@@ -106,6 +118,15 @@ class ServerMetrics:
         Milliseconds per cycle on the deployment board (savings conversion).
     window:
         Number of most-recent request latencies kept for the percentiles.
+    registry:
+        Metrics registry to record into; a private one is created when
+        omitted.  Passing a shared registry (e.g. from an
+        :class:`~repro.obs.Observability` bundle) is how the Prometheus
+        endpoint and a future fleet aggregator see this sink's counters.
+    rate_window_s:
+        Width of the windowed-throughput window.
+    time_fn:
+        Monotonic clock override (tests inject a fake clock).
     """
 
     def __init__(
@@ -113,26 +134,63 @@ class ServerMetrics:
         baseline_cycles_per_sample: float = 0.0,
         cycles_to_ms: float = 0.0,
         window: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+        rate_window_s: float = 10.0,
+        time_fn: Optional[Callable[[], float]] = None,
     ) -> None:
         self.baseline_cycles_per_sample = float(baseline_cycles_per_sample)
         self.cycles_to_ms = float(cycles_to_ms)
+        self.rate_window_s = float(rate_window_s)
         self._window = int(window)
+        self._time = time_fn if time_fn is not None else time.monotonic
         self._lock = threading.Lock()
-        self._started_at = time.monotonic()
-        self._completed = 0
-        self._failed = 0
-        self._shed = 0
-        self._batches = 0
+        self._started_at = self._time()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._c_completed = reg.counter(
+            "repro_requests_completed_total",
+            "Requests completed, by priority class and service level.",
+            ("priority", "level"),
+        )
+        self._c_failed = reg.counter(
+            "repro_requests_failed_total", "Requests failed, by priority class.", ("priority",)
+        )
+        self._c_shed = reg.counter(
+            "repro_requests_shed_total",
+            "Requests shed on deadline expiry, by priority class.",
+            ("priority",),
+        )
+        self._c_batches = reg.counter(
+            "repro_batches_total", "Batches executed, by service level.", ("level",)
+        )
+        self._c_switches = reg.counter(
+            "repro_level_switches_total", "Service-level changes between consecutive batches."
+        )
+        self._c_cycles_saved = reg.counter(
+            "repro_cycles_saved_total",
+            "Simulated MCU cycles saved versus the most accurate level.",
+        )
+        self._h_latency = reg.histogram(
+            "repro_request_latency_ms",
+            "End-to-end request latency (queue wait + service), by priority class.",
+            ("priority",),
+            buckets=LATENCY_BUCKETS_MS,
+        )
+        self._h_batch_size = reg.histogram(
+            "repro_batch_size", "Coalesced batch sizes.", buckets=BATCH_SIZE_BUCKETS
+        )
+        self._g_queue_depth = reg.gauge("repro_queue_depth", "Requests waiting in the queue.")
+        self._g_windowed_rps = reg.gauge(
+            "repro_throughput_rps", "Completions per second over the trailing window."
+        )
+        # Plain state the registry primitives cannot express: percentile
+        # windows, the exact (non-bucketed) batch-size histogram, the
+        # current-level marker and the per-second completion rate ring.
         self._batch_sizes: Dict[int, int] = {}
-        self._per_level_requests: Dict[str, int] = {}
-        self._per_level_batches: Dict[str, int] = {}
         self._latencies: List[float] = []
-        self._switches = 0
         self._current_level: Optional[str] = None
-        self._cycles_saved = 0.0
-        self._priority_completed: Dict[str, int] = {name: 0 for name in PRIORITIES}
-        self._priority_shed: Dict[str, int] = {name: 0 for name in PRIORITIES}
         self._priority_latencies: Dict[str, List[float]] = {name: [] for name in PRIORITIES}
+        self._rate_buckets: deque = deque()  # [second, completions] pairs
 
     # ------------------------------------------------------------------ recording
     def record_batch(
@@ -153,79 +211,131 @@ class ServerMetrics:
         """
         if priorities is None:
             priorities = [DEFAULT_PRIORITY] * len(latencies_ms)
+        per_priority: Dict[str, int] = {}
+        for priority in priorities:
+            per_priority[priority] = per_priority.get(priority, 0) + 1
         with self._lock:
-            self._completed += batch_size
-            self._batches += 1
             self._batch_sizes[batch_size] = self._batch_sizes.get(batch_size, 0) + 1
-            self._per_level_requests[level_name] = (
-                self._per_level_requests.get(level_name, 0) + batch_size
-            )
-            self._per_level_batches[level_name] = self._per_level_batches.get(level_name, 0) + 1
             if self._current_level is not None and self._current_level != level_name:
-                self._switches += 1
+                self._c_switches.inc()
             self._current_level = level_name
             self._latencies.extend(latencies_ms)
             if len(self._latencies) > self._window:
                 del self._latencies[: len(self._latencies) - self._window]
             for priority, latency in zip(priorities, latencies_ms):
-                self._priority_completed[priority] = self._priority_completed.get(priority, 0) + 1
                 window = self._priority_latencies.setdefault(priority, [])
                 window.append(latency)
                 if len(window) > self._window:
                     del window[: len(window) - self._window]
-            if self.baseline_cycles_per_sample > 0 and cycles_per_sample > 0:
-                saved = self.baseline_cycles_per_sample - cycles_per_sample
-                self._cycles_saved += saved * batch_size
+            self._note_completions(self._time(), batch_size)
+        self._c_batches.inc(level=level_name)
+        self._h_batch_size.observe(batch_size)
+        for priority, count in per_priority.items():
+            self._c_completed.inc(count, priority=priority, level=level_name)
+        for priority, latency in zip(priorities, latencies_ms):
+            self._h_latency.observe(latency, priority=priority)
+        if self.baseline_cycles_per_sample > 0 and cycles_per_sample > 0:
+            saved = self.baseline_cycles_per_sample - cycles_per_sample
+            if saved > 0:
+                self._c_cycles_saved.inc(saved * batch_size)
 
-    def record_failure(self, count: int = 1) -> None:
-        """Record failed requests."""
-        with self._lock:
-            self._failed += int(count)
+    def record_failure(self, count: int = 1, priority: str = DEFAULT_PRIORITY) -> None:
+        """Record failed requests, attributed to their priority class."""
+        self._c_failed.inc(int(count), priority=priority)
 
     def record_shed(self, count: int = 1, priority: str = DEFAULT_PRIORITY) -> None:
         """Record requests shed because their per-request deadline expired."""
-        with self._lock:
-            self._shed += int(count)
-            self._priority_shed[priority] = self._priority_shed.get(priority, 0) + int(count)
+        self._c_shed.inc(int(count), priority=priority)
+
+    def _note_completions(self, now: float, count: int) -> None:
+        """Credit ``count`` completions to the current one-second bucket."""
+        second = int(now)
+        buckets = self._rate_buckets
+        if buckets and buckets[-1][0] == second:
+            buckets[-1][1] += count
+        else:
+            buckets.append([second, count])
+        horizon = second - int(self.rate_window_s) - 1
+        while buckets and buckets[0][0] < horizon:
+            buckets.popleft()
+
+    def _windowed_rps(self, now: float) -> float:
+        """Completions per second over the trailing ``rate_window_s``."""
+        horizon = now - self.rate_window_s
+        total = sum(count for second, count in self._rate_buckets if second + 1.0 > horizon)
+        span = min(self.rate_window_s, max(now - self._started_at, 1e-9))
+        return total / span
 
     # ------------------------------------------------------------------ reading
     def snapshot(self, queue_depth: int = 0) -> MetricsSnapshot:
         """A consistent point-in-time view of every counter."""
+        # Registry reads take per-instrument locks; aggregate by label after.
+        completed_series = self._c_completed.collect()
+        completed = int(sum(completed_series.values()))
+        per_level_requests: Dict[str, int] = {}
+        priority_completed: Dict[str, int] = {}
+        for (priority, level), count in completed_series.items():
+            per_level_requests[level] = per_level_requests.get(level, 0) + int(count)
+            priority_completed[priority] = priority_completed.get(priority, 0) + int(count)
+        failed_series = self._c_failed.collect()
+        shed_series = self._c_shed.collect()
+        batch_series = self._c_batches.collect()
+        batches = int(sum(batch_series.values()))
+        per_level_batches = {level: int(count) for (level,), count in batch_series.items()}
         with self._lock:
-            uptime = max(time.monotonic() - self._started_at, 1e-9)
+            now = self._time()
+            uptime = max(now - self._started_at, 1e-9)
+            windowed = self._windowed_rps(now)
             # Sorted once; both percentiles index the same ordered window
             # (snapshot runs on the scheduler loop before every batch).
             latencies = sorted(self._latencies)
             per_priority: Dict[str, Dict[str, float]] = {}
             for name in PRIORITIES:
-                completed = self._priority_completed.get(name, 0)
-                shed = self._priority_shed.get(name, 0)
-                if not completed and not shed:
+                n_completed = priority_completed.get(name, 0)
+                shed = int(shed_series.get((name,), 0))
+                n_failed = int(failed_series.get((name,), 0))
+                if not n_completed and not shed and not n_failed:
                     continue  # keep the snapshot small: only classes that saw traffic
                 ordered = sorted(self._priority_latencies.get(name, ()))
                 per_priority[name] = {
-                    "completed": completed,
+                    "completed": n_completed,
                     "shed": shed,
+                    "failed": n_failed,
                     "p50_latency_ms": _percentile(ordered, 0.50),
                     "p95_latency_ms": _percentile(ordered, 0.95),
                 }
-            return MetricsSnapshot(
-                requests_completed=self._completed,
-                requests_failed=self._failed,
-                requests_shed=self._shed,
-                batches=self._batches,
-                queue_depth=int(queue_depth),
-                uptime_s=uptime,
-                throughput_rps=self._completed / uptime,
-                p50_latency_ms=_percentile(latencies, 0.50),
-                p95_latency_ms=_percentile(latencies, 0.95),
-                mean_batch_size=(self._completed / self._batches) if self._batches else 0.0,
-                batch_size_histogram=dict(self._batch_sizes),
-                per_level_requests=dict(self._per_level_requests),
-                per_level_batches=dict(self._per_level_batches),
-                level_switches=self._switches,
-                current_level=self._current_level,
-                cycles_saved=self._cycles_saved,
-                mcu_ms_saved=self._cycles_saved * self.cycles_to_ms,
-                per_priority=per_priority,
-            )
+            batch_size_histogram = dict(self._batch_sizes)
+            current_level = self._current_level
+        cycles_saved = self._c_cycles_saved.total()
+        self._g_queue_depth.set(int(queue_depth))
+        self._g_windowed_rps.set(windowed)
+        return MetricsSnapshot(
+            requests_completed=completed,
+            requests_failed=int(sum(failed_series.values())),
+            requests_shed=int(sum(shed_series.values())),
+            batches=batches,
+            queue_depth=int(queue_depth),
+            uptime_s=uptime,
+            throughput_rps=completed / uptime,
+            windowed_throughput_rps=windowed,
+            p50_latency_ms=_percentile(latencies, 0.50),
+            p95_latency_ms=_percentile(latencies, 0.95),
+            mean_batch_size=(completed / batches) if batches else 0.0,
+            batch_size_histogram=batch_size_histogram,
+            per_level_requests=per_level_requests,
+            per_level_batches=per_level_batches,
+            level_switches=int(self._c_switches.total()),
+            current_level=current_level,
+            cycles_saved=cycles_saved,
+            mcu_ms_saved=cycles_saved * self.cycles_to_ms,
+            per_priority=per_priority,
+        )
+
+    def render_prometheus(self, queue_depth: int = 0) -> str:
+        """The sink's registry as Prometheus text exposition.
+
+        Takes a snapshot first so derived gauges (queue depth, windowed
+        throughput) are fresh at scrape time.
+        """
+        self.snapshot(queue_depth=queue_depth)
+        return self.registry.render_prometheus()

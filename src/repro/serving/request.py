@@ -45,6 +45,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.tracing import new_trace_id
+
 _request_ids = itertools.count()
 
 #: Priority classes, most urgent first.  The index is the priority rank.
@@ -92,10 +94,14 @@ class Request:
     priority:
         Priority class (one of :data:`PRIORITIES`); defaults to
         ``"standard"``.
+    trace_id:
+        Observability trace id linking this request's spans; generated when
+        omitted so in-process submissions are traceable too.
     """
 
     __slots__ = (
         "id",
+        "trace_id",
         "x",
         "enqueued_at",
         "timeout_ms",
@@ -116,11 +122,13 @@ class Request:
         x: np.ndarray,
         timeout_ms: Optional[float] = None,
         priority: str = DEFAULT_PRIORITY,
+        trace_id: Optional[str] = None,
     ):
         if timeout_ms is not None and float(timeout_ms) <= 0:
             raise ValueError("timeout_ms must be positive (or None for no deadline)")
         priority_rank(priority)  # validate eagerly, before the queue sees it
         self.id = next(_request_ids)
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
         self.x = np.asarray(x, dtype=np.float32)
         self.enqueued_at = time.monotonic()
         self.timeout_ms: Optional[float] = None if timeout_ms is None else float(timeout_ms)
@@ -227,6 +235,9 @@ class RequestQueue:
         if starvation_ms is not None and float(starvation_ms) <= 0:
             raise ValueError("starvation_ms must be positive (or None for strict priority)")
         self.starvation_ms = None if starvation_ms is None else float(starvation_ms)
+        #: Optional :class:`~repro.obs.events.EventLog`; when set (the
+        #: scheduler wires its own), starvation promotions are recorded.
+        self.events = None
         self._classes: Dict[str, Deque[Request]] = {name: deque() for name in PRIORITIES}
         self._size = 0
         self._lock = threading.Lock()
@@ -263,7 +274,24 @@ class RequestQueue:
                     starved, oldest = queue, queue[0].enqueued_at
             if starved is not None:
                 self._size -= 1
-                return starved.popleft()
+                request = starved.popleft()
+                if self.events is not None:
+                    # Only a promotion when a more urgent class was waiting;
+                    # a starved head of the most urgent non-empty class would
+                    # have been popped anyway.
+                    jumped = any(
+                        self._classes[name]
+                        for name in PRIORITIES[: priority_rank(request.priority)]
+                    )
+                    if jumped:
+                        self.events.emit(
+                            "starvation-promotion",
+                            f"request {request.id} promoted past the priority order",
+                            request_id=request.id,
+                            priority=request.priority,
+                            waited_ms=round((now - request.enqueued_at) * 1e3, 3),
+                        )
+                return request
         for name in PRIORITIES:
             queue = self._classes[name]
             if queue:
@@ -302,8 +330,12 @@ class RequestQueue:
             batch = [self._pop_next(now) for _ in range(min(max_batch_size, self._size))]
         return batch
 
-    def drain(self, error: BaseException) -> int:
-        """Fail every pending request (shutdown path); returns how many."""
+    def drain(self, error: BaseException) -> List[Request]:
+        """Fail every pending request (shutdown path); returns them.
+
+        Returning the requests (not just a count) lets the caller attribute
+        the failures per priority class in its metrics.
+        """
         with self._lock:
             pending = [request for queue in self._classes.values() for request in queue]
             for queue in self._classes.values():
@@ -311,4 +343,4 @@ class RequestQueue:
             self._size = 0
         for request in pending:
             request.fail(error)
-        return len(pending)
+        return pending

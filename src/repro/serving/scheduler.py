@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.obs import Observability
 from repro.serving.deployment import Deployment
 from repro.serving.metrics import ServerMetrics
 from repro.serving.policy import ServingPolicy, resolve_policy
@@ -54,10 +55,17 @@ class Scheduler:
     n_workers:
         ``> 1`` shards large batches over per-process model replicas.
     metrics:
-        Shared telemetry sink; a fresh one is created when omitted.
+        Shared telemetry sink; a fresh one is created when omitted (backed
+        by the observability bundle's registry, so the Prometheus endpoint
+        sees every counter).
     starvation_ms:
         Aging bound of the priority queue: a queued request older than this
         is served ahead of the priority order (``None``: strict priority).
+    obs:
+        Observability bundle (tracer, profiler, event log, registry); the
+        default enables tracing and events with profiling off.  Pass
+        :meth:`Observability.disabled() <repro.obs.Observability.disabled>`
+        for the minimal-overhead configuration.
     """
 
     def __init__(
@@ -69,6 +77,7 @@ class Scheduler:
         n_workers: int = 1,
         metrics: Optional[ServerMetrics] = None,
         starvation_ms: Optional[float] = 2000.0,
+        obs: Optional[Observability] = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -80,10 +89,18 @@ class Scheduler:
         self.max_wait_ms = float(max_wait_ms)
         self.queue = RequestQueue(starvation_ms=starvation_ms)
         board = deployment.board
+        if obs is None:
+            # Share the sink's registry so /metrics?format=prometheus and a
+            # future fleet aggregator read the same counters the sink writes.
+            obs = Observability(registry=metrics.registry if metrics is not None else None)
+        self.obs = obs
         self.metrics = metrics or ServerMetrics(
             baseline_cycles_per_sample=deployment.baseline_cycles_per_sample,
             cycles_to_ms=board.cycles_to_seconds(1.0) * 1e3,
+            registry=obs.registry,
         )
+        self.queue.events = obs.events if obs.events.enabled else None
+        self._last_level_name: Optional[str] = None
         self.n_workers = int(n_workers)
         self._runner = ReplicatedRunner(deployment, n_workers=self.n_workers)
         self._runner_open = True
@@ -117,11 +134,19 @@ class Scheduler:
         if thread is not None:
             thread.join(timeout)
             self._thread = None
-        failed = self.queue.drain(SchedulerStopped("scheduler stopped"))
-        if failed:
-            self.metrics.record_failure(failed)
+        self._record_drain_failures(self.queue.drain(SchedulerStopped("scheduler stopped")))
         self._runner.close()
         self._runner_open = False
+
+    def _record_drain_failures(self, failed: List[Request]) -> None:
+        """Attribute drained (shutdown-failed) requests per priority class."""
+        if not failed:
+            return
+        per_priority: Dict[str, int] = {}
+        for request in failed:
+            per_priority[request.priority] = per_priority.get(request.priority, 0) + 1
+        for priority, count in per_priority.items():
+            self.metrics.record_failure(count, priority=priority)
 
     def __enter__(self) -> "Scheduler":
         return self.start()
@@ -135,6 +160,7 @@ class Scheduler:
         x: np.ndarray,
         timeout_ms: Optional[float] = None,
         priority: str = DEFAULT_PRIORITY,
+        trace_id: Optional[str] = None,
     ) -> Request:
         """Enqueue one input sample; returns the in-flight request.
 
@@ -143,7 +169,8 @@ class Scheduler:
         :class:`~repro.serving.request.RequestTimedOut` instead of executed.
         ``priority`` picks the request's class (``interactive`` jumps the
         queue, ``batch`` yields to everything younger than the starvation
-        bound).
+        bound).  ``trace_id`` links the request's observability spans; the
+        HTTP fronts pass one per POST body.
         """
         if not self.running:
             raise SchedulerStopped("cannot submit to a stopped scheduler")
@@ -152,15 +179,13 @@ class Scheduler:
             raise ValueError(
                 f"expected a sample of shape {self.deployment.qmodel.input_shape}, got {x.shape}"
             )
-        request = Request(x, timeout_ms=timeout_ms, priority=priority)
+        request = Request(x, timeout_ms=timeout_ms, priority=priority, trace_id=trace_id)
         self.queue.put(request)
         if self._stop.is_set():
             # A stop() raced this submit past the running check; its drain may
             # have missed the request, so fail whatever is still queued rather
             # than leaving a waiter hanging until its timeout.
-            failed = self.queue.drain(SchedulerStopped("scheduler stopped"))
-            if failed:
-                self.metrics.record_failure(failed)
+            self._record_drain_failures(self.queue.drain(SchedulerStopped("scheduler stopped")))
         return request
 
     def submit_many(
@@ -168,23 +193,32 @@ class Scheduler:
         xs: np.ndarray,
         timeout_ms: Optional[float] = None,
         priority: str = DEFAULT_PRIORITY,
+        trace_id: Optional[str] = None,
     ) -> List[Request]:
         """Enqueue a batch of samples as individual requests (FIFO order)."""
         return [
-            self.submit(x, timeout_ms=timeout_ms, priority=priority)
+            self.submit(x, timeout_ms=timeout_ms, priority=priority, trace_id=trace_id)
             for x in np.asarray(xs, dtype=np.float32)
         ]
 
     # ------------------------------------------------------------------ core loop
     def _run_loop(self) -> None:
         while not self._stop.is_set():
+            poll_started = time.monotonic()
             batch = self.queue.get_batch(self.max_batch_size, self.max_wait_ms)
             if not batch:
                 continue  # idle poll: no busy spin, just a shutdown-flag check
-            self._execute(batch)
+            self._execute(batch, poll_started=poll_started)
         logger.info("scheduler core stopped")
 
-    def _execute(self, batch: List[Request]) -> None:
+    def _execute(self, batch: List[Request], poll_started: Optional[float] = None) -> None:
+        obs = self.obs
+        profiler = obs.profiler
+        sampled = profiler.begin_batch()
+        if sampled and poll_started is not None:
+            # The poll phase (blocking pop + coalescing window) ended when
+            # get_batch returned -- approximate that instant with "now".
+            profiler.add("poll", poll_started, time.monotonic())
         # Timeout-based shedding: requests whose deadline passed while they
         # waited are failed here, before any model work -- their co-riders
         # still execute, and an all-expired batch costs nothing but the pop.
@@ -198,36 +232,122 @@ class Scheduler:
                     )
                 )
                 self.metrics.record_shed(priority=request.priority)
+                if obs.events.enabled:
+                    obs.events.emit(
+                        "shed",
+                        f"request {request.id} shed after {request.timeout_ms:g} ms deadline",
+                        level="warning",
+                        request_id=request.id,
+                        trace_id=request.trace_id,
+                        priority=request.priority,
+                        timeout_ms=request.timeout_ms,
+                    )
             batch = [request for request in batch if not request.done]
             if not batch:
                 return
         # The load signal is the *backlog* left after popping this batch: a
         # single full-batch request on an idle server is not overload and must
         # not push the policy off the accurate end of the front.
-        snapshot = self.metrics.snapshot(queue_depth=self.queue.depth())
-        level_idx = self.policy.select(self.deployment.levels, snapshot)
+        with profiler.timer("policy"):
+            snapshot = self.metrics.snapshot(queue_depth=self.queue.depth())
+            level_idx = self.policy.select(self.deployment.levels, snapshot)
         level = self.deployment.levels[level_idx]
+        if obs.events.enabled and self._last_level_name not in (None, level.name):
+            obs.events.emit(
+                "level-switch",
+                f"service level {self._last_level_name} -> {level.name}",
+                from_level=self._last_level_name,
+                to_level=level.name,
+                policy=type(self.policy).__name__,
+                queue_depth=snapshot.queue_depth,
+                # The SLO policy's smoothed latency reading at decision time
+                # -- the "why" of the switch; None for load-blind policies.
+                ewma_p95_ms=getattr(self.policy, "ewma_p95_ms", None),
+            )
+        self._last_level_name = level.name
         xs = np.stack([request.x for request in batch])
         started = time.monotonic()
         try:
-            predictions = self._runner.predict(xs, level=level_idx)
+            with profiler.timer("execute"):
+                predictions = self._runner.predict(
+                    xs, level=level_idx, profiler=profiler if sampled else None
+                )
         except Exception as error:  # pragma: no cover - defensive: fail the batch, keep serving
             logger.exception("batch of %d failed at level %s", len(batch), level.name)
+            per_priority: Dict[str, int] = {}
             for request in batch:
                 request.fail(error)
-            self.metrics.record_failure(len(batch))
+                per_priority[request.priority] = per_priority.get(request.priority, 0) + 1
+            for priority, count in per_priority.items():
+                self.metrics.record_failure(count, priority=priority)
+            if obs.events.enabled:
+                obs.events.emit(
+                    "batch-failure",
+                    f"batch of {len(batch)} failed at level {level.name}: {error}",
+                    level="error",
+                    batch_size=len(batch),
+                    level_name=level.name,
+                    error=str(error),
+                )
             return
         finished = time.monotonic()
         service_ms = (finished - started) * 1e3
-        latencies = []
-        for request, prediction in zip(batch, predictions):
-            request.wait_ms = (started - request.enqueued_at) * 1e3
-            request.complete(int(prediction), level.name, service_ms)
-            latencies.append((finished - request.enqueued_at) * 1e3)
-        self.metrics.record_batch(
-            level.name,
-            len(batch),
-            latencies,
-            cycles_per_sample=level.cycles_per_sample,
-            priorities=[request.priority for request in batch],
-        )
+        batch_parent: Optional[str] = None
+        if obs.tracer.enabled:
+            # One span for the coalesced batch (anchored to the leader's
+            # trace), linking every member trace id; per-request queue-wait
+            # and execute spans hang off it below.
+            batch_span = obs.tracer.record_span(
+                "batch-execute",
+                trace_id=batch[0].trace_id,
+                start_s=started,
+                end_s=finished,
+                level=level.name,
+                batch_size=len(batch),
+                member_trace_ids=[request.trace_id for request in batch],
+            )
+            batch_parent = batch_span.span_id if batch_span is not None else None
+            if sampled:
+                # Per-layer sections timed by the profiled forward become
+                # children of the batch span -- the "per-layer forward" leg.
+                for section, start_s, end_s in profiler.batch_sections():
+                    if ":" in section:
+                        obs.tracer.record_span(
+                            section,
+                            trace_id=batch[0].trace_id,
+                            start_s=start_s,
+                            end_s=end_s,
+                            parent_id=batch_parent,
+                        )
+        with profiler.timer("callback"):
+            # Record telemetry and spans *before* completing any request:
+            # complete() wakes the front-end waiter, and a client that
+            # immediately scrapes /metrics or /trace must see this batch.
+            latencies = [(finished - request.enqueued_at) * 1e3 for request in batch]
+            self.metrics.record_batch(
+                level.name,
+                len(batch),
+                latencies,
+                cycles_per_sample=level.cycles_per_sample,
+                priorities=[request.priority for request in batch],
+            )
+            if obs.tracer.enabled:
+                for request in batch:
+                    obs.tracer.record_span(
+                        "queue-wait",
+                        trace_id=request.trace_id,
+                        start_s=request.enqueued_at,
+                        end_s=started,
+                        priority=request.priority,
+                    )
+                    obs.tracer.record_span(
+                        "execute",
+                        trace_id=request.trace_id,
+                        start_s=started,
+                        end_s=finished,
+                        parent_id=batch_parent,
+                        level=level.name,
+                    )
+            for request, prediction in zip(batch, predictions):
+                request.wait_ms = (started - request.enqueued_at) * 1e3
+                request.complete(int(prediction), level.name, service_ms)

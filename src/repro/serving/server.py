@@ -20,8 +20,14 @@ Endpoints::
                      "timeout_ms": 50.0 (optional),
                      "priority": "interactive" (optional)}  -> predicted classes
     GET  /metrics                                     -> ServerMetrics snapshot
+    GET  /metrics?format=prometheus                   -> text exposition format
     GET  /levels                                      -> service-level table
+    GET  /events                                      -> structured event ring
+    GET  /trace?trace_id=...                          -> buffered request spans
     GET  /healthz                                     -> liveness probe
+
+Every ``POST /predict`` response carries an ``X-Trace-Id`` header naming the
+trace its spans were recorded under.
 """
 
 from __future__ import annotations
@@ -30,10 +36,12 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from repro.obs.tracing import new_trace_id
 from repro.registry import FRONTS
 from repro.serving.request import DEFAULT_PRIORITY, PRIORITIES, Request, RequestTimedOut
 from repro.serving.scheduler import Scheduler
@@ -108,6 +116,7 @@ def predict_success_response(requests: List[Request]) -> Dict[str, Any]:
         "priority": requests[0].priority if requests else DEFAULT_PRIORITY,
         "wait_ms": [round(request.wait_ms, 3) for request in requests],
         "service_ms": [round(request.service_ms, 3) for request in requests],
+        "trace_id": requests[0].trace_id if requests else None,
     }
 
 
@@ -120,15 +129,54 @@ def predict_error_response(error: BaseException) -> Tuple[int, Dict[str, Any]]:
     return 503, {"error": str(error)}
 
 
-def handle_introspection(scheduler: Scheduler, path: str) -> Tuple[int, Dict[str, Any]]:
-    """Execute one GET (``/healthz``, ``/metrics``, ``/levels``)."""
-    if path == "/healthz":
+def _query_int(query: Dict[str, List[str]], name: str) -> Optional[int]:
+    """First integer value of a query parameter, or ``None``."""
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        return None
+
+
+def handle_introspection(
+    scheduler: Scheduler, path: str
+) -> Tuple[int, Union[Dict[str, Any], str]]:
+    """Execute one introspection GET.
+
+    Returns ``(status, payload)``; a ``dict`` payload is served as JSON, a
+    ``str`` payload as ``text/plain`` (the Prometheus exposition).
+    """
+    parts = urlsplit(path)
+    query = parse_qs(parts.query)
+    route = parts.path
+    if route == "/healthz":
         return 200, {"status": "ok" if scheduler.running else "stopped"}
-    if path == "/metrics":
+    if route == "/metrics":
+        if query.get("format", [""])[0] == "prometheus":
+            return 200, scheduler.metrics.render_prometheus(queue_depth=scheduler.queue.depth())
         snapshot = scheduler.metrics.snapshot(queue_depth=scheduler.queue.depth())
-        return 200, snapshot.as_dict()
-    if path == "/levels":
+        payload = snapshot.as_dict()
+        profile = scheduler.obs.profiler.snapshot()
+        if profile:
+            payload["profile"] = profile
+        return 200, payload
+    if route == "/levels":
         return 200, {"levels": scheduler.deployment.describe()}
+    if route == "/events":
+        limit = _query_int(query, "limit")
+        kind = query.get("kind", [None])[0]
+        return 200, {"events": scheduler.obs.events.snapshot(limit=limit, kind=kind)}
+    if route == "/trace":
+        trace_id = query.get("trace_id", [None])[0]
+        spans = scheduler.obs.tracer.spans(trace_id=trace_id)
+        limit = _query_int(query, "limit")
+        if limit is None and trace_id is None:
+            limit = 256  # bounded by default: the whole ring can be 4096 spans
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return 200, {"spans": [span.as_dict() for span in spans]}
     return 404, {"error": f"unknown path {path!r}"}
 
 
@@ -219,13 +267,31 @@ class PredictionServer:
         self.stop()
 
     # ------------------------------------------------------------------ request handling
-    def handle_predict(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
-        """Execute one ``POST /predict`` body; returns (status, response)."""
+    def handle_predict(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Execute one ``POST /predict`` body.
+
+        Returns ``(status, response, headers)``; the headers carry the
+        ``X-Trace-Id`` of the body's requests once they were submitted.
+        """
+        tracer = self.scheduler.obs.tracer
+        parse_started = time.monotonic()
         error, xs, timeout_ms, priority = parse_predict_payload(self.scheduler, payload)
         if error is not None:
-            return error
+            return error[0], error[1], {}
+        trace_id = new_trace_id()
+        headers = {"X-Trace-Id": trace_id}
         try:
-            requests = self.scheduler.submit_many(xs, timeout_ms=timeout_ms, priority=priority)
+            requests = self.scheduler.submit_many(
+                xs, timeout_ms=timeout_ms, priority=priority, trace_id=trace_id
+            )
+            # The parse span covers validation + enqueue: everything between
+            # body receipt and the requests entering the queue.
+            if tracer.enabled:
+                tracer.record_span(
+                    "parse", trace_id, parse_started, time.monotonic(), n_samples=len(requests)
+                )
             # One deadline for the whole body, not per request -- a stalled
             # scheduler must 503 after request_timeout_s, however many
             # samples the POST carried.
@@ -233,10 +299,11 @@ class PredictionServer:
             for request in requests:
                 request.result(timeout=max(deadline - time.monotonic(), 0.001))
         except Exception as failure:
-            return predict_error_response(failure)
-        return 200, predict_success_response(requests)
+            status, body = predict_error_response(failure)
+            return status, body, headers
+        return 200, predict_success_response(requests), headers
 
-    def handle_get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+    def handle_get(self, path: str) -> Tuple[int, Union[Dict[str, Any], str]]:
         """Execute one GET; returns (status, response)."""
         return handle_introspection(self.scheduler, path)
 
@@ -248,11 +315,23 @@ def _make_handler(server: PredictionServer):
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             logger.debug("%s -- %s", self.address_string(), format % args)
 
-        def _respond(self, status: int, payload: Dict[str, Any]) -> None:
-            body = json.dumps(payload).encode("utf-8")
+        def _respond(
+            self,
+            status: int,
+            payload: Union[Dict[str, Any], str],
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
+            if isinstance(payload, str):
+                body = payload.encode("utf-8")
+                content_type = "text/plain; charset=utf-8"
+            else:
+                body = json.dumps(payload).encode("utf-8")
+                content_type = "application/json"
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -282,7 +361,14 @@ def _make_handler(server: PredictionServer):
             except (UnicodeDecodeError, json.JSONDecodeError):
                 self._respond(400, {"error": "request body is not valid JSON"})
                 return
-            status, response = server.handle_predict(payload)
-            self._respond(status, response)
+            status, response, headers = server.handle_predict(payload)
+            # The respond span times serialisation + the socket write -- the
+            # last leg of the request's journey, on the handler thread.
+            tracer = server.scheduler.obs.tracer
+            trace_id = headers.get("X-Trace-Id")
+            write_started = time.monotonic()
+            self._respond(status, response, headers)
+            if tracer.enabled and trace_id is not None:
+                tracer.record_span("respond", trace_id, write_started, time.monotonic())
 
     return Handler

@@ -59,10 +59,16 @@ class ReplicatedRunner:
                 self.n_workers, initializer=_init_replica, initargs=(deployment,)
             )
 
-    def predict(self, xs: np.ndarray, level: int = 0) -> np.ndarray:
-        """Predicted classes of a float NHWC batch under one service level."""
+    def predict(self, xs: np.ndarray, level: int = 0, profiler=None) -> np.ndarray:
+        """Predicted classes of a float NHWC batch under one service level.
+
+        ``profiler`` (a sampled :class:`~repro.obs.profiling.Profiler`)
+        enables per-layer timing on the in-process path; sharded execution
+        ignores it -- worker processes return raw predictions only and
+        telemetry stays centralised.
+        """
         if self._pool is None or xs.shape[0] < 2 * self.min_shard:
-            return self.deployment.predict(xs, level=level)
+            return self.deployment.predict(xs, level=level, profiler=profiler)
         n_shards = min(self.n_workers, max(1, xs.shape[0] // self.min_shard))
         shards: List[np.ndarray] = np.array_split(xs, n_shards)
         results = self._pool.map(functools.partial(_predict_shard, level), shards)

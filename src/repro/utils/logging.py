@@ -42,3 +42,18 @@ def set_verbosity(level: int | str) -> None:
     if isinstance(level, str):
         level = getattr(logging, level.upper())
     logging.getLogger(_ROOT_NAME).setLevel(level)
+
+
+def configure_cli_verbosity(verbose: bool = False, quiet: bool = False) -> None:
+    """Map the CLI's ``-v``/``-q`` flags to a root log level.
+
+    ``-q`` wins over ``-v``; the default (neither flag) is ``WARNING``, which
+    is why INFO-level events (level switches, serving lifecycle) only stream
+    to stderr when ``-v`` is given.
+    """
+    if quiet:
+        set_verbosity(logging.ERROR)
+    elif verbose:
+        set_verbosity(logging.INFO)
+    else:
+        set_verbosity(logging.WARNING)

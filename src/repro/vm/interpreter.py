@@ -405,14 +405,25 @@ class VirtualMachine:
 
     # ------------------------------------------------------------------ execution
     def forward_quantized(
-        self, q_input: np.ndarray, trace: Optional[ExecutionTrace] = None
+        self, q_input: np.ndarray, trace: Optional[ExecutionTrace] = None, profiler=None
     ) -> np.ndarray:
-        """Run the int8 network; lowered layers execute as IR programs."""
+        """Run the int8 network; lowered layers execute as IR programs.
+
+        ``trace`` collects instruction counts (the cycle model's input);
+        ``profiler`` (a sampled :class:`~repro.obs.profiling.Profiler`)
+        collects wall-clock per-layer sections -- ``vm:NAME`` for lowered
+        programs, ``kernel:NAME`` for library fallbacks.
+        """
+        timed = profiler is not None and getattr(profiler, "active", False)
         x = q_input
         for layer in self.qmodel.layers:
             program = self.program.programs.get(layer.name)
             if program is not None:
-                out = self._execute(program, x)
+                if timed:
+                    with profiler.timer(f"vm:{layer.name}"):
+                        out = self._execute(program, x)
+                else:
+                    out = self._execute(program, x)
                 if trace is not None:
                     n = int(x.shape[0])
                     positions = program.spatial_positions(x.shape[1:]) * n
@@ -428,12 +439,20 @@ class VirtualMachine:
                 x = out
             else:
                 mask = self.masks.get(layer.name) if self.masks else None
-                x = layer.forward(x, weight_mask=mask)
+                if timed:
+                    with profiler.timer(f"kernel:{layer.name}"):
+                        x = layer.forward(x, weight_mask=mask)
+                else:
+                    x = layer.forward(x, weight_mask=mask)
         return x
 
-    def forward(self, x: np.ndarray, trace: Optional[ExecutionTrace] = None) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, trace: Optional[ExecutionTrace] = None, profiler=None
+    ) -> np.ndarray:
         """Quantize float inputs, execute, return dequantized logits."""
-        q_out = self.forward_quantized(self.qmodel.quantize_input(x), trace=trace)
+        q_out = self.forward_quantized(
+            self.qmodel.quantize_input(x), trace=trace, profiler=profiler
+        )
         return dequantize(q_out, self.qmodel.layers[-1].output_params)
 
     def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:

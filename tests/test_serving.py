@@ -246,7 +246,8 @@ class TestRequestQueue:
         queue = RequestQueue()
         request = Request(np.zeros((2, 2, 1)))
         queue.put(request)
-        assert queue.drain(RuntimeError("boom")) == 1
+        drained = queue.drain(RuntimeError("boom"))
+        assert drained == [request]
         with pytest.raises(Exception, match="boom"):
             request.result(timeout=0.1)
 
