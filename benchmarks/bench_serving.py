@@ -32,10 +32,12 @@ from repro.serving import (
     AsyncPredictionServer,
     Client,
     Deployment,
+    Fleet,
     HTTPClient,
     Observability,
     PredictionServer,
     QueueDepthPolicy,
+    ReplicaConfig,
     Scheduler,
 )
 from repro.quant.qlayers import set_im2col_scratch
@@ -364,6 +366,60 @@ def test_bench_front_comparison(tiny_artifacts):
     # The asyncio front must sustain at least the threaded front's
     # throughput (small tolerance for container noise on the best-of-3).
     assert ratio >= 0.95, f"asyncio front slower than threaded: {ratio:.2f}x"
+
+
+def test_bench_router_overhead(tiny_artifacts):
+    """The fleet router's tax: fleet-of-1 vs the same front served directly.
+
+    A :class:`Fleet` with one replica runs the identical serving stack (same
+    threaded front, same scheduler settings) plus exactly one extra hop: the
+    router accepts the connection, picks the replica, forwards over a
+    keep-alive link and relays the reply.  The throughput ratio against a
+    direct :class:`PredictionServer` is therefore the pure cost of the
+    routing tier -- what a deployment pays for failover, federated metrics
+    and merged traces before a second replica buys anything back.
+    Interleaved best-of-3, like every serving benchmark.
+    """
+    tiny = tiny_artifacts
+    points = [{"label": "exact", "taus": {}, "accuracy": 1.0}]
+    deployment = Deployment.from_points(
+        tiny["qmodel"], points, tiny["result"].significance, unpacked=tiny["result"].unpacked
+    )
+    images = tiny["split"].test.images
+    n_requests, concurrency = 128, 32
+
+    config = ReplicaConfig(policy="fixed", max_batch_size=64, max_wait_ms=5.0)
+    best = {"direct": 0.0, "fleet1": 0.0}
+    for _ in range(3):
+        with Scheduler(deployment, policy="fixed", max_batch_size=64, max_wait_ms=5.0) as sched:
+            with PredictionServer(sched) as server:
+                rps = _http_burst_rps(server.url, images, n_requests, concurrency)
+                best["direct"] = max(best["direct"], rps)
+        with Fleet(deployment, n_replicas=1, config=config, health_interval_s=1.0) as fleet:
+            rps = _http_burst_rps(fleet.url, images, n_requests, concurrency)
+            best["fleet1"] = max(best["fleet1"], rps)
+
+    ratio = best["fleet1"] / best["direct"]
+    rows = [
+        {"topology": "direct (thread front)", "req/s": best["direct"], "vs direct": 1.0},
+        {"topology": "fleet of 1 (router hop)", "req/s": best["fleet1"], "vs direct": ratio},
+    ]
+    record_result(
+        "serving_router_overhead",
+        format_table(rows, title=f"fleet router overhead at {concurrency} connections (tiny CNN)"),
+    )
+    record_json(
+        "serving",
+        {
+            "direct_rps": best["direct"],
+            "fleet1_rps": best["fleet1"],
+            "router_overhead_ratio": ratio,
+        },
+    )
+    # The router may cost a chunk of throughput on a single-core container
+    # (its forwarding threads contend with the replica process), but an
+    # order-of-magnitude collapse means the hop is broken, not just taxed.
+    assert ratio >= 0.3, f"router hop cost {1 - ratio:.0%} of direct throughput"
 
 
 def test_bench_mixed_priority_burst(lenet_serving):

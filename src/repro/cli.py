@@ -377,6 +377,125 @@ def _smoke_load_ramp(server_url: str, images: np.ndarray, n_requests: int,
     return {name: tuple(pair) for name, pair in counts.items()}
 
 
+def _fleet_smoke(args: argparse.Namespace, fleet, split) -> int:
+    """Drive the load ramp through the router and audit the federation.
+
+    Prints the greppable fleet summary: per-replica completion counts, one
+    exposition sample per ``replica=`` label, the federated sum check (the
+    fleet series must equal the sum of the per-replica series, verified
+    through the exposition parser), the traced router->replica hop and the
+    health verdict.
+    """
+    from repro.obs.exposition import parse_prometheus, sum_samples
+    from repro.serving import HTTPClient
+
+    counts = _smoke_load_ramp(fleet.url, split.test.images, args.smoke, priority=args.priority)
+    client = HTTPClient(fleet.url, timeout_s=120.0)
+    # One extra traced round trip: its X-Trace-Id must surface the router's
+    # route span AND the replica's pipeline stages in the merged /trace.
+    _, response_headers = client.predict_with_headers(split.test.images[0])
+    trace_id = response_headers.get("X-Trace-Id", "")
+    spans = client.trace(trace_id)
+    span_names = sorted({span["name"] for span in spans})
+    span_sources = sorted({span["replica"] for span in spans})
+    fed_text = client.metrics(format="prometheus")
+    rollup = client.metrics()
+    health = client.health_detail() or {}
+
+    fleet_completed = sum_samples(parse_prometheus(fed_text), "repro_requests_completed_total")
+    replica_completed = 0.0
+    for replica in fleet.replicas:
+        text = HTTPClient(replica.url, timeout_s=30.0).metrics(format="prometheus")
+        replica_completed += sum_samples(
+            parse_prometheus(text), "repro_requests_completed_total"
+        )
+        sample_line = next(
+            (line for line in text.splitlines()
+             if line.startswith("repro_requests_completed_total{")),
+            "(no completions)",
+        )
+        print(f'exposition replica="{replica.name}": {sample_line}')
+
+    answered = sum(done for done, _ in counts.values())
+    fleet_stats = rollup.get("fleet", {})
+    for name, (done, issued) in counts.items():
+        stats = fleet_stats.get("per_priority", {}).get(name, {})
+        print(f"priority {name}: answered {done}/{issued}   shed {stats.get('shed', 0)}")
+    print(f"answered: {answered}/{args.smoke}")
+    for name, snapshot in sorted(rollup.get("replicas", {}).items()):
+        print(f"replica {name}: completed {snapshot.get('requests_completed', 0)}   "
+              f"batches {snapshot.get('batches', 0)}")
+    sums_ok = fleet_completed == replica_completed and fleet_completed > 0
+    verdict = "ok" if sums_ok else "MISMATCH"
+    print(f"federated sum check: {verdict} "
+          f"(fleet {fleet_completed:g} == replicas {replica_completed:g})")
+    print(f"X-Trace-Id: {trace_id}")
+    print(f"fleet trace: {len(spans)} spans   stages {','.join(span_names)}   "
+          f"sources {','.join(span_sources)}")
+    print(f"healthz: {health.get('status', 'unreachable')} "
+          f"({health.get('replicas_up', 0)}/{health.get('replicas_total', 0)} replicas up)")
+    trace_ok = {"route", "queue-wait", "execute"} <= set(span_names)
+    return 0 if (answered == args.smoke and sums_ok and trace_ok) else 1
+
+
+def _serve_fleet(args: argparse.Namespace, deployment, split, qmodel) -> int:
+    """Serve through a router + N independent replica server processes."""
+    import json as _json
+    import time as _time
+
+    from repro.serving.fleet import Fleet, ReplicaConfig
+
+    policy_options = {}
+    if args.depth_per_level is not None:
+        if args.policy != "queue-depth":
+            raise SystemExit(
+                f"--depth-per-level only applies to --policy queue-depth (got {args.policy!r})"
+            )
+        policy_options["depth_per_level"] = args.depth_per_level
+    config = ReplicaConfig(
+        policy=args.policy,
+        policy_options=policy_options,
+        front=args.front,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        n_workers=args.shard_workers,
+        profile_every=args.profile_every,
+        host=args.host,
+    )
+    fleet = Fleet(
+        deployment,
+        n_replicas=args.replicas,
+        config=config,
+        host=args.host,
+        port=0 if args.smoke is not None else args.port,
+        health_interval_s=0.5,
+    )
+    fleet.start()
+    print(f"fleet: router + {args.replicas} replicas ({args.front} front) at {fleet.url}")
+    try:
+        if args.smoke is not None:
+            return _fleet_smoke(args, fleet, split)
+        print(
+            f"serving {qmodel.name} across the fleet "
+            "(POST /predict, GET /metrics, /trace, /events, /healthz, /replicas); "
+            "Ctrl-C to stop"
+        )
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nshutting down (draining)")
+        return 0
+    finally:
+        if args.trace_export and fleet.router is not None:
+            spans = fleet.router.merged_trace(limit=0)
+            with open(args.trace_export, "w", encoding="utf-8") as handle:
+                for span in spans:
+                    handle.write(_json.dumps(span) + "\n")
+            print(f"trace export: {len(spans)} merged spans -> {args.trace_export}")
+        fleet.stop()
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve predictions from a deployed model over its DSE Pareto front."""
     from repro.obs import Observability
@@ -414,6 +533,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         title=f"service levels of {qmodel.name} ({args.policy} policy)",
     ))
 
+    if args.replicas > 1:
+        # Fleet mode: a router process federates N independent replica
+        # server processes (each its own scheduler + observability bundle).
+        return _serve_fleet(args, deployment, split, qmodel)
+
     policy = args.policy
     if args.depth_per_level is not None:
         if args.policy != "queue-depth":
@@ -429,7 +553,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         policy=policy,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
-        n_workers=args.replicas,
+        n_workers=args.shard_workers,
         obs=obs,
     )
     front_cls = FRONTS.resolve(args.front)
@@ -527,7 +651,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """Pretty-print per-stage latency breakdowns from a span export."""
     from repro.obs.tracing import STAGES, load_jsonl, trace_breakdown
 
-    spans = load_jsonl(args.input)
+    try:
+        spans = load_jsonl(args.input)
+    except FileNotFoundError:
+        print(f"error: span export {args.input!r} does not exist "
+              "(write one with `repro-tinyml serve --trace-export PATH`)", file=sys.stderr)
+        return 2
+    except IsADirectoryError:
+        print(f"error: {args.input!r} is a directory, not a span JSONL file", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"error: span export {args.input!r} is empty -- the server recorded no spans "
+              "(was tracing disabled, or no traffic served?)", file=sys.stderr)
+        return 2
     if args.trace_id:
         spans = [span for span in spans if span.trace_id == args.trace_id]
     if not spans:
@@ -725,7 +861,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-levels", type=int, default=6,
                          help="cap on the number of Pareto service levels")
     p_serve.add_argument("--replicas", type=int, default=1,
-                         help="worker processes holding model replicas (1 = in-process)")
+                         help="replica server processes behind a fleet router "
+                              "(1 = a single in-process server, no router)")
+    p_serve.add_argument("--shard-workers", type=int, default=1,
+                         help="worker processes sharding batches inside each server "
+                              "(per replica in fleet mode)")
     p_serve.add_argument("--board", choices=board_choices(), default="stm32u575",
                          help="board model for the simulated MCU latency/savings")
     p_serve.add_argument("--cycle-source", choices=("analytic", "traced"), default="analytic",

@@ -21,6 +21,15 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.events import Event, EventLog
+from repro.obs.exposition import (
+    ExpositionParseError,
+    MetricFamily,
+    Sample,
+    federate_families,
+    parse_prometheus,
+    render_families,
+    sum_samples,
+)
 from repro.obs.metrics import (
     BATCH_SIZE_BUCKETS,
     LATENCY_BUCKETS_MS,
@@ -38,15 +47,22 @@ __all__ = [
     "Counter",
     "Event",
     "EventLog",
+    "ExpositionParseError",
     "Gauge",
     "Histogram",
+    "MetricFamily",
     "MetricsRegistry",
     "Observability",
     "Profiler",
+    "Sample",
     "Span",
     "Tracer",
+    "federate_families",
     "load_jsonl",
     "new_trace_id",
+    "parse_prometheus",
+    "render_families",
+    "sum_samples",
     "trace_breakdown",
 ]
 

@@ -1,0 +1,339 @@
+"""Prometheus text-exposition parsing and federation.
+
+This module is the *inverse* of
+:meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`: the fleet
+router scrapes every replica's ``/metrics?format=prometheus``, parses the
+text back into typed metric families, sums the summable series (counters and
+histograms) across replicas, and re-renders one fleet-wide exposition.
+
+The parser is deliberately scoped to the dialect our renderer emits (plus
+the obvious liberal extensions): ``# HELP`` / ``# TYPE`` comments, samples
+with escape-aware quoted label values, one metric family per ``TYPE`` line,
+histogram ``_bucket`` / ``_sum`` / ``_count`` suffixes attached to their
+family.  Round-tripping is exact: ``render_families(parse_prometheus(text))
+== text`` for any text our renderer produced, because both sides share the
+same value/label formatting helpers (floats render via ``repr`` which
+round-trips binary-exactly).
+
+Federation semantics (:func:`federate_families`):
+
+* **counters and histograms are summed** across sources after dropping the
+  per-replica label (cumulative bucket counts stay valid because every
+  replica uses identical bucket bounds -- the ``le`` label is part of the
+  grouping key, so mismatched bounds would simply stay as disjoint series);
+* **gauges (and untyped series) are kept per-replica** -- a queue depth or
+  an uptime summed across replicas is a lie, attributed it is a signal.
+
+No dependency on any serving module -- usable standalone, like the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import _escape_help, _format_value, _render_labels
+
+#: Family kinds whose series are summed across replicas by federation.
+SUMMED_KINDS = ("counter", "histogram")
+
+
+@dataclass
+class Sample:
+    """One exposition line: series name, ordered label pairs, value."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+    def label(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Value of one label, or ``default`` when absent."""
+        for key, value in self.labels:
+            if key == name:
+                return value
+        return default
+
+    def without_label(self, name: str) -> "Sample":
+        """A copy of this sample with one label dropped (order preserved)."""
+        return Sample(self.name, tuple(p for p in self.labels if p[0] != name), self.value)
+
+
+@dataclass
+class MetricFamily:
+    """One ``# TYPE`` group: family name, kind, help text, its samples."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    samples: List[Sample] = field(default_factory=list)
+
+
+class ExpositionParseError(ValueError):
+    """Raised on text the exposition parser cannot understand."""
+
+    def __init__(self, message: str, lineno: int):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _unescape(value: str, lineno: int) -> str:
+    """Reverse :func:`~repro.obs.metrics._escape_label` escaping."""
+    if "\\" not in value:
+        return value
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\":
+            if i + 1 >= len(value):
+                raise ExpositionParseError("dangling backslash in label value", lineno)
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise ExpositionParseError(f"unknown escape '\\{nxt}' in label value", lineno)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str, lineno: int) -> Tuple[Tuple[Tuple[str, str], ...], int]:
+    """Parse ``{a="x",...}`` starting at ``text[0] == '{'``.
+
+    Returns ``(pairs, end_index)`` where ``end_index`` points one past the
+    closing brace.  A character-level scanner (not a regex) because label
+    values may contain escaped quotes, braces and commas.
+    """
+    pairs: List[Tuple[str, str]] = []
+    i = 1  # past '{'
+    n = len(text)
+    while True:
+        if i >= n:
+            raise ExpositionParseError("unterminated label set", lineno)
+        if text[i] == "}":
+            return tuple(pairs), i + 1
+        eq = text.find("=", i)
+        if eq < 0 or eq + 1 >= n or text[eq + 1] != '"':
+            raise ExpositionParseError("expected label_name=\"value\"", lineno)
+        label_name = text[i:eq].strip()
+        if not label_name:
+            raise ExpositionParseError("empty label name", lineno)
+        # Scan the quoted value respecting backslash escapes.
+        j = eq + 2
+        raw: List[str] = []
+        while True:
+            if j >= n:
+                raise ExpositionParseError("unterminated label value", lineno)
+            ch = text[j]
+            if ch == "\\":
+                if j + 1 >= n:
+                    raise ExpositionParseError("dangling backslash in label value", lineno)
+                raw.append(text[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        pairs.append((label_name, _unescape("".join(raw), lineno)))
+        i = j + 1  # past closing quote
+        if i < n and text[i] == ",":
+            i += 1
+
+
+def _parse_sample(line: str, lineno: int) -> Sample:
+    """Parse one ``name{labels} value`` exposition line."""
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace >= 0 and (space < 0 or brace < space):
+        name = line[:brace]
+        labels, end = _parse_labels(line[brace:], lineno)
+        rest = line[brace + end :].strip()
+    else:
+        if space < 0:
+            raise ExpositionParseError("sample line has no value", lineno)
+        name = line[:space]
+        labels = ()
+        rest = line[space:].strip()
+    if not name:
+        raise ExpositionParseError("sample line has no metric name", lineno)
+    # A timestamp suffix would appear as a second token; we never emit one.
+    value_token = rest.split()[0] if rest else ""
+    if not value_token:
+        raise ExpositionParseError("sample line has no value", lineno)
+    try:
+        value = float(value_token)
+    except ValueError:
+        raise ExpositionParseError(f"unparseable sample value {value_token!r}", lineno) from None
+    return Sample(name, labels, value)
+
+
+def _unescape_help(text: str, lineno: int) -> str:
+    """Reverse :func:`~repro.obs.metrics._escape_help` escaping."""
+    if "\\" not in text:
+        return text
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text) and text[i + 1] in ("\\", "n"):
+            out.append("\\" if text[i + 1] == "\\" else "\n")
+            i += 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def _family_for(
+    sample_name: str, families: Dict[str, MetricFamily], order: List[MetricFamily]
+) -> MetricFamily:
+    """The family a sample belongs to, creating an untyped one if unknown.
+
+    Histogram samples carry ``_bucket`` / ``_sum`` / ``_count`` suffixes on
+    top of their family name, so the lookup strips them when the base name
+    names a histogram family.
+    """
+    family = families.get(sample_name)
+    if family is not None:
+        return family
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = families.get(sample_name[: -len(suffix)])
+            if base is not None and base.kind == "histogram":
+                return base
+    family = MetricFamily(sample_name)
+    families[sample_name] = family
+    order.append(family)
+    return family
+
+
+def parse_prometheus(text: str) -> List[MetricFamily]:
+    """Parse Prometheus text exposition into metric families, order preserved.
+
+    The inverse of :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`:
+    every family keeps its kind, help text and samples (with label order and
+    exact float values), so :func:`render_families` reproduces the input
+    bit-identically.
+    """
+    families: Dict[str, MetricFamily] = {}
+    order: List[MetricFamily] = []
+    pending_help: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                name, kind = parts[2], parts[3].strip() if len(parts) > 3 else "untyped"
+                family = families.get(name)
+                if family is None:
+                    family = MetricFamily(name)
+                    families[name] = family
+                    order.append(family)
+                family.kind = kind
+                family.help = pending_help.pop(name, family.help)
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                pending_help[parts[2]] = _unescape_help(
+                    parts[3] if len(parts) > 3 else "", lineno
+                )
+            # Any other comment is legal exposition: ignore it.
+            continue
+        sample = _parse_sample(line, lineno)
+        _family_for(sample.name, families, order).samples.append(sample)
+    # HELP lines for families that never got a TYPE (liberal input).
+    for name, help_text in pending_help.items():
+        family = families.get(name)
+        if family is not None and not family.help:
+            family.help = help_text
+    return order
+
+
+def render_families(families: Iterable[MetricFamily]) -> str:
+    """Render metric families back to text exposition.
+
+    Uses the same formatting helpers as the registry renderer, so parsing
+    and re-rendering a :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`
+    output reproduces it byte for byte.
+    """
+    lines: List[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples:
+            value = sample.value
+            # Histogram bucket/count samples are integral counts; _format_value
+            # already renders integral floats without a trailing ".0".
+            lines.append(f"{sample.name}{_render_labels(sample.labels)} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def federate_families(
+    sources: Sequence[Iterable[MetricFamily]], drop_label: str = "replica"
+) -> List[MetricFamily]:
+    """Merge per-replica metric families into one fleet-wide view.
+
+    Counters and histograms are summed across sources after dropping
+    ``drop_label`` from their series; gauges and untyped series pass through
+    unchanged (keeping their replica attribution).  Family order follows
+    first appearance across sources; series order follows first appearance
+    of each grouping key.
+
+    Raises :class:`ValueError` when the same family name arrives with two
+    different kinds -- that is a scrape of two incompatible schema versions,
+    not something summation can paper over.
+    """
+    merged: Dict[str, MetricFamily] = {}
+    order: List[MetricFamily] = []
+    sums: Dict[str, Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Sample]] = {}
+    for families in sources:
+        for family in families:
+            out = merged.get(family.name)
+            if out is None:
+                out = MetricFamily(family.name, family.kind, family.help)
+                merged[family.name] = out
+                order.append(out)
+                sums[family.name] = {}
+            elif out.kind != family.kind:
+                raise ValueError(
+                    f"family {family.name!r} is {out.kind} in one source "
+                    f"and {family.kind} in another; refusing to federate"
+                )
+            if family.kind in SUMMED_KINDS:
+                bucket = sums[family.name]
+                for sample in family.samples:
+                    reduced = sample.without_label(drop_label)
+                    key = (reduced.name, reduced.labels)
+                    existing = bucket.get(key)
+                    if existing is None:
+                        bucket[key] = reduced
+                        out.samples.append(reduced)
+                    else:
+                        existing.value += reduced.value
+            else:
+                out.samples.extend(family.samples)
+    return order
+
+
+def sum_samples(families: Iterable[MetricFamily], name: str) -> float:
+    """Total value of one family's plain samples (convenience for checks).
+
+    For histograms, sums the ``_count`` samples (one per series) rather than
+    buckets, so the result is the total number of observations.
+    """
+    total = 0.0
+    for family in families:
+        if family.name != name:
+            continue
+        if family.kind == "histogram":
+            total += sum(s.value for s in family.samples if s.name == f"{name}_count")
+        else:
+            total += sum(s.value for s in family.samples)
+    return total

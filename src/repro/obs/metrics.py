@@ -24,7 +24,9 @@ No dependency on any serving module -- the registry is usable standalone.
 
 from __future__ import annotations
 
+import platform
 import threading
+import time
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -251,6 +253,33 @@ class MetricsRegistry:
         self.const_labels: Tuple[Tuple[str, str], ...] = tuple(
             (str(k), str(v)) for k, v in (const_labels or {}).items()
         )
+        self._uptime_gauge: Optional[Gauge] = None
+        self._uptime_started: float = 0.0
+
+    def enable_target_metadata(self, version: Optional[str] = None) -> "MetricsRegistry":
+        """Register the standard target-metadata instruments (idempotent).
+
+        Adds ``repro_process_uptime_seconds`` (refreshed on every
+        :meth:`render_prometheus` call) and the Prometheus info-style
+        ``repro_build_info`` gauge whose ``version`` / ``python`` labels --
+        on top of the registry's const labels -- let a fleet scrape identify
+        exactly which build answers behind each ``replica=`` series.
+        """
+        if version is None:
+            from repro._version import __version__ as version
+        info = self.gauge(
+            "repro_build_info",
+            "Build metadata carried as labels; the value is always 1.",
+            ("version", "python"),
+        )
+        info.set(1, version=version, python=platform.python_version())
+        if self._uptime_gauge is None:
+            self._uptime_started = time.monotonic()
+            self._uptime_gauge = self.gauge(
+                "repro_process_uptime_seconds", "Seconds since this registry came up."
+            )
+            self._uptime_gauge.set(0.0)
+        return self
 
     def _get_or_create(self, cls, name: str, help: str, labelnames: Sequence[str], **kwargs):
         with self._lock:
@@ -291,6 +320,8 @@ class MetricsRegistry:
 
     def render_prometheus(self) -> str:
         """The whole registry in Prometheus text exposition format."""
+        if self._uptime_gauge is not None:
+            self._uptime_gauge.set(time.monotonic() - self._uptime_started)
         lines: List[str] = []
         for metric in self.instruments():
             if metric.help:

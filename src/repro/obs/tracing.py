@@ -3,6 +3,7 @@
 A *trace* follows one HTTP request through the serving stack; a *span* is a
 named timed stage of that trace.  The canonical stages are::
 
+    route          router -> replica forward + reply     (fleet router)
     parse          body decode + validation + enqueue   (front thread)
     queue-wait     enqueued -> batch leader popped       (scheduler clock)
     batch-execute  the whole coalesced batch's forward   (one per batch)
@@ -35,7 +36,9 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterable, List, Optional
 
 #: Stage names in pipeline order -- the column order of trace breakdowns.
-STAGES: tuple = ("parse", "queue-wait", "batch-execute", "execute", "respond")
+#: ``route`` is stamped by the fleet router (the hop in front of a replica);
+#: single-server traces simply never record it.
+STAGES: tuple = ("route", "parse", "queue-wait", "batch-execute", "execute", "respond")
 
 _trace_counter = itertools.count(1)
 _span_counter = itertools.count(1)

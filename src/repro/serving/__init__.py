@@ -33,6 +33,11 @@ owns an :class:`~repro.obs.Observability` bundle (metrics registry, request
 tracer, sampled profiler, event log) and both fronts expose it --
 ``GET /metrics?format=prometheus``, ``GET /events``, ``GET /trace`` and an
 ``X-Trace-Id`` header on every prediction.
+
+Beyond one process, :mod:`repro.serving.fleet` runs N replica server
+processes behind a :class:`~repro.serving.fleet.FleetRouter` that routes by
+least load and *federates* the per-replica observability into one summed
+Prometheus exposition, merged traces/events and a fleet ``/healthz``.
 """
 
 from repro.obs import Observability
@@ -60,8 +65,15 @@ from repro.serving.scheduler import Scheduler, SchedulerStopped
 from repro.serving.server import PredictionServer
 from repro.serving.workers import ReplicatedRunner
 
+# Fleet last: its modules import the serving submodules above.
+from repro.serving.fleet import Fleet, FleetRouter, ReplicaConfig, ReplicaProcess  # noqa: E402
+
 __all__ = [
     "AsyncPredictionServer",
+    "Fleet",
+    "FleetRouter",
+    "ReplicaConfig",
+    "ReplicaProcess",
     "Observability",
     "Client",
     "HTTPClient",

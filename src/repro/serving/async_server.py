@@ -43,6 +43,7 @@ from repro.serving.server import (
     parse_predict_payload,
     predict_error_response,
     predict_success_response,
+    sanitize_trace_id,
 )
 from repro.utils.logging import get_logger
 
@@ -231,7 +232,7 @@ class AsyncPredictionServer:
                             writer, 400, {"error": "request body shorter than Content-Length"}, False
                         )
                         break
-                status, payload, extra_headers = await self._dispatch(method, path, body)
+                status, payload, extra_headers = await self._dispatch(method, path, body, headers)
                 # The respond span times serialisation + the socket write --
                 # the last leg of the request's journey, on the loop.
                 tracer = self.scheduler.obs.tracer
@@ -266,7 +267,7 @@ class AsyncPredictionServer:
             headers[name.strip().lower()] = value.strip()
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes, headers: Dict[str, str]
     ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]:
         if method == "GET":
             status, payload = handle_introspection(self.scheduler, path)
@@ -277,16 +278,18 @@ class AsyncPredictionServer:
             return 404, {"error": f"unknown path {path!r}"}, {}
         if not body:
             return 400, {"error": "missing or oversized request body"}, {}
-        return await self._handle_predict(body)
+        return await self._handle_predict(body, sanitize_trace_id(headers.get("x-trace-id")))
 
     async def _handle_predict(
-        self, body: bytes
+        self, body: bytes, incoming_trace_id: Optional[str] = None
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         loop = asyncio.get_running_loop()
         # Executor handoff: JSON decoding, array validation and the enqueue
         # into the synchronous scheduler happen off-loop, so one fat body
         # cannot freeze every other connection.
-        error, requests, trace_id = await loop.run_in_executor(None, self._parse_and_submit, body)
+        error, requests, trace_id = await loop.run_in_executor(
+            None, self._parse_and_submit, body, incoming_trace_id
+        )
         headers = {} if trace_id is None else {"X-Trace-Id": trace_id}
         if error is not None:
             return error[0], error[1], headers
@@ -303,7 +306,7 @@ class AsyncPredictionServer:
         return 200, predict_success_response(requests), headers
 
     def _parse_and_submit(
-        self, body: bytes
+        self, body: bytes, trace_id: Optional[str] = None
     ) -> Tuple[Optional[Tuple[int, Dict[str, Any]]], Optional[List[Request]], Optional[str]]:
         """Executor body: decode, validate and enqueue one /predict payload."""
         parse_started = time.monotonic()
@@ -316,7 +319,8 @@ class AsyncPredictionServer:
         error, xs, timeout_ms, priority = parse_predict_payload(self.scheduler, payload)
         if error is not None:
             return error, None, None
-        trace_id = new_trace_id()
+        if trace_id is None:
+            trace_id = new_trace_id()
         try:
             requests = self.scheduler.submit_many(
                 xs, timeout_ms=timeout_ms, priority=priority, trace_id=trace_id

@@ -176,3 +176,14 @@ class HTTPClient:
             return self._get("/healthz").get("status")
         except (urllib.error.URLError, OSError):
             return None
+
+    def health_detail(self) -> Optional[Dict[str, Any]]:
+        """``GET /healthz`` as the full JSON body (or ``None`` when down).
+
+        Against a fleet router this carries the per-replica statuses behind
+        the top-level ``ok`` / ``degraded`` / ``down`` verdict.
+        """
+        try:
+            return self._get("/healthz")
+        except (urllib.error.URLError, OSError):
+            return None

@@ -1,0 +1,136 @@
+"""Multi-replica serving fleet: router process + N replica server processes.
+
+Topology::
+
+    client ──> FleetRouter (HTTP, least-load + failover)
+                 ├──> ReplicaProcess 0: Scheduler + front, replica="0" metrics
+                 ├──> ReplicaProcess 1: Scheduler + front, replica="1" metrics
+                 └──> ...
+
+Each replica is a full single-node serving stack in its own OS process with
+its own :class:`~repro.obs.Observability` bundle; the router *federates*
+those bundles -- one fleet-wide Prometheus exposition (counters/histograms
+summed across ``replica=`` labels, gauges kept per-replica), one merged
+``/trace`` and ``/events`` with replica attribution, one ``/healthz``
+reporting degraded vs down -- while propagating a single ``X-Trace-Id``
+across the router -> replica hop.
+
+Quick tour::
+
+    from repro.serving.fleet import Fleet, ReplicaConfig
+
+    with Fleet(deployment, n_replicas=2, config=ReplicaConfig(policy="queue-depth")) as fleet:
+        client = HTTPClient(fleet.url)
+        body, headers = client.predict_with_headers(images[0])
+        spans = client.trace(headers["X-Trace-Id"])   # route + replica stages
+        text = client.metrics(format="prometheus")    # fleet-summed series
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.serving.deployment import Deployment
+from repro.serving.fleet.federation import merge_events, merge_spans, rollup_snapshots
+from repro.serving.fleet.replica import ReplicaConfig, ReplicaProcess
+from repro.serving.fleet.router import FleetRouter
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.fleet")
+
+__all__ = [
+    "Fleet",
+    "FleetRouter",
+    "ReplicaConfig",
+    "ReplicaProcess",
+    "merge_events",
+    "merge_spans",
+    "rollup_snapshots",
+]
+
+
+class Fleet:
+    """Convenience wrapper: spawn N replicas, front them with one router.
+
+    Parameters
+    ----------
+    deployment:
+        The servable model + service levels every replica serves.
+    n_replicas:
+        Fleet size (independent server processes).
+    config:
+        Shared per-replica :class:`ReplicaConfig`.
+    host, port:
+        Router bind address (``port=0`` picks a free port).
+    health_interval_s / drain_timeout_s / request_timeout_s:
+        Router knobs, see :class:`FleetRouter`.
+    start_timeout_s:
+        How long to wait for every replica to report ready.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        n_replicas: int = 2,
+        config: Optional[ReplicaConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 60.0,
+        health_interval_s: float = 1.0,
+        drain_timeout_s: float = 10.0,
+        start_timeout_s: float = 120.0,
+    ):
+        if n_replicas < 1:
+            raise ValueError("a fleet needs at least one replica")
+        self.config = config if config is not None else ReplicaConfig()
+        self.replicas = [
+            ReplicaProcess(index, deployment, self.config) for index in range(int(n_replicas))
+        ]
+        self._router_host = host
+        self._router_port = port
+        self._request_timeout_s = request_timeout_s
+        self._health_interval_s = health_interval_s
+        self._drain_timeout_s = drain_timeout_s
+        self._start_timeout_s = start_timeout_s
+        self.router: Optional[FleetRouter] = None
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "Fleet":
+        """Spawn every replica (in parallel), then start the router."""
+        if self.router is not None:
+            return self
+        for replica in self.replicas:
+            replica.start()
+        for replica in self.replicas:
+            replica.wait_ready(timeout_s=self._start_timeout_s)
+        self.router = FleetRouter(
+            self.replicas,
+            host=self._router_host,
+            port=self._router_port,
+            request_timeout_s=self._request_timeout_s,
+            health_interval_s=self._health_interval_s,
+            drain_timeout_s=self._drain_timeout_s,
+        ).start()
+        logger.info("fleet up: router %s, %d replicas", self.router.url, len(self.replicas))
+        return self
+
+    @property
+    def url(self) -> str:
+        """Router base URL (after :meth:`start`)."""
+        if self.router is None:
+            raise RuntimeError("fleet is not started")
+        return self.router.url
+
+    def stop(self, drain: bool = True) -> None:
+        """Drain the router, then stop every replica process."""
+        if self.router is not None:
+            self.router.stop(drain=drain)
+            self.router = None
+        for replica in self.replicas:
+            replica.stop()
+
+    def __enter__(self) -> "Fleet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

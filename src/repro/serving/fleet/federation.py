@@ -1,0 +1,94 @@
+"""Cross-replica merging: metric rollups, span merges, event merges.
+
+The Prometheus half of federation lives in :mod:`repro.obs.exposition`
+(parse each replica's text exposition, sum counters/histograms, keep gauges
+per-replica).  This module covers the JSON surfaces: the ``/metrics`` rollup
+summing :class:`~repro.serving.metrics.MetricsSnapshot` dicts, and the
+``/trace`` / ``/events`` merges that tag every entry with the replica it
+came from and re-sort on the wall clock (monotonic clocks are per-process,
+the wall anchor is the only cross-process ordering available).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping
+
+#: Snapshot fields that sum meaningfully across replicas.
+_SUMMED_FIELDS = (
+    "requests_completed",
+    "requests_failed",
+    "requests_shed",
+    "batches",
+    "queue_depth",
+    "throughput_rps",
+    "windowed_throughput_rps",
+    "level_switches",
+    "cycles_saved",
+    "mcu_ms_saved",
+)
+
+#: Per-priority fields that sum across replicas (percentiles do not).
+_SUMMED_PRIORITY_FIELDS = ("completed", "shed", "failed")
+
+
+def rollup_snapshots(snapshots: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum per-replica ``/metrics`` JSON snapshots into one fleet view.
+
+    Counts and rates add; latency percentiles do not (a fleet p95 needs the
+    merged histogram, which the Prometheus surface provides) and are left
+    to the per-replica snapshots the caller serves alongside this rollup.
+    """
+    fleet: Dict[str, Any] = {name: 0 for name in _SUMMED_FIELDS}
+    per_level_requests: Dict[str, int] = {}
+    per_level_batches: Dict[str, int] = {}
+    per_priority: Dict[str, Dict[str, int]] = {}
+    for snapshot in snapshots.values():
+        for name in _SUMMED_FIELDS:
+            fleet[name] += snapshot.get(name, 0) or 0
+        for level, count in (snapshot.get("per_level_requests") or {}).items():
+            per_level_requests[level] = per_level_requests.get(level, 0) + int(count)
+        for level, count in (snapshot.get("per_level_batches") or {}).items():
+            per_level_batches[level] = per_level_batches.get(level, 0) + int(count)
+        for priority, stats in (snapshot.get("per_priority") or {}).items():
+            into = per_priority.setdefault(
+                priority, {name: 0 for name in _SUMMED_PRIORITY_FIELDS}
+            )
+            for name in _SUMMED_PRIORITY_FIELDS:
+                into[name] += int(stats.get(name, 0) or 0)
+    fleet["requests_completed"] = int(fleet["requests_completed"])
+    fleet["per_level_requests"] = per_level_requests
+    fleet["per_level_batches"] = per_level_batches
+    fleet["per_priority"] = per_priority
+    fleet["replicas"] = len(snapshots)
+    batches = fleet["batches"]
+    fleet["mean_batch_size"] = (fleet["requests_completed"] / batches) if batches else 0.0
+    return fleet
+
+
+def merge_spans(groups: Mapping[str, Iterable[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    """Merge per-source span dicts, tagging each with its ``replica``.
+
+    Sources are replica names (``"0"``, ``"1"``, ...) or ``"router"``.
+    Sorting uses the spans' wall-clock anchor ``ts``: the monotonic
+    ``start_s`` values are meaningless across processes.
+    """
+    merged: List[Dict[str, Any]] = []
+    for source, spans in groups.items():
+        for span in spans:
+            tagged = dict(span)
+            tagged["replica"] = source
+            merged.append(tagged)
+    merged.sort(key=lambda span: span.get("ts", 0.0))
+    return merged
+
+
+def merge_events(groups: Mapping[str, Iterable[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    """Merge per-source event dicts, tagging each with its ``replica``."""
+    merged: List[Dict[str, Any]] = []
+    for source, events in groups.items():
+        for event in events:
+            tagged = dict(event)
+            tagged["replica"] = source
+            merged.append(tagged)
+    merged.sort(key=lambda event: event.get("ts", 0.0))
+    return merged

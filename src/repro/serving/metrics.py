@@ -147,6 +147,9 @@ class ServerMetrics:
         self._started_at = self._time()
         self.registry = registry if registry is not None else MetricsRegistry()
         reg = self.registry
+        # Target metadata (uptime + build info) so fleet scrapes identify
+        # which build/interpreter answers behind each replica= series.
+        reg.enable_target_metadata()
         self._c_completed = reg.counter(
             "repro_requests_completed_total",
             "Requests completed, by priority class and service level.",

@@ -33,6 +33,7 @@ trace its spans were recorded under.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -51,6 +52,21 @@ logger = get_logger("serving.server")
 
 #: Refuse request bodies beyond this size (64 MiB of JSON is already absurd).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def sanitize_trace_id(value: Optional[str]) -> Optional[str]:
+    """An incoming ``X-Trace-Id`` header value, or ``None`` if unusable.
+
+    The fleet router propagates its trace id to the replica it picks so one
+    id covers the whole hop; anything that doesn't look like a trace id
+    (huge, spaces, exotic characters) is ignored rather than recorded into
+    the span ring.
+    """
+    if value and _TRACE_ID_RE.match(value):
+        return value
+    return None
 
 
 # --------------------------------------------------------------------------- shared endpoint logic
@@ -268,19 +284,22 @@ class PredictionServer:
 
     # ------------------------------------------------------------------ request handling
     def handle_predict(
-        self, payload: Dict[str, Any]
+        self, payload: Dict[str, Any], trace_id: Optional[str] = None
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         """Execute one ``POST /predict`` body.
 
         Returns ``(status, response, headers)``; the headers carry the
         ``X-Trace-Id`` of the body's requests once they were submitted.
+        ``trace_id`` joins an upstream trace (the fleet router's ``route``
+        span) instead of minting a fresh id.
         """
         tracer = self.scheduler.obs.tracer
         parse_started = time.monotonic()
         error, xs, timeout_ms, priority = parse_predict_payload(self.scheduler, payload)
         if error is not None:
             return error[0], error[1], {}
-        trace_id = new_trace_id()
+        if trace_id is None:
+            trace_id = new_trace_id()
         headers = {"X-Trace-Id": trace_id}
         try:
             requests = self.scheduler.submit_many(
@@ -361,7 +380,9 @@ def _make_handler(server: PredictionServer):
             except (UnicodeDecodeError, json.JSONDecodeError):
                 self._respond(400, {"error": "request body is not valid JSON"})
                 return
-            status, response, headers = server.handle_predict(payload)
+            status, response, headers = server.handle_predict(
+                payload, trace_id=sanitize_trace_id(self.headers.get("X-Trace-Id"))
+            )
             # The respond span times serialisation + the socket write -- the
             # last leg of the request's journey, on the handler thread.
             tracer = server.scheduler.obs.tracer

@@ -1,0 +1,234 @@
+"""The Prometheus exposition parser: round-trip identity and federation.
+
+The parser (:mod:`repro.obs.exposition`) is the inverse of
+:meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`; the contract
+tested here is *bit-identity*: parsing a rendered exposition and rendering
+it back reproduces the text byte for byte -- names, label order, escaped
+label values, bucket bounds, float sample values (``repr`` round-trips).
+On top sit the federation semantics the fleet router relies on: counters
+and histograms sum across ``replica=`` labels, gauges stay attributed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.exposition import (
+    ExpositionParseError,
+    MetricFamily,
+    Sample,
+    federate_families,
+    parse_prometheus,
+    render_families,
+    sum_samples,
+)
+from repro.obs.metrics import LATENCY_BUCKETS_MS, MetricsRegistry
+
+
+def _populated_registry(replica: str = "0") -> MetricsRegistry:
+    """A registry exercising every instrument kind, const labels, escapes."""
+    registry = MetricsRegistry(const_labels={"replica": replica})
+    counter = registry.counter(
+        "repro_requests_completed_total",
+        "Requests completed, by priority class and service level.",
+        ("priority", "level"),
+    )
+    counter.inc(7, priority="interactive", level="exact")
+    counter.inc(2.5, priority="batch", level='quo"te\\slash\nnewline')
+    histogram = registry.histogram(
+        "repro_request_latency_ms", "Latency.", ("priority",), buckets=LATENCY_BUCKETS_MS
+    )
+    histogram.observe(0.7, priority="interactive")
+    histogram.observe(3.3, priority="interactive")
+    histogram.observe(1e9, priority="batch")  # beyond the last bound: +Inf only
+    registry.gauge("repro_queue_depth", "Requests waiting.").set(5)
+    registry.counter("repro_unlabelled_total", "No labels.").inc(0.125)
+    registry.counter("repro_helpless_total").inc(3)  # no HELP line rendered
+    return registry
+
+
+class TestRoundTrip:
+    def test_bit_identical_round_trip(self):
+        text = _populated_registry().render_prometheus()
+        assert render_families(parse_prometheus(text)) == text
+
+    def test_round_trip_with_target_metadata(self):
+        registry = _populated_registry()
+        registry.enable_target_metadata(version="9.9.9")
+        text = registry.render_prometheus()
+        assert render_families(parse_prometheus(text)) == text
+        assert 'repro_build_info{replica="0",version="9.9.9",python="' in text
+
+    def test_round_trip_non_integral_floats(self):
+        # repr() round-trips doubles exactly; the parse->render cycle must
+        # preserve every digit, not approximate.
+        registry = MetricsRegistry()
+        registry.gauge("g", "").set(0.1 + 0.2)  # 0.30000000000000004
+        text = registry.render_prometheus()
+        assert "0.30000000000000004" in text
+        assert render_families(parse_prometheus(text)) == text
+
+    def test_parsed_structure_matches_registry(self):
+        registry = _populated_registry(replica="3")
+        families = {f.name: f for f in parse_prometheus(registry.render_prometheus())}
+
+        counter = families["repro_requests_completed_total"]
+        assert counter.kind == "counter"
+        assert counter.help.startswith("Requests completed")
+        by_labels = {sample.labels: sample.value for sample in counter.samples}
+        assert by_labels[
+            (("replica", "3"), ("priority", "interactive"), ("level", "exact"))
+        ] == 7.0
+        # The escaped label value comes back as the original string.
+        assert by_labels[
+            (("replica", "3"), ("priority", "batch"), ("level", 'quo"te\\slash\nnewline'))
+        ] == 2.5
+
+        histogram = families["repro_request_latency_ms"]
+        assert histogram.kind == "histogram"
+        bucket_bounds = [
+            sample.label("le")
+            for sample in histogram.samples
+            if sample.name == "repro_request_latency_ms_bucket"
+            and sample.label("priority") == "interactive"
+        ]
+        assert bucket_bounds == [f"{b:g}" for b in LATENCY_BUCKETS_MS] + ["+Inf"]
+        counts = {
+            sample.label("priority"): sample.value
+            for sample in histogram.samples
+            if sample.name == "repro_request_latency_ms_count"
+        }
+        assert counts == {"interactive": 2.0, "batch": 1.0}
+        sums = {
+            sample.label("priority"): sample.value
+            for sample in histogram.samples
+            if sample.name == "repro_request_latency_ms_sum"
+        }
+        assert sums["interactive"] == pytest.approx(4.0)
+        assert sums["batch"] == 1e9
+        # Out-of-range observation: +Inf bucket counts it, the last bound doesn't.
+        interactive = {
+            sample.label("le"): sample.value
+            for sample in histogram.samples
+            if sample.name == "repro_request_latency_ms_bucket"
+            and sample.label("priority") == "batch"
+        }
+        assert interactive["+Inf"] == 1.0
+        assert interactive["4096"] == 0.0
+
+    def test_helpless_family_renders_without_help_line(self):
+        text = _populated_registry().render_prometheus()
+        reparsed = render_families(parse_prometheus(text))
+        assert "# HELP repro_helpless_total" not in reparsed
+        assert "# TYPE repro_helpless_total counter" in reparsed
+
+    def test_liberal_input_untyped_and_unknown_comments(self):
+        text = "# a free-form comment\nups 3\n# HELP late_help too late\n"
+        families = parse_prometheus(text)
+        assert [f.name for f in families] == ["ups"]
+        assert families[0].kind == "untyped"
+        assert families[0].samples[0].value == 3.0
+
+    def test_parse_errors_are_diagnosed(self):
+        with pytest.raises(ExpositionParseError, match="line 1"):
+            parse_prometheus('m{a="x} 1\n')  # unterminated label value
+        with pytest.raises(ExpositionParseError, match="no value"):
+            parse_prometheus("lonely_name\n")
+        with pytest.raises(ExpositionParseError, match="unparseable"):
+            parse_prometheus("m notanumber\n")
+
+
+class TestFederation:
+    def _replica_pair(self):
+        return (
+            parse_prometheus(_populated_registry("0").render_prometheus()),
+            parse_prometheus(_populated_registry("1").render_prometheus()),
+        )
+
+    def test_counters_summed_replica_label_dropped(self):
+        fed = federate_families(self._replica_pair())
+        counter = next(f for f in fed if f.name == "repro_requests_completed_total")
+        by_labels = {sample.labels: sample.value for sample in counter.samples}
+        assert by_labels[(("priority", "interactive"), ("level", "exact"))] == 14.0
+        assert not any(sample.label("replica") for sample in counter.samples)
+
+    def test_histograms_summed_bucket_by_bucket(self):
+        fed = federate_families(self._replica_pair())
+        assert sum_samples(fed, "repro_request_latency_ms") == 6.0  # 3 observations x 2
+        histogram = next(f for f in fed if f.name == "repro_request_latency_ms")
+        first_bucket = next(
+            sample for sample in histogram.samples
+            if sample.name == "repro_request_latency_ms_bucket"
+            and sample.label("priority") == "interactive" and sample.label("le") == "1"
+        )
+        assert first_bucket.value == 2.0  # one 0.7ms observation per replica
+
+    def test_gauges_kept_per_replica(self):
+        fed = federate_families(self._replica_pair())
+        gauge = next(f for f in fed if f.name == "repro_queue_depth")
+        replicas = sorted(sample.label("replica") for sample in gauge.samples)
+        assert replicas == ["0", "1"]
+
+    def test_fleet_sum_equals_per_replica_sum(self):
+        # The acceptance criterion, via the parser: federated series totals
+        # equal the sum of the per-replica series totals.
+        sources = self._replica_pair()
+        fed = federate_families(sources)
+        for name in ("repro_requests_completed_total", "repro_unlabelled_total"):
+            assert sum_samples(fed, name) == sum(sum_samples(s, name) for s in sources)
+
+    def test_kind_mismatch_refused(self):
+        a = [MetricFamily("m", "counter", "", [Sample("m", (), 1.0)])]
+        b = [MetricFamily("m", "gauge", "", [Sample("m", (), 1.0)])]
+        with pytest.raises(ValueError, match="refusing to federate"):
+            federate_families([a, b])
+
+    def test_sources_not_mutated(self):
+        sources = self._replica_pair()
+        before = render_families(sources[0])
+        federate_families(sources)
+        assert render_families(sources[0]) == before
+
+
+class TestTargetMetadata:
+    def test_uptime_advances_on_render(self):
+        registry = MetricsRegistry()
+        registry.enable_target_metadata()
+        first = parse_prometheus(registry.render_prometheus())
+        uptime = sum_samples(first, "repro_process_uptime_seconds")
+        assert uptime >= 0.0
+        import time
+
+        time.sleep(0.02)
+        second = parse_prometheus(registry.render_prometheus())
+        assert sum_samples(second, "repro_process_uptime_seconds") > uptime
+
+    def test_build_info_labels(self):
+        import platform
+
+        from repro import __version__
+
+        registry = MetricsRegistry(const_labels={"replica": "7"})
+        registry.enable_target_metadata()
+        families = {f.name: f for f in parse_prometheus(registry.render_prometheus())}
+        info = families["repro_build_info"].samples[0]
+        assert info.value == 1.0
+        assert info.label("version") == __version__
+        assert info.label("python") == platform.python_version()
+        assert info.label("replica") == "7"
+
+    def test_idempotent(self):
+        registry = MetricsRegistry()
+        registry.enable_target_metadata()
+        registry.enable_target_metadata()  # a second call must not blow up
+        text = registry.render_prometheus()
+        assert text.count("# TYPE repro_build_info") == 1
+        assert text.count("# TYPE repro_process_uptime_seconds") == 1
+
+    def test_server_metrics_registers_target_metadata(self):
+        from repro.serving.metrics import ServerMetrics
+
+        sink = ServerMetrics()
+        text = sink.render_prometheus()
+        assert "repro_build_info{" in text
+        assert "repro_process_uptime_seconds" in text
