@@ -1,0 +1,131 @@
+"""Confidence-cascade benchmarks: calibration quality + live escalation.
+
+Two questions:
+
+* does the calibrated operating point actually hold the blended accuracy
+  within the budget of exact while cutting expected cycles per sample
+  (the claim the ``cascade`` workflow stage makes offline)?
+* what does the live cascade deliver end-to-end -- escalation rate and
+  simulated MCU cycles saved versus an exact-only deployment -- when real
+  requests flow through the scheduler's re-enqueue path?
+
+Headline numbers land in ``benchmarks/results/cascade.json`` for the CI
+perf-regression gate (``benchmarks/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serving import CascadePolicy, Client, Deployment, Scheduler
+from repro.workflow import calibrate_cascade
+
+from bench_utils import record_json, record_result
+from repro.evaluation.reports import format_table
+
+#: Allowed blended-accuracy drop versus exact on the held-out split.
+BUDGET = 0.02
+
+
+@pytest.fixture(scope="module")
+def cascade_setup(tiny_artifacts):
+    """Deployment + calibration on a holdout disjoint from the DSE eval slice."""
+    split = tiny_artifacts["split"]
+    result = tiny_artifacts["result"]
+    qmodel = tiny_artifacts["qmodel"]
+    deployment = Deployment.from_dse(
+        qmodel, result.dse, result.significance, unpacked=result.unpacked
+    )
+    # The pipeline evaluated accuracies on test[:160]; calibrate past it.
+    images = split.test.images[160:]
+    labels = split.test.labels[160:]
+    calibration = calibrate_cascade(
+        deployment, images, labels, accuracy_budget=BUDGET
+    )
+    return {
+        "deployment": deployment,
+        "calibration": calibration,
+        "images": images,
+        "labels": labels,
+    }
+
+
+def test_calibration_operating_point(cascade_setup):
+    """The sweep finds a cheap level within budget that beats exact cycles."""
+    calibration = cascade_setup["calibration"]
+    rows = [point.as_dict() for point in calibration.points]
+    record_result(
+        "cascade_calibration",
+        format_table(
+            rows,
+            columns=["level", "threshold", "escalation_rate", "blended_accuracy",
+                     "expected_cycles_per_sample", "cycles_saved_frac", "within_budget"],
+            title=(f"cascade calibration (exact acc {calibration.exact_accuracy:.3f}, "
+                   f"budget {BUDGET})"),
+        ),
+    )
+    assert calibration.chosen is not None, "no cheap level within budget on the tiny CNN"
+    point = calibration.chosen_point
+    assert point.within_budget
+    assert point.blended_accuracy >= calibration.exact_accuracy - BUDGET - 1e-9
+    assert point.expected_cycles_per_sample < calibration.exact_cycles_per_sample
+    record_json(
+        "cascade",
+        {
+            "cascade_blended_accuracy": round(point.blended_accuracy, 4),
+            "cascade_expected_saved_frac": round(point.cycles_saved_frac, 4),
+            "cascade_calibrated_escalation_rate": round(point.escalation_rate, 4),
+        },
+    )
+
+
+def test_live_cascade_vs_exact_only(cascade_setup):
+    """Drive real traffic through the escalation path; compare to exact-only."""
+    deployment = cascade_setup["deployment"]
+    calibration = cascade_setup["calibration"]
+    images = cascade_setup["images"]
+
+    def drive(policy):
+        scheduler = Scheduler(deployment, policy=policy, max_batch_size=16, max_wait_ms=2.0)
+        with scheduler:
+            client = Client(scheduler, timeout_s=600.0)
+            started = time.perf_counter()
+            for request in client.submit_many(images):
+                request.result(timeout=600.0)
+            elapsed = time.perf_counter() - started
+            snapshot = scheduler.metrics.snapshot()
+        return snapshot, len(images) / elapsed
+
+    cascade_snapshot, cascade_rps = drive(CascadePolicy(calibration=calibration))
+    exact_snapshot, exact_rps = drive("fixed")
+
+    cascade = cascade_snapshot.cascade
+    assert cascade is not None and cascade["completed"] == len(images)
+    # The live escalation rate should sit near the calibrated expectation
+    # (same distribution, so a loose band) and stay under one in two.
+    assert cascade["escalation_rate"] < 0.5
+    assert cascade["cycles_saved_frac"] > 0.0
+    # Exact-only run books zero savings by definition.
+    assert exact_snapshot.cycles_saved == 0.0
+
+    record_result(
+        "cascade_live",
+        "\n".join([
+            "live cascade vs exact-only",
+            f"escalation rate: {100 * cascade['escalation_rate']:.1f}% "
+            f"({cascade['escalations']}/{cascade['completed']})",
+            f"cycles saved vs exact-only: {100 * cascade['cycles_saved_frac']:.1f}%",
+            f"throughput: cascade {cascade_rps:.1f} rps vs exact-only {exact_rps:.1f} rps",
+        ]),
+    )
+    record_json(
+        "cascade",
+        {
+            "cascade_live_saved_frac": round(cascade["cycles_saved_frac"], 4),
+            "cascade_live_escalation_rate": round(cascade["escalation_rate"], 4),
+            "cascade_rps": round(cascade_rps, 1),
+            "cascade_vs_exact_rps": round(cascade_rps / exact_rps, 3) if exact_rps else 0.0,
+        },
+    )

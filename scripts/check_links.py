@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Check internal markdown links (the CI docs job's link gate).
+
+Scans the repo's markdown surface -- README.md, ROADMAP.md, CHANGES.md and
+everything under docs/ -- for inline links and images, and fails on any
+*internal* target that does not resolve:
+
+* relative file links (``docs/ARCHITECTURE.md``, ``../README.md``) must
+  point at an existing file or directory;
+* anchor links (``#request-lifecycle`` or ``FILE.md#section``) must match a
+  heading in the target document (GitHub-style slugs);
+* external links (``http(s)://``, ``mailto:``) are skipped -- CI should not
+  fail on someone else's outage.
+
+Stdlib only; exit status 0 when every link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Top-level documents checked in addition to everything under ``docs/``.
+TOP_LEVEL = ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md")
+
+#: Inline links/images ``[text](target)`` -- reference-style links are not
+#: used in this repo.  The target group stops at the first unbalanced ``)``.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    """All anchor slugs a markdown file exposes (headings outside code fences)."""
+    slugs: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slug = github_slug(match.group(1))
+            # GitHub dedupes repeated headings with -1, -2, ... suffixes.
+            count = slugs.get(slug, 0)
+            slugs[slug] = count + 1
+            if count:
+                slugs[f"{slug}-{count}"] = 1
+    return set(slugs)
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list:
+    """Return a list of ``(lineno, target, reason)`` problems for one document."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append((lineno, target, "missing file"))
+            continue
+        if anchor:
+            if resolved.is_dir() or resolved.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown targets are not checked
+            if anchor.lower() not in heading_slugs(resolved):
+                problems.append((lineno, target, f"no heading for #{anchor}"))
+    return problems
+
+
+def main() -> int:
+    """Check every tracked document; print a report; return the exit status."""
+    documents = [REPO / name for name in TOP_LEVEL if (REPO / name).exists()]
+    documents += sorted((REPO / "docs").rglob("*.md")) if (REPO / "docs").is_dir() else []
+    failures = 0
+    for document in documents:
+        problems = check_file(document)
+        for lineno, target, reason in problems:
+            print(f"{document.relative_to(REPO)}:{lineno}: broken link '{target}' ({reason})")
+        failures += len(problems)
+    checked = len(documents)
+    if failures:
+        print(f"{failures} broken internal link(s) across {checked} document(s).")
+        return 1
+    print(f"all internal links resolve across {checked} document(s).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

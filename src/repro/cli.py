@@ -46,6 +46,7 @@ from repro.utils.serialization import load_json, save_json
 from repro.workflow import (
     ArtifactStore,
     CalibrateStage,
+    CascadeStage,
     CodegenStage,
     DSEStage,
     Experiment,
@@ -438,7 +439,8 @@ def _fleet_smoke(args: argparse.Namespace, fleet, split) -> int:
     return 0 if (answered == args.smoke and sums_ok and trace_ok) else 1
 
 
-def _serve_fleet(args: argparse.Namespace, deployment, split, qmodel) -> int:
+def _serve_fleet(args: argparse.Namespace, deployment, split, qmodel,
+                 cascade_calibration=None) -> int:
     """Serve through a router + N independent replica server processes."""
     import json as _json
     import time as _time
@@ -452,6 +454,10 @@ def _serve_fleet(args: argparse.Namespace, deployment, split, qmodel) -> int:
                 f"--depth-per-level only applies to --policy queue-depth (got {args.policy!r})"
             )
         policy_options["depth_per_level"] = args.depth_per_level
+    if args.policy == "cascade":
+        # The calibration artifact is plain dataclasses: it pickles into
+        # each replica process along with the rest of the config.
+        policy_options["calibration"] = cascade_calibration
     config = ReplicaConfig(
         policy=args.policy,
         policy_options=policy_options,
@@ -496,6 +502,45 @@ def _serve_fleet(args: argparse.Namespace, deployment, split, qmodel) -> int:
         fleet.stop()
 
 
+def _print_cascade_smoke(snapshot, calibration) -> bool:
+    """Print the cascade smoke summary; True when the operating point held.
+
+    The greppable verdict line checks the three cascade claims at once: the
+    live escalation rate stayed under 50%, the cycles saved against an
+    exact-only deployment exceed 25%, and the calibrated operating point
+    kept the held-out blended accuracy within the configured budget.
+    """
+    if calibration is None or calibration.chosen is None:
+        print("cascade check: DEGRADED (no cheap level within the accuracy budget)")
+        return False
+    cascade = snapshot.cascade
+    if cascade is None or not cascade["completed"]:
+        print("cascade check: DEGRADED (no cascade traffic recorded)")
+        return False
+    point = calibration.chosen_point
+    escalation_pct = 100 * cascade["escalation_rate"]
+    saved_pct = 100 * cascade["cycles_saved_frac"]
+    print(f"cascade: {cascade['cheap_level']} first, escalate to "
+          f"{cascade['exact_level']} below margin {cascade['threshold']:.3f}")
+    print(f"escalation rate: {escalation_pct:.1f}% "
+          f"({cascade['escalations']}/{cascade['completed']} requests; "
+          f"{cascade['suppressed']} kept cheap near their deadline)")
+    print(f"cascade cycles saved vs exact-only: {saved_pct:.1f}% "
+          f"({cascade['cycles_saved']:,.0f} cycles)")
+    proxy = cascade.get("blended_accuracy_proxy")
+    if proxy is not None:
+        print(f"blended accuracy proxy: {proxy:.3f} "
+              f"(held-out blended {point.blended_accuracy:.3f}, "
+              f"exact {calibration.exact_accuracy:.3f}, "
+              f"budget {calibration.accuracy_budget:g})")
+    within_budget = point.within_budget
+    ok = cascade["escalation_rate"] < 0.5 and cascade["cycles_saved_frac"] > 0.25 and within_budget
+    print(f"cascade check: {'ok' if ok else 'DEGRADED'} "
+          f"(escalation {escalation_pct:.1f}% < 50%, cycles saved {saved_pct:.1f}% > 25%, "
+          f"held-out blended accuracy within budget: {'yes' if within_budget else 'NO'})")
+    return ok
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve predictions from a deployed model over its DSE Pareto front."""
     from repro.obs import Observability
@@ -523,6 +568,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                  cycle_source=args.cycle_source))
         inputs["eval_images"] = split.test.images
         inputs["eval_labels"] = split.test.labels
+    cascade_requested = args.policy == "cascade"
+    if args.accuracy_budget is not None and not cascade_requested:
+        raise SystemExit(
+            f"--accuracy-budget only applies to --policy cascade (got {args.policy!r})"
+        )
+    if cascade_requested:
+        # The calibration sweep rides the same stage graph (and cache) as
+        # the deployment build; the holdout comes from the eval split.
+        inputs.setdefault("eval_images", split.test.images)
+        inputs.setdefault("eval_labels", split.test.labels)
+        budget = args.accuracy_budget if args.accuracy_budget is not None else 0.02
+        stages.append(CascadeStage(accuracy_budget=budget, n_samples=args.eval_samples))
     experiment = Experiment(stages, inputs=inputs, store=_store(args))
     result = experiment.run()
     _report_cache(result)
@@ -532,11 +589,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
         columns=["name", "label", "accuracy", "conv_mac_reduction", "mcu_latency_ms"],
         title=f"service levels of {qmodel.name} ({args.policy} policy)",
     ))
+    cascade_calibration = result.get("cascade") if cascade_requested else None
+    if cascade_calibration is not None:
+        print(format_table(
+            [point.as_dict() for point in cascade_calibration.points],
+            columns=["level", "threshold", "escalation_rate", "blended_accuracy",
+                     "cycles_saved_frac", "within_budget"],
+            title=(f"cascade calibration on {cascade_calibration.n_samples} held-out samples "
+                   f"(exact acc {cascade_calibration.exact_accuracy:.3f}, "
+                   f"budget {cascade_calibration.accuracy_budget:g})"),
+        ))
+        if cascade_calibration.chosen is None:
+            print("cascade: no cheap level within the accuracy budget -- serving exact-only")
+        else:
+            point = cascade_calibration.chosen_point
+            print(f"cascade: {point.level} first (margin >= {point.threshold:.3f}), "
+                  f"escalate to {cascade_calibration.exact_level}; expected escalation "
+                  f"{100 * point.escalation_rate:.1f}%, expected cycles saved "
+                  f"{100 * point.cycles_saved_frac:.1f}%")
 
     if args.replicas > 1:
         # Fleet mode: a router process federates N independent replica
         # server processes (each its own scheduler + observability bundle).
-        return _serve_fleet(args, deployment, split, qmodel)
+        return _serve_fleet(args, deployment, split, qmodel,
+                            cascade_calibration=cascade_calibration)
 
     policy = args.policy
     if args.depth_per_level is not None:
@@ -547,6 +623,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.serving import QueueDepthPolicy
 
         policy = QueueDepthPolicy(depth_per_level=args.depth_per_level)
+    if cascade_requested:
+        from repro.serving import CascadePolicy
+
+        policy = CascadePolicy(calibration=cascade_calibration)
     obs = Observability(profile_every=args.profile_every)
     scheduler = Scheduler(
         deployment,
@@ -605,6 +685,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"simulated MCU cycles saved: {snapshot.cycles_saved:,.0f} "
                 f"({snapshot.mcu_ms_saved:,.1f} ms on {board.name})"
             )
+            cascade_ok = True
+            if cascade_requested:
+                cascade_ok = _print_cascade_smoke(snapshot, cascade_calibration)
             prometheus_series = sum(
                 1 for line in prometheus_text.splitlines() if line and not line.startswith("#")
             )
@@ -618,6 +701,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
             print(f"X-Trace-Id: {response_headers.get('X-Trace-Id', '')}")
             print(f"prometheus exposition: {prometheus_series} series   e.g. {sample_line}")
+            if cascade_requested:
+                cascade_line = next(
+                    (
+                        line
+                        for line in prometheus_text.splitlines()
+                        if line.startswith("repro_cascade_")
+                    ),
+                    "",
+                )
+                print(f"cascade exposition: e.g. {cascade_line}")
             last_event = f"   last: {events[-1]['kind']}" if events else ""
             print(f"events: {len(events)} recorded{last_event}")
             if obs.profiler.enabled:
@@ -628,7 +721,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     profile_rows,
                     title=f"profile (sampled every {obs.profiler.sample_every} batches)",
                 ))
-            return 0 if answered == args.smoke else 1
+            return 0 if (answered == args.smoke and cascade_ok) else 1
         server = front_cls(scheduler, host=args.host, port=args.port)
         print(
             f"serving {qmodel.name} at {server.url} via the {args.front} front "
@@ -856,6 +949,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--depth-per-level", type=int, default=None,
                          help="queue-depth policy: queued requests per escalation step "
                               "(smaller = more eager; default: the policy's own default)")
+    p_serve.add_argument("--accuracy-budget", type=float, default=None, metavar="FRAC",
+                         help="cascade policy: allowed blended-accuracy drop versus the "
+                              "exact level on the held-out calibration split "
+                              "(default 0.02; 0 disables cascading)")
     p_serve.add_argument("--max-wait-ms", type=float, default=5.0,
                          help="batch coalescing window in milliseconds")
     p_serve.add_argument("--max-levels", type=int, default=6,

@@ -222,6 +222,7 @@ class Histogram(_Instrument):
             return sum(state.count for state in self._children.values())
 
     def render_into(self, lines: List[str], const: Sequence[Tuple[str, str]]) -> None:
+        """Append the ``_bucket``/``_sum``/``_count`` exposition lines."""
         with self._lock:
             children = {key: (list(s.counts), s.sum, s.count) for key, s in self._children.items()}
         for key, (counts, total, count) in sorted(children.items()):

@@ -37,8 +37,10 @@ from typing import Any, Dict, Iterable, List, Optional
 
 #: Stage names in pipeline order -- the column order of trace breakdowns.
 #: ``route`` is stamped by the fleet router (the hop in front of a replica);
-#: single-server traces simply never record it.
-STAGES: tuple = ("route", "parse", "queue-wait", "batch-execute", "execute", "respond")
+#: single-server traces simply never record it.  ``escalate`` is the cascade
+#: hop between a low-margin cheap attempt and its exact-level re-enqueue;
+#: non-cascading traces never record it.
+STAGES: tuple = ("route", "parse", "queue-wait", "batch-execute", "escalate", "execute", "respond")
 
 _trace_counter = itertools.count(1)
 _span_counter = itertools.count(1)

@@ -46,6 +46,8 @@ from repro.serving.client import Client, HTTPClient
 from repro.serving.deployment import Deployment, ServiceLevel
 from repro.serving.metrics import MetricsSnapshot, ServerMetrics
 from repro.serving.policy import (
+    CascadeGate,
+    CascadePolicy,
     FixedPolicy,
     LatencySLOPolicy,
     QueueDepthPolicy,
@@ -82,6 +84,8 @@ __all__ = [
     "MetricsSnapshot",
     "ServerMetrics",
     "ServingPolicy",
+    "CascadeGate",
+    "CascadePolicy",
     "FixedPolicy",
     "QueueDepthPolicy",
     "LatencySLOPolicy",

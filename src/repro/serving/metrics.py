@@ -65,6 +65,9 @@ class MetricsSnapshot:
     mcu_ms_saved: float = 0.0
     #: Per priority class: completed/shed/failed counts and latency percentiles.
     per_priority: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Cascade telemetry (escalation rate, cycles saved vs exact-only,
+    #: blended accuracy proxy); ``None`` unless a cascade gate is active.
+    cascade: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serialisable view."""
@@ -88,6 +91,7 @@ class MetricsSnapshot:
             "cycles_saved": self.cycles_saved,
             "mcu_ms_saved": self.mcu_ms_saved,
             "per_priority": {name: dict(stats) for name, stats in self.per_priority.items()},
+            **({"cascade": dict(self.cascade)} if self.cascade is not None else {}),
         }
 
 
@@ -173,6 +177,39 @@ class ServerMetrics:
             "repro_cycles_saved_total",
             "Simulated MCU cycles saved versus the most accurate level.",
         )
+        self._c_cascade_attempts = reg.counter(
+            "repro_cascade_attempts_total",
+            "Cascade forward-pass attempts, by service level.",
+            ("level",),
+        )
+        self._c_cascade_escalations = reg.counter(
+            "repro_cascade_escalations_total",
+            "Requests escalated to the exact level on a low softmax margin, by priority.",
+            ("priority",),
+        )
+        self._c_cascade_suppressed = reg.counter(
+            "repro_cascade_suppressed_total",
+            "Low-margin requests answered cheap because their deadline left no "
+            "headroom for an exact pass, by priority.",
+            ("priority",),
+        )
+        self._c_cascade_completed = reg.counter(
+            "repro_cascade_completed_total",
+            "Requests completed through the cascade (cheap-accepted or escalated).",
+        )
+        self._c_cascade_cycles = reg.counter(
+            "repro_cascade_cycles_total",
+            "Simulated MCU cycles actually spent by cascade attempts.",
+        )
+        self._c_cascade_exact_cycles = reg.counter(
+            "repro_cascade_exact_only_cycles_total",
+            "Simulated MCU cycles an exact-only deployment would have spent "
+            "on the same completed requests.",
+        )
+        # Cascade gate metadata, installed by the scheduler when the active
+        # policy cascades; the snapshot's blended-accuracy proxy needs the
+        # calibrated accept/exact accuracies.
+        self._cascade_meta: Optional[Dict[str, Any]] = None
         self._h_latency = reg.histogram(
             "repro_request_latency_ms",
             "End-to-end request latency (queue wait + service), by priority class.",
@@ -203,6 +240,7 @@ class ServerMetrics:
         latencies_ms: List[float],
         cycles_per_sample: float = 0.0,
         priorities: Optional[Sequence[str]] = None,
+        track_level: bool = True,
     ) -> None:
         """Record one executed batch.
 
@@ -210,7 +248,11 @@ class ServerMetrics:
         of the batch's requests; ``cycles_per_sample`` is the simulated MCU
         cost of the level that served it; ``priorities`` (parallel to
         ``latencies_ms``) attributes each request to its priority class --
-        omitted entries count as ``"standard"``.
+        omitted entries count as ``"standard"``.  ``track_level=False``
+        leaves the current-level marker and the level-switch counter alone:
+        the cascade's escalated (exact-level) groups interleave with cheap
+        groups by design, and counting each interleave as a policy "switch"
+        would drown the signal the counter exists for.
         """
         if priorities is None:
             priorities = [DEFAULT_PRIORITY] * len(latencies_ms)
@@ -219,9 +261,10 @@ class ServerMetrics:
             per_priority[priority] = per_priority.get(priority, 0) + 1
         with self._lock:
             self._batch_sizes[batch_size] = self._batch_sizes.get(batch_size, 0) + 1
-            if self._current_level is not None and self._current_level != level_name:
-                self._c_switches.inc()
-            self._current_level = level_name
+            if track_level:
+                if self._current_level is not None and self._current_level != level_name:
+                    self._c_switches.inc()
+                self._current_level = level_name
             self._latencies.extend(latencies_ms)
             if len(self._latencies) > self._window:
                 del self._latencies[: len(self._latencies) - self._window]
@@ -240,7 +283,10 @@ class ServerMetrics:
         if self.baseline_cycles_per_sample > 0 and cycles_per_sample > 0:
             saved = self.baseline_cycles_per_sample - cycles_per_sample
             if saved > 0:
-                self._c_cycles_saved.inc(saved * batch_size)
+                # Credit per *completed* request (== len(latencies_ms)): under
+                # a cascade a group can contain requests that escalate instead
+                # of completing, and those must not book cheap-level savings.
+                self._c_cycles_saved.inc(saved * len(latencies_ms))
 
     def record_failure(self, count: int = 1, priority: str = DEFAULT_PRIORITY) -> None:
         """Record failed requests, attributed to their priority class."""
@@ -249,6 +295,85 @@ class ServerMetrics:
     def record_shed(self, count: int = 1, priority: str = DEFAULT_PRIORITY) -> None:
         """Record requests shed because their per-request deadline expired."""
         self._c_shed.inc(int(count), priority=priority)
+
+    # ------------------------------------------------------------------ cascade
+    def configure_cascade(
+        self,
+        cheap_level: str,
+        exact_level: str,
+        threshold: float,
+        accept_accuracy: Optional[float] = None,
+        exact_accuracy: Optional[float] = None,
+        accuracy_budget: Optional[float] = None,
+    ) -> None:
+        """Install the active cascade gate's metadata.
+
+        Called by the scheduler when its policy produces a cascade gate;
+        from then on :meth:`snapshot` carries a ``cascade`` block with the
+        escalation rate, the cycles saved vs an exact-only deployment, and
+        the blended accuracy proxy derived from the calibrated accuracies.
+        """
+        self._cascade_meta = {
+            "cheap_level": str(cheap_level),
+            "exact_level": str(exact_level),
+            "threshold": float(threshold),
+            "accept_accuracy": accept_accuracy,
+            "exact_accuracy": exact_accuracy,
+            "accuracy_budget": accuracy_budget,
+        }
+
+    def record_cascade_attempt(self, level_name: str, count: int, cycles_per_sample: float) -> None:
+        """Record ``count`` forward passes at ``level_name`` in the cascade."""
+        self._c_cascade_attempts.inc(int(count), level=level_name)
+        if cycles_per_sample > 0:
+            self._c_cascade_cycles.inc(float(cycles_per_sample) * count)
+
+    def record_cascade_escalation(self, priority: str = DEFAULT_PRIORITY) -> None:
+        """Record one request re-enqueued to the exact level."""
+        self._c_cascade_escalations.inc(priority=priority)
+
+    def record_cascade_suppressed(self, priority: str = DEFAULT_PRIORITY) -> None:
+        """Record one low-margin request kept cheap for lack of deadline headroom."""
+        self._c_cascade_suppressed.inc(priority=priority)
+
+    def record_cascade_completions(self, count: int, exact_cycles_per_sample: float) -> None:
+        """Credit ``count`` cascade completions against the exact-only baseline."""
+        self._c_cascade_completed.inc(int(count))
+        if exact_cycles_per_sample > 0:
+            self._c_cascade_exact_cycles.inc(float(exact_cycles_per_sample) * count)
+
+    def _cascade_block(self) -> Optional[Dict[str, Any]]:
+        """The snapshot's ``cascade`` dict, or ``None`` when not cascading."""
+        meta = self._cascade_meta
+        if meta is None:
+            return None
+        completed = int(self._c_cascade_completed.total())
+        escalations = int(self._c_cascade_escalations.total())
+        suppressed = int(self._c_cascade_suppressed.total())
+        spent = self._c_cascade_cycles.total()
+        exact_only = self._c_cascade_exact_cycles.total()
+        escalation_rate = escalations / completed if completed else 0.0
+        block: Dict[str, Any] = {
+            **meta,
+            "completed": completed,
+            "escalations": escalations,
+            "suppressed": suppressed,
+            "escalation_rate": escalation_rate,
+            "attempts_per_level": {
+                level: int(count) for (level,), count in self._c_cascade_attempts.collect().items()
+            },
+            "cycles_spent": spent,
+            "exact_only_cycles": exact_only,
+            "cycles_saved": exact_only - spent,
+            "cycles_saved_frac": (exact_only - spent) / exact_only if exact_only else 0.0,
+        }
+        if meta["accept_accuracy"] is not None and meta["exact_accuracy"] is not None:
+            # Accepted requests carry the calibrated above-threshold cheap
+            # accuracy, escalated ones the exact accuracy: the live blend.
+            block["blended_accuracy_proxy"] = (1.0 - escalation_rate) * meta[
+                "accept_accuracy"
+            ] + escalation_rate * meta["exact_accuracy"]
+        return block
 
     def _note_completions(self, now: float, count: int) -> None:
         """Credit ``count`` completions to the current one-second bucket."""
@@ -332,6 +457,7 @@ class ServerMetrics:
             cycles_saved=cycles_saved,
             mcu_ms_saved=cycles_saved * self.cycles_to_ms,
             per_priority=per_priority,
+            cascade=self._cascade_block(),
         )
 
     def render_prometheus(self, queue_depth: int = 0) -> str:

@@ -30,15 +30,50 @@ Built-ins:
     at a time -- escalate while the smoothed p95 sits above the SLO, relax
     once it drops below the low watermark, never flap on a single noisy
     batch.
+``cascade``
+    Per-request confidence cascading over a calibrated
+    :class:`~repro.workflow.cascade.CascadeCalibration`: every batch runs
+    the chosen cheap level first and the scheduler re-enqueues requests
+    whose softmax margin falls below the calibrated threshold at the exact
+    level.  The policy itself is static -- the *per-request* escalation is
+    the dynamic part, driven by the :meth:`ServingPolicy.cascade_gate`
+    hook.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.registry import POLICIES
 from repro.serving.deployment import ServiceLevel
 from repro.serving.metrics import MetricsSnapshot
+from repro.workflow.cascade import CascadeCalibration
+
+
+@dataclass(frozen=True)
+class CascadeGate:
+    """Per-request escalation rule the scheduler applies to a cheap batch.
+
+    Produced by :meth:`CascadePolicy.cascade_gate`; ``None`` from every
+    other policy.  A request served at ``cheap_index`` whose softmax margin
+    falls below ``threshold`` is re-enqueued pinned to ``exact_index`` --
+    unless its deadline leaves less than ``escalation_headroom_ms``, in
+    which case the cheap answer is returned rather than shedding a request
+    the cascade itself made late.
+    """
+
+    cheap_index: int
+    exact_index: int
+    cheap_level: str
+    exact_level: str
+    threshold: float
+    escalation_headroom_ms: float
+    #: Held-out accuracy of cheap predictions *above* the threshold.
+    accept_accuracy: Optional[float] = None
+    #: Held-out accuracy of the exact level (escalated requests).
+    exact_accuracy: Optional[float] = None
+    accuracy_budget: Optional[float] = None
 
 
 class ServingPolicy:
@@ -59,6 +94,10 @@ class ServingPolicy:
         """Return the index of the level that should serve the next batch."""
         raise NotImplementedError
 
+    def cascade_gate(self, levels: Sequence[ServiceLevel]) -> Optional[CascadeGate]:
+        """Per-request escalation rule, or ``None`` for whole-batch policies."""
+        return None
+
     def _clamp(self, index: int, levels: Sequence[ServiceLevel]) -> int:
         self._current = max(0, min(len(levels) - 1, index))
         return self._current
@@ -75,6 +114,7 @@ class FixedPolicy(ServingPolicy):
         self.level = int(level)
 
     def select(self, levels: Sequence[ServiceLevel], snapshot: MetricsSnapshot) -> int:
+        """The configured level, clamped to the deployment."""
         return self._clamp(self.level, levels)
 
 
@@ -102,6 +142,7 @@ class QueueDepthPolicy(ServingPolicy):
         self.hysteresis = int(hysteresis)
 
     def select(self, levels: Sequence[ServiceLevel], snapshot: MetricsSnapshot) -> int:
+        """One level per ``depth_per_level`` queued; hysteresis on the way down."""
         target = snapshot.queue_depth // self.depth_per_level
         if target > self._current:
             return self._clamp(target, levels)
@@ -156,6 +197,11 @@ class LatencySLOPolicy(ServingPolicy):
         Consecutive out-of-band batches required before a step.
     cooldown:
         Batches to hold after a switch before stepping again.
+    priority_class:
+        When set (e.g. ``"interactive"``), the control signal is that
+        priority class's p95 instead of the global percentile -- so bulk
+        traffic cannot mask an interactive-latency breach, and the SLO
+        composes with the priority classes instead of averaging over them.
     """
 
     policy_name = "latency-slo"
@@ -168,6 +214,7 @@ class LatencySLOPolicy(ServingPolicy):
         alpha: float = 0.4,
         patience: int = 2,
         cooldown: int = 2,
+        priority_class: Optional[str] = None,
     ) -> None:
         super().__init__()
         if slo_ms <= 0:
@@ -186,6 +233,7 @@ class LatencySLOPolicy(ServingPolicy):
         self.alpha = float(alpha)
         self.patience = int(patience)
         self.cooldown = int(cooldown)
+        self.priority_class = priority_class
         self._ewma: Optional[float] = None
         self._breach_streak = 0
         self._slack_streak = 0
@@ -202,10 +250,27 @@ class LatencySLOPolicy(ServingPolicy):
         self._since_switch = 0
         return self._clamp(index, levels)
 
+    def _observed(self, snapshot: MetricsSnapshot) -> Optional[float]:
+        """The p95 driving the loop, or ``None`` while samples are short.
+
+        With ``priority_class`` set, both the percentile *and* the
+        min-samples warm-up come from that class alone -- a flood of bulk
+        completions must not unlock (or dilute) the interactive signal.
+        """
+        if self.priority_class is None:
+            if snapshot.requests_completed < self.min_samples:
+                return None
+            return snapshot.p95_latency_ms
+        stats = snapshot.per_priority.get(self.priority_class)
+        if stats is None or stats.get("completed", 0) < self.min_samples:
+            return None
+        return float(stats["p95_latency_ms"])
+
     def select(self, levels: Sequence[ServiceLevel], snapshot: MetricsSnapshot) -> int:
-        if snapshot.requests_completed < self.min_samples:
+        """EWMA-track the control signal; step after `patience` breaches."""
+        observed = self._observed(snapshot)
+        if observed is None:
             return self._clamp(self._current, levels)
-        observed = snapshot.p95_latency_ms
         self._ewma = (
             observed
             if self._ewma is None
@@ -230,6 +295,81 @@ class LatencySLOPolicy(ServingPolicy):
         if self._slack_streak >= self.patience and self._current > 0:
             return self._switch(self._current - 1, levels)
         return self._clamp(self._current, levels)
+
+
+@POLICIES.register("cascade")
+class CascadePolicy(ServingPolicy):
+    """Confidence cascading: serve cheap first, escalate low-margin requests.
+
+    The policy's ``select`` is trivially static -- it always nominates the
+    calibrated cheap level (or the exact level when the calibration chose
+    none).  The interesting output is :meth:`cascade_gate`: the scheduler
+    uses it to re-enqueue individual below-threshold requests at the exact
+    level, so the accuracy/cycles trade is decided per request instead of
+    per batch.
+
+    Parameters
+    ----------
+    calibration:
+        A :class:`~repro.workflow.cascade.CascadeCalibration` from the
+        ``cascade`` workflow stage.  ``None`` (or a calibration whose sweep
+        chose no level) degrades to exact-only serving.
+    escalation_headroom_ms:
+        Minimum time a request's deadline must have left for escalation to
+        be worth attempting; below it the cheap answer is returned instead
+        (never escalate a request past its own deadline).
+    """
+
+    policy_name = "cascade"
+
+    def __init__(
+        self,
+        calibration: Optional[CascadeCalibration] = None,
+        escalation_headroom_ms: float = 25.0,
+    ) -> None:
+        super().__init__()
+        if escalation_headroom_ms < 0:
+            raise ValueError("escalation_headroom_ms must be non-negative")
+        self.calibration = calibration
+        self.escalation_headroom_ms = float(escalation_headroom_ms)
+
+    def _indices(self, levels: Sequence[ServiceLevel]) -> Optional[tuple]:
+        """(cheap, exact) level indices resolved by name, or ``None``."""
+        if self.calibration is None or self.calibration.chosen is None:
+            return None
+        names = [level.name for level in levels]
+        try:
+            cheap = names.index(self.calibration.chosen)
+            exact = names.index(self.calibration.exact_level)
+        except ValueError:
+            raise ValueError(
+                f"cascade calibration levels {self.calibration.chosen!r}/"
+                f"{self.calibration.exact_level!r} not found in deployment levels {names}"
+            ) from None
+        return cheap, exact
+
+    def select(self, levels: Sequence[ServiceLevel], snapshot: MetricsSnapshot) -> int:
+        """The calibrated cheap level (exact when the sweep chose none)."""
+        indices = self._indices(levels)
+        return self._clamp(0 if indices is None else indices[0], levels)
+
+    def cascade_gate(self, levels: Sequence[ServiceLevel]) -> Optional[CascadeGate]:
+        """The per-request escalation gate built from the calibration."""
+        indices = self._indices(levels)
+        if indices is None:
+            return None
+        point = self.calibration.chosen_point
+        return CascadeGate(
+            cheap_index=indices[0],
+            exact_index=indices[1],
+            cheap_level=self.calibration.chosen,
+            exact_level=self.calibration.exact_level,
+            threshold=point.threshold,
+            escalation_headroom_ms=self.escalation_headroom_ms,
+            accept_accuracy=point.accept_accuracy,
+            exact_accuracy=self.calibration.exact_accuracy,
+            accuracy_budget=self.calibration.accuracy_budget,
+        )
 
 
 def resolve_policy(policy) -> ServingPolicy:

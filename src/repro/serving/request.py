@@ -104,6 +104,7 @@ class Request:
         "trace_id",
         "x",
         "enqueued_at",
+        "submitted_at",
         "timeout_ms",
         "deadline",
         "priority",
@@ -111,6 +112,10 @@ class Request:
         "prediction",
         "wait_ms",
         "service_ms",
+        "attempts",
+        "pinned_level",
+        "escalated",
+        "margin",
         "error",
         "_done",
         "_callbacks",
@@ -131,6 +136,9 @@ class Request:
         self.trace_id = trace_id if trace_id is not None else new_trace_id()
         self.x = np.asarray(x, dtype=np.float32)
         self.enqueued_at = time.monotonic()
+        #: First-enqueue time; unlike ``enqueued_at`` it survives a cascade
+        #: re-enqueue, so end-to-end latency spans both attempts.
+        self.submitted_at = self.enqueued_at
         self.timeout_ms: Optional[float] = None if timeout_ms is None else float(timeout_ms)
         self.deadline: Optional[float] = None
         self._arm_deadline()
@@ -139,6 +147,15 @@ class Request:
         self.prediction: Optional[int] = None
         self.wait_ms: float = 0.0
         self.service_ms: float = 0.0
+        #: Forward passes this request has been part of (2 after escalation).
+        self.attempts: int = 0
+        #: Level index the scheduler must serve this request at (cascade
+        #: escalations pin the exact level); ``None`` follows the policy.
+        self.pinned_level: Optional[int] = None
+        #: Whether the cascade escalated this request to the exact level.
+        self.escalated: bool = False
+        #: Softmax margin observed at the cheap level (cascade only).
+        self.margin: Optional[float] = None
         self.error: Optional[BaseException] = None
         self._done = threading.Event()
         self._callbacks: List = []
@@ -243,12 +260,22 @@ class RequestQueue:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
 
-    def put(self, request: Request) -> None:
-        """Enqueue a request (FIFO within its class); its deadline starts here."""
+    def put(self, request: Request, requeue: bool = False) -> None:
+        """Enqueue a request (FIFO within its class); its deadline starts here.
+
+        ``requeue=True`` is the cascade-escalation path: the request goes
+        back in the queue for a second (exact-level) attempt, so only
+        ``enqueued_at`` is refreshed -- the second queue wait is measured
+        from the re-enqueue -- while ``submitted_at`` and the absolute
+        deadline are preserved.  Re-arming the deadline here would quietly
+        grant every escalated request a fresh timeout budget.
+        """
         priority_rank(request.priority)  # defensive: reject unknown classes
         with self._not_empty:
             request.enqueued_at = time.monotonic()
-            request._arm_deadline()
+            if not requeue:
+                request.submitted_at = request.enqueued_at
+                request._arm_deadline()
             self._classes[request.priority].append(request)
             self._size += 1
             self._not_empty.notify()

@@ -26,10 +26,11 @@ import numpy as np
 from repro.obs import Observability
 from repro.serving.deployment import Deployment
 from repro.serving.metrics import ServerMetrics
-from repro.serving.policy import ServingPolicy, resolve_policy
+from repro.serving.policy import CascadeGate, ServingPolicy, resolve_policy
 from repro.serving.request import DEFAULT_PRIORITY, Request, RequestQueue, RequestTimedOut
 from repro.serving.workers import ReplicatedRunner
 from repro.utils.logging import get_logger
+from repro.workflow.cascade import softmax_margins
 
 logger = get_logger("serving.scheduler")
 
@@ -100,6 +101,21 @@ class Scheduler:
             registry=obs.registry,
         )
         self.queue.events = obs.events if obs.events.enabled else None
+        # Resolved once: the per-request escalation rule of a cascade policy
+        # (None for every whole-batch policy).  Installing the gate metadata
+        # in the sink turns on the snapshot's `cascade` telemetry block.
+        self._cascade_gate: Optional[CascadeGate] = self.policy.cascade_gate(deployment.levels)
+        if self._cascade_gate is not None:
+            gate = self._cascade_gate
+            self.metrics.configure_cascade(
+                cheap_level=gate.cheap_level,
+                exact_level=gate.exact_level,
+                threshold=gate.threshold,
+                accept_accuracy=gate.accept_accuracy,
+                exact_accuracy=gate.exact_accuracy,
+                accuracy_budget=gate.accuracy_budget,
+            )
+        self._sections_emitted = 0
         self._last_level_name: Optional[str] = None
         self.n_workers = int(n_workers)
         self._runner = ReplicatedRunner(deployment, n_workers=self.n_workers)
@@ -265,17 +281,62 @@ class Scheduler:
                 ewma_p95_ms=getattr(self.policy, "ewma_p95_ms", None),
             )
         self._last_level_name = level.name
-        xs = np.stack([request.x for request in batch])
+        gate = self._cascade_gate
+        self._sections_emitted = 0
+        if gate is None:
+            self._execute_group(batch, level_idx, None, sampled)
+            return
+        # Cascade path: a popped batch can mix fresh requests (served at the
+        # policy's cheap level) with escalated ones pinned to the exact
+        # level; each level's group executes as its own forward pass.
+        groups: Dict[int, List[Request]] = {}
+        for request in batch:
+            target = request.pinned_level if request.pinned_level is not None else level_idx
+            groups.setdefault(target, []).append(request)
+        for target, group in groups.items():
+            self._execute_group(group, target, gate, sampled, track_level=target == level_idx)
+
+    def _execute_group(
+        self,
+        group: List[Request],
+        level_idx: int,
+        gate: Optional[CascadeGate],
+        sampled: bool,
+        track_level: bool = True,
+    ) -> None:
+        """Run one same-level group: forward pass, telemetry, completion.
+
+        With a cascade ``gate`` and ``level_idx`` at its cheap level, the
+        group runs through :meth:`ReplicatedRunner.forward` for logits;
+        requests whose softmax margin clears the gate's threshold complete
+        with the cheap prediction, the rest are re-enqueued pinned to the
+        exact level -- unless their deadline headroom is below the gate's
+        ``escalation_headroom_ms``, in which case the cheap answer wins over
+        an escalation that would blow the deadline.
+        """
+        obs = self.obs
+        profiler = obs.profiler
+        level = self.deployment.levels[level_idx]
+        gated = gate is not None and level_idx == gate.cheap_index
+        xs = np.stack([request.x for request in group])
         started = time.monotonic()
         try:
             with profiler.timer("execute"):
-                predictions = self._runner.predict(
-                    xs, level=level_idx, profiler=profiler if sampled else None
-                )
+                if gated:
+                    logits = self._runner.forward(
+                        xs, level=level_idx, profiler=profiler if sampled else None
+                    )
+                    predictions = logits.argmax(axis=-1)
+                    margins = softmax_margins(logits)
+                else:
+                    predictions = self._runner.predict(
+                        xs, level=level_idx, profiler=profiler if sampled else None
+                    )
+                    margins = None
         except Exception as error:  # pragma: no cover - defensive: fail the batch, keep serving
-            logger.exception("batch of %d failed at level %s", len(batch), level.name)
+            logger.exception("batch of %d failed at level %s", len(group), level.name)
             per_priority: Dict[str, int] = {}
-            for request in batch:
+            for request in group:
                 request.fail(error)
                 per_priority[request.priority] = per_priority.get(request.priority, 0) + 1
             for priority, count in per_priority.items():
@@ -283,15 +344,60 @@ class Scheduler:
             if obs.events.enabled:
                 obs.events.emit(
                     "batch-failure",
-                    f"batch of {len(batch)} failed at level {level.name}: {error}",
+                    f"batch of {len(group)} failed at level {level.name}: {error}",
                     level="error",
-                    batch_size=len(batch),
+                    batch_size=len(group),
                     level_name=level.name,
                     error=str(error),
                 )
             return
         finished = time.monotonic()
         service_ms = (finished - started) * 1e3
+        for request in group:
+            request.attempts += 1
+            request.service_ms += service_ms
+            # Queue wait accumulates across attempts: wait1 + service1 +
+            # wait2 + service2 is the end-to-end latency, nothing counted
+            # twice -- the second wait starts at the re-enqueue.
+            request.wait_ms += (started - request.enqueued_at) * 1e3
+        if gate is not None:
+            self.metrics.record_cascade_attempt(level.name, len(group), level.cycles_per_sample)
+        accepted: List[tuple] = []
+        escalate: List[Request] = []
+        if gated:
+            stopping = self._stop.is_set()
+            for request, prediction, margin in zip(group, predictions, margins):
+                request.margin = float(margin)
+                if margin >= gate.threshold:
+                    accepted.append((request, prediction))
+                    continue
+                if request.deadline is not None:
+                    remaining_ms = (request.deadline - finished) * 1e3
+                    if remaining_ms <= gate.escalation_headroom_ms:
+                        # Never escalate a request past its own deadline: a
+                        # cheap answer in time beats an exact answer shed.
+                        accepted.append((request, prediction))
+                        self.metrics.record_cascade_suppressed(request.priority)
+                        if obs.events.enabled:
+                            obs.events.emit(
+                                "escalation-suppressed",
+                                f"request {request.id} kept cheap: {remaining_ms:.1f} ms left "
+                                f"< {gate.escalation_headroom_ms:g} ms escalation headroom",
+                                request_id=request.id,
+                                trace_id=request.trace_id,
+                                priority=request.priority,
+                                margin=request.margin,
+                                remaining_ms=round(remaining_ms, 3),
+                            )
+                        continue
+                if stopping:
+                    # The exact pass will never run on a stopping scheduler;
+                    # answer cheap instead of failing at drain.
+                    accepted.append((request, prediction))
+                    continue
+                escalate.append(request)
+        else:
+            accepted = list(zip(group, predictions))
         batch_parent: Optional[str] = None
         if obs.tracer.enabled:
             # One span for the coalesced batch (anchored to the leader's
@@ -299,46 +405,53 @@ class Scheduler:
             # and execute spans hang off it below.
             batch_span = obs.tracer.record_span(
                 "batch-execute",
-                trace_id=batch[0].trace_id,
+                trace_id=group[0].trace_id,
                 start_s=started,
                 end_s=finished,
                 level=level.name,
-                batch_size=len(batch),
-                member_trace_ids=[request.trace_id for request in batch],
+                batch_size=len(group),
+                member_trace_ids=[request.trace_id for request in group],
+                **({"escalations": len(escalate)} if gated else {}),
             )
             batch_parent = batch_span.span_id if batch_span is not None else None
             if sampled:
                 # Per-layer sections timed by the profiled forward become
                 # children of the batch span -- the "per-layer forward" leg.
-                for section, start_s, end_s in profiler.batch_sections():
+                # Groups share one profiler batch, so emit only the sections
+                # this group's forward appended.
+                sections = profiler.batch_sections()
+                for section, start_s, end_s in sections[self._sections_emitted :]:
                     if ":" in section:
                         obs.tracer.record_span(
                             section,
-                            trace_id=batch[0].trace_id,
+                            trace_id=group[0].trace_id,
                             start_s=start_s,
                             end_s=end_s,
                             parent_id=batch_parent,
                         )
+                self._sections_emitted = len(sections)
         with profiler.timer("callback"):
             # Record telemetry and spans *before* completing any request:
             # complete() wakes the front-end waiter, and a client that
             # immediately scrapes /metrics or /trace must see this batch.
-            latencies = [(finished - request.enqueued_at) * 1e3 for request in batch]
+            latencies = [(finished - request.submitted_at) * 1e3 for request, _ in accepted]
             self.metrics.record_batch(
                 level.name,
-                len(batch),
+                len(group),
                 latencies,
                 cycles_per_sample=level.cycles_per_sample,
-                priorities=[request.priority for request in batch],
+                priorities=[request.priority for request, _ in accepted],
+                track_level=track_level,
             )
             if obs.tracer.enabled:
-                for request in batch:
+                for request in group:
                     obs.tracer.record_span(
                         "queue-wait",
                         trace_id=request.trace_id,
                         start_s=request.enqueued_at,
                         end_s=started,
                         priority=request.priority,
+                        **({"attempt": request.attempts} if request.attempts > 1 else {}),
                     )
                     obs.tracer.record_span(
                         "execute",
@@ -348,6 +461,39 @@ class Scheduler:
                         parent_id=batch_parent,
                         level=level.name,
                     )
-            for request, prediction in zip(batch, predictions):
-                request.wait_ms = (started - request.enqueued_at) * 1e3
-                request.complete(int(prediction), level.name, service_ms)
+            for request in escalate:
+                request.escalated = True
+                request.pinned_level = gate.exact_index
+                self.metrics.record_cascade_escalation(request.priority)
+                requeued_at = time.monotonic()
+                if obs.tracer.enabled:
+                    # The escalation hop itself, under the same trace id as
+                    # both attempts' queue-wait/execute spans.
+                    obs.tracer.record_span(
+                        "escalate",
+                        trace_id=request.trace_id,
+                        start_s=finished,
+                        end_s=requeued_at,
+                        parent_id=batch_parent,
+                        from_level=level.name,
+                        to_level=gate.exact_level,
+                        margin=request.margin,
+                        threshold=gate.threshold,
+                    )
+                if obs.events.enabled:
+                    obs.events.emit(
+                        "escalate",
+                        f"request {request.id} margin {request.margin:.3f} < "
+                        f"{gate.threshold:.3f}: escalating {level.name} -> {gate.exact_level}",
+                        request_id=request.id,
+                        trace_id=request.trace_id,
+                        priority=request.priority,
+                        margin=request.margin,
+                        threshold=gate.threshold,
+                    )
+                self.queue.put(request, requeue=True)
+            if gate is not None and accepted:
+                exact_cycles = self.deployment.levels[gate.exact_index].cycles_per_sample
+                self.metrics.record_cascade_completions(len(accepted), exact_cycles)
+            for request, prediction in accepted:
+                request.complete(int(prediction), level.name, request.service_ms)

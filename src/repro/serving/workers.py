@@ -35,6 +35,12 @@ def _predict_shard(level: int, shard: np.ndarray) -> np.ndarray:
     return deployment.predict(shard, level=level)
 
 
+def _forward_shard(level: int, shard: np.ndarray) -> np.ndarray:
+    """Worker body: dequantized logits of one shard (cascade path)."""
+    deployment: Deployment = _REPLICA["deployment"]
+    return deployment.forward(shard, level=level)
+
+
 class ReplicatedRunner:
     """Run batch predictions serially or sharded over worker replicas.
 
@@ -72,6 +78,19 @@ class ReplicatedRunner:
         n_shards = min(self.n_workers, max(1, xs.shape[0] // self.min_shard))
         shards: List[np.ndarray] = np.array_split(xs, n_shards)
         results = self._pool.map(functools.partial(_predict_shard, level), shards)
+        return np.concatenate(results)
+
+    def forward(self, xs: np.ndarray, level: int = 0, profiler=None) -> np.ndarray:
+        """Dequantized logits of a batch -- the cascade's confidence input.
+
+        Same sharding rules as :meth:`predict`; the cascade needs the full
+        logit rows (for softmax margins), not just the argmax.
+        """
+        if self._pool is None or xs.shape[0] < 2 * self.min_shard:
+            return self.deployment.forward(xs, level=level, profiler=profiler)
+        n_shards = min(self.n_workers, max(1, xs.shape[0] // self.min_shard))
+        shards: List[np.ndarray] = np.array_split(xs, n_shards)
+        results = self._pool.map(functools.partial(_forward_shard, level), shards)
         return np.concatenate(results)
 
     def close(self) -> None:

@@ -17,6 +17,13 @@ facade over :class:`Experiment`.
 """
 
 from repro.workflow.artifacts import ArtifactStore, fingerprint
+from repro.workflow.cascade import (
+    CascadeCalibration,
+    CascadeLevelPoint,
+    CascadeStage,
+    calibrate_cascade,
+    softmax_margins,
+)
 from repro.workflow.stage import Stage, StageContext
 from repro.workflow.stages import (
     CalibrateStage,
@@ -50,6 +57,11 @@ __all__ = [
     "DeployStage",
     "ServeStage",
     "VerifyStage",
+    "CascadeStage",
+    "CascadeCalibration",
+    "CascadeLevelPoint",
+    "calibrate_cascade",
+    "softmax_margins",
     "Experiment",
     "ExperimentError",
     "ExperimentResult",

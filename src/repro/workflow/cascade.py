@@ -1,0 +1,272 @@
+"""Confidence-cascade calibration over a deployment's Pareto levels.
+
+The DSE hands serving an accuracy/cycles Pareto front of service levels;
+by itself that front is a static menu — a policy picks one level per batch.
+Cascading turns it into a *dynamic* operating point: run a cheap
+(aggressive-skip) level first and escalate only the requests whose softmax
+margin (top-1 minus top-2 probability) falls below a calibrated threshold
+to the exact level.  Most traffic then pays approximate-level cycles while
+blended accuracy stays within a configurable budget of exact.
+
+This module holds the offline half of that story:
+
+* :func:`softmax_margins` — the confidence signal shared with the scheduler.
+* :func:`calibrate_cascade` — sweep margin thresholds per cheap level on a
+  held-out split and pick the cheapest operating point that stays within
+  the accuracy budget.
+* :class:`CascadeStage` — the workflow stage that runs the sweep and caches
+  the resulting :class:`CascadeCalibration` artifact content-addressed
+  (same deployment + data + budget → cache hit).
+
+The online half lives in :class:`repro.serving.policy.CascadePolicy` and
+the scheduler's escalation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workflow.stage import Stage, StageContext
+
+
+def softmax_margins(logits: np.ndarray) -> np.ndarray:
+    """Return the top-1 minus top-2 softmax probability per row.
+
+    The margin is the cascade's confidence signal: a prediction whose
+    probability mass is concentrated on one class (margin near 1) is
+    accepted at the cheap level, while an ambiguous one (margin near 0)
+    escalates to exact.  Computed in float64 with the usual max-shift for
+    numerical stability.
+    """
+    z = np.asarray(logits, dtype=np.float64)
+    z = z - z.max(axis=-1, keepdims=True)
+    p = np.exp(z)
+    p /= p.sum(axis=-1, keepdims=True)
+    if p.shape[-1] < 2:
+        return np.ones(p.shape[:-1], dtype=np.float64)
+    part = np.partition(p, p.shape[-1] - 2, axis=-1)
+    return part[..., -1] - part[..., -2]
+
+
+@dataclass(frozen=True)
+class CascadeLevelPoint:
+    """One cheap level's calibrated operating point against the exact level."""
+
+    level: str
+    threshold: float
+    escalation_rate: float
+    blended_accuracy: float
+    accept_accuracy: float
+    expected_cycles_per_sample: float
+    cycles_saved_frac: float
+    within_budget: bool
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON reports and the CLI table."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class CascadeCalibration:
+    """Cached result of a threshold sweep over a deployment's levels.
+
+    ``points`` holds one calibrated operating point per cheap level;
+    ``chosen`` names the level the cascade policy should run first (the
+    cheapest expected-cycles point that stays within ``accuracy_budget``
+    of exact), or ``None`` when no cheap level qualifies — in which case
+    the policy degrades to exact-only serving.
+    """
+
+    model_name: str
+    exact_level: str
+    exact_accuracy: float
+    exact_cycles_per_sample: float
+    accuracy_budget: float
+    n_samples: int
+    points: List[CascadeLevelPoint] = field(default_factory=list)
+    chosen: Optional[str] = None
+
+    @property
+    def chosen_point(self) -> Optional[CascadeLevelPoint]:
+        """The operating point for ``chosen``, or ``None`` for exact-only."""
+        for point in self.points:
+            if point.level == self.chosen:
+                return point
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON reports and smoke output."""
+        payload = asdict(self)
+        payload["points"] = [point.as_dict() for point in self.points]
+        return payload
+
+
+def _sweep_threshold(
+    margins: np.ndarray,
+    cheap_correct: np.ndarray,
+    exact_correct: np.ndarray,
+    floor: float,
+    thresholds: Optional[Sequence[float]],
+) -> Optional[float]:
+    """Smallest threshold whose blended accuracy reaches ``floor``.
+
+    Candidates are swept ascending so the winner escalates as little
+    traffic as possible.  Returns ``None`` when even escalating everything
+    (threshold above every margin) cannot reach the floor — which cannot
+    happen in practice since full escalation reproduces exact accuracy,
+    but guards degenerate inputs.
+    """
+    if thresholds is None:
+        candidates = np.unique(np.concatenate(([0.0], margins, [1.0 + 1e-9])))
+    else:
+        candidates = np.unique(np.asarray(list(thresholds), dtype=np.float64))
+    for threshold in candidates:
+        accept = margins >= threshold
+        blended = np.where(accept, cheap_correct, exact_correct).mean()
+        if blended >= floor:
+            return float(threshold)
+    return None
+
+
+def calibrate_cascade(
+    deployment,
+    images: np.ndarray,
+    labels: np.ndarray,
+    accuracy_budget: float = 0.02,
+    thresholds: Optional[Sequence[float]] = None,
+) -> CascadeCalibration:
+    """Sweep margin thresholds per cheap level on held-out ``images``.
+
+    For every level cheaper than the deployment's most-accurate ("exact")
+    level, find the smallest softmax-margin threshold whose *blended*
+    accuracy — cheap predictions where the margin clears the threshold,
+    exact predictions below it — stays within ``accuracy_budget`` of the
+    exact level's held-out accuracy.  The expected cycle cost of each
+    operating point is ``cheap + escalation_rate * exact`` cycles per
+    sample; ``chosen`` is the point minimising that cost among those
+    within budget that actually beat exact-only.
+
+    ``accuracy_budget <= 0`` short-circuits to exact-only (``chosen`` is
+    ``None``): a zero budget admits no approximation error by definition,
+    so the sweep is not allowed to accept a lucky-sample threshold.  An
+    infinite budget accepts everything at threshold 0 and never escalates.
+    """
+    labels = np.asarray(labels)
+    exact_idx = 0
+    exact = deployment.levels[exact_idx]
+    exact_logits = deployment.forward(images, level=exact_idx)
+    exact_correct = exact_logits.argmax(axis=-1) == labels
+    exact_accuracy = float(exact_correct.mean())
+    exact_cycles = float(exact.cycles_per_sample)
+    floor = exact_accuracy - float(accuracy_budget)
+
+    points: List[CascadeLevelPoint] = []
+    for idx in range(1, len(deployment.levels)):
+        level = deployment.levels[idx]
+        logits = deployment.forward(images, level=idx)
+        margins = softmax_margins(logits)
+        cheap_correct = logits.argmax(axis=-1) == labels
+        threshold = (
+            None
+            if accuracy_budget <= 0
+            else _sweep_threshold(margins, cheap_correct, exact_correct, floor, thresholds)
+        )
+        if threshold is None:
+            # No admissible operating point: report the full-escalation
+            # degenerate point so the table stays complete.
+            points.append(
+                CascadeLevelPoint(
+                    level=level.name,
+                    threshold=float("inf"),
+                    escalation_rate=1.0,
+                    blended_accuracy=exact_accuracy,
+                    accept_accuracy=exact_accuracy,
+                    expected_cycles_per_sample=float(level.cycles_per_sample) + exact_cycles,
+                    cycles_saved_frac=-float(level.cycles_per_sample) / exact_cycles,
+                    within_budget=False,
+                )
+            )
+            continue
+        accept = margins >= threshold
+        escalation_rate = float(1.0 - accept.mean())
+        blended = float(np.where(accept, cheap_correct, exact_correct).mean())
+        accept_accuracy = float(cheap_correct[accept].mean()) if accept.any() else exact_accuracy
+        expected = float(level.cycles_per_sample) + escalation_rate * exact_cycles
+        points.append(
+            CascadeLevelPoint(
+                level=level.name,
+                threshold=float(threshold),
+                escalation_rate=escalation_rate,
+                blended_accuracy=blended,
+                accept_accuracy=accept_accuracy,
+                expected_cycles_per_sample=expected,
+                cycles_saved_frac=1.0 - expected / exact_cycles,
+                within_budget=True,
+            )
+        )
+
+    viable = [
+        p for p in points if p.within_budget and p.expected_cycles_per_sample < exact_cycles
+    ]
+    chosen = min(viable, key=lambda p: p.expected_cycles_per_sample).level if viable else None
+    return CascadeCalibration(
+        model_name=getattr(deployment.qmodel, "name", "model"),
+        exact_level=exact.name,
+        exact_accuracy=exact_accuracy,
+        exact_cycles_per_sample=exact_cycles,
+        accuracy_budget=float(accuracy_budget),
+        n_samples=int(len(images)),
+        points=points,
+        chosen=chosen,
+    )
+
+
+class CascadeStage(Stage):
+    """Calibrate cascade thresholds on held-out data and cache the artifact.
+
+    Requires a built ``serving`` deployment plus the evaluation split; the
+    sweep uses the *last* ``n_samples`` of the split so it overlaps the
+    DSE's accuracy-evaluation slice (which consumes the front) as little
+    as the data allows.  Like every stage the output is content-addressed:
+    rerunning with the same deployment inputs, data and budget is a cache
+    hit, while any change to the budget or threshold grid re-sweeps.
+    """
+
+    name = "cascade"
+    requires = ("serving", "eval_images", "eval_labels")
+    provides = ("cascade",)
+
+    def __init__(
+        self,
+        accuracy_budget: float = 0.02,
+        n_samples: int = 256,
+        thresholds: Optional[Sequence[float]] = None,
+    ):
+        self.accuracy_budget = float(accuracy_budget)
+        self.n_samples = int(n_samples)
+        self.thresholds = None if thresholds is None else [float(t) for t in thresholds]
+
+    def config(self) -> Dict[str, Any]:
+        """Cache key: budget + holdout size + explicit threshold grid."""
+        return {
+            "accuracy_budget": self.accuracy_budget,
+            "n_samples": self.n_samples,
+            "thresholds": self.thresholds,
+        }
+
+    def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Run the threshold sweep against the deployment in ``ctx``."""
+        deployment = ctx["serving"]
+        images = np.asarray(ctx["eval_images"])[-self.n_samples :]
+        labels = np.asarray(ctx["eval_labels"])[-self.n_samples :]
+        calibration = calibrate_cascade(
+            deployment,
+            images,
+            labels,
+            accuracy_budget=self.accuracy_budget,
+            thresholds=self.thresholds,
+        )
+        return {"cascade": calibration}

@@ -52,9 +52,11 @@ class QuantizeStage(Stage):
         self.model_name = model_name
 
     def config(self) -> Dict[str, Any]:
+        """PTQ configuration + model name (the cache key)."""
         return {"ptq_config": self.ptq_config, "model_name": self.model_name}
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Quantize the float model against the calibration images."""
         kwargs = {"name": self.model_name} if self.model_name else {}
         qmodel = quantize_model(
             ctx["float_model"], ctx["calibration_images"], config=self.ptq_config, **kwargs
@@ -73,9 +75,11 @@ class UnpackStage(Stage):
         self.include_dense = bool(include_dense)
 
     def config(self) -> Dict[str, Any]:
+        """Unpacking options hashed into the cache key."""
         return {"include_dense": self.include_dense}
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Unpack every conv (optionally dense) layer of the quantized model."""
         return {"unpacked": unpack_model(ctx["qmodel"], include_dense=self.include_dense)}
 
 
@@ -91,9 +95,11 @@ class CalibrateStage(Stage):
         self.batch_size = int(batch_size)
 
     def config(self) -> Dict[str, Any]:
+        """Calibration options hashed into the cache key."""
         return {"include_dense": self.include_dense, "batch_size": self.batch_size}
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Capture per-operand mean activations on the calibration subset."""
         calibrator = ActivationCalibrator(
             ctx["qmodel"], include_dense=self.include_dense, batch_size=self.batch_size
         )
@@ -118,9 +124,11 @@ class SignificanceStage(Stage):
         self.rng = rng
 
     def config(self) -> Dict[str, Any]:
+        """Metric choice + options hashed into the cache key."""
         return {"metric": self.metric, "include_dense": self.include_dense, "rng": self.rng}
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Score every operand with the registered significance metric."""
         significance = compute_significance(
             ctx["qmodel"],
             ctx["calibration"],
@@ -143,6 +151,7 @@ class DSEStage(Stage):
         self.board = board
 
     def config(self) -> Dict[str, Any]:
+        """DSE configuration + resolved strategy class (the cache key)."""
         # n_workers only parallelises the sweep -- it cannot change the result,
         # so it is normalised out of the cache key.  The resolved strategy
         # class is hashed alongside its registry name, so re-registering a
@@ -154,6 +163,7 @@ class DSEStage(Stage):
         }
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Sweep the design space and return the Pareto-annotated result."""
         dse = run_dse(
             ctx["qmodel"],
             ctx["significance"],
@@ -194,6 +204,7 @@ class CodegenStage(Stage):
             self.requires = ("qmodel", "unpacked", "significance")
 
     def config(self) -> Dict[str, Any]:
+        """Design selection (explicit config or loss budget) hashed into the key."""
         return {"approx_config": self.approx_config, "max_accuracy_loss": self.max_accuracy_loss}
 
     def _selected_config(self, ctx: StageContext) -> Optional[ApproxConfig]:
@@ -209,6 +220,7 @@ class CodegenStage(Stage):
         return design.config
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Emit the C-like kernel code for the selected design."""
         config = self._selected_config(ctx)
         masks = (
             config.build_masks(ctx["significance"], unpacked=ctx["unpacked"])
@@ -271,6 +283,7 @@ class VerifyStage(Stage):
             self.provides = ("verification", "cost_calibration")
 
     def config(self) -> Dict[str, Any]:
+        """Verification scope (designs, modes, sample count) hashed into the key."""
         return {
             "taus": self.taus,
             "max_designs": self.max_designs,
@@ -281,6 +294,7 @@ class VerifyStage(Stage):
         }
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Run every selected design through the VM; assert bit-identical outputs."""
         from repro.vm.verify import uniform_tau_configs, verify_designs, verify_dse
 
         qmodel = ctx["qmodel"]
@@ -345,6 +359,7 @@ class ServeStage(Stage):
             self.requires = ("qmodel", "significance", "unpacked")
 
     def config(self) -> Dict[str, Any]:
+        """Level sources + build options hashed into the cache key."""
         return {
             "points": self.points,
             "max_levels": self.max_levels,
@@ -353,6 +368,7 @@ class ServeStage(Stage):
         }
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Build the deployment (service levels with prebuilt masks + costs)."""
         from repro.serving.deployment import Deployment
 
         common = {
@@ -391,6 +407,7 @@ class DeployStage(Stage):
         self.strict = bool(strict)
 
     def config(self) -> Dict[str, Any]:
+        """Deployment target + resolved engine class (the cache key)."""
         return {
             "max_accuracy_loss": self.max_accuracy_loss,
             "board": self.board,
@@ -401,6 +418,7 @@ class DeployStage(Stage):
         }
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
+        """Deploy the best in-budget design through the selected engine."""
         from repro.mcu.deploy import deploy as mcu_deploy
 
         qmodel = ctx["qmodel"]
