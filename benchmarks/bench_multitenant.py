@@ -1,0 +1,176 @@
+"""Multi-tenant serving benchmarks: isolation under flood, cross-model load.
+
+Two questions, both driven by the seeded workload engine
+(:mod:`workload`) so every run replays the identical arrival pattern:
+
+* **Isolation** -- when tenant A floods the scheduler with batch traffic,
+  does tenant B's interactive p95 hold?  The priority classes plus the
+  weighted cross-tenant drain are supposed to cap the damage; the gate
+  bounds the flooded/unloaded p95 ratio at 2x.
+* **Cross-model throughput** -- what does one scheduler sustain when the
+  load fans out over two deployments (batches never mix models, so the
+  partitioning costs batch density)?
+
+Headline numbers land in ``benchmarks/results/multitenant.json`` for the
+CI perf-regression gate, keyed by the scenario that produced them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ActivationCalibrator
+from repro.core.significance import compute_significance
+from repro.core.unpacking import unpack_model
+from repro.models import build_model
+from repro.quant import quantize_model
+from repro.serving import Client, Deployment, Scheduler, TenantConfig, TenantTable
+
+from bench_utils import record_json, record_result
+from workload import build_scenario, run_open_loop
+
+#: Per-request wait generous enough for the flood's queue to drain.
+_RESULT_TIMEOUT_S = 600.0
+
+
+@pytest.fixture(scope="module")
+def tiny_deployment(tiny_artifacts):
+    """Three-level deployment + eval images for the tenant benches."""
+    qmodel = tiny_artifacts["qmodel"]
+    result = tiny_artifacts["result"]
+    conv_names = [layer.name for layer in qmodel.conv_layers()]
+    points = [
+        {"label": "exact", "taus": {}, "accuracy": 1.0},
+        {"label": "mid", "taus": {name: 0.02 for name in conv_names}, "accuracy": 0.9},
+        {"label": "aggressive", "taus": {name: 0.08 for name in conv_names}, "accuracy": 0.8},
+    ]
+    deployment = Deployment.from_points(
+        qmodel, points, result.significance, unpacked=result.unpacked
+    )
+    images = tiny_artifacts["split"].test.images[:256]
+    return {"deployment": deployment, "images": images}
+
+
+def _exact_only_deployment(name: str, images: np.ndarray) -> Deployment:
+    """A single-level deployment of an untrained registry model.
+
+    Routing and batching benchmarks only need a second forward graph, not a
+    second trained model, so the build skips training and DSE entirely.
+    """
+    model = build_model(name, input_shape=images.shape[1:], n_classes=10, rng=5)
+    qmodel = quantize_model(model, images[:64])
+    unpacked = unpack_model(qmodel)
+    calibration = ActivationCalibrator(qmodel).calibrate(images[:64])
+    significance = compute_significance(qmodel, calibration)
+    points = [{"label": "exact", "taus": {}, "accuracy": 1.0}]
+    return Deployment.from_points(qmodel, points, significance, unpacked=unpacked)
+
+
+def _drive(scheduler, images: np.ndarray, trace) -> float:
+    """Replay a trace open-loop through an in-process client; return seconds."""
+    import time
+
+    client = Client(scheduler, timeout_s=_RESULT_TIMEOUT_S)
+    counter = {"i": 0}
+
+    def issue(item):
+        i = counter["i"] = counter["i"] + 1
+        return client.submit(
+            images[i % len(images)],
+            priority=item.priority,
+            tenant=item.tenant,
+            model=item.model,
+        )
+
+    started = time.perf_counter()
+    requests = run_open_loop(trace, issue)
+    for request in requests:
+        request.result(timeout=_RESULT_TIMEOUT_S)
+    return time.perf_counter() - started
+
+
+def _tenant_table() -> TenantTable:
+    return TenantTable([
+        TenantConfig(name="interactive", priority="interactive", slo_ms=250.0, weight=4.0),
+        TenantConfig(name="flood", priority="batch", weight=1.0),
+        TenantConfig(name="acme", weight=2.0),
+        TenantConfig(name="globex", weight=1.0),
+    ])
+
+
+def test_bench_tenant_isolation(tiny_deployment):
+    """Tenant-A batch flood must not move tenant-B interactive p95 by >2x.
+
+    The unloaded baseline replays the ``interactive_trickle`` scenario
+    alone; the loaded run replays ``tenant_flood`` (the same interactive
+    trickle share, drowned by a 12:1 bursty batch flood).  Both runs use
+    fresh schedulers so the rolling latency windows cannot bleed between
+    them.  The ratio gates through ``baselines/multitenant.json``.
+    """
+    deployment = tiny_deployment["deployment"]
+    images = tiny_deployment["images"]
+
+    with Scheduler(deployment, policy="queue-depth", max_batch_size=32,
+                   max_wait_ms=2.0, tenants=_tenant_table()) as scheduler:
+        _drive(scheduler, images, build_scenario("interactive_trickle"))
+        baseline = scheduler.metrics.snapshot().per_tenant["interactive"]
+    with Scheduler(deployment, policy="queue-depth", max_batch_size=32,
+                   max_wait_ms=2.0, tenants=_tenant_table()) as scheduler:
+        trace = build_scenario("tenant_flood")
+        elapsed = _drive(scheduler, images, trace)
+        snapshot = scheduler.metrics.snapshot()
+        flooded = snapshot.per_tenant["interactive"]
+
+    baseline_p95 = max(baseline["p95_latency_ms"], 0.1)
+    flooded_p95 = max(flooded["p95_latency_ms"], 0.1)
+    ratio = flooded_p95 / baseline_p95
+    flood_rps = len(trace) / elapsed
+    record_json("multitenant", {
+        "tenant_flood_isolation_p95_ratio": ratio,
+        "tenant_flood_rps": flood_rps,
+        "interactive_trickle_p95_ms": baseline_p95,
+    })
+    record_result("multitenant_isolation", "\n".join([
+        f"interactive p95 unloaded: {baseline_p95:.1f} ms",
+        f"interactive p95 under {trace.rate_rps:.0f} rps flood: {flooded_p95:.1f} ms",
+        f"isolation ratio: {ratio:.2f}x (gate: <= 2x)",
+        f"flood scenario drained at {flood_rps:.0f} req/s",
+    ]))
+    assert flooded["completed"] > 0 and baseline["completed"] > 0
+
+
+def test_bench_cross_model_throughput(tiny_deployment):
+    """One scheduler over two deployments, mixed-model mixed-tenant load."""
+    deployment = tiny_deployment["deployment"]
+    images = tiny_deployment["images"]
+    second = _exact_only_deployment("micro_cnn", images)
+    trace = build_scenario("steady_mixed")
+    primary = deployment.qmodel.name
+    # Route a third of the load to the second model (the scenario's items
+    # carry no model tag, so re-tag deterministically by index).
+    from workload import ArrivalTrace, WorkloadItem
+    items = [
+        WorkloadItem(item.at_s, item.tenant, item.priority,
+                     second.qmodel.name if i % 3 == 2 else primary)
+        for i, item in enumerate(trace.items)
+    ]
+    trace = ArrivalTrace(trace.name, trace.seed, items)
+
+    with Scheduler([deployment, second], policy="queue-depth", max_batch_size=32,
+                   max_wait_ms=2.0, tenants=_tenant_table()) as scheduler:
+        elapsed = _drive(scheduler, images, trace)
+        snapshot = scheduler.metrics.snapshot()
+
+    rps = len(trace) / elapsed
+    per_model = snapshot.per_model
+    assert per_model[primary]["requests"] > 0
+    assert per_model[second.qmodel.name]["requests"] > 0
+    # Partitioned batches must account for every completion, model by model.
+    assert sum(stats["requests"] for stats in per_model.values()) == len(trace)
+    record_json("multitenant", {"steady_mixed_cross_model_rps": rps})
+    record_result("multitenant_cross_model", "\n".join([
+        f"steady_mixed over 2 models: {rps:.0f} req/s",
+        *(f"  {name}: {stats['requests']} requests / {stats['batches']} batches"
+          for name, stats in sorted(per_model.items())),
+    ]))

@@ -1,0 +1,352 @@
+"""Seeded workload engine: reproducible arrival traces + load runners.
+
+Serving benchmarks need load that is *shaped* (bursts, floods, diurnal
+swell) yet *reproducible* (a regression gate comparing p95s across CI runs
+cannot tolerate a different arrival pattern each run).  This module
+separates the two concerns:
+
+* **Trace generation** -- :func:`poisson_trace`, :func:`bursty_trace` and
+  :func:`diurnal_trace` draw arrival offsets from a seeded generator
+  (inhomogeneous Poisson via thinning), and tag every arrival with a
+  tenant/priority/model drawn from weighted mixes.  Same seed, same trace.
+* **Replay** -- an :class:`ArrivalTrace` serialises to a JSON file
+  (:meth:`ArrivalTrace.save` / :meth:`ArrivalTrace.load`), so a trace that
+  exposed a bug can be committed and replayed verbatim.
+* **Runners** -- :func:`run_open_loop` fires each arrival at its trace
+  offset regardless of completions (queueing pressure builds, the
+  open-loop model of external clients); :func:`run_closed_loop` keeps a
+  fixed number of issue slots busy (the closed-loop model of N looping
+  clients).  Both take an ``issue`` callable so the same trace drives an
+  in-process :class:`~repro.serving.Client`, an HTTP front or a fleet
+  router unchanged.
+
+Named :data:`SCENARIOS` key the regression baselines: a benchmark metric
+``<scenario>_<metric>`` is only comparable across runs because the scenario
+pins the generator, its parameters and its seed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One request of a trace: arrival offset + routing attributes."""
+
+    at_s: float
+    tenant: str = "default"
+    priority: Optional[str] = None
+    model: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON replay files."""
+        out: Dict[str, Any] = {"at_s": round(self.at_s, 6), "tenant": self.tenant}
+        if self.priority is not None:
+            out["priority"] = self.priority
+        if self.model is not None:
+            out["model"] = self.model
+        return out
+
+
+@dataclass
+class ArrivalTrace:
+    """A seeded, replayable arrival trace (sorted by offset)."""
+
+    name: str
+    seed: int
+    items: List[WorkloadItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.items = sorted(self.items, key=lambda item: item.at_s)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def duration_s(self) -> float:
+        """Offset of the last arrival (0 for an empty trace)."""
+        return self.items[-1].at_s if self.items else 0.0
+
+    @property
+    def rate_rps(self) -> float:
+        """Mean arrival rate over the trace duration."""
+        duration = self.duration_s
+        return len(self.items) / duration if duration > 0 else 0.0
+
+    def tenants(self) -> List[str]:
+        """Distinct tenants in arrival order of first appearance."""
+        seen: Dict[str, None] = {}
+        for item in self.items:
+            seen.setdefault(item.tenant)
+        return list(seen)
+
+    def scaled(self, time_factor: float) -> "ArrivalTrace":
+        """Time-compressed (``<1``) or stretched (``>1``) copy of the trace."""
+        if time_factor <= 0:
+            raise ValueError("time_factor must be positive")
+        items = [
+            WorkloadItem(item.at_s * time_factor, item.tenant, item.priority, item.model)
+            for item in self.items
+        ]
+        return ArrivalTrace(self.name, self.seed, items)
+
+    # ------------------------------------------------------------------ replay
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the trace as a JSON replay file."""
+        path = Path(path)
+        payload = {
+            "name": self.name,
+            "seed": self.seed,
+            "items": [item.as_dict() for item in self.items],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ArrivalTrace":
+        """Load a trace written by :meth:`save` (byte-for-byte replay)."""
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        items = [
+            WorkloadItem(
+                float(entry["at_s"]),
+                str(entry.get("tenant", "default")),
+                entry.get("priority"),
+                entry.get("model"),
+            )
+            for entry in raw.get("items", [])
+        ]
+        return cls(str(raw.get("name", path)), int(raw.get("seed", 0)), items)
+
+
+# --------------------------------------------------------------------------- generation
+def _pick(rng: np.random.Generator, mix: Optional[Mapping[str, float]]) -> Optional[str]:
+    """Draw one key from a weighted mix (None passes through)."""
+    if not mix:
+        return None
+    names = sorted(mix)
+    weights = np.asarray([float(mix[name]) for name in names], dtype=np.float64)
+    return str(rng.choice(names, p=weights / weights.sum()))
+
+
+def _thinned_arrivals(
+    rate_fn: Callable[[float], float],
+    peak_rate: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Inhomogeneous Poisson arrivals on [0, duration) via thinning."""
+    if peak_rate <= 0:
+        raise ValueError("peak arrival rate must be positive")
+    arrivals: List[float] = []
+    t = float(rng.exponential(1.0 / peak_rate))
+    while t < duration_s:
+        if rng.random() <= rate_fn(t) / peak_rate:
+            arrivals.append(t)
+        t += float(rng.exponential(1.0 / peak_rate))
+    return arrivals
+
+
+def _build(
+    name: str,
+    seed: int,
+    arrivals: Sequence[float],
+    rng: np.random.Generator,
+    tenants: Optional[Mapping[str, float]],
+    priorities: Optional[Mapping[str, float]],
+    models: Optional[Mapping[str, float]],
+) -> ArrivalTrace:
+    items = [
+        WorkloadItem(
+            at_s=at,
+            tenant=_pick(rng, tenants) or "default",
+            priority=_pick(rng, priorities),
+            model=_pick(rng, models),
+        )
+        for at in arrivals
+    ]
+    return ArrivalTrace(name, seed, items)
+
+
+def poisson_trace(
+    rate_rps: float,
+    duration_s: float,
+    seed: int = 0,
+    tenants: Optional[Mapping[str, float]] = None,
+    priorities: Optional[Mapping[str, float]] = None,
+    models: Optional[Mapping[str, float]] = None,
+    name: str = "poisson",
+) -> ArrivalTrace:
+    """Memoryless arrivals at a constant mean rate (the classic open load)."""
+    rng = np.random.default_rng(seed)
+    arrivals = _thinned_arrivals(lambda t: rate_rps, rate_rps, duration_s, rng)
+    return _build(name, seed, arrivals, rng, tenants, priorities, models)
+
+
+def bursty_trace(
+    base_rps: float,
+    burst_rps: float,
+    duration_s: float,
+    period_s: float = 1.0,
+    duty: float = 0.25,
+    seed: int = 0,
+    tenants: Optional[Mapping[str, float]] = None,
+    priorities: Optional[Mapping[str, float]] = None,
+    models: Optional[Mapping[str, float]] = None,
+    name: str = "bursty",
+) -> ArrivalTrace:
+    """Square-wave load: ``burst_rps`` for ``duty`` of each period, else base.
+
+    The shape that makes adaptive policies earn their keep -- the queue
+    spikes during each burst window and drains between them.
+    """
+    if not 0 < duty < 1:
+        raise ValueError("duty must be in (0, 1)")
+    peak = max(base_rps, burst_rps)
+
+    def rate(t: float) -> float:
+        return burst_rps if (t % period_s) < duty * period_s else base_rps
+
+    rng = np.random.default_rng(seed)
+    arrivals = _thinned_arrivals(rate, peak, duration_s, rng)
+    return _build(name, seed, arrivals, rng, tenants, priorities, models)
+
+
+def diurnal_trace(
+    mean_rps: float,
+    duration_s: float,
+    period_s: Optional[float] = None,
+    amplitude: float = 0.8,
+    seed: int = 0,
+    tenants: Optional[Mapping[str, float]] = None,
+    priorities: Optional[Mapping[str, float]] = None,
+    models: Optional[Mapping[str, float]] = None,
+    name: str = "diurnal",
+) -> ArrivalTrace:
+    """Sinusoidal swell around a mean rate (a day's traffic, compressed)."""
+    if not 0 <= amplitude <= 1:
+        raise ValueError("amplitude must be in [0, 1]")
+    period = float(period_s) if period_s is not None else float(duration_s)
+
+    def rate(t: float) -> float:
+        return mean_rps * (1.0 + amplitude * math.sin(2.0 * math.pi * t / period))
+
+    rng = np.random.default_rng(seed)
+    arrivals = _thinned_arrivals(rate, mean_rps * (1.0 + amplitude), duration_s, rng)
+    return _build(name, seed, arrivals, rng, tenants, priorities, models)
+
+
+# --------------------------------------------------------------------------- runners
+def run_open_loop(
+    trace: ArrivalTrace,
+    issue: Callable[[WorkloadItem], Any],
+    time_scale: float = 1.0,
+    clock: Optional[Callable[[], float]] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> List[Any]:
+    """Fire ``issue(item)`` at every trace offset, come what may.
+
+    Open-loop load does not wait for completions, so ``issue`` must not
+    block on the response (submit a future, fire an async request).  Late
+    arrivals (the previous ``issue`` overran the gap) are fired
+    immediately -- exactly how an external client population behaves.
+    Returns the per-item results of ``issue`` in trace order.
+    """
+    import time as _time
+
+    clock = clock or _time.monotonic
+    sleep = sleep or _time.sleep
+    start = clock()
+    results: List[Any] = []
+    for item in trace.items:
+        delay = (start + item.at_s * time_scale) - clock()
+        if delay > 0:
+            sleep(delay)
+        results.append(issue(item))
+    return results
+
+
+def run_closed_loop(
+    trace: ArrivalTrace,
+    issue: Callable[[WorkloadItem], Any],
+    concurrency: int = 4,
+) -> List[Any]:
+    """Serve the trace items through ``concurrency`` looping workers.
+
+    Closed-loop load models N clients that each wait for their response
+    before sending the next request: arrival *offsets* are ignored, only
+    the item order and attributes matter.  ``issue`` is expected to block
+    until the response.  Returns results in completion order.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        return list(pool.map(issue, trace.items))
+
+
+# --------------------------------------------------------------------------- scenarios
+#: Named scenario -> builder(seed) -> ArrivalTrace.  The names key the
+#: regression baselines (``benchmarks/baselines/multitenant.json``): a
+#: metric measured under scenario X is only comparable across runs because
+#: the scenario pins the generator, parameters and seed.
+SCENARIOS: Dict[str, Callable[[int], ArrivalTrace]] = {
+    # A steady mixed-priority load across two ordinary tenants.
+    "steady_mixed": lambda seed=0: poisson_trace(
+        rate_rps=400.0,
+        duration_s=1.5,
+        seed=seed,
+        tenants={"acme": 2.0, "globex": 1.0},
+        priorities={"interactive": 1.0, "standard": 2.0, "batch": 1.0},
+        name="steady_mixed",
+    ),
+    # Tenant A floods with batch traffic while tenant B sends a sparse
+    # interactive trickle: the isolation scenario of the multi-tenant gate.
+    "tenant_flood": lambda seed=0: bursty_trace(
+        base_rps=250.0,
+        burst_rps=900.0,
+        duration_s=1.6,
+        period_s=0.8,
+        duty=0.3,
+        seed=seed,
+        tenants={"flood": 12.0, "interactive": 1.0},
+        name="tenant_flood",
+    ),
+    # The interactive trickle alone -- the unloaded baseline the flood
+    # scenario's p95 is compared against.
+    "interactive_trickle": lambda seed=0: poisson_trace(
+        rate_rps=40.0,
+        duration_s=1.6,
+        seed=seed,
+        tenants={"interactive": 1.0},
+        priorities={"interactive": 1.0},
+        name="interactive_trickle",
+    ),
+    # A compressed day of traffic: the swell exercises level switching.
+    "diurnal_swell": lambda seed=0: diurnal_trace(
+        mean_rps=300.0,
+        duration_s=2.0,
+        amplitude=0.8,
+        seed=seed,
+        priorities={"interactive": 1.0, "standard": 1.0},
+        name="diurnal_swell",
+    ),
+}
+
+
+def build_scenario(name: str, seed: int = 0) -> ArrivalTrace:
+    """Build a named scenario's trace (fails with the available list)."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return builder(seed)

@@ -440,7 +440,7 @@ def _fleet_smoke(args: argparse.Namespace, fleet, split) -> int:
 
 
 def _serve_fleet(args: argparse.Namespace, deployment, split, qmodel,
-                 cascade_calibration=None) -> int:
+                 cascade_calibration=None, tenant_table=None) -> int:
     """Serve through a router + N independent replica server processes."""
     import json as _json
     import time as _time
@@ -452,6 +452,11 @@ def _serve_fleet(args: argparse.Namespace, deployment, split, qmodel,
         if args.policy != "queue-depth":
             raise SystemExit(
                 f"--depth-per-level only applies to --policy queue-depth (got {args.policy!r})"
+            )
+        if args.extra_models:
+            raise SystemExit(
+                "serve: --depth-per-level builds one shared policy instance per replica "
+                "and cannot be combined with --model in fleet mode"
             )
         policy_options["depth_per_level"] = args.depth_per_level
     if args.policy == "cascade":
@@ -467,6 +472,7 @@ def _serve_fleet(args: argparse.Namespace, deployment, split, qmodel,
         n_workers=args.shard_workers,
         profile_every=args.profile_every,
         host=args.host,
+        tenants=tenant_table.as_dicts() if tenant_table is not None else None,
     )
     fleet = Fleet(
         deployment,
@@ -541,6 +547,228 @@ def _print_cascade_smoke(snapshot, calibration) -> bool:
     return ok
 
 
+def _extra_deployments(args: argparse.Namespace, split, board) -> list:
+    """Build one extra servable deployment per ``--model`` registry name.
+
+    Each extra model is built untrained from the run's seed, quantized on
+    the calibration split, swept with a reduced inline DSE and turned into
+    service levels -- the same stage graph (and artifact cache behind
+    ``--resume``) the primary deployment uses, so repeated smokes hit the
+    store.  Any registry name works (``alexnet`` included); unknown names
+    fail fast with the available list.
+    """
+    if not args.extra_models:
+        return []
+    deployments = []
+    seen = set()
+    for name in args.extra_models:
+        if name not in list_models():
+            raise SystemExit(
+                f"serve: unknown --model {name!r}; available models: {', '.join(list_models())}"
+            )
+        if name in seen:
+            raise SystemExit(f"serve: --model {name!r} given twice")
+        seen.add(name)
+        try:
+            model = build_model(name, input_shape=split.train.image_shape,
+                                n_classes=split.n_classes, rng=args.seed)
+        except TypeError as exc:
+            # Registry entries that do not take image inputs (e.g. the MLP
+            # used by optimizer unit tests) cannot serve this dataset.
+            raise SystemExit(
+                f"serve: --model {name!r} cannot be built for "
+                f"{split.train.image_shape} images ({exc}); image models: "
+                + ", ".join(m for m in list_models() if m != name)
+            )
+        extra_q = quantize_model(model, split.calibration.images)
+        dse_config = DSEConfig(
+            tau_values=[0.0, 0.01, 0.05],
+            max_eval_samples=min(128, args.eval_samples),
+            n_workers=args.workers,
+        )
+        stages = [UnpackStage(), CalibrateStage(), SignificanceStage(),
+                  DSEStage(dse_config=dse_config, board=board),
+                  ServeStage(max_levels=args.max_levels, board=board,
+                             cycle_source=args.cycle_source)]
+        experiment = Experiment(stages, inputs={
+            "qmodel": extra_q,
+            "calibration_images": split.calibration.images,
+            "eval_images": split.test.images,
+            "eval_labels": split.test.labels,
+        }, store=_store(args))
+        deployments.append(experiment.run()["serving"])
+    return deployments
+
+
+def _load_tenants(args: argparse.Namespace, model_names) -> Optional["object"]:
+    """Load and validate the ``--tenants`` table (None when unset)."""
+    if not args.tenants:
+        return None
+    from repro.serving import TenantTable
+
+    try:
+        table = TenantTable.load(args.tenants)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"serve: cannot load --tenants {args.tenants}: {exc}")
+    for entry in table.as_dicts():
+        pinned = entry.get("model")
+        if pinned is not None and pinned not in model_names:
+            raise SystemExit(
+                f"serve: tenant {entry['name']!r} pins unknown model {pinned!r}; "
+                f"served models: {', '.join(sorted(model_names))}"
+            )
+    return table
+
+
+def _fairness_probe(weights: dict) -> tuple:
+    """Deterministic queue-level fairness check over the tenant weights.
+
+    Loads one synthetic :class:`~repro.serving.RequestQueue` with an equal
+    backlog per weighted tenant and drains a fixed slice: smooth weighted
+    round-robin is deterministic, so the drained shares must match the
+    weight shares to within one round of rotation -- a yes/no check, not a
+    statistical one (and therefore safe to gate CI on).
+
+    Returns ``(ok, detail_line)``.
+    """
+    from repro.serving import Request, RequestQueue, SchedulerStopped
+
+    names = sorted(weights)
+    backlog = 24
+    queue = RequestQueue(starvation_ms=None, tenant_weights=weights)
+    sample = np.zeros(4, dtype=np.float32)
+    for i in range(backlog):
+        for name in names:
+            queue.put(Request(sample, tenant=name))
+    drained = {name: 0 for name in names}
+    for _ in range(backlog):
+        batch = queue.get_batch(1, 0.0, poll_timeout=0.0)
+        if not batch:
+            break
+        drained[batch[0].tenant] += 1
+    queue.drain(SchedulerStopped("fairness probe done"))
+    total_weight = sum(weights[name] for name in names)
+    pulled = sum(drained.values())
+    ok = pulled == backlog
+    for name in names:
+        expected = pulled * weights[name] / total_weight
+        # One full WRR rotation of slack: the drain interleaves, it does
+        # not run the heavy tenant dry first.
+        if abs(drained[name] - expected) > len(names):
+            ok = False
+    detail = "  ".join(
+        f"{name}: {drained[name]}/{pulled} (weight {weights[name]:g})" for name in names
+    )
+    return ok, detail
+
+
+def _multitenant_smoke(server_url: str, scheduler, images: np.ndarray,
+                       tenant_table) -> tuple:
+    """Drive the multi-model / multi-tenant surfaces through a live front.
+
+    Sends a short per-model round so every deployment's ``model=`` series
+    exists, a few requests per configured tenant, then deliberately runs a
+    rate-limited tenant's token bucket dry to demonstrate the structured
+    429.  Returns ``(ok, lines)`` -- greppable verdict lines the caller
+    prints with the rest of the smoke summary.
+    """
+    import json as _json
+    import urllib.error
+
+    from repro.serving import DEFAULT_TENANT, HTTPClient
+
+    client = HTTPClient(server_url, timeout_s=120.0)
+    ok = True
+    lines = []
+    models = scheduler.models()
+    for name in models[1:]:
+        answered = 0
+        for i in range(8):
+            body = client.predict(images[i % len(images)], model=name)
+            answered += len(body["classes"])
+        lines.append(f"model {name}: answered {answered}/8")
+        ok = ok and answered == 8
+
+    quota_tenant = None
+    if tenant_table is not None:
+        for entry in tenant_table.as_dicts():
+            name = entry["name"]
+            if name == DEFAULT_TENANT:
+                continue
+            if entry.get("rate_limit_rps"):
+                # Exercised by the quota check below; normal traffic here
+                # would eat the tokens the 429 demonstration needs.
+                if quota_tenant is None:
+                    quota_tenant = entry
+                continue
+            for i in range(3):
+                client.predict(images[i % len(images)], tenant=name)
+    if quota_tenant is not None:
+        name = quota_tenant["name"]
+        budget = int(quota_tenant.get("burst") or quota_tenant["rate_limit_rps"]) + 10
+        rejection = None
+        sent = 0
+        for i in range(budget):
+            sent += 1
+            try:
+                client.predict(images[i % len(images)], tenant=name)
+            except urllib.error.HTTPError as err:
+                if err.code != 429:
+                    raise
+                rejection = _json.loads(err.read().decode("utf-8"))
+                rejection["retry_after_header"] = err.headers.get("Retry-After", "")
+                break
+        if rejection is None:
+            lines.append(f"quota check: DEGRADED (tenant {name!r} never hit 429 "
+                         f"in {sent} requests)")
+            ok = False
+        else:
+            lines.append(
+                f"quota check: ok (tenant {name!r} -> 429 reason={rejection.get('reason')} "
+                f"after {sent} requests, Retry-After {rejection['retry_after_header']}s)"
+            )
+    elif tenant_table is not None:
+        lines.append("quota check: skipped (no rate-limited tenant in the table)")
+
+    if tenant_table is not None and len(tenant_table) > 1:
+        fair_ok, detail = _fairness_probe(scheduler.tenants.weights())
+        lines.append(f"fairness check: {'ok' if fair_ok else 'DEGRADED'} "
+                     f"(weighted drain {detail})")
+        ok = ok and fair_ok
+
+    text = client.metrics(format="prometheus")
+    for name in models:
+        sample_line = next(
+            (line for line in text.splitlines()
+             if line.startswith(f'repro_requests_completed_total{{model="{name}"')),
+            "",
+        )
+        lines.append(f'exposition model="{name}": {sample_line or "(no completions)"}')
+        ok = ok and bool(sample_line)
+    if quota_tenant is not None:
+        rejected_line = next(
+            (line for line in text.splitlines()
+             if line.startswith("repro_tenant_rejected_total{")),
+            "",
+        )
+        lines.append(f"exposition rejections: {rejected_line or '(none recorded)'}")
+        ok = ok and bool(rejected_line)
+
+    if tenant_table is not None:
+        snapshot = scheduler.metrics.snapshot()
+        for name, stats in sorted(snapshot.per_tenant.items()):
+            slo = ""
+            if stats.get("slo_ms") is not None:
+                slo = (f"   slo {stats['slo_ms']:g}ms "
+                       f"{'ok' if stats.get('slo_ok') else 'MISSED'}")
+            lines.append(
+                f"tenant {name}: completed {stats.get('completed', 0)}   "
+                f"rejected {stats.get('rejected_total', 0)}   "
+                f"p95 {stats.get('p95_latency_ms', 0.0):.1f} ms{slo}"
+            )
+    return ok, lines
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve predictions from a deployed model over its DSE Pareto front."""
     from repro.obs import Observability
@@ -572,6 +800,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.accuracy_budget is not None and not cascade_requested:
         raise SystemExit(
             f"--accuracy-budget only applies to --policy cascade (got {args.policy!r})"
+        )
+    if args.extra_models and cascade_requested:
+        raise SystemExit(
+            "serve: --policy cascade serves a single deployment (its calibration is "
+            "per-model); drop --model or pick another policy"
         )
     if cascade_requested:
         # The calibration sweep rides the same stage graph (and cache) as
@@ -608,11 +841,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"{100 * point.escalation_rate:.1f}%, expected cycles saved "
                   f"{100 * point.cycles_saved_frac:.1f}%")
 
+    extras = _extra_deployments(args, split, board)
+    deployments = [deployment, *extras]
+    for extra in extras:
+        print(format_table(
+            extra.describe(),
+            columns=["name", "label", "accuracy", "conv_mac_reduction", "mcu_latency_ms"],
+            title=f"service levels of {extra.qmodel.name} (--model deployment)",
+        ))
+    model_names = [d.qmodel.name for d in deployments]
+    if len(set(model_names)) != len(model_names):
+        raise SystemExit(f"serve: duplicate deployment names {model_names}")
+    tenant_table = _load_tenants(args, set(model_names))
+
     if args.replicas > 1:
         # Fleet mode: a router process federates N independent replica
         # server processes (each its own scheduler + observability bundle).
-        return _serve_fleet(args, deployment, split, qmodel,
-                            cascade_calibration=cascade_calibration)
+        return _serve_fleet(args, deployments if extras else deployment, split, qmodel,
+                            cascade_calibration=cascade_calibration,
+                            tenant_table=tenant_table)
 
     policy = args.policy
     if args.depth_per_level is not None:
@@ -622,19 +869,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         from repro.serving import QueueDepthPolicy
 
-        policy = QueueDepthPolicy(depth_per_level=args.depth_per_level)
+        if extras:
+            # Stateful policy instances are per-deployment; a mapping gives
+            # every model its own tuned instance.
+            policy = {name: QueueDepthPolicy(depth_per_level=args.depth_per_level)
+                      for name in model_names}
+        else:
+            policy = QueueDepthPolicy(depth_per_level=args.depth_per_level)
     if cascade_requested:
         from repro.serving import CascadePolicy
 
         policy = CascadePolicy(calibration=cascade_calibration)
     obs = Observability(profile_every=args.profile_every)
     scheduler = Scheduler(
-        deployment,
+        deployments if extras else deployment,
         policy=policy,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         n_workers=args.shard_workers,
         obs=obs,
+        tenants=tenant_table,
     )
     front_cls = FRONTS.resolve(args.front)
     scheduler.start()
@@ -647,6 +901,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 counts = _smoke_load_ramp(
                     server.url, split.test.images, args.smoke, priority=args.priority
                 )
+                mt_ok, mt_lines = True, []
+                if extras or tenant_table is not None:
+                    mt_ok, mt_lines = _multitenant_smoke(
+                        server.url, scheduler, split.test.images, tenant_table
+                    )
                 # One extra traced round trip exercises the observability
                 # surface end to end: response header, Prometheus scrape,
                 # event ring -- all through the same front under test.
@@ -688,6 +947,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cascade_ok = True
             if cascade_requested:
                 cascade_ok = _print_cascade_smoke(snapshot, cascade_calibration)
+            for line in mt_lines:
+                print(line)
             prometheus_series = sum(
                 1 for line in prometheus_text.splitlines() if line and not line.startswith("#")
             )
@@ -721,10 +982,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     profile_rows,
                     title=f"profile (sampled every {obs.profiler.sample_every} batches)",
                 ))
-            return 0 if (answered == args.smoke and cascade_ok) else 1
+            return 0 if (answered == args.smoke and cascade_ok and mt_ok) else 1
         server = front_cls(scheduler, host=args.host, port=args.port)
         print(
-            f"serving {qmodel.name} at {server.url} via the {args.front} front "
+            f"serving {', '.join(model_names)} at {server.url} via the {args.front} front "
             "(POST /predict, GET /metrics, /levels, /events, /trace, /healthz); "
             "Ctrl-C to stop"
         )
@@ -935,6 +1196,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--qmodel", required=True)
     p_serve.add_argument("--config", default=None,
                          help="DSE table JSON from `explore` (omit to run a small DSE in-line)")
+    p_serve.add_argument("--model", action="append", default=None, dest="extra_models",
+                         metavar="NAME",
+                         help="serve an extra registry model alongside --qmodel (repeatable; "
+                              "built untrained from the seed, quantized on the calibration "
+                              "split and swept with a reduced inline DSE -- any name from "
+                              "the model registry, e.g. alexnet)")
+    p_serve.add_argument("--tenants", default=None, metavar="FILE",
+                         help="JSON tenant table: a list of {name, model, priority, slo_ms, "
+                              "rate_limit_rps, burst, max_inflight, weight} objects "
+                              "(token-bucket quotas enforced at enqueue with HTTP 429)")
     p_serve.add_argument("--front", choices=front_choices(), default="thread",
                          help="HTTP front end: thread-per-connection or a single asyncio event loop")
     p_serve.add_argument("--priority",

@@ -28,6 +28,15 @@ first, with an aging bound against starvation) and per-class latency/shed
 telemetry flows through :class:`ServerMetrics`.  Policies are pluggable via
 :data:`repro.registry.POLICIES`, fronts via :data:`repro.registry.FRONTS`.
 
+One scheduler can serve a whole *deployment table*: pass a mapping (or
+sequence) of :class:`Deployment` objects and every request routes to a
+model by name, with batches never mixing models and per-deployment policy
+state.  A :class:`TenantTable` layers multi-tenancy on top -- each
+:class:`TenantConfig` pins a tenant to a model, a default priority class,
+an SLO target and token-bucket request quotas, enforced at enqueue with
+structured 429s; the queue drains fairly across tenants via smooth
+weighted round-robin.
+
 Observability (:mod:`repro.obs`) is wired through the stack: the scheduler
 owns an :class:`~repro.obs.Observability` bundle (metrics registry, request
 tracer, sampled profiler, event log) and both fronts expose it --
@@ -56,6 +65,7 @@ from repro.serving.policy import (
 )
 from repro.serving.request import (
     DEFAULT_PRIORITY,
+    DEFAULT_TENANT,
     PRIORITIES,
     Request,
     RequestError,
@@ -63,8 +73,15 @@ from repro.serving.request import (
     RequestTimedOut,
     priority_rank,
 )
-from repro.serving.scheduler import Scheduler, SchedulerStopped
+from repro.serving.scheduler import Scheduler, SchedulerStopped, UnknownModel
 from repro.serving.server import PredictionServer
+from repro.serving.tenancy import (
+    TenantConfig,
+    TenantQuotaExceeded,
+    TenantTable,
+    TokenBucket,
+    UnknownTenant,
+)
 from repro.serving.workers import ReplicatedRunner
 
 # Fleet last: its modules import the serving submodules above.
@@ -91,6 +108,7 @@ __all__ = [
     "LatencySLOPolicy",
     "resolve_policy",
     "DEFAULT_PRIORITY",
+    "DEFAULT_TENANT",
     "PRIORITIES",
     "priority_rank",
     "Request",
@@ -99,6 +117,12 @@ __all__ = [
     "RequestQueue",
     "Scheduler",
     "SchedulerStopped",
+    "UnknownModel",
+    "UnknownTenant",
+    "TenantConfig",
+    "TenantQuotaExceeded",
+    "TenantTable",
+    "TokenBucket",
     "PredictionServer",
     "ReplicatedRunner",
 ]

@@ -43,6 +43,7 @@ from repro.serving.server import (
     parse_predict_payload,
     predict_error_response,
     predict_success_response,
+    quota_retry_headers,
     sanitize_trace_id,
 )
 from repro.utils.logging import get_logger
@@ -52,8 +53,10 @@ logger = get_logger("serving.async_server")
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     408: "Request Timeout",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
     504: "Gateway Timeout",
@@ -133,7 +136,7 @@ class AsyncPredictionServer:
             )
             self._thread.start()
             ready.wait(timeout=5.0)
-            logger.info("serving %s on %s (asyncio)", self.scheduler.deployment.qmodel.name, self.url)
+            logger.info("serving %s on %s (asyncio)", ", ".join(self.scheduler.models()), self.url)
         return self
 
     def stop(self) -> None:
@@ -176,7 +179,14 @@ class AsyncPredictionServer:
         finally:
             ready.set()  # never leave start() hanging if the bind failed
             if self._server is not None:
-                self._server.close()
+                # Best-effort: stop() may have closed the listener socket
+                # already.  That happens when a SIGINT lands mid-join and
+                # CPython misreports the loop thread as stopped (observed on
+                # 3.11: is_alive() goes False while the thread still runs),
+                # letting stop() race ahead of this cleanup -- closing a
+                # server whose fd is gone must not crash the thread.
+                with _suppress_loop_errors():
+                    self._server.close()
                 with _suppress_loop_errors():
                     loop.run_until_complete(self._server.wait_closed())
             tasks = asyncio.all_tasks(loop)
@@ -292,6 +302,7 @@ class AsyncPredictionServer:
         )
         headers = {} if trace_id is None else {"X-Trace-Id": trace_id}
         if error is not None:
+            headers.update(quota_retry_headers(error[0], error[1]))
             return error[0], error[1], headers
         assert requests is not None
         await self._await_done(requests, loop)
@@ -302,6 +313,7 @@ class AsyncPredictionServer:
                 request.result(timeout=0.001)
         except Exception as failure:
             status, payload = predict_error_response(failure)
+            headers.update(quota_retry_headers(status, payload))
             return status, payload, headers
         return 200, predict_success_response(requests), headers
 
@@ -316,14 +328,19 @@ class AsyncPredictionServer:
             return (400, {"error": "request body is not valid JSON"}), None, None
         if not isinstance(payload, dict):
             return (400, {"error": "request body must be a JSON object"}), None, None
-        error, xs, timeout_ms, priority = parse_predict_payload(self.scheduler, payload)
-        if error is not None:
-            return error, None, None
+        parsed = parse_predict_payload(self.scheduler, payload)
+        if parsed.error is not None:
+            return parsed.error, None, None
         if trace_id is None:
             trace_id = new_trace_id()
         try:
             requests = self.scheduler.submit_many(
-                xs, timeout_ms=timeout_ms, priority=priority, trace_id=trace_id
+                parsed.xs,
+                timeout_ms=parsed.timeout_ms,
+                priority=parsed.priority,
+                trace_id=trace_id,
+                model=parsed.model,
+                tenant=parsed.tenant,
             )
         except Exception as failure:
             return predict_error_response(failure), None, trace_id

@@ -32,7 +32,9 @@ class Client:
         self,
         x: np.ndarray,
         timeout_ms: Optional[float] = None,
-        priority: str = DEFAULT_PRIORITY,
+        priority: Optional[str] = DEFAULT_PRIORITY,
+        model: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> Request:
         """Fire one request without waiting (for concurrency experiments).
 
@@ -40,37 +42,51 @@ class Client:
         request's :meth:`~repro.serving.request.Request.result` raises
         :class:`~repro.serving.request.RequestTimedOut`.  ``priority`` picks
         the request's class (``interactive``/``standard``/``batch``).
+        ``model`` routes to a deployment-table entry and ``tenant`` selects
+        the quota/fairness identity (both default server-side).
         """
-        return self.scheduler.submit(x, timeout_ms=timeout_ms, priority=priority)
+        return self.scheduler.submit(
+            x, timeout_ms=timeout_ms, priority=priority, model=model, tenant=tenant
+        )
 
     def submit_many(
         self,
         xs: np.ndarray,
         timeout_ms: Optional[float] = None,
-        priority: str = DEFAULT_PRIORITY,
+        priority: Optional[str] = DEFAULT_PRIORITY,
+        model: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> List[Request]:
         """Fire a burst of requests without waiting (FIFO order)."""
-        return self.scheduler.submit_many(xs, timeout_ms=timeout_ms, priority=priority)
+        return self.scheduler.submit_many(
+            xs, timeout_ms=timeout_ms, priority=priority, model=model, tenant=tenant
+        )
 
     def predict(
         self,
         x: np.ndarray,
         timeout_ms: Optional[float] = None,
-        priority: str = DEFAULT_PRIORITY,
+        priority: Optional[str] = DEFAULT_PRIORITY,
+        model: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> int:
         """Predicted class of one sample (blocks until served)."""
-        return self.submit(x, timeout_ms=timeout_ms, priority=priority).result(
-            timeout=self.timeout_s
-        )
+        return self.submit(
+            x, timeout_ms=timeout_ms, priority=priority, model=model, tenant=tenant
+        ).result(timeout=self.timeout_s)
 
     def predict_many(
         self,
         xs: np.ndarray,
         timeout_ms: Optional[float] = None,
-        priority: str = DEFAULT_PRIORITY,
+        priority: Optional[str] = DEFAULT_PRIORITY,
+        model: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> np.ndarray:
         """Predicted classes of a batch, submitted concurrently."""
-        requests = self.submit_many(xs, timeout_ms=timeout_ms, priority=priority)
+        requests = self.submit_many(
+            xs, timeout_ms=timeout_ms, priority=priority, model=model, tenant=tenant
+        )
         return np.asarray([r.result(timeout=self.timeout_s) for r in requests], dtype=np.int64)
 
 
@@ -106,29 +122,51 @@ class HTTPClient:
             return json.loads(response.read().decode("utf-8")), dict(response.headers)
 
     # ------------------------------------------------------------------ endpoints
-    def predict(
-        self,
+    @staticmethod
+    def _predict_payload(
         xs: np.ndarray,
-        timeout_ms: Optional[float] = None,
-        priority: Optional[str] = None,
+        timeout_ms: Optional[float],
+        priority: Optional[str],
+        model: Optional[str],
+        tenant: Optional[str],
     ) -> Dict[str, Any]:
-        """``POST /predict`` with one sample or a batch; returns the JSON body."""
         payload: Dict[str, Any] = {"inputs": np.asarray(xs, dtype=np.float32).tolist()}
         if timeout_ms is not None:
             payload["timeout_ms"] = float(timeout_ms)
         if priority is not None:
             payload["priority"] = priority
-        return self._post("/predict", payload)
+        if model is not None:
+            payload["model"] = model
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return payload
+
+    def predict(
+        self,
+        xs: np.ndarray,
+        timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
+        model: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """``POST /predict`` with one sample or a batch; returns the JSON body."""
+        return self._post(
+            "/predict", self._predict_payload(xs, timeout_ms, priority, model, tenant)
+        )
 
     def predict_classes(
         self,
         xs: np.ndarray,
         timeout_ms: Optional[float] = None,
         priority: Optional[str] = None,
+        model: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> np.ndarray:
         """Predicted classes of a batch via ``POST /predict``."""
         return np.asarray(
-            self.predict(xs, timeout_ms=timeout_ms, priority=priority)["classes"],
+            self.predict(
+                xs, timeout_ms=timeout_ms, priority=priority, model=model, tenant=tenant
+            )["classes"],
             dtype=np.int64,
         )
 
@@ -137,18 +175,17 @@ class HTTPClient:
         xs: np.ndarray,
         timeout_ms: Optional[float] = None,
         priority: Optional[str] = None,
+        model: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> Tuple[Dict[str, Any], Dict[str, str]]:
         """``POST /predict``; returns ``(body, response_headers)``.
 
         The headers carry ``X-Trace-Id`` -- the handle for ``GET /trace``
         and the JSONL trace export.
         """
-        payload: Dict[str, Any] = {"inputs": np.asarray(xs, dtype=np.float32).tolist()}
-        if timeout_ms is not None:
-            payload["timeout_ms"] = float(timeout_ms)
-        if priority is not None:
-            payload["priority"] = priority
-        return self._post_with_headers("/predict", payload)
+        return self._post_with_headers(
+            "/predict", self._predict_payload(xs, timeout_ms, priority, model, tenant)
+        )
 
     def metrics(self, format: Optional[str] = None) -> Any:
         """``GET /metrics``; ``format="prometheus"`` returns the text exposition."""
@@ -167,8 +204,13 @@ class HTTPClient:
         return self._get(path)["spans"]
 
     def levels(self) -> List[Dict[str, Any]]:
-        """``GET /levels``."""
+        """``GET /levels`` (the default model's table)."""
         return self._get("/levels")["levels"]
+
+    def levels_by_model(self) -> Dict[str, List[Dict[str, Any]]]:
+        """``GET /levels`` grouped per served model."""
+        body = self._get("/levels")
+        return body.get("models", {"default": body.get("levels", [])})
 
     def health(self) -> Optional[str]:
         """``GET /healthz``; returns the status string or ``None`` when down."""

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.serving.deployment import Deployment
 from repro.serving.fleet.federation import merge_events, merge_spans, rollup_snapshots
 from repro.serving.fleet.replica import ReplicaConfig, ReplicaProcess
 from repro.serving.fleet.router import FleetRouter
@@ -55,7 +54,9 @@ class Fleet:
     Parameters
     ----------
     deployment:
-        The servable model + service levels every replica serves.
+        The servable model + service levels every replica serves -- a single
+        :class:`~repro.serving.deployment.Deployment` or a mapping/sequence
+        of deployments for a multi-model fleet.
     n_replicas:
         Fleet size (independent server processes).
     config:
@@ -70,7 +71,7 @@ class Fleet:
 
     def __init__(
         self,
-        deployment: Deployment,
+        deployment,
         n_replicas: int = 2,
         config: Optional[ReplicaConfig] = None,
         host: str = "127.0.0.1",

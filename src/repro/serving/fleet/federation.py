@@ -30,6 +30,15 @@ _SUMMED_FIELDS = (
 #: Per-priority fields that sum across replicas (percentiles do not).
 _SUMMED_PRIORITY_FIELDS = ("completed", "shed", "failed")
 
+#: Per-model fields that sum across replicas (``current_level`` is a
+#: per-replica gauge and is reported per replica instead).
+_SUMMED_MODEL_FIELDS = ("requests", "batches")
+
+#: Per-tenant fields that sum across replicas (percentiles do not; the
+#: ``slo_ms``/``weight`` configuration is identical on every replica and is
+#: carried through unchanged).
+_SUMMED_TENANT_FIELDS = ("completed", "rejected_total", "shed")
+
 
 def rollup_snapshots(snapshots: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
     """Sum per-replica ``/metrics`` JSON snapshots into one fleet view.
@@ -42,7 +51,9 @@ def rollup_snapshots(snapshots: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
     per_level_requests: Dict[str, int] = {}
     per_level_batches: Dict[str, int] = {}
     per_priority: Dict[str, Dict[str, int]] = {}
-    for snapshot in snapshots.values():
+    per_model: Dict[str, Dict[str, Any]] = {}
+    per_tenant: Dict[str, Dict[str, Any]] = {}
+    for replica, snapshot in snapshots.items():
         for name in _SUMMED_FIELDS:
             fleet[name] += snapshot.get(name, 0) or 0
         for level, count in (snapshot.get("per_level_requests") or {}).items():
@@ -55,10 +66,41 @@ def rollup_snapshots(snapshots: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
             )
             for name in _SUMMED_PRIORITY_FIELDS:
                 into[name] += int(stats.get(name, 0) or 0)
+        for model, stats in (snapshot.get("per_model") or {}).items():
+            into = per_model.setdefault(
+                model,
+                {
+                    **{name: 0 for name in _SUMMED_MODEL_FIELDS},
+                    "per_level_requests": {},
+                    "current_levels": {},
+                },
+            )
+            for name in _SUMMED_MODEL_FIELDS:
+                into[name] += int(stats.get(name, 0) or 0)
+            for level, count in (stats.get("per_level_requests") or {}).items():
+                into["per_level_requests"][level] = (
+                    into["per_level_requests"].get(level, 0) + int(count)
+                )
+            if stats.get("current_level") is not None:
+                into["current_levels"][replica] = stats["current_level"]
+        for tenant, stats in (snapshot.get("per_tenant") or {}).items():
+            into = per_tenant.setdefault(
+                tenant,
+                {**{name: 0 for name in _SUMMED_TENANT_FIELDS}, "rejected": {}},
+            )
+            for name in _SUMMED_TENANT_FIELDS:
+                into[name] += int(stats.get(name, 0) or 0)
+            for reason, count in (stats.get("rejected") or {}).items():
+                into["rejected"][reason] = into["rejected"].get(reason, 0) + int(count)
+            for config_key in ("slo_ms", "weight"):
+                if stats.get(config_key) is not None:
+                    into[config_key] = stats[config_key]
     fleet["requests_completed"] = int(fleet["requests_completed"])
     fleet["per_level_requests"] = per_level_requests
     fleet["per_level_batches"] = per_level_batches
     fleet["per_priority"] = per_priority
+    fleet["per_model"] = per_model
+    fleet["per_tenant"] = per_tenant
     fleet["replicas"] = len(snapshots)
     batches = fleet["batches"]
     fleet["mean_batch_size"] = (fleet["requests_completed"] / batches) if batches else 0.0

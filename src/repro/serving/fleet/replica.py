@@ -22,7 +22,6 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.serving.deployment import Deployment
 from repro.utils.logging import get_logger
 
 logger = get_logger("serving.fleet.replica")
@@ -54,6 +53,11 @@ class ReplicaConfig:
     #: Extra policy keyword arguments (e.g. ``depth_per_level``); kept as a
     #: dict so the config stays picklable for spawn-based platforms.
     policy_options: Dict[str, Any] = field(default_factory=dict)
+    #: Tenant configurations as plain dicts (``TenantConfig.as_dict()``
+    #: shape) so the config stays picklable; each replica rebuilds its own
+    #: :class:`~repro.serving.tenancy.TenantTable` (token buckets are
+    #: per-process state and must not be shared across forks).
+    tenants: Optional[list] = None
 
 
 def _resolve_policy(config: ReplicaConfig):
@@ -65,12 +69,13 @@ def _resolve_policy(config: ReplicaConfig):
     return POLICIES.resolve(config.policy)(**config.policy_options)
 
 
-def _replica_main(index: int, deployment: Deployment, config: ReplicaConfig, conn) -> None:
+def _replica_main(index: int, deployment: Any, config: ReplicaConfig, conn) -> None:
     """Child-process entry point: serve until told (or signalled) to stop."""
     from repro.obs import MetricsRegistry, Observability
     from repro.registry import FRONTS
     from repro.serving import async_server, server  # noqa: F401 - register fronts
     from repro.serving.scheduler import Scheduler
+    from repro.serving.tenancy import TenantTable
 
     registry = MetricsRegistry(const_labels={"replica": str(index)})
     obs = Observability(
@@ -79,6 +84,7 @@ def _replica_main(index: int, deployment: Deployment, config: ReplicaConfig, con
         profile_every=config.profile_every,
         event_capacity=config.event_capacity,
     )
+    tenants = TenantTable.from_dicts(config.tenants) if config.tenants else None
     scheduler = Scheduler(
         deployment,
         policy=_resolve_policy(config),
@@ -87,6 +93,7 @@ def _replica_main(index: int, deployment: Deployment, config: ReplicaConfig, con
         n_workers=config.n_workers,
         starvation_ms=config.starvation_ms,
         obs=obs,
+        tenants=tenants,
     )
     scheduler.start()
     front_cls = FRONTS.resolve(config.front)
@@ -134,7 +141,9 @@ class ReplicaProcess:
         Replica number; becomes the ``replica="index"`` const label on the
         child's metrics registry.
     deployment:
-        The servable model + levels every replica serves (picklable, so the
+        The servable model + levels every replica serves -- a single
+        :class:`~repro.serving.deployment.Deployment` or a mapping/sequence
+        of them for a multi-model replica (picklable either way, so the
         same object fans out to N processes).
     config:
         Shared :class:`ReplicaConfig`; defaults match ``repro-tinyml serve``.
@@ -143,7 +152,7 @@ class ReplicaProcess:
     def __init__(
         self,
         index: int,
-        deployment: Deployment,
+        deployment: Any,
         config: Optional[ReplicaConfig] = None,
     ):
         self.index = int(index)

@@ -22,6 +22,14 @@ benchmarks prove that interactive traffic holds its latency under a
 bulk-traffic burst, and how the SLO control loop can be audited after the
 fact.
 
+Multi-model, multi-tenant serving adds two more dimensions: the completed /
+batch counters carry a ``model=`` label (one scheduler hosts a *deployment
+table*, and per-model traffic must stay separable after fleet federation),
+and per-tenant telemetry -- completions, quota rejections
+(``repro_tenant_rejected_total{tenant=,reason=}``), sheds and latency
+percentiles against the tenant's SLO target -- appears both as labelled
+series and as the snapshot's ``per_tenant`` block.
+
 Two throughput figures are reported: ``throughput_rps`` (lifetime average
 over uptime -- stable, but misleading after idle periods) and
 ``windowed_throughput_rps`` (completions over the trailing
@@ -38,7 +46,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.obs.metrics import BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_MS, MetricsRegistry
-from repro.serving.request import DEFAULT_PRIORITY, PRIORITIES
+from repro.serving.request import DEFAULT_PRIORITY, DEFAULT_TENANT, PRIORITIES
+
+#: The model label applied when a sink is driven without a deployment table
+#: (standalone unit tests, single-model back-compat callers).
+DEFAULT_MODEL = "default"
 
 
 @dataclass
@@ -65,6 +77,10 @@ class MetricsSnapshot:
     mcu_ms_saved: float = 0.0
     #: Per priority class: completed/shed/failed counts and latency percentiles.
     per_priority: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per model (deployment): requests/batches/current level/per-level traffic.
+    per_model: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Per tenant: completions, quota rejections, sheds, latency vs SLO.
+    per_tenant: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: Cascade telemetry (escalation rate, cycles saved vs exact-only,
     #: blended accuracy proxy); ``None`` unless a cascade gate is active.
     cascade: Optional[Dict[str, Any]] = None
@@ -91,6 +107,8 @@ class MetricsSnapshot:
             "cycles_saved": self.cycles_saved,
             "mcu_ms_saved": self.mcu_ms_saved,
             "per_priority": {name: dict(stats) for name, stats in self.per_priority.items()},
+            "per_model": {name: dict(stats) for name, stats in self.per_model.items()},
+            "per_tenant": {name: dict(stats) for name, stats in self.per_tenant.items()},
             **({"cascade": dict(self.cascade)} if self.cascade is not None else {}),
         }
 
@@ -156,8 +174,8 @@ class ServerMetrics:
         reg.enable_target_metadata()
         self._c_completed = reg.counter(
             "repro_requests_completed_total",
-            "Requests completed, by priority class and service level.",
-            ("priority", "level"),
+            "Requests completed, by model, priority class and service level.",
+            ("model", "priority", "level"),
         )
         self._c_failed = reg.counter(
             "repro_requests_failed_total", "Requests failed, by priority class.", ("priority",)
@@ -168,7 +186,16 @@ class ServerMetrics:
             ("priority",),
         )
         self._c_batches = reg.counter(
-            "repro_batches_total", "Batches executed, by service level.", ("level",)
+            "repro_batches_total", "Batches executed, by model and service level.", ("model", "level")
+        )
+        self._c_tenant_completed = reg.counter(
+            "repro_tenant_requests_total", "Requests completed, by tenant.", ("tenant",)
+        )
+        self._c_tenant_rejected = reg.counter(
+            "repro_tenant_rejected_total",
+            "Requests rejected at enqueue by a tenant quota, by tenant and "
+            'reason ("rate" or "inflight").',
+            ("tenant", "reason"),
         )
         self._c_switches = reg.counter(
             "repro_level_switches_total", "Service-level changes between consecutive batches."
@@ -225,11 +252,18 @@ class ServerMetrics:
         )
         # Plain state the registry primitives cannot express: percentile
         # windows, the exact (non-bucketed) batch-size histogram, the
-        # current-level marker and the per-second completion rate ring.
+        # per-model current-level markers and the per-second completion ring.
         self._batch_sizes: Dict[int, int] = {}
         self._latencies: List[float] = []
         self._current_level: Optional[str] = None
+        self._current_levels: Dict[str, str] = {}
         self._priority_latencies: Dict[str, List[float]] = {name: [] for name in PRIORITIES}
+        self._tenant_latencies: Dict[str, List[float]] = {}
+        self._tenant_shed: Dict[str, int] = {}
+        #: tenant -> {"slo_ms": ..., "weight": ...}, installed by the
+        #: scheduler from its tenant table so the per-tenant snapshot block
+        #: can report p95-vs-SLO without a back-reference to the table.
+        self._tenant_meta: Dict[str, Dict[str, Any]] = {}
         self._rate_buckets: deque = deque()  # [second, completions] pairs
 
     # ------------------------------------------------------------------ recording
@@ -241,29 +275,44 @@ class ServerMetrics:
         cycles_per_sample: float = 0.0,
         priorities: Optional[Sequence[str]] = None,
         track_level: bool = True,
+        model: str = DEFAULT_MODEL,
+        tenants: Optional[Sequence[str]] = None,
+        baseline_cycles_per_sample: Optional[float] = None,
     ) -> None:
         """Record one executed batch.
 
         ``latencies_ms`` are the end-to-end (queue wait + service) latencies
         of the batch's requests; ``cycles_per_sample`` is the simulated MCU
-        cost of the level that served it; ``priorities`` (parallel to
-        ``latencies_ms``) attributes each request to its priority class --
-        omitted entries count as ``"standard"``.  ``track_level=False``
-        leaves the current-level marker and the level-switch counter alone:
-        the cascade's escalated (exact-level) groups interleave with cheap
-        groups by design, and counting each interleave as a policy "switch"
-        would drown the signal the counter exists for.
+        cost of the level that served it; ``priorities`` and ``tenants``
+        (parallel to ``latencies_ms``) attribute each request to its
+        priority class and tenant -- omitted entries count as ``"standard"``
+        / the default tenant.  ``model`` names the deployment that executed
+        the batch (a batch never mixes models, so one name covers it), and
+        ``baseline_cycles_per_sample`` overrides the sink-level baseline for
+        the cycle-savings credit -- each deployment has its own exact-level
+        cost.  ``track_level=False`` leaves the current-level marker and the
+        level-switch counter alone: the cascade's escalated (exact-level)
+        groups interleave with cheap groups by design, and counting each
+        interleave as a policy "switch" would drown the signal the counter
+        exists for.
         """
         if priorities is None:
             priorities = [DEFAULT_PRIORITY] * len(latencies_ms)
+        if tenants is None:
+            tenants = [DEFAULT_TENANT] * len(latencies_ms)
         per_priority: Dict[str, int] = {}
         for priority in priorities:
             per_priority[priority] = per_priority.get(priority, 0) + 1
+        per_tenant: Dict[str, int] = {}
+        for tenant in tenants:
+            per_tenant[tenant] = per_tenant.get(tenant, 0) + 1
         with self._lock:
             self._batch_sizes[batch_size] = self._batch_sizes.get(batch_size, 0) + 1
             if track_level:
-                if self._current_level is not None and self._current_level != level_name:
+                previous = self._current_levels.get(model)
+                if previous is not None and previous != level_name:
                     self._c_switches.inc()
+                self._current_levels[model] = level_name
                 self._current_level = level_name
             self._latencies.extend(latencies_ms)
             if len(self._latencies) > self._window:
@@ -273,15 +322,27 @@ class ServerMetrics:
                 window.append(latency)
                 if len(window) > self._window:
                     del window[: len(window) - self._window]
+            for tenant, latency in zip(tenants, latencies_ms):
+                window = self._tenant_latencies.setdefault(tenant, [])
+                window.append(latency)
+                if len(window) > self._window:
+                    del window[: len(window) - self._window]
             self._note_completions(self._time(), batch_size)
-        self._c_batches.inc(level=level_name)
+        self._c_batches.inc(model=model, level=level_name)
         self._h_batch_size.observe(batch_size)
         for priority, count in per_priority.items():
-            self._c_completed.inc(count, priority=priority, level=level_name)
+            self._c_completed.inc(count, model=model, priority=priority, level=level_name)
+        for tenant, count in per_tenant.items():
+            self._c_tenant_completed.inc(count, tenant=tenant)
         for priority, latency in zip(priorities, latencies_ms):
             self._h_latency.observe(latency, priority=priority)
-        if self.baseline_cycles_per_sample > 0 and cycles_per_sample > 0:
-            saved = self.baseline_cycles_per_sample - cycles_per_sample
+        baseline = (
+            self.baseline_cycles_per_sample
+            if baseline_cycles_per_sample is None
+            else float(baseline_cycles_per_sample)
+        )
+        if baseline > 0 and cycles_per_sample > 0:
+            saved = baseline - cycles_per_sample
             if saved > 0:
                 # Credit per *completed* request (== len(latencies_ms)): under
                 # a cascade a group can contain requests that escalate instead
@@ -292,9 +353,70 @@ class ServerMetrics:
         """Record failed requests, attributed to their priority class."""
         self._c_failed.inc(int(count), priority=priority)
 
-    def record_shed(self, count: int = 1, priority: str = DEFAULT_PRIORITY) -> None:
+    def record_shed(
+        self, count: int = 1, priority: str = DEFAULT_PRIORITY, tenant: Optional[str] = None
+    ) -> None:
         """Record requests shed because their per-request deadline expired."""
         self._c_shed.inc(int(count), priority=priority)
+        if tenant is not None:
+            with self._lock:
+                self._tenant_shed[tenant] = self._tenant_shed.get(tenant, 0) + int(count)
+
+    # ------------------------------------------------------------------ tenants
+    def configure_tenants(self, tenant_meta: Dict[str, Dict[str, Any]]) -> None:
+        """Install per-tenant metadata (``slo_ms``, ``weight``) for snapshots.
+
+        Called by the scheduler from its tenant table; from then on every
+        snapshot carries a ``per_tenant`` block for each configured tenant
+        (plus any unconfigured tenant that saw traffic), annotated with its
+        SLO target and whether the windowed p95 currently meets it.
+        """
+        with self._lock:
+            self._tenant_meta = {
+                str(name): dict(meta) for name, meta in tenant_meta.items()
+            }
+
+    def record_tenant_rejection(self, tenant: str, reason: str) -> None:
+        """Record one request rejected at enqueue by a tenant quota."""
+        self._c_tenant_rejected.inc(tenant=tenant, reason=reason)
+
+    def _tenant_block(self) -> Dict[str, Dict[str, Any]]:
+        """The snapshot's ``per_tenant`` dict (lock held by the caller)."""
+        completed_series = self._c_tenant_completed.collect()
+        rejected_series = self._c_tenant_rejected.collect()
+        names = set(self._tenant_meta) | self._tenant_latencies.keys()
+        names.update(tenant for (tenant,) in completed_series)
+        names.update(tenant for (tenant, _reason) in rejected_series)
+        block: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(names):
+            completed = int(completed_series.get((name,), 0))
+            rejected = {
+                reason: int(count)
+                for (tenant, reason), count in sorted(rejected_series.items())
+                if tenant == name
+            }
+            shed = int(self._tenant_shed.get(name, 0))
+            meta = self._tenant_meta.get(name, {})
+            if not completed and not rejected and not shed and not meta:
+                continue  # only tenants that are configured or saw traffic
+            ordered = sorted(self._tenant_latencies.get(name, ()))
+            p95 = _percentile(ordered, 0.95)
+            stats: Dict[str, Any] = {
+                "completed": completed,
+                "rejected": rejected,
+                "rejected_total": sum(rejected.values()),
+                "shed": shed,
+                "p50_latency_ms": _percentile(ordered, 0.50),
+                "p95_latency_ms": p95,
+            }
+            slo_ms = meta.get("slo_ms")
+            if slo_ms is not None:
+                stats["slo_ms"] = float(slo_ms)
+                stats["slo_ok"] = bool(not ordered or p95 <= float(slo_ms))
+            if meta.get("weight") is not None:
+                stats["weight"] = float(meta["weight"])
+            block[name] = stats
+        return block
 
     # ------------------------------------------------------------------ cascade
     def configure_cascade(
@@ -402,14 +524,23 @@ class ServerMetrics:
         completed = int(sum(completed_series.values()))
         per_level_requests: Dict[str, int] = {}
         priority_completed: Dict[str, int] = {}
-        for (priority, level), count in completed_series.items():
+        model_completed: Dict[str, int] = {}
+        model_levels: Dict[str, Dict[str, int]] = {}
+        for (model, priority, level), count in completed_series.items():
             per_level_requests[level] = per_level_requests.get(level, 0) + int(count)
             priority_completed[priority] = priority_completed.get(priority, 0) + int(count)
+            model_completed[model] = model_completed.get(model, 0) + int(count)
+            levels = model_levels.setdefault(model, {})
+            levels[level] = levels.get(level, 0) + int(count)
         failed_series = self._c_failed.collect()
         shed_series = self._c_shed.collect()
         batch_series = self._c_batches.collect()
         batches = int(sum(batch_series.values()))
-        per_level_batches = {level: int(count) for (level,), count in batch_series.items()}
+        per_level_batches: Dict[str, int] = {}
+        model_batches: Dict[str, int] = {}
+        for (model, level), count in batch_series.items():
+            per_level_batches[level] = per_level_batches.get(level, 0) + int(count)
+            model_batches[model] = model_batches.get(model, 0) + int(count)
         with self._lock:
             now = self._time()
             uptime = max(now - self._started_at, 1e-9)
@@ -434,6 +565,16 @@ class ServerMetrics:
                 }
             batch_size_histogram = dict(self._batch_sizes)
             current_level = self._current_level
+            current_levels = dict(self._current_levels)
+            per_tenant = self._tenant_block()
+        per_model: Dict[str, Dict[str, Any]] = {}
+        for model in sorted(set(model_completed) | set(model_batches) | set(current_levels)):
+            per_model[model] = {
+                "requests": model_completed.get(model, 0),
+                "batches": model_batches.get(model, 0),
+                "current_level": current_levels.get(model),
+                "per_level_requests": model_levels.get(model, {}),
+            }
         cycles_saved = self._c_cycles_saved.total()
         self._g_queue_depth.set(int(queue_depth))
         self._g_windowed_rps.set(windowed)
@@ -457,6 +598,8 @@ class ServerMetrics:
             cycles_saved=cycles_saved,
             mcu_ms_saved=cycles_saved * self.cycles_to_ms,
             per_priority=per_priority,
+            per_model=per_model,
+            per_tenant=per_tenant,
             cascade=self._cascade_block(),
         )
 

@@ -28,11 +28,19 @@ queued ahead of bulk transfers:
 it blocks until at least one request is pending, then keeps coalescing
 arrivals until either ``max_batch_size`` requests are collected or
 ``max_wait_ms`` has elapsed since the batch leader was picked.  The batch is
-filled in priority order -- a class is drained (FIFO within the class)
-before the pop spills down to the next class -- with one exception: a
-request that has waited longer than ``starvation_ms`` is served ahead of
-everything, whatever its class, so sustained interactive load cannot starve
-the batch class forever.
+filled in priority order -- a class is drained before the pop spills down to
+the next class -- with one exception: a request that has waited longer than
+``starvation_ms`` is served ahead of everything, whatever its class, so
+sustained interactive load cannot starve the batch class forever.
+
+Within a priority class, requests are no longer a single FIFO: each tenant
+gets its own FIFO lane and the pop rotates across tenants with *smooth
+weighted round-robin* (the nginx variant: every non-empty tenant earns its
+weight in credit per pop, the richest tenant is served and pays the total
+weight back).  A tenant flooding the queue therefore cannot monopolise its
+priority class -- other tenants keep draining in proportion to their
+configured weights -- while single-tenant deployments degrade to the old
+strict-FIFO behaviour.
 """
 
 from __future__ import annotations
@@ -54,6 +62,11 @@ PRIORITIES: Tuple[str, ...] = ("interactive", "standard", "batch")
 
 #: The class assigned when a request does not specify one.
 DEFAULT_PRIORITY = "standard"
+
+#: The tenant assigned when a request does not specify one.  The default
+#: tenant always exists (unlimited quota, weight 1.0) so single-tenant
+#: deployments need no tenant table at all.
+DEFAULT_TENANT = "default"
 
 
 def priority_rank(priority: str) -> int:
@@ -97,12 +110,22 @@ class Request:
     trace_id:
         Observability trace id linking this request's spans; generated when
         omitted so in-process submissions are traceable too.
+    model:
+        Deployment name this request targets.  ``None`` means "the server's
+        default model"; the scheduler resolves and validates the name at
+        submit time, so a request inside the queue always carries a concrete
+        model name and batches can be partitioned without lookups.
+    tenant:
+        Tenant name for quota accounting and weighted fair queueing;
+        defaults to :data:`DEFAULT_TENANT`.
     """
 
     __slots__ = (
         "id",
         "trace_id",
         "x",
+        "model",
+        "tenant",
         "enqueued_at",
         "submitted_at",
         "timeout_ms",
@@ -128,13 +151,19 @@ class Request:
         timeout_ms: Optional[float] = None,
         priority: str = DEFAULT_PRIORITY,
         trace_id: Optional[str] = None,
+        model: Optional[str] = None,
+        tenant: str = DEFAULT_TENANT,
     ):
         if timeout_ms is not None and float(timeout_ms) <= 0:
             raise ValueError("timeout_ms must be positive (or None for no deadline)")
         priority_rank(priority)  # validate eagerly, before the queue sees it
+        if not isinstance(tenant, str) or not tenant:
+            raise ValueError(f"tenant must be a non-empty string, got {tenant!r}")
         self.id = next(_request_ids)
         self.trace_id = trace_id if trace_id is not None else new_trace_id()
         self.x = np.asarray(x, dtype=np.float32)
+        self.model: Optional[str] = None if model is None else str(model)
+        self.tenant = tenant
         self.enqueued_at = time.monotonic()
         #: First-enqueue time; unlike ``enqueued_at`` it survives a cascade
         #: re-enqueue, so end-to-end latency spans both attempts.
@@ -232,36 +261,55 @@ class Request:
 
 
 class RequestQueue:
-    """Thread-safe priority queue with a batch-coalescing pop.
+    """Thread-safe priority queue with tenant-fair, batch-coalescing pops.
 
     Producers (front-end threads) call :meth:`put`; the single scheduler
-    consumer calls :meth:`get_batch`.  One FIFO deque per priority class;
-    pops drain the most urgent non-empty class first, except that a request
-    older than ``starvation_ms`` is always served next (the starvation
-    bound: however relentless the interactive load, a batch-class request
-    waits at most ``starvation_ms`` plus one batch's service time).
+    consumer calls :meth:`get_batch`.  Internally the queue holds one FIFO
+    deque per ``(priority class, tenant)`` pair: pops drain the most urgent
+    non-empty class first, and *within* a class rotate across tenants with
+    smooth weighted round-robin, except that a request older than
+    ``starvation_ms`` is always served next (the starvation bound: however
+    relentless the interactive load, a batch-class request waits at most
+    ``starvation_ms`` plus one batch's service time).
 
     Parameters
     ----------
     starvation_ms:
         Age at which a queued request of *any* class jumps ahead of the
         priority order.  ``None`` disables aging (strict priority).
+    tenant_weights:
+        Draining weight per tenant name (default 1.0).  The mapping may be
+        shared/mutated by the owner (the scheduler points it at its tenant
+        table's weights), so weight changes apply to queued traffic.
     """
 
-    def __init__(self, starvation_ms: Optional[float] = 2000.0) -> None:
+    def __init__(
+        self,
+        starvation_ms: Optional[float] = 2000.0,
+        tenant_weights: Optional[Dict[str, float]] = None,
+    ) -> None:
         if starvation_ms is not None and float(starvation_ms) <= 0:
             raise ValueError("starvation_ms must be positive (or None for strict priority)")
         self.starvation_ms = None if starvation_ms is None else float(starvation_ms)
         #: Optional :class:`~repro.obs.events.EventLog`; when set (the
         #: scheduler wires its own), starvation promotions are recorded.
         self.events = None
-        self._classes: Dict[str, Deque[Request]] = {name: deque() for name in PRIORITIES}
+        self.tenant_weights: Dict[str, float] = (
+            tenant_weights if tenant_weights is not None else {}
+        )
+        #: priority class -> tenant -> FIFO deque (empty deques are pruned).
+        self._classes: Dict[str, Dict[str, Deque[Request]]] = {
+            name: {} for name in PRIORITIES
+        }
+        #: priority class -> tenant -> smooth-WRR credit.
+        self._credits: Dict[str, Dict[str, float]] = {name: {} for name in PRIORITIES}
         self._size = 0
+        self._model_counts: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
 
     def put(self, request: Request, requeue: bool = False) -> None:
-        """Enqueue a request (FIFO within its class); its deadline starts here.
+        """Enqueue a request (FIFO within its tenant lane); deadline starts here.
 
         ``requeue=True`` is the cascade-escalation path: the request goes
         back in the queue for a second (exact-level) attempt, so only
@@ -276,39 +324,108 @@ class RequestQueue:
             if not requeue:
                 request.submitted_at = request.enqueued_at
                 request._arm_deadline()
-            self._classes[request.priority].append(request)
+            lanes = self._classes[request.priority]
+            lane = lanes.get(request.tenant)
+            if lane is None:
+                lane = lanes[request.tenant] = deque()
+            lane.append(request)
             self._size += 1
+            if request.model is not None:
+                self._model_counts[request.model] = (
+                    self._model_counts.get(request.model, 0) + 1
+                )
             self._not_empty.notify()
 
-    def depth(self) -> int:
-        """Number of requests currently waiting (all classes)."""
+    def depth(self, model: Optional[str] = None) -> int:
+        """Requests currently waiting -- all of them, or for one model."""
         with self._lock:
-            return self._size
+            if model is None:
+                return self._size
+            return self._model_counts.get(model, 0)
 
     def depth_by_priority(self) -> Dict[str, int]:
         """Waiting requests per priority class."""
         with self._lock:
-            return {name: len(queue) for name, queue in self._classes.items()}
+            return {
+                name: sum(len(lane) for lane in lanes.values())
+                for name, lanes in self._classes.items()
+            }
+
+    def depth_by_tenant(self) -> Dict[str, int]:
+        """Waiting requests per tenant (across all priority classes)."""
+        with self._lock:
+            depths: Dict[str, int] = {}
+            for lanes in self._classes.values():
+                for tenant, lane in lanes.items():
+                    depths[tenant] = depths.get(tenant, 0) + len(lane)
+            return depths
+
+    def _note_pop(self, request: Request) -> None:
+        """Bookkeeping shared by every pop path (lock held)."""
+        self._size -= 1
+        if request.model is not None:
+            left = self._model_counts.get(request.model, 0) - 1
+            if left > 0:
+                self._model_counts[request.model] = left
+            else:
+                self._model_counts.pop(request.model, None)
+
+    def _prune_lane(self, name: str, tenant: str) -> None:
+        """Drop an emptied tenant lane and its WRR credit (lock held)."""
+        lanes = self._classes[name]
+        if not lanes[tenant]:
+            del lanes[tenant]
+            self._credits[name].pop(tenant, None)
+
+    def _pop_from_class(self, name: str) -> Request:
+        """Smooth-WRR pop across the non-empty tenant lanes of one class.
+
+        Each round every waiting tenant earns its weight in credit; the
+        richest tenant (ties broken by name for determinism) is served and
+        pays back the sum of all weights.  Over N pops with tenants A:B at
+        weights 2:1 this converges to a 2:1 service share while keeping the
+        schedule smooth (A A B, not A A ... B).
+        """
+        lanes = self._classes[name]
+        if len(lanes) == 1:
+            tenant = next(iter(lanes))
+        else:
+            credits = self._credits[name]
+            total = 0.0
+            for t in lanes:
+                weight = max(float(self.tenant_weights.get(t, 1.0)), 1e-9)
+                credits[t] = credits.get(t, 0.0) + weight
+                total += weight
+            tenant = max(sorted(lanes), key=lambda t: credits[t])
+            credits[tenant] -= total
+        request = lanes[tenant].popleft()
+        self._note_pop(request)
+        self._prune_lane(name, tenant)
+        return request
 
     def _pop_next(self, now: float) -> Request:
         """Pop the next request under priority-with-aging order (lock held)."""
         if self.starvation_ms is not None:
             bound = self.starvation_ms / 1000.0
-            starved: Optional[Deque[Request]] = None
+            starved: Optional[Tuple[str, str]] = None
             oldest = now
-            for queue in self._classes.values():
-                if queue and now - queue[0].enqueued_at > bound and queue[0].enqueued_at < oldest:
-                    starved, oldest = queue, queue[0].enqueued_at
+            for name, lanes in self._classes.items():
+                for tenant, lane in lanes.items():
+                    head = lane[0]
+                    if now - head.enqueued_at > bound and head.enqueued_at < oldest:
+                        starved, oldest = (name, tenant), head.enqueued_at
             if starved is not None:
-                self._size -= 1
-                request = starved.popleft()
+                name, tenant = starved
+                request = self._classes[name][tenant].popleft()
+                self._note_pop(request)
+                self._prune_lane(name, tenant)
                 if self.events is not None:
                     # Only a promotion when a more urgent class was waiting;
                     # a starved head of the most urgent non-empty class would
                     # have been popped anyway.
                     jumped = any(
-                        self._classes[name]
-                        for name in PRIORITIES[: priority_rank(request.priority)]
+                        self._classes[other]
+                        for other in PRIORITIES[: priority_rank(request.priority)]
                     )
                     if jumped:
                         self.events.emit(
@@ -316,14 +433,13 @@ class RequestQueue:
                             f"request {request.id} promoted past the priority order",
                             request_id=request.id,
                             priority=request.priority,
+                            tenant=request.tenant,
                             waited_ms=round((now - request.enqueued_at) * 1e3, 3),
                         )
                 return request
         for name in PRIORITIES:
-            queue = self._classes[name]
-            if queue:
-                self._size -= 1
-                return queue.popleft()
+            if self._classes[name]:
+                return self._pop_from_class(name)
         raise IndexError("pop from an empty RequestQueue")  # pragma: no cover - guarded
 
     def get_batch(
@@ -364,10 +480,17 @@ class RequestQueue:
         the failures per priority class in its metrics.
         """
         with self._lock:
-            pending = [request for queue in self._classes.values() for request in queue]
-            for queue in self._classes.values():
-                queue.clear()
+            pending = [
+                request
+                for lanes in self._classes.values()
+                for lane in lanes.values()
+                for request in lane
+            ]
+            for name in PRIORITIES:
+                self._classes[name] = {}
+                self._credits[name] = {}
             self._size = 0
+            self._model_counts = {}
         for request in pending:
             request.fail(error)
         return pending

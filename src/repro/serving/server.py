@@ -18,21 +18,31 @@ Endpoints::
 
     POST /predict   {"inputs": [[...]] or [[[...]]],
                      "timeout_ms": 50.0 (optional),
-                     "priority": "interactive" (optional)}  -> predicted classes
+                     "priority": "interactive" (optional),
+                     "model": "tiny_cnn" (optional; the deployment to run),
+                     "tenant": "team-a" (optional; quota/fairness identity)}
+                                                      -> predicted classes
     GET  /metrics                                     -> ServerMetrics snapshot
+                                                         (per-model and
+                                                         per-tenant blocks)
     GET  /metrics?format=prometheus                   -> text exposition format
-    GET  /levels                                      -> service-level table
+    GET  /levels                                      -> service-level tables,
+                                                         grouped per model
     GET  /events                                      -> structured event ring
     GET  /trace?trace_id=...                          -> buffered request spans
     GET  /healthz                                     -> liveness probe
 
 Every ``POST /predict`` response carries an ``X-Trace-Id`` header naming the
-trace its spans were recorded under.
+trace its spans were recorded under.  Unknown models are refused with a
+structured 404 naming the served models, unknown tenants with a 403 naming
+the registered tenants, and over-quota tenants with a 429 (plus a
+``Retry-After`` header when the rate bucket predicts the next token).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import re
 import threading
 import time
@@ -45,7 +55,8 @@ import numpy as np
 from repro.obs.tracing import new_trace_id
 from repro.registry import FRONTS
 from repro.serving.request import DEFAULT_PRIORITY, PRIORITIES, Request, RequestTimedOut
-from repro.serving.scheduler import Scheduler
+from repro.serving.scheduler import Scheduler, UnknownModel
+from repro.serving.tenancy import TenantQuotaExceeded, UnknownTenant
 from repro.utils.logging import get_logger
 
 logger = get_logger("serving.server")
@@ -70,58 +81,115 @@ def sanitize_trace_id(value: Optional[str]) -> Optional[str]:
 
 
 # --------------------------------------------------------------------------- shared endpoint logic
-def parse_predict_payload(
-    scheduler: Scheduler, payload: Dict[str, Any]
-) -> Tuple[Optional[Tuple[int, Dict[str, Any]]], Optional[np.ndarray], Optional[float], str]:
-    """Validate a ``POST /predict`` body against the scheduler's model.
+class ParsedPredict:
+    """The validated fields of a ``POST /predict`` body.
 
-    Returns ``(error, xs, timeout_ms, priority)``: ``error`` is ``None`` on
-    success, otherwise an ``(http_status, response)`` pair and the remaining
-    fields are meaningless.  Shared by the threaded and asyncio fronts so a
-    malformed body gets the same 400 whichever front receives it.
+    ``error`` is ``None`` on success, otherwise an ``(http_status,
+    response)`` pair and the remaining fields are meaningless.  ``model`` is
+    the *resolved* deployment-table name (explicit field, tenant pin or
+    server default) and ``tenant`` the raw tenant name (``None`` means the
+    default tenant).
     """
+
+    __slots__ = ("error", "xs", "timeout_ms", "priority", "model", "tenant")
+
+    def __init__(
+        self,
+        error: Optional[Tuple[int, Dict[str, Any]]] = None,
+        xs: Optional[np.ndarray] = None,
+        timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
+        model: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ):
+        self.error = error
+        self.xs = xs
+        self.timeout_ms = timeout_ms
+        self.priority = priority
+        self.model = model
+        self.tenant = tenant
+
+
+def parse_predict_payload(scheduler: Scheduler, payload: Dict[str, Any]) -> ParsedPredict:
+    """Validate a ``POST /predict`` body against the scheduler's table.
+
+    Shared by the threaded and asyncio fronts so a malformed body gets the
+    same response whichever front receives it: generic 400s for shape/type
+    problems, a structured 404 for unknown models (naming the served
+    models) and a structured 403 for unknown tenants (naming the registered
+    tenants).
+    """
+    model = payload.get("model")
+    if model is not None and not isinstance(model, str):
+        return ParsedPredict(error=(400, {"error": "'model' is not a string"}))
+    tenant = payload.get("tenant")
+    if tenant is not None and not isinstance(tenant, str):
+        return ParsedPredict(error=(400, {"error": "'tenant' is not a string"}))
+    if tenant is not None and tenant not in scheduler.tenants:
+        return ParsedPredict(
+            error=(
+                403,
+                {
+                    "error": f"unknown tenant {tenant!r}",
+                    "tenant": tenant,
+                    "registered_tenants": scheduler.tenants.names(),
+                },
+            )
+        )
+    try:
+        resolved_model = scheduler.resolve_model(model, tenant=tenant)
+    except UnknownModel as failure:
+        return ParsedPredict(
+            error=(
+                404,
+                {
+                    "error": str(failure),
+                    "model": failure.model,
+                    "available_models": failure.choices,
+                },
+            )
+        )
     inputs = payload.get("inputs")
     if inputs is None:
-        return (400, {"error": "missing 'inputs' field"}), None, None, DEFAULT_PRIORITY
+        return ParsedPredict(error=(400, {"error": "missing 'inputs' field"}))
     try:
         xs = np.asarray(inputs, dtype=np.float32)
     except (TypeError, ValueError):
-        return (400, {"error": "'inputs' is not a numeric array"}), None, None, DEFAULT_PRIORITY
-    sample_shape = scheduler.deployment.qmodel.input_shape
+        return ParsedPredict(error=(400, {"error": "'inputs' is not a numeric array"}))
+    sample_shape = scheduler.deployments[resolved_model].qmodel.input_shape
     if xs.shape == sample_shape:
         xs = xs[None, ...]
     if xs.ndim != len(sample_shape) + 1 or xs.shape[1:] != sample_shape:
-        return (
-            (
+        return ParsedPredict(
+            error=(
                 400,
                 {
-                    "error": f"expected inputs of per-sample shape {list(sample_shape)}, "
-                    f"got array of shape {list(xs.shape)}"
+                    "error": f"model {resolved_model!r} expects inputs of per-sample shape "
+                    f"{list(sample_shape)}, got array of shape {list(xs.shape)}"
                 },
-            ),
-            None,
-            None,
-            DEFAULT_PRIORITY,
+            )
         )
     timeout_ms = payload.get("timeout_ms")
     if timeout_ms is not None:
         if isinstance(timeout_ms, bool):  # bool passes float() -- reject explicitly
-            return (400, {"error": "'timeout_ms' is not a number"}), None, None, DEFAULT_PRIORITY
+            return ParsedPredict(error=(400, {"error": "'timeout_ms' is not a number"}))
         try:
             timeout_ms = float(timeout_ms)
         except (TypeError, ValueError):
-            return (400, {"error": "'timeout_ms' is not a number"}), None, None, DEFAULT_PRIORITY
+            return ParsedPredict(error=(400, {"error": "'timeout_ms' is not a number"}))
         if timeout_ms <= 0:
-            return (400, {"error": "'timeout_ms' must be positive"}), None, None, DEFAULT_PRIORITY
-    priority = payload.get("priority", DEFAULT_PRIORITY)
-    if not isinstance(priority, str) or priority not in PRIORITIES:
-        return (
-            (400, {"error": f"unknown priority {priority!r}; expected one of {list(PRIORITIES)}"}),
-            None,
-            None,
-            DEFAULT_PRIORITY,
+            return ParsedPredict(error=(400, {"error": "'timeout_ms' must be positive"}))
+    priority = payload.get("priority")
+    if priority is not None and (not isinstance(priority, str) or priority not in PRIORITIES):
+        return ParsedPredict(
+            error=(
+                400,
+                {"error": f"unknown priority {priority!r}; expected one of {list(PRIORITIES)}"},
+            )
         )
-    return None, xs, timeout_ms, priority
+    return ParsedPredict(
+        xs=xs, timeout_ms=timeout_ms, priority=priority, model=resolved_model, tenant=tenant
+    )
 
 
 def predict_success_response(requests: List[Request]) -> Dict[str, Any]:
@@ -130,6 +198,8 @@ def predict_success_response(requests: List[Request]) -> Dict[str, Any]:
         "classes": [request.prediction for request in requests],
         "levels": [request.level_name for request in requests],
         "priority": requests[0].priority if requests else DEFAULT_PRIORITY,
+        "model": requests[0].model if requests else None,
+        "tenant": requests[0].tenant if requests else None,
         "wait_ms": [round(request.wait_ms, 3) for request in requests],
         "service_ms": [round(request.service_ms, 3) for request in requests],
         "trace_id": requests[0].trace_id if requests else None,
@@ -138,11 +208,43 @@ def predict_success_response(requests: List[Request]) -> Dict[str, Any]:
 
 def predict_error_response(error: BaseException) -> Tuple[int, Dict[str, Any]]:
     """Map a serving-side failure to the (status, body) both fronts return."""
+    if isinstance(error, TenantQuotaExceeded):
+        body: Dict[str, Any] = {
+            "error": str(error),
+            "tenant": error.tenant,
+            "reason": error.reason,
+        }
+        if error.retry_after_s is not None:
+            body["retry_after_s"] = round(error.retry_after_s, 3)
+        return 429, body
+    if isinstance(error, UnknownTenant):
+        return 403, {
+            "error": str(error),
+            "tenant": error.tenant,
+            "registered_tenants": error.choices,
+        }
+    if isinstance(error, UnknownModel):
+        return 404, {
+            "error": str(error),
+            "model": error.model,
+            "available_models": error.choices,
+        }
     if isinstance(error, RequestTimedOut):
         return 504, {"error": f"request shed: {error}"}
     if isinstance(error, TimeoutError):
         return 503, {"error": "prediction timed out"}
     return 503, {"error": str(error)}
+
+
+def quota_retry_headers(status: int, body: Dict[str, Any]) -> Dict[str, str]:
+    """The ``Retry-After`` header for a 429 body that predicts one.
+
+    Shared by both fronts so rate-limited clients get the same whole-second
+    hint regardless of which server answered.
+    """
+    if status == 429 and "retry_after_s" in body:
+        return {"Retry-After": str(max(1, int(math.ceil(body["retry_after_s"]))))}
+    return {}
 
 
 def _query_int(query: Dict[str, List[str]], name: str) -> Optional[int]:
@@ -179,7 +281,16 @@ def handle_introspection(
             payload["profile"] = profile
         return 200, payload
     if route == "/levels":
-        return 200, {"levels": scheduler.deployment.describe()}
+        # Grouped per model; the flat "levels" key keeps describing the
+        # default model so single-model clients see the PR-2 shape.
+        return 200, {
+            "levels": scheduler.deployment.describe(),
+            "default_model": scheduler.default_model,
+            "models": {
+                name: deployment.describe()
+                for name, deployment in scheduler.deployments.items()
+            },
+        }
     if route == "/events":
         limit = _query_int(query, "limit")
         kind = query.get("kind", [None])[0]
@@ -258,7 +369,7 @@ class PredictionServer:
                 target=self._httpd.serve_forever, name="serving-http", daemon=True
             )
             self._thread.start()
-            logger.info("serving %s on %s", self.scheduler.deployment.qmodel.name, self.url)
+            logger.info("serving %s on %s", ", ".join(self.scheduler.models()), self.url)
         return self
 
     def stop(self) -> None:
@@ -295,15 +406,20 @@ class PredictionServer:
         """
         tracer = self.scheduler.obs.tracer
         parse_started = time.monotonic()
-        error, xs, timeout_ms, priority = parse_predict_payload(self.scheduler, payload)
-        if error is not None:
-            return error[0], error[1], {}
+        parsed = parse_predict_payload(self.scheduler, payload)
+        if parsed.error is not None:
+            return parsed.error[0], parsed.error[1], {}
         if trace_id is None:
             trace_id = new_trace_id()
         headers = {"X-Trace-Id": trace_id}
         try:
             requests = self.scheduler.submit_many(
-                xs, timeout_ms=timeout_ms, priority=priority, trace_id=trace_id
+                parsed.xs,
+                timeout_ms=parsed.timeout_ms,
+                priority=parsed.priority,
+                trace_id=trace_id,
+                model=parsed.model,
+                tenant=parsed.tenant,
             )
             # The parse span covers validation + enqueue: everything between
             # body receipt and the requests entering the queue.
@@ -319,6 +435,7 @@ class PredictionServer:
                 request.result(timeout=max(deadline - time.monotonic(), 0.001))
         except Exception as failure:
             status, body = predict_error_response(failure)
+            headers.update(quota_retry_headers(status, body))
             return status, body, headers
         return 200, predict_success_response(requests), headers
 

@@ -336,6 +336,14 @@ class ServeStage(Stage):
     Service levels come either from the in-graph ``dse`` artifact (the
     default) or from an explicit ``points`` table (the JSON written by
     ``repro-tinyml explore``), in which case no DSE stage is needed.
+
+    A graph can hold *several* serve stages -- one per model of a
+    multi-deployment scheduler -- by giving each a distinct ``artifact``
+    name (which also namespaces the stage name, keeping the graph's
+    uniqueness invariants) and remapping its inputs via ``inputs`` (e.g.
+    ``{"qmodel": "qmodel_alexnet"}``) to model-specific upstream artifacts.
+    Both knobs are part of the content-addressed cache key, so two serve
+    stages over different inputs never collide in the artifact store.
     """
 
     name = "serve"
@@ -348,15 +356,36 @@ class ServeStage(Stage):
         max_levels: int = 8,
         board: BoardProfile = STM32U575,
         cycle_source: str = "analytic",
+        artifact: str = "serving",
+        inputs: Optional[Dict[str, str]] = None,
     ):
         self.points = None if points is None else [dict(p) for p in points]
         self.max_levels = int(max_levels)
         self.board = board
         self.cycle_source = str(cycle_source)
+        self.artifact = str(artifact)
+        if not self.artifact:
+            raise ValueError("ServeStage artifact name must be non-empty")
+        self.inputs = dict(inputs) if inputs else {}
+        self.provides = (self.artifact,)
+        if self.artifact != "serving":
+            self.name = f"serve:{self.artifact}"
         # An explicit point table replaces the DSE artifact, so serving
         # composes without a DSE stage in the graph.
-        if self.points is not None:
-            self.requires = ("qmodel", "significance", "unpacked")
+        base = ("qmodel", "significance", "unpacked")
+        if self.points is None:
+            base = base + ("dse",)
+        unknown = set(self.inputs) - set(base)
+        if unknown:
+            raise ValueError(
+                f"ServeStage inputs remap unknown artifacts {sorted(unknown)}; "
+                f"remappable inputs are {sorted(base)}"
+            )
+        self.requires = tuple(self.inputs.get(name, name) for name in base)
+
+    def _input(self, ctx: StageContext, name: str) -> Any:
+        """Fetch a logical input through the per-stage artifact remap."""
+        return ctx[self.inputs.get(name, name)]
 
     def config(self) -> Dict[str, Any]:
         """Level sources + build options hashed into the cache key."""
@@ -365,6 +394,8 @@ class ServeStage(Stage):
             "max_levels": self.max_levels,
             "board": self.board,
             "cycle_source": self.cycle_source,
+            "artifact": self.artifact,
+            "inputs": dict(sorted(self.inputs.items())),
         }
 
     def run(self, ctx: StageContext) -> Dict[str, Any]:
@@ -372,17 +403,18 @@ class ServeStage(Stage):
         from repro.serving.deployment import Deployment
 
         common = {
-            "significance": ctx["significance"],
-            "unpacked": ctx["unpacked"],
+            "significance": self._input(ctx, "significance"),
+            "unpacked": self._input(ctx, "unpacked"),
             "board": self.board,
             "max_levels": self.max_levels,
             "cycle_source": self.cycle_source,
         }
+        qmodel = self._input(ctx, "qmodel")
         if self.points is not None:
-            deployment = Deployment.from_points(ctx["qmodel"], self.points, **common)
+            deployment = Deployment.from_points(qmodel, self.points, **common)
         else:
-            deployment = Deployment.from_dse(ctx["qmodel"], ctx["dse"], **common)
-        return {"serving": deployment}
+            deployment = Deployment.from_dse(qmodel, self._input(ctx, "dse"), **common)
+        return {self.artifact: deployment}
 
 
 class DeployStage(Stage):

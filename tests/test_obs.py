@@ -351,9 +351,12 @@ class TestServerMetricsObservability:
         metrics.record_shed(priority="interactive")
         text = metrics.render_prometheus(queue_depth=4)
         _, samples = _parse_exposition(text)
-        assert samples['repro_requests_completed_total{priority="interactive",level="mid"}'] == 1
+        assert (
+            samples['repro_requests_completed_total{model="default",priority="interactive",level="mid"}']
+            == 1
+        )
         assert samples['repro_requests_shed_total{priority="interactive"}'] == 1
-        assert samples['repro_batches_total{level="mid"}'] == 1
+        assert samples['repro_batches_total{model="default",level="mid"}'] == 1
         assert samples["repro_queue_depth"] == 4
         assert samples['repro_request_latency_ms_count{priority="batch"}'] == 1
         # Bucket cumulative counts never decrease across the boundary list.
@@ -413,7 +416,7 @@ class TestSchedulerObservability:
         scheduler = Scheduler(deployment, policy="fixed", obs=Observability())
         expired = self._requests(deployment, 1, timeout_ms=0.01)[0]
         time.sleep(0.002)
-        scheduler._last_level_name = "not-the-current-level"
+        scheduler._states[scheduler.default_model].last_level_name = "not-the-current-level"
         scheduler._execute([expired, *self._requests(deployment, 1)])
         events = scheduler.obs.events.snapshot()
         kinds = [event["kind"] for event in events]
